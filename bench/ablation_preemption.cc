@@ -1,0 +1,94 @@
+// Preemption ablation (Sections 5.1 and 5.7): what the measured round
+// traces of the AMPC and MPC MIS implementations cost in a shared data
+// center where low-priority machines are preempted, under (a) Flume-style
+// per-round fault tolerance and (b) a hypothetical in-memory engine that
+// restarts the job on any preemption. This quantifies the paper's
+// positioning of AMPC as a middle ground: it keeps the fault-tolerant
+// discipline but needs far fewer (and cheaper) rounds than MPC.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+#include "baselines/boruvka.h"
+#include "baselines/rootset_mis.h"
+#include "core/mis.h"
+#include "core/msf.h"
+#include "sim/faults.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+  constexpr uint64_t kSeed = 42;
+
+  // The stand-in datasets compress the paper's 100-4500 second jobs by
+  // roughly three orders of magnitude, so the hourly preemption rates of
+  // a real cell are compressed identically: "lo" ~ one preemption per
+  // machine per 50 sim-seconds, "hi" ~ one per 5.
+  constexpr double kLoRate = 1.0 / 50;
+  constexpr double kHiRate = 1.0 / 5;
+
+  PrintHeader("Ablation: preemption resilience (MIS round traces)",
+              {"Dataset", "Engine", "Rounds", "Fault-free(s)",
+               "FT@lo", "FT@hi", "InMem@lo", "InMem@hi"});
+  for (const Dataset& d : LoadDatasets(3)) {
+    auto report = [&](const char* engine, const sim::Cluster& cluster) {
+      sim::PreemptionModel model;
+      model.machines = cluster.config().num_machines;
+      auto at = [&](double rate, sim::RecoveryDiscipline discipline) {
+        sim::PreemptionModel m = model;
+        m.rate_per_machine_sec = rate;
+        const double seconds = sim::ExpectedCompletionSeconds(
+            cluster.round_log(), m, discipline);
+        if (seconds < 1e4) return FmtDouble(seconds);
+        // Whole-job restarts grow as e^{rate * job}: print the exponent
+        // rather than a meaningless 20-digit figure.
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1e", seconds);
+        return std::string(buf);
+      };
+      PrintRow({d.name, engine,
+                FmtInt(static_cast<int64_t>(cluster.round_log().size())),
+                FmtDouble(cluster.SimSeconds()),
+                at(kLoRate, sim::RecoveryDiscipline::kFaultTolerant),
+                at(kHiRate, sim::RecoveryDiscipline::kFaultTolerant),
+                at(kLoRate, sim::RecoveryDiscipline::kInMemory),
+                at(kHiRate, sim::RecoveryDiscipline::kInMemory)});
+    };
+    {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      core::AmpcMis(cluster, d.graph, kSeed);
+      report("AMPC MIS", cluster);
+    }
+    {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      baselines::MpcRootsetMis(cluster, d.graph, kSeed);
+      report("MPC MIS", cluster);
+    }
+    // MSF is the longest-running job in the study (Figure 7): the
+    // fault-tolerance gap widens with job length.
+    {
+      graph::WeightedEdgeList weighted =
+          graph::MakeDegreeWeighted(d.edges, d.graph);
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      core::MsfOptions options;
+      options.seed = kSeed;
+      core::AmpcMsf(cluster, weighted, options);
+      report("AMPC MSF", cluster);
+    }
+    {
+      graph::WeightedEdgeList weighted =
+          graph::MakeDegreeWeighted(d.edges, d.graph);
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      baselines::MpcBoruvkaMsf(cluster, weighted, kSeed);
+      report("MPC MSF", cluster);
+    }
+  }
+  PrintPaperNote(
+      "Sections 5.1/5.7: both engines tolerate preemptions by re-running "
+      "only the current round; AMPC's fewer, shorter rounds lose less "
+      "work per preemption. An in-memory engine (whole-job restart) "
+      "degrades fastest, which is why production batch systems accept "
+      "the durable-storage shuffle cost.");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation of the in-memory fallback threshold (the paper tuned 5e7
+// edges for its MPC baselines, Section 5.3/5.4) and of the matching
+// query-truncation budget (Lemma 4.7's n^epsilon).
+#include "bench_common.h"
+
+#include "baselines/rootset_mis.h"
+#include "core/matching.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+  constexpr uint64_t kSeed = 42;
+
+  PrintHeader("Ablation: MPC in-memory fallback threshold (rootset MIS)",
+              {"Dataset", "Threshold", "Phases", "Shuffles", "Sim(s)"});
+  for (const Dataset& d : LoadDatasets(2)) {
+    const int64_t arcs = d.graph.num_arcs();
+    for (int64_t divisor : {4, 20, 100, 1000}) {
+      sim::ClusterConfig config = BenchConfig(arcs);
+      config.in_memory_threshold_arcs = std::max<int64_t>(64, arcs / divisor);
+      sim::Cluster cluster(config);
+      baselines::RootsetMisResult r =
+          baselines::MpcRootsetMis(cluster, d.graph, kSeed);
+      PrintRow({d.name, FmtInt(config.in_memory_threshold_arcs),
+                FmtInt(r.phases),
+                FmtInt(cluster.metrics().Get("shuffles")),
+                FmtDouble(cluster.SimSeconds())});
+    }
+  }
+  PrintPaperNote(
+      "Section 5.3: 5e7 edges balanced phase-spawn overhead vs the cost "
+      "of one machine finishing; too-small thresholds add phases, "
+      "too-large thresholds serialize the tail.");
+
+  PrintHeader("Ablation: matching truncation budget (Lemma 4.7)",
+              {"Dataset", "Budget", "Phases", "KV-reads", "Sim(s)"});
+  for (const Dataset& d : LoadDatasets(2)) {
+    for (int64_t budget : {0, 16, 256, 4096}) {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      core::MatchingOptions options;
+      options.seed = kSeed;
+      options.max_queries_per_vertex = budget;
+      core::MatchingResult r = core::AmpcMatching(cluster, d.graph, options);
+      PrintRow({d.name, budget == 0 ? "unlimited" : FmtInt(budget),
+                FmtInt(r.phases),
+                FmtInt(cluster.metrics().Get("kv_reads")),
+                FmtDouble(cluster.SimSeconds())});
+    }
+  }
+  PrintPaperNote(
+      "Theorem 2 part 2: the n^eps truncation bounds per-vertex work at "
+      "the cost of O(1/eps) repeated rounds; the practical configuration "
+      "runs untruncated in a single round.");
+  return 0;
+}

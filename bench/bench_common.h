@@ -1,0 +1,58 @@
+// Shared benchmark harness: the stand-in dataset registry and table
+// printing helpers.
+//
+// The paper evaluates on five real graphs (Table 2): com-Orkut (OK),
+// Twitter (TW), Friendster (FS), ClueWeb (CW) and Hyperlink2012 (HL),
+// spanning 234M to 226B arcs. Those crawls cannot be shipped or fit on
+// one host, so every bench runs on *structural stand-ins*: RMAT graphs
+// whose relative size ordering and degree skew mirror the originals
+// (social graphs: moderate skew; web graphs: heavy skew with large hubs).
+// Absolute numbers therefore differ from the paper; the *shape* of each
+// table/figure (who wins, by what factor, how it trends with size) is
+// what each bench reproduces. Set AMPC_BENCH_SCALE to grow or shrink
+// every dataset (default 1.0).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::bench {
+
+/// One stand-in dataset.
+struct Dataset {
+  std::string name;       // OK', TW', FS', CW', HL'
+  std::string stands_for; // the paper dataset it substitutes
+  graph::EdgeList edges;  // generated undirected edge list
+  graph::Graph graph;     // symmetrized simple CSR
+};
+
+/// Generates the five stand-ins at the configured scale. `max_datasets`
+/// truncates the list (benches that sweep many configurations use the
+/// first 3 to stay fast).
+std::vector<Dataset> LoadDatasets(int max_datasets = 5);
+
+/// The benchmark cluster configuration used across all benches:
+/// 8 machines x 8 worker threads, RDMA network, caching+multithreading
+/// on, in-memory fallback threshold proportional to the graph (the paper
+/// uses a fixed 5e7 edges against 234M-226B edge inputs; proportional
+/// scaling preserves the phase counts).
+sim::ClusterConfig BenchConfig(int64_t num_arcs);
+
+/// AMPC_BENCH_SCALE (default 1.0).
+double BenchScale();
+
+/// Simple fixed-width table printing.
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& columns);
+void PrintRow(const std::vector<std::string>& cells);
+void PrintPaperNote(const std::string& note);
+
+std::string FmtInt(int64_t v);
+std::string FmtDouble(double v, int precision = 2);
+std::string FmtBytes(int64_t bytes);
+
+}  // namespace ampc::bench

@@ -1,0 +1,92 @@
+// Corollary 4.1 in practice: the approximation algorithms derived from
+// the maximal-matching black box, measured on the stand-in datasets.
+//   * vertex cover: size vs the matching lower bound (ratio <= 2);
+//   * (2+eps) max weight matching on the degree-weighted graphs of §5.2:
+//     one maximal-matching call regardless of the weight spread, weight
+//     within a whisker of sequential greedy-by-exact-weight;
+//   * (1+eps) maximum matching: size gained over the maximal matching by
+//     short augmenting paths over the DHT.
+#include "bench_common.h"
+
+#include "core/approx.h"
+#include "core/matching.h"
+#include "seq/greedy.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+  constexpr uint64_t kSeed = 42;
+
+  PrintHeader("Corollary 4.1: approximation algorithms",
+              {"Dataset", "Algorithm", "Result", "Reference", "Ratio",
+               "Shuffles", "Sim(s)"});
+  for (const Dataset& d : LoadDatasets(3)) {
+    int64_t mm_size = 0;
+    {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      core::MatchingOptions options;
+      options.seed = kSeed;
+      const core::MatchingResult mm =
+          core::AmpcMatching(cluster, d.graph, options);
+      for (const graph::NodeId p : mm.partner) {
+        mm_size += p != graph::kInvalidNode;
+      }
+      mm_size /= 2;
+    }
+    {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      core::MatchingOptions options;
+      options.seed = kSeed;
+      const core::VertexCoverResult cover =
+          core::AmpcVertexCover(cluster, d.graph, options);
+      PrintRow({d.name, "vertex cover", FmtInt(cover.size),
+                FmtInt(mm_size) + " (mm lower bd)",
+                FmtDouble(static_cast<double>(cover.size) /
+                          static_cast<double>(mm_size)),
+                FmtInt(cluster.metrics().Get("shuffles")),
+                FmtDouble(cluster.SimSeconds())});
+    }
+    {
+      const graph::WeightedEdgeList weighted =
+          graph::MakeDegreeWeighted(d.edges, d.graph);
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      core::WeightMatchingOptions options;
+      options.epsilon = 0.2;
+      options.matching.seed = kSeed;
+      const core::WeightMatchingResult result =
+          core::AmpcApproxMaxWeightMatching(cluster, weighted, options);
+      const seq::MatchingResult greedy = seq::GreedyWeightMatching(weighted);
+      double greedy_weight = 0;
+      for (const graph::EdgeId id : greedy.edges) {
+        greedy_weight += weighted.edges[id].w;
+      }
+      PrintRow({d.name, "(2+eps) weight mm",
+                FmtDouble(result.total_weight, 0),
+                FmtDouble(greedy_weight, 0) + " (greedy)",
+                FmtDouble(result.total_weight / greedy_weight),
+                FmtInt(cluster.metrics().Get("shuffles")),
+                FmtDouble(cluster.SimSeconds())});
+    }
+    {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      core::ApproxMatchingOptions options;
+      options.epsilon = 0.5;  // augmenting paths up to length 3
+      options.matching.seed = kSeed;
+      const core::ApproxMatchingResult result =
+          core::AmpcApproxMaximumMatching(cluster, d.graph, options);
+      PrintRow({d.name, "(1+eps) max mm", FmtInt(result.size),
+                FmtInt(mm_size) + " (maximal)",
+                FmtDouble(static_cast<double>(result.size) /
+                          static_cast<double>(mm_size)),
+                FmtInt(cluster.metrics().Get("shuffles")),
+                FmtDouble(cluster.SimSeconds())});
+    }
+  }
+  PrintPaperNote(
+      "Corollary 4.1 guarantees: cover <= 2x optimal (mm size is the "
+      "lower bound, so ratio 2.00 here is the worst case, usually "
+      "pessimistic); bucketed weight matching within 2(1+eps) of optimal "
+      "in ONE matching call; (1+eps) matching strictly grows the maximal "
+      "matching toward optimal via DHT-resident augmenting paths.");
+  return 0;
+}

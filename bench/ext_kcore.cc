@@ -1,0 +1,53 @@
+// Extension experiment (paper Section 5.7, "Sub-structure Extraction"):
+// core decomposition with the AMPC engine (adjacency staged in the DHT
+// once, value rounds are shuffle-free) against the MPC dataflow baseline
+// (one shuffle per h-index iteration). Both run the identical fixpoint,
+// so the contrast isolates what the DHT buys for peeling-style workloads.
+#include "bench_common.h"
+
+#include "baselines/mpc_kcore.h"
+#include "common/logging.h"
+#include "core/kcore.h"
+#include "seq/kcore.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+
+  PrintHeader("Extension: k-core decomposition (Section 5.7)",
+              {"Dataset", "Engine", "Iters", "Shuffles", "Shuf-bytes",
+               "KV-bytes", "Sim(s)", "Degeneracy"});
+  for (const Dataset& d : LoadDatasets()) {
+    std::vector<int32_t> reference;
+    {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      core::KCoreResult result = core::AmpcKCore(cluster, d.graph);
+      reference = result.coreness;
+      PrintRow({d.name, "AMPC", FmtInt(result.iterations),
+                FmtInt(cluster.metrics().Get("shuffles")),
+                FmtBytes(cluster.metrics().Get("shuffle_bytes")),
+                FmtBytes(cluster.metrics().Get("kv_read_bytes") +
+                         cluster.metrics().Get("kv_write_bytes")),
+                FmtDouble(cluster.SimSeconds()),
+                FmtInt(seq::Degeneracy(result.coreness))});
+    }
+    {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      baselines::MpcKCoreResult result =
+          baselines::MpcKCore(cluster, d.graph);
+      AMPC_CHECK(result.coreness == reference)
+          << "MPC coreness diverged from AMPC on " << d.name;
+      PrintRow({d.name, "MPC", FmtInt(result.iterations),
+                FmtInt(cluster.metrics().Get("shuffles")),
+                FmtBytes(cluster.metrics().Get("shuffle_bytes")),
+                FmtBytes(cluster.metrics().Get("kv_read_bytes") +
+                         cluster.metrics().Get("kv_write_bytes")),
+                FmtDouble(cluster.SimSeconds()), ""});
+    }
+  }
+  PrintPaperNote(
+      "Section 5.7 poses k-core as future AMPC work. Expected shape: "
+      "identical iteration counts, but AMPC uses 1 shuffle total while "
+      "MPC pays one per iteration, mirroring the MIS/MM round contrast.");
+  return 0;
+}

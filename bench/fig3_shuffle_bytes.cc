@@ -1,0 +1,38 @@
+// Reproduces Figure 3: bytes shuffled by the AMPC and MPC MIS
+// implementations, and the AMPC algorithm's total communication with the
+// key-value store, per dataset.
+#include "bench_common.h"
+
+#include "baselines/rootset_mis.h"
+#include "core/mis.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+  constexpr uint64_t kSeed = 42;
+
+  PrintHeader("Figure 3: MIS shuffle bytes & KV communication",
+              {"Dataset", "AMPC-Shuffle", "AMPC-KV-Comm", "MPC-Shuffle",
+               "MPC/AMPC"});
+  for (const Dataset& d : LoadDatasets()) {
+    sim::Cluster ampc_cluster(BenchConfig(d.graph.num_arcs()));
+    core::AmpcMis(ampc_cluster, d.graph, kSeed);
+    const int64_t ampc_shuffle =
+        ampc_cluster.metrics().Get("shuffle_bytes");
+    const int64_t ampc_kv = ampc_cluster.metrics().Get("kv_read_bytes") +
+                            ampc_cluster.metrics().Get("kv_write_bytes");
+
+    sim::Cluster mpc_cluster(BenchConfig(d.graph.num_arcs()));
+    baselines::MpcRootsetMis(mpc_cluster, d.graph, kSeed);
+    const int64_t mpc_shuffle = mpc_cluster.metrics().Get("shuffle_bytes");
+
+    PrintRow({d.name, FmtBytes(ampc_shuffle), FmtBytes(ampc_kv),
+              FmtBytes(mpc_shuffle),
+              FmtDouble(static_cast<double>(mpc_shuffle) / ampc_shuffle)});
+  }
+  PrintPaperNote(
+      "Figure 3: AMPC always shuffles significantly fewer bytes (its one "
+      "shuffle writes ~the input graph); KV communication is typically "
+      "below the MPC shuffle volume except on ClueWeb-like skew.");
+  return 0;
+}

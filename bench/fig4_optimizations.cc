@@ -1,0 +1,55 @@
+// Reproduces Figure 4: the effect of the caching and multithreading
+// optimizations on the AMPC MIS implementation — simulated running time
+// of the four variants, reported as slowdown relative to the fastest.
+#include <algorithm>
+
+#include "bench_common.h"
+
+#include "core/mis.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+  constexpr uint64_t kSeed = 42;
+
+  struct Variant {
+    const char* name;
+    bool caching;
+    bool multithreading;
+  };
+  const Variant variants[] = {
+      {"Cache+MT", true, true},
+      {"OnlyMT", false, true},
+      {"OnlyCache", true, false},
+      {"Unoptimized", false, false},
+  };
+
+  PrintHeader("Figure 4: AMPC MIS optimization ablation (slowdown vs fastest)",
+              {"Dataset", "Cache+MT", "OnlyMT", "OnlyCache", "Unopt",
+               "KVbytes C/NC"});
+  for (const Dataset& d : LoadDatasets(3)) {
+    double times[4];
+    int64_t kv_bytes_cached = 0, kv_bytes_uncached = 0;
+    for (int i = 0; i < 4; ++i) {
+      sim::ClusterConfig config = BenchConfig(d.graph.num_arcs());
+      config.caching = variants[i].caching;
+      config.multithreading = variants[i].multithreading;
+      sim::Cluster cluster(config);
+      core::AmpcMis(cluster, d.graph, kSeed);
+      times[i] = cluster.SimSeconds();
+      if (i == 0) kv_bytes_cached = cluster.metrics().Get("kv_read_bytes");
+      if (i == 1) kv_bytes_uncached = cluster.metrics().Get("kv_read_bytes");
+    }
+    const double fastest = *std::min_element(times, times + 4);
+    PrintRow({d.name, FmtDouble(times[0] / fastest),
+              FmtDouble(times[1] / fastest), FmtDouble(times[2] / fastest),
+              FmtDouble(times[3] / fastest),
+              FmtDouble(static_cast<double>(kv_bytes_uncached) /
+                        std::max<int64_t>(1, kv_bytes_cached))});
+  }
+  PrintPaperNote(
+      "Figure 4: both optimizations help; fastest = caching+MT. "
+      "Multithreading alone 1.26-2.59x over unoptimized, caching alone "
+      "1.47-3.99x; caching cuts KV bytes 1.96-12.2x.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Figure 5: normalized running times for the AMPC and MPC MIS
+// implementations, with the AMPC time broken into its three phases
+// (DirectGraph shuffle, KV-Write, IsInMIS search).
+#include "bench_common.h"
+
+#include "baselines/rootset_mis.h"
+#include "core/mis.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+  constexpr uint64_t kSeed = 42;
+
+  PrintHeader("Figure 5: MIS time breakdown (simulated seconds)",
+              {"Dataset", "DirectGraph", "KV-Write", "IsInMIS", "AMPC-total",
+               "MPC-total", "Speedup"});
+  for (const Dataset& d : LoadDatasets()) {
+    sim::Cluster ampc_cluster(BenchConfig(d.graph.num_arcs()));
+    core::AmpcMis(ampc_cluster, d.graph, kSeed);
+    Metrics& am = ampc_cluster.metrics();
+    const double direct = am.GetTime("sim:DirectGraph");
+    const double kv_write = am.GetTime("sim:KV-Write");
+    const double search = am.GetTime("sim:IsInMIS");
+    const double ampc_total = ampc_cluster.SimSeconds();
+
+    sim::Cluster mpc_cluster(BenchConfig(d.graph.num_arcs()));
+    baselines::MpcRootsetMis(mpc_cluster, d.graph, kSeed);
+    const double mpc_total = mpc_cluster.SimSeconds();
+
+    PrintRow({d.name, FmtDouble(direct), FmtDouble(kv_write),
+              FmtDouble(search), FmtDouble(ampc_total),
+              FmtDouble(mpc_total), FmtDouble(mpc_total / ampc_total)});
+  }
+  PrintPaperNote(
+      "Figure 5: AMPC 2.31-3.18x faster than MPC on every input; "
+      "DirectGraph shuffle dominates small graphs (2.06-3.24x IsInMIS), "
+      "IsInMIS grows to 1.38-1.43x DirectGraph on the largest; KV-Write "
+      "<= 8% of total.");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Figure 6: normalized running times for the AMPC and MPC
+// Maximal Matching implementations with the AMPC phase breakdown
+// (PermuteGraph shuffle, KV-Write, IsInMM search).
+#include "bench_common.h"
+
+#include "baselines/rootset_matching.h"
+#include "core/matching.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+  constexpr uint64_t kSeed = 42;
+
+  PrintHeader("Figure 6: Maximal Matching time breakdown (simulated seconds)",
+              {"Dataset", "PermuteGraph", "KV-Write", "IsInMM", "AMPC-total",
+               "MPC-total", "Speedup"});
+  for (const Dataset& d : LoadDatasets()) {
+    sim::Cluster ampc_cluster(BenchConfig(d.graph.num_arcs()));
+    core::MatchingOptions options;
+    options.seed = kSeed;
+    core::AmpcMatching(ampc_cluster, d.graph, options);
+    Metrics& am = ampc_cluster.metrics();
+    const double permute = am.GetTime("sim:PermuteGraph");
+    const double kv_write = am.GetTime("sim:KV-Write");
+    const double search = am.GetTime("sim:IsInMM");
+    const double ampc_total = ampc_cluster.SimSeconds();
+
+    sim::Cluster mpc_cluster(BenchConfig(d.graph.num_arcs()));
+    baselines::MpcRootsetMatching(mpc_cluster, d.graph, kSeed);
+    const double mpc_total = mpc_cluster.SimSeconds();
+
+    PrintRow({d.name, FmtDouble(permute), FmtDouble(kv_write),
+              FmtDouble(search), FmtDouble(ampc_total),
+              FmtDouble(mpc_total), FmtDouble(mpc_total / ampc_total)});
+  }
+  PrintPaperNote(
+      "Figure 6: AMPC MM 1.16-1.72x faster than MPC MM — a smaller gap "
+      "than MIS because the permuted graph keeps all edges (bigger "
+      "shuffle) and IsInMM issues more queries.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces the Section 5.3 baseline-selection experiment: "We also
+// considered an MPC implementation of the AMPC algorithm as a potential
+// baseline, in which each step of querying the key-value store was mapped
+// to a shuffle. We observed that this algorithm requires over 1000
+// shuffles even for the Orkut and Friendster graphs, and is over 50x
+// slower than the rootset-based algorithm."
+//
+// Three engines, same MIS: the AMPC implementation (1 shuffle), the
+// rootset MPC baseline (tens of shuffles), and the shuffle-per-query MPC
+// simulation of the AMPC algorithm (longest query chain = thousands).
+#include "bench_common.h"
+
+#include "baselines/ampc_simulation.h"
+#include "baselines/rootset_mis.h"
+#include "common/logging.h"
+#include "core/mis.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+  constexpr uint64_t kSeed = 42;
+
+  PrintHeader("Section 5.3: MPC simulation of the AMPC MIS algorithm",
+              {"Dataset", "Engine", "Shuffles", "Shuf-bytes", "Sim(s)",
+               "vs-rootset"});
+  // The paper ran this comparison on its smaller graphs (Orkut,
+  // Friendster); mirror that with the first stand-ins.
+  for (const Dataset& d : LoadDatasets(2)) {
+    std::vector<uint8_t> reference;
+    double rootset_sim = 0;
+    {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      core::MisResult mis = core::AmpcMis(cluster, d.graph, kSeed);
+      reference = mis.in_mis;
+      PrintRow({d.name, "AMPC",
+                FmtInt(cluster.metrics().Get("shuffles")),
+                FmtBytes(cluster.metrics().Get("shuffle_bytes")),
+                FmtDouble(cluster.SimSeconds()), ""});
+    }
+    {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      baselines::RootsetMisResult mis =
+          baselines::MpcRootsetMis(cluster, d.graph, kSeed);
+      AMPC_CHECK(mis.in_mis == reference);
+      rootset_sim = cluster.SimSeconds();
+      PrintRow({d.name, "MPC rootset",
+                FmtInt(cluster.metrics().Get("shuffles")),
+                FmtBytes(cluster.metrics().Get("shuffle_bytes")),
+                FmtDouble(cluster.SimSeconds()), "1.00x"});
+    }
+    {
+      sim::Cluster cluster(BenchConfig(d.graph.num_arcs()));
+      baselines::SimulatedAmpcMisResult sim_mis =
+          baselines::MpcSimulatedAmpcMis(cluster, d.graph, kSeed);
+      AMPC_CHECK(sim_mis.in_mis == reference);
+      PrintRow({d.name, "MPC sim-AMPC",
+                FmtInt(cluster.metrics().Get("shuffles")),
+                FmtBytes(cluster.metrics().Get("shuffle_bytes")),
+                FmtDouble(cluster.SimSeconds()),
+                FmtDouble(cluster.SimSeconds() / rootset_sim) + "x"});
+    }
+  }
+  PrintPaperNote(
+      "Section 5.3: the shuffle-per-query simulation needs >1000 shuffles "
+      "even on the smaller graphs and is >50x slower than the rootset "
+      "baseline — which is why the rootset algorithm is the MPC baseline "
+      "throughout the paper.");
+  return 0;
+}

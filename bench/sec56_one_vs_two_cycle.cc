@@ -1,0 +1,60 @@
+// Reproduces Section 5.6: AMPC-1-vs-2-Cycle vs the MPC local-contraction
+// connectivity baseline on a family of 2xk cycle graphs — speedups,
+// shuffle counts, MPC iteration counts and per-iteration shrink factor.
+#include <cmath>
+
+#include "bench_common.h"
+
+#include "baselines/local_contraction.h"
+#include "core/one_vs_two_cycle.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+  constexpr uint64_t kSeed = 42;
+
+  PrintHeader("Section 5.6: 1-vs-2-Cycle, AMPC vs MPC local contraction",
+              {"k", "AMPC-shuf", "MPC-shuf", "MPC-iters", "Shrink/iter",
+               "AMPC-sim(s)", "MPC-sim(s)", "Speedup"});
+  const double scale = BenchScale();
+  for (int64_t base_k : {50'000, 200'000, 800'000, 3'200'000}) {
+    const int64_t k = static_cast<int64_t>(base_k * scale);
+    graph::EdgeList list = graph::GenerateDoubleCycle(k);
+    graph::Graph g = graph::BuildGraph(list);
+
+    sim::Cluster ampc_cluster(BenchConfig(g.num_arcs()));
+    core::CycleOptions options;
+    options.seed = kSeed;
+    core::CycleResult ampc = core::AmpcOneVsTwoCycle(ampc_cluster, g, options);
+    AMPC_CHECK_EQ(ampc.num_cycles, 2);
+
+    sim::Cluster mpc_cluster(BenchConfig(g.num_arcs()));
+    baselines::LocalContractionResult mpc =
+        baselines::MpcLocalContractionCC(mpc_cluster, list, kSeed);
+    AMPC_CHECK_EQ(mpc.num_components, 2);
+
+    // Average shrink factor per iteration: k -> threshold over iters.
+    const double start = static_cast<double>(2 * k);
+    const double end = static_cast<double>(
+        mpc_cluster.config().in_memory_threshold_arcs);
+    const double shrink =
+        mpc.iterations > 0
+            ? std::exp(std::log(start / std::max(1.0, end / 2)) /
+                       mpc.iterations)
+            : 1.0;
+
+    PrintRow({FmtInt(k), FmtInt(ampc_cluster.metrics().Get("shuffles")),
+              FmtInt(mpc_cluster.metrics().Get("shuffles")),
+              FmtInt(mpc.iterations), FmtDouble(shrink),
+              FmtDouble(ampc_cluster.SimSeconds()),
+              FmtDouble(mpc_cluster.SimSeconds()),
+              FmtDouble(mpc_cluster.SimSeconds() /
+                        ampc_cluster.SimSeconds())});
+  }
+  PrintPaperNote(
+      "Section 5.6: AMPC 3.40-9.87x faster, growing with n; AMPC uses a "
+      "single staging shuffle, MPC 12-27 shuffles over 4-9 iterations "
+      "shrinking the cycle ~2.59-3x per iteration.");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Table 4: normalized running times of the 1-vs-2-Cycle and
+// MIS algorithms when the key-value store communicates over RDMA vs
+// TCP/IP, against the MPC baselines.
+#include "bench_common.h"
+
+#include "baselines/local_contraction.h"
+#include "baselines/rootset_mis.h"
+#include "core/mis.h"
+#include "core/one_vs_two_cycle.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace ampc;
+  using namespace ampc::bench;
+  constexpr uint64_t kSeed = 42;
+
+  // --- 1-vs-2-Cycle on 2xk graphs (paper columns 2e8, 2e9, 2e10; scaled
+  // stand-ins here).
+  const int64_t ks[] = {100'000, 400'000, 1'600'000};
+  std::vector<std::string> header = {"Algorithm"};
+  for (int64_t k : ks) header.push_back("2x" + FmtInt(k));
+  PrintHeader("Table 4a: 1-vs-2-Cycle normalized times", header);
+
+  std::vector<double> cyc_rdma, cyc_tcp, cyc_mpc;
+  for (int64_t k : ks) {
+    graph::EdgeList list = graph::GenerateDoubleCycle(k);
+    graph::Graph g = graph::BuildGraph(list);
+    core::CycleOptions options;
+    options.seed = kSeed;
+
+    sim::ClusterConfig rdma_config = BenchConfig(g.num_arcs());
+    sim::Cluster rdma(rdma_config);
+    core::AmpcOneVsTwoCycle(rdma, g, options);
+    cyc_rdma.push_back(rdma.SimSeconds());
+
+    sim::ClusterConfig tcp_config = BenchConfig(g.num_arcs());
+    tcp_config.network = kv::NetworkModel::TcpIp();
+    sim::Cluster tcp(tcp_config);
+    core::AmpcOneVsTwoCycle(tcp, g, options);
+    cyc_tcp.push_back(tcp.SimSeconds());
+
+    sim::Cluster mpc(BenchConfig(g.num_arcs()));
+    baselines::MpcOneVsTwoCycle(mpc, list, kSeed);
+    cyc_mpc.push_back(mpc.SimSeconds());
+  }
+  auto norm_row = [&](const char* name, const std::vector<double>& t,
+                      const std::vector<double>& base) {
+    std::vector<std::string> row = {name};
+    for (size_t i = 0; i < t.size(); ++i) {
+      row.push_back(FmtDouble(t[i] / base[i]));
+    }
+    PrintRow(row);
+  };
+  norm_row("2-Cyc (RDMA)", cyc_rdma, cyc_rdma);
+  norm_row("2-Cyc (TCP/IP)", cyc_tcp, cyc_rdma);
+  norm_row("MPC 2-Cyc", cyc_mpc, cyc_rdma);
+
+  // --- MIS on the dataset stand-ins.
+  std::vector<Dataset> datasets = LoadDatasets();
+  std::vector<std::string> mis_header = {"Algorithm"};
+  for (const Dataset& d : datasets) mis_header.push_back(d.name);
+  PrintHeader("Table 4b: MIS normalized times", mis_header);
+
+  std::vector<double> mis_rdma, mis_tcp, mis_mpc;
+  for (const Dataset& d : datasets) {
+    sim::Cluster rdma(BenchConfig(d.graph.num_arcs()));
+    core::AmpcMis(rdma, d.graph, kSeed);
+    mis_rdma.push_back(rdma.SimSeconds());
+
+    sim::ClusterConfig tcp_config = BenchConfig(d.graph.num_arcs());
+    tcp_config.network = kv::NetworkModel::TcpIp();
+    sim::Cluster tcp(tcp_config);
+    core::AmpcMis(tcp, d.graph, kSeed);
+    mis_tcp.push_back(tcp.SimSeconds());
+
+    sim::Cluster mpc(BenchConfig(d.graph.num_arcs()));
+    baselines::MpcRootsetMis(mpc, d.graph, kSeed);
+    mis_mpc.push_back(mpc.SimSeconds());
+  }
+  norm_row("MIS (RDMA)", mis_rdma, mis_rdma);
+  norm_row("MIS (TCP/IP)", mis_tcp, mis_rdma);
+  norm_row("MPC MIS", mis_mpc, mis_rdma);
+
+  PrintPaperNote(
+      "Table 4: TCP/IP 1.74-5.90x slower than RDMA for 1v2-Cycle "
+      "(latency-bound walks) but only 1.50-1.85x for MIS; even TCP-based "
+      "AMPC beats the MPC baselines (MPC 2-Cyc 3.40-9.87x, MPC MIS "
+      "2.30-3.04x slower than RDMA AMPC).");
+  return 0;
+}

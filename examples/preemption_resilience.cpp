@@ -1,0 +1,78 @@
+// The Section 5.1 / 5.7 systems argument, end to end: run the same MIS
+// job with the AMPC engine and the MPC baseline, take their *measured*
+// round traces, and project expected completion times in a shared data
+// center where machines are preempted — under Flume-style per-round
+// fault tolerance and under a hypothetical in-memory engine that loses
+// everything on any preemption.
+//
+// Run:  ./build/examples/preemption_resilience
+#include <cstdio>
+#include <vector>
+
+#include "baselines/rootset_mis.h"
+#include "core/mis.h"
+#include "graph/generators.h"
+#include "sim/cluster.h"
+#include "sim/faults.h"
+
+int main() {
+  using namespace ampc;
+
+  const graph::EdgeList edges = graph::GenerateRmat(17, 1'500'000, 99);
+  const graph::Graph g = graph::BuildGraph(edges);
+  std::printf("input: %lld vertices, %lld arcs\n",
+              static_cast<long long>(g.num_nodes()),
+              static_cast<long long>(g.num_arcs()));
+
+  sim::ClusterConfig config;
+  config.num_machines = 8;
+  config.in_memory_threshold_arcs = g.num_arcs() / 50;
+
+  sim::Cluster ampc_cluster(config);
+  core::AmpcMis(ampc_cluster, g, 99);
+  sim::Cluster mpc_cluster(config);
+  baselines::MpcRootsetMis(mpc_cluster, g, 99);
+
+  std::printf("fault-free: AMPC %.2fs over %zu rounds | MPC %.2fs over "
+              "%zu rounds\n",
+              ampc_cluster.SimSeconds(), ampc_cluster.round_log().size(),
+              mpc_cluster.SimSeconds(), mpc_cluster.round_log().size());
+
+  std::printf("\n%-28s %10s %10s %12s\n", "preemption rate (per machine)",
+              "AMPC-FT", "MPC-FT", "MPC-inmem");
+  for (const double rate : {0.002, 0.02, 0.1, 0.3}) {
+    sim::PreemptionModel model;
+    model.rate_per_machine_sec = rate;
+    model.machines = config.num_machines;
+    const double ampc_ft = sim::ExpectedCompletionSeconds(
+        ampc_cluster.round_log(), model,
+        sim::RecoveryDiscipline::kFaultTolerant);
+    const double mpc_ft = sim::ExpectedCompletionSeconds(
+        mpc_cluster.round_log(), model,
+        sim::RecoveryDiscipline::kFaultTolerant);
+    const double mpc_restart = sim::ExpectedCompletionSeconds(
+        mpc_cluster.round_log(), model,
+        sim::RecoveryDiscipline::kInMemory);
+    std::printf("%-28.3f %9.2fs %9.2fs %11.2fs\n", rate, ampc_ft, mpc_ft,
+                mpc_restart);
+  }
+
+  // Sanity: the analytic projection agrees with brute-force simulation.
+  sim::PreemptionModel check;
+  check.rate_per_machine_sec = 0.1;
+  check.machines = config.num_machines;
+  const sim::PreemptionTrialStats trials = sim::SimulatePreemptions(
+      mpc_cluster.round_log(), check,
+      sim::RecoveryDiscipline::kFaultTolerant, 4000, 1);
+  const double analytic = sim::ExpectedCompletionSeconds(
+      mpc_cluster.round_log(), check,
+      sim::RecoveryDiscipline::kFaultTolerant);
+  std::printf(
+      "\nMonte-Carlo check @0.1/s: simulated %.2fs vs analytic %.2fs "
+      "(%.1f preemptions per run on average)\n",
+      trials.mean_seconds, analytic, trials.mean_preemptions);
+  std::printf(
+      "takeaway: fault tolerance caps the damage to one round; the AMPC "
+      "engine's shorter trace additionally shrinks the exposed surface.\n");
+  return 0;
+}

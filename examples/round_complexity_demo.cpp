@@ -1,0 +1,60 @@
+// The 1-vs-2-Cycle demonstration (paper Section 5.6): the canonical
+// problem conjectured to need Omega(log n) MPC rounds is solved in O(1)
+// adaptive rounds once machines can follow pointers through the DHT.
+// This demo runs both sides over growing cycle sizes and prints how the
+// MPC round count grows while the AMPC round count stays flat.
+//
+// Run:  ./build/examples/round_complexity_demo
+#include <cstdio>
+
+#include "baselines/local_contraction.h"
+#include "core/one_vs_two_cycle.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace ampc;
+  constexpr uint64_t kSeed = 3;
+
+  std::printf("%-12s %-8s %-12s %-12s %-12s %-10s\n", "k", "cycles",
+              "AMPC-shuf", "MPC-shuf", "MPC-iters", "speedup");
+  for (int64_t k : {20'000, 80'000, 320'000, 1'280'000}) {
+    // Alternate between one 2k-cycle and two k-cycles to show both
+    // answers resolve correctly.
+    const bool two = (k / 20'000) % 2 == 0;
+    graph::EdgeList list =
+        two ? graph::GenerateDoubleCycle(k) : graph::GenerateCycle(2 * k);
+    graph::Graph g = graph::BuildGraph(list);
+
+    sim::ClusterConfig config;
+    config.num_machines = 8;
+    // Fixed threshold (like the paper's fixed 5e7-edge cutoff) so the
+    // MPC iteration count grows with the input.
+    config.in_memory_threshold_arcs = 8'000;
+
+    sim::Cluster ampc_cluster(config);
+    core::CycleOptions options;
+    options.seed = kSeed;
+    core::CycleResult ampc = core::AmpcOneVsTwoCycle(ampc_cluster, g, options);
+
+    sim::Cluster mpc_cluster(config);
+    baselines::LocalContractionResult mpc =
+        baselines::MpcLocalContractionCC(mpc_cluster, list, kSeed);
+
+    if (ampc.num_cycles != static_cast<int>(mpc.num_components)) {
+      std::printf("MISMATCH at k=%lld!\n", static_cast<long long>(k));
+      return 1;
+    }
+    std::printf("%-12lld %-8d %-12lld %-12lld %-12d %-10.2f\n",
+                static_cast<long long>(k), ampc.num_cycles,
+                static_cast<long long>(
+                    ampc_cluster.metrics().Get("shuffles")),
+                static_cast<long long>(mpc_cluster.metrics().Get("shuffles")),
+                mpc.iterations,
+                mpc_cluster.SimSeconds() / ampc_cluster.SimSeconds());
+  }
+  std::printf(
+      "\nAMPC shuffles stay constant while MPC shuffles grow ~log(k): the\n"
+      "1-vs-2-Cycle conjecture's Omega(log n) wall, sidestepped by DHT\n"
+      "random access (paper Sections 1 and 5.6).\n");
+  return 0;
+}

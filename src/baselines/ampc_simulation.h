@@ -1,0 +1,41 @@
+// The rejected baseline of Section 5.3: simulating the AMPC MIS algorithm
+// in plain MPC, "in which each step of querying the key-value store was
+// mapped to a shuffle. We observed that this algorithm requires over 1000
+// shuffles even for the Orkut and Friendster graphs, and is over 50x
+// slower than the rootset-based algorithm."
+//
+// Without a DHT, an adaptive lookup can only be realized as a
+// request/response join, and a vertex's query process is inherently
+// sequential (each lookup depends on the previous answer), so the BSP
+// round count equals the *longest* per-vertex query chain — not the
+// O(log n) dependency depth the rootset algorithm enjoys. This module
+// runs the uncached Yoshida-et-al. query process from every vertex,
+// records how many sequential lookups each needs, and charges one shuffle
+// per synchronized lookup round, reproducing the blow-up the paper
+// reports. The MIS itself is identical to core::AmpcMis for the same
+// seed (both compute the lexicographically-first MIS).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::baselines {
+
+struct SimulatedAmpcMisResult {
+  /// in_mis[v] == 1 iff v belongs to the MIS (equals core::AmpcMis).
+  std::vector<uint8_t> in_mis;
+  /// BSP rounds = shuffles charged = the longest per-vertex query chain.
+  int64_t rounds = 0;
+  /// Total KV lookups across all vertices (each one rides a shuffle).
+  int64_t total_queries = 0;
+};
+
+/// Runs the AMPC MIS query process under MPC shuffle-per-query rules.
+SimulatedAmpcMisResult MpcSimulatedAmpcMis(sim::Cluster& cluster,
+                                           const graph::Graph& g,
+                                           uint64_t seed);
+
+}  // namespace ampc::baselines

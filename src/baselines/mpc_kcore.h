@@ -1,0 +1,28 @@
+// MPC baseline for core decomposition: the same h-index fixpoint as
+// core::AmpcKCore, expressed as a dataflow pipeline. Every iteration must
+// move each vertex's current value to all of its neighbors through a
+// GroupByKey — one shuffle per iteration, against the AMPC engine's
+// single up-front graph shuffle. Both engines execute identical
+// iterations, so their outputs (and iteration counts) match exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::baselines {
+
+struct MpcKCoreResult {
+  /// coreness[v] = largest k such that v is in the k-core.
+  std::vector<int32_t> coreness;
+  /// h-index iterations until fixpoint (equals the AMPC engine's count).
+  int iterations = 0;
+};
+
+/// Core decomposition with one shuffle per h-index iteration.
+MpcKCoreResult MpcKCore(sim::Cluster& cluster, const graph::Graph& g,
+                        int max_iterations = 1 << 20);
+
+}  // namespace ampc::baselines

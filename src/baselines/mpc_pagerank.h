@@ -1,0 +1,30 @@
+// MPC baseline for PageRank: classic power iteration as a dataflow
+// pipeline. Every iteration ships each vertex's rank share to its
+// neighbors through a GroupByKey — one shuffle per iteration — whereas
+// the AMPC Monte-Carlo engine (core/pagerank.h) pays one graph-staging
+// shuffle total and then walks the DHT. The baseline is exact (it matches
+// seq::PageRankExact to floating-point tolerance); the AMPC engine is an
+// estimator — the ext_pagerank bench reports both cost and accuracy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "seq/pagerank.h"
+#include "sim/cluster.h"
+
+namespace ampc::baselines {
+
+struct MpcPageRankResult {
+  /// rank[v], summing to 1 (n > 0).
+  std::vector<double> rank;
+  /// Power iterations (= shuffles) executed.
+  int iterations = 0;
+};
+
+/// Power-iteration PageRank with one shuffle per iteration.
+MpcPageRankResult MpcPageRank(sim::Cluster& cluster, const graph::Graph& g,
+                              const seq::PageRankOptions& options = {});
+
+}  // namespace ampc::baselines

@@ -1,0 +1,145 @@
+#include "baselines/rootset_matching.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/priorities.h"
+#include "seq/greedy.h"
+
+namespace ampc::baselines {
+namespace {
+
+using graph::Graph;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+// Total order on edges shared with core::AmpcMatching.
+bool EdgeBefore(NodeId a1, NodeId b1, NodeId a2, NodeId b2, uint64_t seed) {
+  const uint64_t r1 = core::EdgeRank(a1, b1, seed);
+  const uint64_t r2 = core::EdgeRank(a2, b2, seed);
+  if (r1 != r2) return r1 < r2;
+  const std::pair<NodeId, NodeId> k1{std::min(a1, b1), std::max(a1, b1)};
+  const std::pair<NodeId, NodeId> k2{std::min(a2, b2), std::max(a2, b2)};
+  return k1 < k2;
+}
+
+}  // namespace
+
+RootsetMatchingResult MpcRootsetMatching(sim::Cluster& cluster,
+                                         const Graph& g, uint64_t seed) {
+  const int64_t n = g.num_nodes();
+  std::vector<std::vector<NodeId>> adj(n);
+  std::vector<uint8_t> alive(n, 1);
+  int64_t arcs = 0;
+  for (int64_t v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(static_cast<NodeId>(v));
+    adj[v].assign(nbrs.begin(), nbrs.end());
+    arcs += static_cast<int64_t>(nbrs.size());
+  }
+
+  auto graph_bytes = [&]() {
+    int64_t bytes = 0;
+    for (int64_t v = 0; v < n; ++v) {
+      if (alive[v]) {
+        bytes += kv::kKeyBytes +
+                 static_cast<int64_t>(adj[v].size() * sizeof(NodeId));
+      }
+    }
+    return bytes;
+  };
+
+  RootsetMatchingResult result;
+  result.partner.assign(n, kInvalidNode);
+  const int64_t threshold = cluster.config().in_memory_threshold_arcs;
+
+  while (arcs > threshold) {
+    ++result.phases;
+    // (1) Every vertex finds its minimum-rank incident edge; an edge is a
+    // phase winner iff it is the minimum at both endpoints (no shuffle).
+    std::vector<NodeId> min_nbr(n, kInvalidNode);
+    cluster.RunMapPhase(
+        "LocalMinEdge", n, [&](int64_t v, sim::MachineContext&) {
+          if (!alive[v] || adj[v].empty()) return;
+          NodeId best = adj[v][0];
+          for (size_t i = 1; i < adj[v].size(); ++i) {
+            const NodeId u = adj[v][i];
+            if (EdgeBefore(static_cast<NodeId>(v), u, static_cast<NodeId>(v),
+                           best, seed)) {
+              best = u;
+            }
+          }
+          min_nbr[v] = best;
+        });
+
+    // (2) Commit mutual-minimum edges; mark endpoints (first shuffle:
+    // the join marking removals).
+    WallTimer mark_timer;
+    std::vector<uint8_t> remove(n, 0);
+    cluster.RunMapPhase(
+        "CommitMatches", n, [&](int64_t v, sim::MachineContext&) {
+          const NodeId u = min_nbr[v];
+          if (u == kInvalidNode) return;
+          if (min_nbr[u] == static_cast<NodeId>(v)) {
+            result.partner[v] = u;
+            remove[v] = 1;
+          }
+        });
+    cluster.AccountShuffle("MarkMatchedNodes", graph_bytes() + n,
+                           mark_timer.Seconds());
+
+    // (3) Remove matched vertices and incident edges (second shuffle).
+    WallTimer rebuild_timer;
+    std::atomic<int64_t> new_arcs{0};
+    ParallelForChunked(
+        cluster.pool(), 0, n, 2048, [&](int64_t lo, int64_t hi) {
+          int64_t local = 0;
+          for (int64_t v = lo; v < hi; ++v) {
+            if (!alive[v]) continue;
+            if (remove[v]) {
+              alive[v] = 0;
+              adj[v].clear();
+              adj[v].shrink_to_fit();
+              continue;
+            }
+            auto& list = adj[v];
+            size_t out = 0;
+            for (NodeId u : list) {
+              if (!remove[u]) list[out++] = u;
+            }
+            list.resize(out);
+            local += static_cast<int64_t>(out);
+          }
+          new_arcs.fetch_add(local, std::memory_order_relaxed);
+        });
+    arcs = new_arcs.load();
+    cluster.AccountShuffle("RemoveMatchedNodes", graph_bytes(),
+                           rebuild_timer.Seconds());
+  }
+
+  // In-memory finish: greedy matching of the residual graph under the
+  // same edge order.
+  graph::EdgeList rest;
+  rest.num_nodes = n;
+  for (int64_t v = 0; v < n; ++v) {
+    if (!alive[v]) continue;
+    for (NodeId u : adj[v]) {
+      if (static_cast<NodeId>(v) < u) {
+        rest.edges.push_back(graph::Edge{static_cast<NodeId>(v), u});
+      }
+    }
+  }
+  cluster.AccountInMemoryFinish("InMemoryMM", graph_bytes(),
+                                arcs + static_cast<int64_t>(rest.edges.size()));
+  std::vector<uint64_t> ranks = core::AllEdgeRanks(rest, seed);
+  seq::MatchingResult local = seq::GreedyMaximalMatching(rest, ranks);
+  for (int64_t v = 0; v < n; ++v) {
+    if (local.partner[v] != kInvalidNode) {
+      result.partner[v] = local.partner[v];
+    }
+  }
+  return result;
+}
+
+}  // namespace ampc::baselines

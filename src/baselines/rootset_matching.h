@@ -1,0 +1,28 @@
+// MPC baseline: rootset-based Maximal Matching (paper Section 5.4).
+//
+// Per phase, every edge whose rank precedes all adjacent edges joins the
+// matching; matched vertices and their incident edges are removed. Two
+// shuffles per phase, O(log n) phases; in-memory fallback below the
+// threshold. Same rank source as core::AmpcMatching, hence identical
+// output for equal seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::baselines {
+
+struct RootsetMatchingResult {
+  /// partner[v] = matched neighbor or graph::kInvalidNode.
+  std::vector<graph::NodeId> partner;
+  int phases = 0;
+};
+
+RootsetMatchingResult MpcRootsetMatching(sim::Cluster& cluster,
+                                         const graph::Graph& g,
+                                         uint64_t seed);
+
+}  // namespace ampc::baselines

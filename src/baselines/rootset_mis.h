@@ -1,0 +1,30 @@
+// MPC baseline: rootset-based Maximal Independent Set (paper Figure 2).
+//
+// Per phase: vertices whose rank precedes all alive neighbors join the
+// MIS; they and their neighbors are removed. Marking the removals is one
+// shuffle (a join) and rebuilding the graph is a second — two shuffles
+// per phase, O(log n) phases w.h.p. [Fischer & Noever]. Below the
+// in-memory threshold the residual graph is solved on one machine
+// (the paper's 5e7-edge cutoff, scaled).
+//
+// Uses the same rank source as core::AmpcMis, so outputs are identical
+// for equal seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::baselines {
+
+struct RootsetMisResult {
+  std::vector<uint8_t> in_mis;
+  int phases = 0;
+};
+
+RootsetMisResult MpcRootsetMis(sim::Cluster& cluster, const graph::Graph& g,
+                               uint64_t seed);
+
+}  // namespace ampc::baselines

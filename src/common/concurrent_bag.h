@@ -1,0 +1,47 @@
+// A concurrent append-only collection: tasks accumulate into local
+// vectors and merge them in one lock acquisition.
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ampc {
+
+template <typename T>
+class ConcurrentBag {
+ public:
+  /// Moves the contents of `chunk` into the bag.
+  void Merge(std::vector<T>&& chunk) {
+    if (chunk.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      items_ = std::move(chunk);
+    } else {
+      items_.insert(items_.end(), std::make_move_iterator(chunk.begin()),
+                    std::make_move_iterator(chunk.end()));
+    }
+  }
+
+  void Push(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(std::move(item));
+  }
+
+  /// Takes all accumulated items (bag becomes empty).
+  std::vector<T> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::exchange(items_, {});
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(items_.size());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<T> items_;
+};
+
+}  // namespace ampc

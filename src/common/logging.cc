@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ampc {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), fatal_(fatal) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (fatal_ || static_cast<int>(level_) >=
+                    g_min_level.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal
+}  // namespace ampc

@@ -1,0 +1,65 @@
+// Minimal logging and CHECK macros. CHECK failures abort; they signal
+// library invariant violations (programmer error), never bad user input —
+// user input errors surface as Status.
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ampc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+// Voidifies a log stream so it can appear in a ternary expression.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace ampc
+
+#define AMPC_LOG(level)                                                    \
+  ::ampc::internal::LogMessage(::ampc::LogLevel::k##level, __FILE__,       \
+                               __LINE__)                                   \
+      .stream()
+
+#define AMPC_CHECK(cond)                                                   \
+  (cond) ? (void)0                                                         \
+         : ::ampc::internal::LogVoidify() &                                \
+               ::ampc::internal::LogMessage(::ampc::LogLevel::kError,      \
+                                            __FILE__, __LINE__, true)      \
+                   .stream()                                               \
+               << "CHECK failed: " #cond " "
+
+#define AMPC_CHECK_EQ(a, b) AMPC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AMPC_CHECK_NE(a, b) AMPC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AMPC_CHECK_LT(a, b) AMPC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AMPC_CHECK_LE(a, b) AMPC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AMPC_CHECK_GT(a, b) AMPC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AMPC_CHECK_GE(a, b) AMPC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define AMPC_CHECK_OK(expr)                              \
+  do {                                                   \
+    ::ampc::Status _s = (expr);                          \
+    AMPC_CHECK(_s.ok()) << _s.ToString();                \
+  } while (false)

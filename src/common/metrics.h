@@ -1,0 +1,79 @@
+// Metric accounting shared by the AMPC and MPC runtimes.
+//
+// The paper's evaluation reports model-level quantities — shuffles
+// (Table 3), bytes shuffled (Fig. 3), KV-store communication (Figs 3, 9),
+// per-phase times (Figs 5-7) — so every runtime operation credits one of
+// these counters. Counters are atomic: logical machines run concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ampc {
+
+/// Snapshot of all counters at a point in time; subtractable for deltas.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> timers_sec;
+
+  MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
+  std::string ToString() const;
+};
+
+/// A registry of named atomic counters and accumulating phase timers.
+///
+/// Canonical counter names used across the library:
+///   "shuffles"            number of shuffle phases (costly rounds)
+///   "shuffle_bytes"       total bytes moved through shuffles
+///   "rounds"              total AMPC rounds (shuffles + map-only rounds)
+///   "kv_reads"            KV-store lookup operations
+///   "kv_read_bytes"       bytes returned by KV lookups
+///   "kv_writes"           KV-store write operations
+///   "kv_write_bytes"      bytes written to the KV store
+///   "cache_hits"/"cache_misses"  per-machine query-cache behaviour
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// Adds `delta` to counter `name` (creating it at 0 if absent).
+  void Add(const std::string& name, int64_t delta);
+
+  /// Current value of a counter (0 if never touched).
+  int64_t Get(const std::string& name) const;
+
+  /// Accumulates wall/simulated seconds into a named phase timer.
+  void AddTime(const std::string& phase, double seconds);
+
+  double GetTime(const std::string& phase) const;
+
+  /// Atomically reads every counter and timer.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes all counters and timers.
+  void Reset();
+
+ private:
+  struct Cell {
+    std::atomic<int64_t> value{0};
+  };
+  struct TimeCell {
+    std::atomic<int64_t> nanos{0};
+  };
+
+  Cell* GetCell(const std::string& name);
+  TimeCell* GetTimeCell(const std::string& name);
+
+  mutable std::mutex mu_;
+  // Pointers are stable after insertion; hot paths hold a Cell*.
+  std::map<std::string, std::unique_ptr<Cell>> counters_;
+  std::map<std::string, std::unique_ptr<TimeCell>> timers_;
+};
+
+}  // namespace ampc

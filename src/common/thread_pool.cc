@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ampc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  AMPC_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    AMPC_CHECK(!shutdown_);
+    queue_.push(std::move(task));
+    ++outstanding_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+void ParallelForChunked(ThreadPool& pool, int64_t begin, int64_t end,
+                        int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t n = end - begin;
+  const int64_t max_chunks = 4 * pool.num_threads();
+  const int64_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+  if (n <= chunk) {
+    fn(begin, end);
+    return;
+  }
+  // Per-call completion latch so that concurrent ParallelFor calls sharing
+  // one pool do not wait on each other's tasks.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    int64_t remaining;
+  };
+  Latch latch;
+  latch.remaining = (n + chunk - 1) / chunk;
+  for (int64_t lo = begin; lo < end; lo += chunk) {
+    const int64_t hi = std::min(end, lo + chunk);
+    pool.Schedule([&fn, &latch, lo, hi] {
+      fn(lo, hi);
+      std::unique_lock<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) latch.cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+}
+
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t)>& fn) {
+  ParallelForChunked(pool, begin, end, grain,
+                     [&fn](int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) fn(i);
+                     });
+}
+
+}  // namespace ampc

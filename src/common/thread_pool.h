@@ -1,0 +1,63 @@
+// A fixed-size thread pool plus ParallelFor. Used by the AMPC/MPC runtimes
+// to execute logical machines' work on physical cores.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ampc {
+
+/// Fixed-size worker pool. Tasks are arbitrary std::function<void()>;
+/// Wait() blocks until every scheduled task has finished.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until all scheduled tasks have completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// A process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int64_t outstanding_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) on `pool`, splitting the range into
+/// chunks of at least `grain` indices. Blocks until complete. Safe to call
+/// with begin >= end (no-op). Must not be called from inside a pool task
+/// of the same pool (it would deadlock on Wait).
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t)>& fn);
+
+/// Runs fn(chunk_begin, chunk_end) over disjoint chunks covering
+/// [begin, end). Lower overhead than per-index dispatch.
+void ParallelForChunked(ThreadPool& pool, int64_t begin, int64_t end,
+                        int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace ampc

@@ -1,0 +1,292 @@
+#include "core/approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "kv/store.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::Weight;
+using graph::WeightedEdge;
+using graph::WeightedEdgeList;
+
+using AdjStore = kv::Store<std::vector<NodeId>>;
+
+// Stages the plain id-sorted adjacency of `g` into a fresh DHT store:
+// one shuffle (building the lists) plus one cheap KV-write round.
+std::unique_ptr<AdjStore> StageAdjacency(sim::Cluster& cluster,
+                                         const Graph& g,
+                                         const std::string& phase) {
+  const int64_t n = g.num_nodes();
+  WallTimer timer;
+  int64_t bytes = 0;
+  for (NodeId v = 0; v < n; ++v) bytes += g.AdjacencyBytes(v);
+  cluster.AccountShuffle(phase, bytes, timer.Seconds());
+
+  auto store = std::make_unique<AdjStore>(n);
+  cluster.RunKvWritePhase("KV-Write", *store, n, [&](int64_t v) {
+    const auto span = g.neighbors(static_cast<NodeId>(v));
+    return std::vector<NodeId>(span.begin(), span.end());
+  });
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded alternating-path DFS (the augmenting-path query process).
+// ---------------------------------------------------------------------------
+
+// One augmenting path: an odd-length sequence of vertices alternating
+// unmatched/matched edges, both endpoints free.
+using Path = std::vector<NodeId>;
+
+class AugmentSearch {
+ public:
+  AugmentSearch(sim::MachineContext& ctx, const AdjStore& store,
+                const std::vector<NodeId>& partner, int max_vertices)
+      : ctx_(ctx), store_(store), partner_(partner),
+        max_vertices_(max_vertices) {}
+
+  // Exhaustive DFS for a simple alternating path from free vertex `f` to
+  // any other free vertex, with at most max_vertices_ vertices. Returns
+  // true and fills `out` on success.
+  bool FindPath(NodeId f, Path* out) {
+    path_.clear();
+    path_.push_back(f);
+    on_path_.clear();
+    on_path_.insert(f);
+    if (!Extend()) return false;
+    *out = path_;
+    return true;
+  }
+
+ private:
+  // Invariant: path_ holds an alternating walk starting at the free root
+  // whose last vertex is matched (or the root itself); the next edge to
+  // add must be unmatched.
+  bool Extend() {
+    const NodeId v = path_.back();
+    const std::vector<NodeId>* adj = ctx_.Lookup(store_, v);
+    if (adj == nullptr) return false;
+    for (const NodeId u : *adj) {
+      if (on_path_.contains(u)) continue;
+      if (partner_[v] == u) continue;  // must leave via an unmatched edge
+      if (partner_[u] == kInvalidNode) {
+        path_.push_back(u);  // free endpoint: augmenting path complete
+        return true;
+      }
+      // u is matched; the alternation forces continuing through its
+      // partner. The partner must be fresh and the path must have room
+      // for two more vertices plus a future endpoint.
+      const NodeId w = partner_[u];
+      if (on_path_.contains(w)) continue;
+      if (static_cast<int>(path_.size()) + 2 >= max_vertices_) continue;
+      path_.push_back(u);
+      path_.push_back(w);
+      on_path_.insert(u);
+      on_path_.insert(w);
+      if (Extend()) return true;
+      on_path_.erase(u);
+      on_path_.erase(w);
+      path_.pop_back();
+      path_.pop_back();
+    }
+    return false;
+  }
+
+  sim::MachineContext& ctx_;
+  const AdjStore& store_;
+  const std::vector<NodeId>& partner_;
+  const int max_vertices_;
+  Path path_;
+  std::unordered_set<NodeId> on_path_;
+};
+
+// Flips matched status along `path` (odd edge count, free endpoints).
+void ApplyPath(const Path& path, std::vector<NodeId>& partner) {
+  AMPC_CHECK_EQ(path.size() % 2, 0u) << "augmenting path must be odd-length";
+  for (size_t i = 0; i + 1 < path.size(); i += 2) {
+    partner[path[i]] = path[i + 1];
+    partner[path[i + 1]] = path[i];
+  }
+}
+
+// True when `path` is still augmenting under the current matching: all
+// vertices distinct (guaranteed by the search), endpoints free, interior
+// pairs still matched to each other.
+bool StillApplicable(const Path& path, const std::vector<NodeId>& partner) {
+  if (partner[path.front()] != kInvalidNode) return false;
+  if (partner[path.back()] != kInvalidNode) return false;
+  for (size_t i = 1; i + 1 < path.size(); i += 2) {
+    if (partner[path[i]] != path[i + 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+VertexCoverResult AmpcVertexCover(sim::Cluster& cluster, const Graph& g,
+                                  const MatchingOptions& options) {
+  const MatchingResult matching = AmpcMatching(cluster, g, options);
+  VertexCoverResult result;
+  result.in_cover.assign(matching.partner.size(), 0);
+  for (size_t v = 0; v < matching.partner.size(); ++v) {
+    if (matching.partner[v] != kInvalidNode) {
+      result.in_cover[v] = 1;
+      ++result.size;
+    }
+  }
+  // Publishing the indicator is a map over vertices (cheap round).
+  cluster.AccountMapRound("EmitCover");
+  return result;
+}
+
+WeightMatchingResult AmpcApproxMaxWeightMatching(
+    sim::Cluster& cluster, const WeightedEdgeList& list,
+    const WeightMatchingOptions& options) {
+  AMPC_CHECK_GT(options.epsilon, 0.0);
+  const int64_t n = list.num_nodes;
+
+  // Pass 1 (map over edges): find w_max among positive-weight edges.
+  Weight w_max = 0;
+  for (const WeightedEdge& e : list.edges) {
+    if (e.u != e.v) w_max = std::max(w_max, e.w);
+  }
+  cluster.AccountMapRound("WeightScan");
+
+  WeightMatchingResult result;
+  result.partner.assign(n, kInvalidNode);
+  if (w_max <= 0) return result;  // no positive edge: empty matching
+
+  // Pass 2: drop edges below the significance floor, round the rest down
+  // to powers of (1 + eps), and record the class as the edge's bucket.
+  // Heavier class => lower bucket => earlier in the permutation.
+  const Weight floor_w = options.epsilon * w_max / static_cast<Weight>(n);
+  const double log_base = std::log1p(options.epsilon);
+  EdgeList kept;
+  kept.num_nodes = n;
+  EdgeBucketMap buckets;
+  std::unordered_map<uint64_t, Weight> weight_of;
+  uint32_t max_bucket = 0;
+  for (const WeightedEdge& e : list.edges) {
+    if (e.u == e.v || e.w <= 0 || e.w < floor_w) continue;
+    const uint64_t key = EdgeKey(e.u, e.v);
+    auto [it, inserted] = weight_of.emplace(key, e.w);
+    if (!inserted) {
+      // Parallel edges collapse to the heaviest copy.
+      if (e.w <= it->second) continue;
+      it->second = e.w;
+    } else {
+      kept.edges.push_back(graph::Edge{e.u, e.v});
+    }
+    const uint32_t bucket =
+        static_cast<uint32_t>(std::floor(std::log(w_max / e.w) / log_base));
+    buckets[key] = bucket;
+    max_bucket = std::max(max_bucket, bucket);
+  }
+  cluster.AccountMapRound("WeightBucket");
+  result.num_buckets = kept.edges.empty() ? 0 : max_bucket + 1;
+  if (kept.edges.empty()) return result;
+
+  const Graph g = graph::BuildGraph(kept);
+  MatchingOptions matching_options = options.matching;
+  matching_options.edge_buckets = &buckets;
+  const MatchingResult matching = AmpcMatching(cluster, g, matching_options);
+
+  result.partner = matching.partner;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = result.partner[v];
+    if (p != kInvalidNode && v < p) {
+      result.total_weight += weight_of.at(EdgeKey(v, p));
+    }
+  }
+  return result;
+}
+
+ApproxMatchingResult AmpcApproxMaximumMatching(
+    sim::Cluster& cluster, const Graph& g,
+    const ApproxMatchingOptions& options) {
+  AMPC_CHECK_GT(options.epsilon, 0.0);
+  const int64_t n = g.num_nodes();
+  const int k = static_cast<int>(std::ceil(1.0 / options.epsilon));
+
+  ApproxMatchingResult result;
+  result.max_path_length = 2 * k - 1;
+
+  // Phase 0: a maximal matching (eliminates all length-1 paths).
+  MatchingResult initial = AmpcMatching(cluster, g, options.matching);
+  result.partner = std::move(initial.partner);
+
+  if (k <= 1) {
+    for (NodeId v = 0; v < n; ++v) {
+      result.size += result.partner[v] != kInvalidNode;
+    }
+    result.size /= 2;
+    return result;
+  }
+
+  std::unique_ptr<AdjStore> store =
+      StageAdjacency(cluster, g, "WriteGraph");
+
+  // Eliminate augmenting paths of length <= 2j - 1 for j = 2..k. The
+  // Hopcroft–Karp lemma needs only the final length, but clearing short
+  // paths first keeps each exhaustive DFS cheap.
+  for (int j = 2; j <= k; ++j) {
+    const int max_vertices = 2 * j;  // path of 2j vertices = 2j - 1 edges
+    for (;;) {
+      AMPC_CHECK_LT(result.augment_phases, options.max_augment_phases)
+          << "augmentation did not converge";
+      ++result.augment_phases;
+
+      // Search phase: every free vertex hunts for one augmenting path.
+      std::mutex mu;
+      std::vector<Path> found;
+      cluster.RunMapPhase(
+          "AugmentSearch", n, [&](int64_t item, sim::MachineContext& ctx) {
+            const NodeId v = static_cast<NodeId>(item);
+            if (result.partner[v] != kInvalidNode) return;
+            AugmentSearch search(ctx, *store, result.partner, max_vertices);
+            Path path;
+            if (search.FindPath(v, &path)) {
+              std::lock_guard<std::mutex> lock(mu);
+              found.push_back(std::move(path));
+            }
+          });
+      if (found.empty()) break;
+
+      // Commit phase (one shuffle): apply a maximal vertex-disjoint
+      // subset. Candidates are ordered deterministically so the result is
+      // independent of search scheduling.
+      std::sort(found.begin(), found.end());
+      int64_t bytes = 0;
+      int64_t applied = 0;
+      for (const Path& path : found) {
+        bytes += static_cast<int64_t>(path.size() * sizeof(NodeId));
+        if (!StillApplicable(path, result.partner)) continue;
+        ApplyPath(path, result.partner);
+        ++applied;
+      }
+      cluster.AccountShuffle("CommitPaths", bytes);
+      result.paths_applied += applied;
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    result.size += result.partner[v] != kInvalidNode;
+  }
+  result.size /= 2;
+  return result;
+}
+
+}  // namespace ampc::core

@@ -1,0 +1,122 @@
+// Corollary 4.1: the approximation algorithms the paper derives from the
+// maximal-matching black box of Theorem 2.
+//
+//  * AmpcVertexCover — the endpoints of a maximal matching form a
+//    2-approximate minimum vertex cover (classic Gavril/Yannakakis bound).
+//    Same round/space guarantees as AmpcMatching.
+//
+//  * AmpcApproxMaxWeightMatching — a (2 + O(eps))-approximate maximum
+//    weight matching from ONE maximal-matching call: weights are rounded
+//    down to powers of (1 + eps) and the weight class becomes the major
+//    key of the matching permutation (MatchingOptions::edge_buckets), so
+//    the lexicographically-first maximal matching IS the greedy matching
+//    by non-increasing rounded weight — a 2-approximation on rounded
+//    weights, hence 2(1+eps) on true weights. Edges lighter than
+//    (eps/n) * w_max are dropped first, which bounds the number of weight
+//    classes by O(log(n/eps)/eps) and costs at most an extra (1 - eps/2)
+//    factor (any matching holds <= n/2 such edges and OPT >= w_max).
+//
+//  * AmpcApproxMaximumMatching — a (1 + eps)-approximate maximum
+//    cardinality matching: starting from a maximal matching, repeatedly
+//    find and apply vertex-disjoint augmenting paths of length up to
+//    2*ceil(1/eps) - 1. By the Hopcroft–Karp lemma, once no augmenting
+//    path of length < 2k+1 exists, |M| >= k/(k+1) * |M*|, i.e. a
+//    (1 + 1/k)-approximation — this holds for general (non-bipartite)
+//    graphs because M xor M* decomposes into alternating paths and
+//    cycles. Path search runs from each free vertex as an exhaustive
+//    bounded-depth DFS over the DHT-resident adjacency — the same
+//    "local exploration instead of shuffles" pattern as the paper's
+//    query processes. Each search phase is one cheap round; committing a
+//    maximal disjoint set of found paths is one shuffle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matching.h"
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::core {
+
+// ---------------------------------------------------------------------------
+// 2-approximate minimum vertex cover.
+// ---------------------------------------------------------------------------
+
+struct VertexCoverResult {
+  /// in_cover[v] == 1 iff v belongs to the cover.
+  std::vector<uint8_t> in_cover;
+  /// Number of cover vertices (== 2 * matching size).
+  int64_t size = 0;
+};
+
+/// 2-approximate minimum vertex cover via AmpcMatching (Corollary 4.1).
+VertexCoverResult AmpcVertexCover(sim::Cluster& cluster,
+                                  const graph::Graph& g,
+                                  const MatchingOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// (2 + O(eps))-approximate maximum weight matching.
+// ---------------------------------------------------------------------------
+
+struct WeightMatchingOptions {
+  /// Rounding parameter; the approximation factor is
+  /// 2(1 + epsilon) / (1 - epsilon/2).
+  double epsilon = 0.2;
+  /// Passed through to the underlying AmpcMatching call (edge_buckets is
+  /// overwritten by the reduction).
+  MatchingOptions matching;
+};
+
+struct WeightMatchingResult {
+  /// partner[v] = matched neighbor, or graph::kInvalidNode.
+  std::vector<graph::NodeId> partner;
+  /// Total true (un-rounded) weight of the matching.
+  graph::Weight total_weight = 0;
+  /// Number of distinct weight classes used as buckets.
+  int64_t num_buckets = 0;
+};
+
+/// (2 + O(eps))-approximate maximum weight matching in the same rounds as
+/// one AmpcMatching call. Edges with non-positive weight are ignored
+/// (they never help a maximum weight matching).
+WeightMatchingResult AmpcApproxMaxWeightMatching(
+    sim::Cluster& cluster, const graph::WeightedEdgeList& list,
+    const WeightMatchingOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// (1 + eps)-approximate maximum cardinality matching.
+// ---------------------------------------------------------------------------
+
+struct ApproxMatchingOptions {
+  /// Target quality: the result has size >= |M*| / (1 + epsilon).
+  double epsilon = 0.5;
+  /// Passed to the initial AmpcMatching call.
+  MatchingOptions matching;
+  /// Safety cap on augmentation phases (each phase either augments at
+  /// least one path or proves none of the current length exist, so the
+  /// natural bound is n/2; the cap guards against bugs, not inputs).
+  int max_augment_phases = 1 << 20;
+};
+
+struct ApproxMatchingResult {
+  /// partner[v] = matched neighbor, or graph::kInvalidNode.
+  std::vector<graph::NodeId> partner;
+  /// Matching size (number of matched edges).
+  int64_t size = 0;
+  /// Longest augmenting path length searched (2*ceil(1/eps) - 1).
+  int max_path_length = 0;
+  /// Number of augment-search phases run (cheap rounds).
+  int augment_phases = 0;
+  /// Number of augmenting paths applied in total.
+  int64_t paths_applied = 0;
+};
+
+/// (1 + eps)-approximate maximum matching via short augmenting paths over
+/// the DHT (Corollary 4.1). Exact for eps < 2/n (the search length then
+/// covers every possible augmenting path).
+ApproxMatchingResult AmpcApproxMaximumMatching(
+    sim::Cluster& cluster, const graph::Graph& g,
+    const ApproxMatchingOptions& options = {});
+
+}  // namespace ampc::core

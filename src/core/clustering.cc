@@ -1,0 +1,122 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/connectivity.h"
+#include "seq/union_find.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::NodeId;
+using graph::Weight;
+using graph::WeightedEdgeList;
+
+// Canonicalizes arbitrary component representatives into "smallest vertex
+// id in the cluster" labels, so clusterings compare by equality.
+std::vector<NodeId> Canonicalize(const std::vector<NodeId>& rep) {
+  const size_t n = rep.size();
+  std::vector<NodeId> smallest(n, graph::kInvalidNode);
+  for (size_t v = 0; v < n; ++v) {
+    smallest[rep[v]] =
+        std::min(smallest[rep[v]], static_cast<NodeId>(v));
+  }
+  std::vector<NodeId> labels(n);
+  for (size_t v = 0; v < n; ++v) labels[v] = smallest[rep[v]];
+  return labels;
+}
+
+// Applies the first `count` merges and returns canonical labels.
+std::vector<NodeId> ApplyMerges(int64_t num_nodes,
+                                const std::vector<Merge>& merges,
+                                size_t count) {
+  seq::UnionFind uf(num_nodes);
+  for (size_t i = 0; i < count; ++i) uf.Union(merges[i].u, merges[i].v);
+  std::vector<NodeId> rep(num_nodes);
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    rep[v] = static_cast<NodeId>(uf.Find(v));
+  }
+  return Canonicalize(rep);
+}
+
+}  // namespace
+
+Dendrogram::Dendrogram(int64_t num_nodes, std::vector<Merge> merges)
+    : num_nodes_(num_nodes), merges_(std::move(merges)) {
+  AMPC_CHECK_LE(static_cast<int64_t>(merges_.size()), num_nodes_);
+  AMPC_CHECK(std::is_sorted(merges_.begin(), merges_.end(),
+                            [](const Merge& a, const Merge& b) {
+                              if (a.weight != b.weight)
+                                return a.weight < b.weight;
+                              return a.edge < b.edge;
+                            }))
+      << "dendrogram merges must be sorted by (weight, edge)";
+}
+
+std::vector<NodeId> Dendrogram::CutAtThreshold(Weight t) const {
+  const auto end = std::upper_bound(
+      merges_.begin(), merges_.end(), t,
+      [](Weight value, const Merge& m) { return value < m.weight; });
+  return ApplyMerges(num_nodes_, merges_,
+                     static_cast<size_t>(end - merges_.begin()));
+}
+
+std::vector<NodeId> Dendrogram::CutToClusters(int64_t k) const {
+  AMPC_CHECK_GE(k, num_components());
+  AMPC_CHECK_LE(k, num_nodes_);
+  return ApplyMerges(num_nodes_, merges_,
+                     static_cast<size_t>(num_nodes_ - k));
+}
+
+int64_t CountClusters(const std::vector<NodeId>& labels) {
+  std::vector<NodeId> distinct(labels);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  return static_cast<int64_t>(distinct.size());
+}
+
+Dendrogram AmpcSingleLinkage(sim::Cluster& cluster,
+                             const WeightedEdgeList& list,
+                             const ClusteringOptions& options) {
+  MsfResult msf = AmpcMsf(cluster, list, options.msf);
+
+  // The "simple sorting step": order the forest edges by weight. Sorting
+  // n records is one AMPC shuffle.
+  WallTimer timer;
+  std::vector<Merge> merges;
+  merges.reserve(msf.edges.size());
+  for (graph::EdgeId id : msf.edges) {
+    const graph::WeightedEdge& e = list.edges[id];
+    merges.push_back(Merge{e.u, e.v, e.w, e.id});
+  }
+  std::sort(merges.begin(), merges.end(),
+            [](const Merge& a, const Merge& b) {
+              if (a.weight != b.weight) return a.weight < b.weight;
+              return a.edge < b.edge;
+            });
+  cluster.AccountShuffle(
+      "SortMerges",
+      static_cast<int64_t>(merges.size() * sizeof(Merge)), timer.Seconds());
+
+  return Dendrogram(list.num_nodes, std::move(merges));
+}
+
+std::vector<NodeId> AmpcCutAtThreshold(sim::Cluster& cluster,
+                                       const Dendrogram& dendrogram,
+                                       Weight t, const MsfOptions& options) {
+  // Filter merges by threshold (a map round) and hand the forest to the
+  // AMPC connectivity algorithm — the paper's Section 1 recipe.
+  graph::EdgeList forest;
+  forest.num_nodes = dendrogram.num_nodes();
+  for (const Merge& m : dendrogram.merges()) {
+    if (m.weight <= t) forest.edges.push_back(graph::Edge{m.u, m.v});
+  }
+  cluster.AccountMapRound("FilterMerges");
+  ConnectivityResult cc = AmpcConnectivity(cluster, forest, options);
+  return Canonicalize(cc.component);
+}
+
+}  // namespace ampc::core

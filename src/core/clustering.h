@@ -1,0 +1,89 @@
+// Single-linkage hierarchical clustering — the MSF application the paper
+// highlights in Section 1: "one can use this algorithm together with a
+// simple sorting step, and our connectivity algorithm to find any desired
+// level of a single-linkage hierarchical clustering" [70].
+//
+// The dendrogram of single-linkage clustering is exactly the minimum
+// spanning forest with its edges sorted by weight: cutting the dendrogram
+// at distance t yields the connected components of the MSF edges with
+// weight <= t. AmpcSingleLinkage runs the constant-round AMPC MSF and the
+// sorting step; flat cuts are served either locally (CutAtThreshold /
+// CutToClusters, union-find over the merges) or with the paper's recipe
+// (AmpcCutAtThreshold: the AMPC connectivity algorithm over the filtered
+// forest).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/msf.h"
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::core {
+
+/// One dendrogram merge: at distance `weight`, the clusters currently
+/// containing u and v fuse. `edge` is the defining input edge id.
+struct Merge {
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  graph::Weight weight = 0;
+  graph::EdgeId edge = 0;
+
+  bool operator==(const Merge&) const = default;
+};
+
+/// The single-linkage dendrogram of a weighted graph.
+class Dendrogram {
+ public:
+  Dendrogram(int64_t num_nodes, std::vector<Merge> merges);
+
+  int64_t num_nodes() const { return num_nodes_; }
+
+  /// Merges in ascending (weight, edge id) order; there are
+  /// num_nodes() - num_components() of them.
+  const std::vector<Merge>& merges() const { return merges_; }
+
+  /// Clusters remaining when every merge is applied (= connected
+  /// components of the input graph).
+  int64_t num_components() const {
+    return num_nodes_ - static_cast<int64_t>(merges_.size());
+  }
+
+  /// Flat clustering at distance threshold `t`: applies every merge with
+  /// weight <= t. Labels are canonical: each vertex is labeled with the
+  /// smallest vertex id in its cluster.
+  std::vector<graph::NodeId> CutAtThreshold(graph::Weight t) const;
+
+  /// Flat clustering with exactly `k` clusters (requires
+  /// num_components() <= k <= num_nodes()): applies the cheapest
+  /// num_nodes() - k merges. Canonical labels as above.
+  std::vector<graph::NodeId> CutToClusters(int64_t k) const;
+
+ private:
+  int64_t num_nodes_;
+  std::vector<Merge> merges_;
+};
+
+/// Number of distinct labels in a flat clustering.
+int64_t CountClusters(const std::vector<graph::NodeId>& labels);
+
+struct ClusteringOptions {
+  MsfOptions msf;
+};
+
+/// Builds the single-linkage dendrogram with the AMPC MSF algorithm plus
+/// one sorting shuffle. O(1) AMPC rounds end to end.
+Dendrogram AmpcSingleLinkage(sim::Cluster& cluster,
+                             const graph::WeightedEdgeList& list,
+                             const ClusteringOptions& options = {});
+
+/// The paper's recipe for one flat level: AMPC connectivity over the
+/// dendrogram merges with weight <= t. Produces the same canonical labels
+/// as Dendrogram::CutAtThreshold, while exercising the distributed path.
+std::vector<graph::NodeId> AmpcCutAtThreshold(sim::Cluster& cluster,
+                                              const Dendrogram& dendrogram,
+                                              graph::Weight t,
+                                              const MsfOptions& options = {});
+
+}  // namespace ampc::core

@@ -1,0 +1,56 @@
+#include "core/connectivity.h"
+
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "trees/rooted_forest.h"
+
+namespace ampc::core {
+
+using graph::EdgeList;
+using graph::NodeId;
+using graph::WeightedEdge;
+using graph::WeightedEdgeList;
+
+ConnectivityResult AmpcConnectivity(sim::Cluster& cluster,
+                                    const EdgeList& list,
+                                    const MsfOptions& options) {
+  // Any spanning forest works; unit weights with id tie-breaks make the
+  // MSF a spanning forest while keeping the edge order deterministic.
+  const WeightedEdgeList weighted = graph::MakeUnitWeighted(list);
+  MsfResult msf = AmpcMsf(cluster, weighted, options);
+
+  ConnectivityResult result;
+  result.forest_edges = msf.edges;
+
+  // ForestConnectivity (Proposition 3.2 stand-in): root every tree and
+  // propagate the root label. Charged as two shuffles plus a map round.
+  WallTimer timer;
+  std::unordered_set<graph::EdgeId> in_forest(msf.edges.begin(),
+                                              msf.edges.end());
+  std::vector<WeightedEdge> forest_edges;
+  forest_edges.reserve(msf.edges.size());
+  for (const WeightedEdge& e : weighted.edges) {
+    if (in_forest.contains(e.id)) forest_edges.push_back(e);
+  }
+  trees::RootedForest forest =
+      trees::BuildRootedForest(list.num_nodes, forest_edges);
+  const double wall = timer.Seconds();
+  const int64_t forest_bytes =
+      static_cast<int64_t>(forest_edges.size()) *
+      static_cast<int64_t>(sizeof(WeightedEdge));
+  cluster.AccountShuffle("ForestConnectivity", forest_bytes, wall / 2);
+  cluster.AccountShuffle("ForestConnectivity",
+                         list.num_nodes *
+                             static_cast<int64_t>(sizeof(NodeId)),
+                         wall / 2);
+  cluster.AccountMapRound("ForestConnectivity");
+
+  result.component = forest.root;
+  std::unordered_set<NodeId> distinct(result.component.begin(),
+                                      result.component.end());
+  result.num_components = static_cast<int64_t>(distinct.size());
+  return result;
+}
+
+}  // namespace ampc::core

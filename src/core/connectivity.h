@@ -1,0 +1,34 @@
+// AMPC Connected Components (paper Theorem 1): compute a spanning forest
+// with the MSF algorithm (unit weights, ids break ties), then label
+// components with the forest-connectivity primitive of Proposition 3.2.
+//
+// Substitution note (documented in DESIGN.md): Proposition 3.2's
+// ForestConnectivity of [19] is treated as a black box. We realize it by
+// rooting the forest and propagating root labels — charged as the O(1/eps)
+// rounds the proposition prescribes (two shuffles + one map round).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/msf.h"
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::core {
+
+struct ConnectivityResult {
+  /// component[v] = representative vertex id of v's component.
+  std::vector<graph::NodeId> component;
+  /// Number of distinct components.
+  int64_t num_components = 0;
+  /// Spanning forest used (edge ids into the synthetic unit-weight list).
+  std::vector<graph::EdgeId> forest_edges;
+};
+
+/// Connected components of an undirected graph in O(1) rounds.
+ConnectivityResult AmpcConnectivity(sim::Cluster& cluster,
+                                    const graph::EdgeList& list,
+                                    const MsfOptions& options = {});
+
+}  // namespace ampc::core

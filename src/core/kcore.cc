@@ -1,0 +1,95 @@
+#include "core/kcore.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "kv/store.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::NodeId;
+
+using AdjStore = kv::Store<std::vector<NodeId>>;
+using ValueStore = kv::Store<int32_t>;
+
+}  // namespace
+
+int32_t HIndex(std::vector<int32_t>& values) {
+  // Count-down histogram computation: h is the largest value with
+  // |{x : x >= h}| >= h; sorting descending makes it the largest i+1
+  // with values[i] >= i+1.
+  std::sort(values.begin(), values.end(), std::greater<int32_t>());
+  int32_t h = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= static_cast<int32_t>(i) + 1) {
+      h = static_cast<int32_t>(i) + 1;
+    } else {
+      break;
+    }
+  }
+  return h;
+}
+
+KCoreResult AmpcKCore(sim::Cluster& cluster, const graph::Graph& g,
+                      const KCoreOptions& options) {
+  const int64_t n = g.num_nodes();
+
+  // Stage the adjacency once: one shuffle plus one cheap KV-write round.
+  WallTimer timer;
+  int64_t adjacency_bytes = 0;
+  for (NodeId v = 0; v < n; ++v) adjacency_bytes += g.AdjacencyBytes(v);
+  cluster.AccountShuffle("WriteGraph", adjacency_bytes, timer.Seconds());
+  AdjStore adjacency(n);
+  cluster.RunKvWritePhase("KV-Write", adjacency, n, [&](int64_t v) {
+    const auto span = g.neighbors(static_cast<NodeId>(v));
+    return std::vector<NodeId>(span.begin(), span.end());
+  });
+
+  KCoreResult result;
+  result.coreness.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    result.coreness[v] = static_cast<int32_t>(g.degree(v));
+  }
+  if (n == 0) return result;
+
+  std::vector<int32_t> next(n, 0);
+  for (;;) {
+    AMPC_CHECK_LT(result.iterations, options.max_iterations)
+        << "h-index iteration did not converge";
+    ++result.iterations;
+
+    // Publish the current values into a fresh per-round store D_i
+    // (cheap round), then recompute each vertex from its neighbors'
+    // published values with DHT random access (map round, no shuffle).
+    ValueStore values(n);
+    cluster.RunKvWritePhase("ValueWrite", values, n, [&](int64_t v) {
+      return result.coreness[v];
+    });
+
+    std::atomic<int64_t> changed{0};
+    cluster.RunMapPhase(
+        "HIndex", n, [&](int64_t item, sim::MachineContext& ctx) {
+          const NodeId v = static_cast<NodeId>(item);
+          const std::vector<NodeId>* adj = ctx.LookupLocal(adjacency, v);
+          std::vector<int32_t> neighbor_values;
+          neighbor_values.reserve(adj->size());
+          for (const NodeId u : *adj) {
+            const int32_t* value = ctx.Lookup(values, u);
+            neighbor_values.push_back(value == nullptr ? 0 : *value);
+          }
+          next[item] = HIndex(neighbor_values);
+          if (next[item] != result.coreness[item]) {
+            changed.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    result.coreness.swap(next);
+    if (changed.load() == 0) break;
+  }
+  return result;
+}
+
+}  // namespace ampc::core

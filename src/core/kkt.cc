@@ -1,0 +1,116 @@
+#include "core/kkt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "trees/path_max.h"
+#include "trees/rooted_forest.h"
+
+namespace ampc::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::WeightedEdge;
+using graph::WeightedEdgeList;
+
+std::vector<uint8_t> FindLightEdges(
+    sim::Cluster& cluster, const WeightedEdgeList& list,
+    const std::vector<EdgeId>& forest_edge_ids) {
+  // Assemble the forest's edges.
+  std::unordered_set<EdgeId> in_forest(forest_edge_ids.begin(),
+                                       forest_edge_ids.end());
+  std::vector<WeightedEdge> forest_edges;
+  forest_edges.reserve(forest_edge_ids.size());
+  for (const WeightedEdge& e : list.edges) {
+    if (in_forest.contains(e.id)) forest_edges.push_back(e);
+  }
+  AMPC_CHECK_EQ(forest_edges.size(), forest_edge_ids.size())
+      << "forest ids must reference edges of the list";
+
+  // Algorithm 5 lines 1-9: components, rooting, levels, Euler tour + RMQ
+  // (LCA), heavy-light decomposition + per-path RMQ. These preprocessing
+  // steps are O(1) AMPC rounds (Appendix B); we charge two shuffles of
+  // the forest's size for them.
+  WallTimer build_timer;
+  trees::RootedForest forest =
+      trees::BuildRootedForest(list.num_nodes, forest_edges);
+  trees::PathMaxOracle oracle(forest);
+  const int64_t forest_bytes =
+      static_cast<int64_t>(forest_edges.size()) *
+      static_cast<int64_t>(sizeof(WeightedEdge));
+  cluster.AccountShuffle("FLightBuild", forest_bytes,
+                         build_timer.Seconds() / 2);
+  cluster.AccountShuffle("FLightBuild",
+                         list.num_nodes * static_cast<int64_t>(sizeof(NodeId)),
+                         build_timer.Seconds() / 2);
+
+  // Line 10-11: classify every edge with two tree queries.
+  std::vector<uint8_t> light(list.edges.size(), 0);
+  cluster.RunMapPhase(
+      "FLightQuery", static_cast<int64_t>(list.edges.size()),
+      [&](int64_t item, sim::MachineContext&) {
+        const WeightedEdge& e = list.edges[item];
+        if (e.u == e.v) return;  // self-loop: never light
+        if (!forest.SameTree(e.u, e.v)) {
+          light[item] = 1;  // w_F = infinity (Definition 3.7)
+          return;
+        }
+        auto max_edge = oracle.MaxEdgeOnPath(e.u, e.v);
+        if (!max_edge.has_value()) return;  // e.u == e.v handled above
+        // Light iff (w_e, id_e) <= (w_max, id_max) in the total order.
+        const bool heavier_than_path =
+            (e.w != max_edge->w) ? (e.w > max_edge->w)
+                                 : (e.id > max_edge->id);
+        light[item] = heavier_than_path ? 0 : 1;
+      });
+  return light;
+}
+
+KktResult AmpcMsfKkt(sim::Cluster& cluster, const WeightedEdgeList& list,
+                     const KktOptions& options) {
+  KktResult result;
+  const int64_t n = list.num_nodes;
+  double p = options.sample_probability;
+  if (p <= 0) {
+    p = 1.0 / std::max(1.0, std::log2(static_cast<double>(std::max<int64_t>(
+                                2, n))));
+  }
+
+  // Line 1: sample each edge independently with probability p.
+  const uint64_t sample_seed = options.msf.seed ^ 0x6b6b74ULL;  // "kkt"
+  WeightedEdgeList sampled;
+  sampled.num_nodes = n;
+  for (const WeightedEdge& e : list.edges) {
+    if (ToUnitDouble(Hash64(e.id, sample_seed)) < p) {
+      sampled.edges.push_back(e);
+    }
+  }
+  result.sampled_edges = static_cast<int64_t>(sampled.edges.size());
+  cluster.AccountShuffle(
+      "KKT-Sample", result.sampled_edges *
+                        static_cast<int64_t>(sizeof(WeightedEdge)));
+
+  // Line 2: F = MSF of the sample.
+  MsfResult f = AmpcMsf(cluster, sampled, options.msf);
+
+  // Line 3: E_L = F-light edges of G (F's own edges are light and are
+  // included, so MSF(F ∪ E_L) = MSF(E_L)).
+  std::vector<uint8_t> light = FindLightEdges(cluster, list, f.edges);
+  WeightedEdgeList survivors;
+  survivors.num_nodes = n;
+  for (size_t i = 0; i < list.edges.size(); ++i) {
+    if (light[i]) survivors.edges.push_back(list.edges[i]);
+  }
+  result.light_edges = static_cast<int64_t>(survivors.edges.size());
+
+  // Line 4: the final MSF.
+  MsfResult final_msf = AmpcMsf(cluster, survivors, options.msf);
+  result.msf_edges = std::move(final_msf.edges);
+  return result;
+}
+
+}  // namespace ampc::core

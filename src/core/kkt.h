@@ -1,0 +1,49 @@
+// The Karger–Klein–Tarjan query-complexity reduction (paper Section 3.1,
+// Algorithm 3) and the F-light edge filter (Appendix B, Algorithm 5).
+//
+// MSF(G) is computed as: sample each edge with probability p ~ 1/log n,
+// compute F = MSF(sample) recursively, discard every F-heavy edge
+// (Proposition 3.8 shows no MSF edge is F-heavy), and finish on the
+// surviving F-light edges — expected O(n/p) of them (Lemma 3.9).
+//
+// F-lightness is decided with the Appendix B toolchain: connected
+// components of F, tree rooting, levels, Euler-tour LCA and heavy-light
+// decomposition with range-maximum structures (trees/ module).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/msf.h"
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::core {
+
+struct KktOptions {
+  MsfOptions msf;
+  /// Sampling probability; 0 derives 1/log2(n).
+  double sample_probability = 0;
+};
+
+struct KktResult {
+  std::vector<graph::EdgeId> msf_edges;  // sorted
+  int64_t sampled_edges = 0;
+  int64_t light_edges = 0;
+};
+
+/// Algorithm 3 end to end.
+KktResult AmpcMsfKkt(sim::Cluster& cluster,
+                     const graph::WeightedEdgeList& list,
+                     const KktOptions& options = {});
+
+/// Algorithm 5: given a forest F (edges of `list` selected by
+/// `forest_edge_ids`), classifies every edge of `list` as F-light or
+/// F-heavy. Exposed separately for testing. Lightness uses the library's
+/// total edge order: e is light iff both endpoints are in different trees
+/// of F, or (w_e, id_e) <= max over the F-path of (w_f, id_f).
+std::vector<uint8_t> FindLightEdges(
+    sim::Cluster& cluster, const graph::WeightedEdgeList& list,
+    const std::vector<graph::EdgeId>& forest_edge_ids);
+
+}  // namespace ampc::core

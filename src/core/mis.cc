@@ -1,0 +1,163 @@
+#include "core/mis.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/timer.h"
+#include "core/priorities.h"
+#include "kv/store.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+// Three-valued query state (paper Section 5.3: "this table stores a
+// three-valued state reporting whether the status of this vertex is
+// either Unknown, InMIS or NotInMIS").
+enum MisState : uint8_t { kUnknown = 0, kInMis = 1, kNotInMis = 2 };
+
+// Per-machine caches: caches[machine][vertex].
+using CacheArray = std::unique_ptr<std::atomic<uint8_t>[]>;
+
+// Iterative version of the IsInMIS recursion of Figure 1: v is in the MIS
+// iff none of its preceding neighbors is. An explicit stack replaces
+// recursion because descending-rank chains can be Theta(n) long.
+uint8_t ResolveInMis(NodeId root, sim::MachineContext& ctx,
+                     const kv::Store<std::vector<NodeId>>& store,
+                     std::atomic<uint8_t>* cache) {
+  auto cache_get = [cache](NodeId x) -> uint8_t {
+    return cache == nullptr
+               ? static_cast<uint8_t>(kUnknown)
+               : cache[x].load(std::memory_order_acquire);
+  };
+  auto cache_set = [cache](NodeId x, uint8_t state) {
+    if (cache != nullptr) cache[x].store(state, std::memory_order_release);
+  };
+
+  if (uint8_t s = cache_get(root); s != kUnknown) {
+    ctx.CountCacheHit();
+    return s;
+  }
+
+  struct Frame {
+    NodeId v;
+    const std::vector<NodeId>* adj;  // preceding neighbors, ascending rank
+    size_t idx;
+    bool awaiting;  // a child frame is computing adj[idx]'s state
+  };
+  std::vector<Frame> stack;
+  // The root's own record is machine-local ParDo input; not charged.
+  stack.push_back(Frame{root, ctx.LookupLocal(store, root), 0, false});
+
+  uint8_t last = kUnknown;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.awaiting) {
+      f.awaiting = false;
+      if (last == kInMis) {
+        cache_set(f.v, kNotInMis);
+        last = kNotInMis;
+        stack.pop_back();
+        continue;
+      }
+      ++f.idx;  // child resolved NotInMIS; keep scanning
+    }
+    bool pushed = false;
+    uint8_t decided = kUnknown;
+    while (f.adj != nullptr && f.idx < f.adj->size()) {
+      const NodeId u = (*f.adj)[f.idx];
+      const uint8_t su = cache_get(u);
+      if (su == kInMis) {
+        ctx.CountCacheHit();
+        decided = kNotInMis;
+        break;
+      }
+      if (su == kNotInMis) {
+        ctx.CountCacheHit();
+        ++f.idx;
+        continue;
+      }
+      ctx.CountCacheMiss();
+      f.awaiting = true;
+      const std::vector<NodeId>* adj = ctx.Lookup(store, u);
+      stack.push_back(Frame{u, adj, 0, false});  // invalidates f
+      pushed = true;
+      break;
+    }
+    if (pushed) continue;
+    if (decided == kUnknown) decided = kInMis;  // no preceding MIS neighbor
+    cache_set(stack.back().v, decided);
+    last = decided;
+    stack.pop_back();
+  }
+  return last;
+}
+
+}  // namespace
+
+MisResult AmpcMis(sim::Cluster& cluster, const Graph& g, uint64_t seed) {
+  const int64_t n = g.num_nodes();
+
+  // Phase 1 — DirectGraph (the algorithm's single shuffle): keep only
+  // neighbors preceding v in the permutation, sorted by ascending rank.
+  WallTimer direct_timer;
+  std::vector<std::vector<NodeId>> directed(n);
+  std::atomic<int64_t> shuffle_bytes{0};
+  ParallelForChunked(
+      cluster.pool(), 0, n, 512, [&](int64_t lo, int64_t hi) {
+        int64_t bytes = 0;
+        for (int64_t vi = lo; vi < hi; ++vi) {
+          const NodeId v = static_cast<NodeId>(vi);
+          std::vector<NodeId>& out = directed[vi];
+          for (NodeId u : g.neighbors(v)) {
+            if (VertexBefore(u, v, seed)) out.push_back(u);
+          }
+          std::sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+            return VertexBefore(a, b, seed);
+          });
+          bytes += kv::kKeyBytes + kv::KvByteSize(out);
+        }
+        shuffle_bytes.fetch_add(bytes, std::memory_order_relaxed);
+      });
+  cluster.AccountShuffle("DirectGraph", shuffle_bytes.load(),
+                         direct_timer.Seconds());
+
+  // Phase 2 — write the directed graph to the key-value store.
+  kv::Store<std::vector<NodeId>> store(n);
+  cluster.RunKvWritePhase("KV-Write", store, n, [&](int64_t v) {
+    return std::move(directed[v]);
+  });
+  directed.clear();
+  directed.shrink_to_fit();
+
+  // Phase 3 — IsInMIS over all vertices.
+  const bool caching = cluster.config().caching;
+  const int num_machines = cluster.config().num_machines;
+  std::vector<CacheArray> caches;
+  if (caching) {
+    caches.resize(num_machines);
+    for (int m = 0; m < num_machines; ++m) {
+      caches[m] = std::make_unique<std::atomic<uint8_t>[]>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        caches[m][i].store(kUnknown, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  MisResult result;
+  result.in_mis.assign(n, 0);
+  cluster.RunMapPhase(
+      "IsInMIS", n, [&](int64_t item, sim::MachineContext& ctx) {
+        std::atomic<uint8_t>* cache =
+            caching ? caches[ctx.machine_id()].get() : nullptr;
+        const uint8_t state =
+            ResolveInMis(static_cast<NodeId>(item), ctx, store, cache);
+        result.in_mis[item] = (state == kInMis) ? 1 : 0;
+      });
+  return result;
+}
+
+}  // namespace ampc::core

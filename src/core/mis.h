@@ -1,0 +1,34 @@
+// AMPC Maximal Independent Set (paper Figure 1, Section 5.3).
+//
+// Computes the lexicographically-first MIS over the random vertex
+// permutation induced by core::VertexRank. Three phases:
+//   1. DirectGraph (one shuffle): each adjacency keeps only neighbors that
+//      precede the vertex in the permutation, sorted by ascending rank.
+//   2. KV-Write (cheap round): the directed graph is written to the DHT.
+//   3. IsInMIS (cheap round): every vertex runs the recursive query
+//      process of Yoshida et al. [69] adapted to AMPC by [19]; results are
+//      memoized in per-machine three-state caches (Unknown / InMIS /
+//      NotInMIS) when the caching optimization is on.
+//
+// The output equals seq::GreedyMis for the same seed, by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::core {
+
+struct MisResult {
+  /// in_mis[v] == 1 iff v belongs to the MIS.
+  std::vector<uint8_t> in_mis;
+};
+
+/// Runs the AMPC MIS algorithm on `cluster`. All rounds, shuffle bytes and
+/// KV traffic are recorded in cluster.metrics().
+MisResult AmpcMis(sim::Cluster& cluster, const graph::Graph& g,
+                  uint64_t seed);
+
+}  // namespace ampc::core

@@ -1,0 +1,250 @@
+#include "core/msf.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+
+#include "common/concurrent_bag.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/priorities.h"
+#include "graph/contraction.h"
+#include "graph/ternarize.h"
+#include "kv/store.h"
+#include "seq/msf.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::ContractedGraph;
+using graph::EdgeId;
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::Weight;
+using graph::WeightedEdgeList;
+using graph::WeightedGraph;
+
+// A weighted adjacency entry as stored in the DHT.
+struct WAdj {
+  NodeId to;
+  EdgeId id;
+  Weight w;
+};
+static_assert(std::is_trivially_copyable_v<WAdj>);
+
+using WAdjStore = kv::Store<std::vector<WAdj>>;
+
+bool WAdjLess(const WAdj& a, const WAdj& b) {
+  if (a.w != b.w) return a.w < b.w;
+  return a.id < b.id;
+}
+
+// Result of one truncated Prim search.
+struct SearchOutput {
+  std::vector<EdgeId> msf_edges;
+  NodeId stop_parent = kInvalidNode;  // set when rule (3) fired
+};
+
+// Runs Algorithm 1's per-vertex search: Prim from `origin`, stopping on
+// (1) search_limit explored vertices, (2) exhausted component, or
+// (3) adding an edge to a vertex preceding `origin` in the permutation.
+SearchOutput TruncatedPrimSearch(NodeId origin, sim::MachineContext& ctx,
+                                 const WAdjStore& store, uint64_t seed,
+                                 int64_t search_limit) {
+  SearchOutput out;
+  const std::vector<WAdj>* adj = ctx.LookupLocal(store, origin);
+  if (adj == nullptr || adj->empty()) return out;
+
+  auto cmp = [](const WAdj& a, const WAdj& b) { return WAdjLess(b, a); };
+  std::priority_queue<WAdj, std::vector<WAdj>, decltype(cmp)> heap(cmp);
+  std::unordered_set<NodeId> visited;
+  visited.insert(origin);
+  for (const WAdj& e : *adj) heap.push(e);
+
+  while (!heap.empty()) {
+    const WAdj e = heap.top();
+    heap.pop();
+    if (visited.contains(e.to)) continue;
+    // The popped edge is the minimum-order edge leaving the visited set,
+    // hence an MSF edge by the cut property (weights totally ordered).
+    out.msf_edges.push_back(e.id);
+    if (VertexBefore(e.to, origin, seed)) {
+      out.stop_parent = e.to;  // rule (3)
+      break;
+    }
+    visited.insert(e.to);
+    if (static_cast<int64_t>(visited.size()) >= search_limit) break;  // (1)
+    const std::vector<WAdj>* next = ctx.Lookup(store, e.to);
+    if (next != nullptr) {
+      for (const WAdj& f : *next) {
+        if (!visited.contains(f.to)) heap.push(f);
+      }
+    }
+  }
+  return out;
+}
+
+// Core contraction loop over an edge list whose ids are preserved
+// throughout. Appends the MSF's edge ids to `result`.
+void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
+             const MsfOptions& options, MsfResult& result) {
+  for (int round = 0;; ++round) {
+    const int64_t n = current.num_nodes;
+    const int64_t m = static_cast<int64_t>(current.edges.size());
+    if (m == 0) return;
+    if (2 * m <= cluster.config().in_memory_threshold_arcs ||
+        round >= options.max_rounds) {
+      // In-memory finish. At round 0 the graph must first be gathered;
+      // in later rounds the Contract shuffles already materialized it.
+      const int64_t bytes =
+          m * static_cast<int64_t>(sizeof(graph::WeightedEdge));
+      const int64_t items = m + static_cast<int64_t>(
+                                    m * std::log2(static_cast<double>(m) + 2));
+      if (round == 0) {
+        cluster.AccountInMemoryFinish("InMemoryMSF", bytes, items);
+      } else {
+        cluster.AccountInMemoryCompute("InMemoryMSF", items);
+      }
+      std::vector<EdgeId> finish = seq::KruskalMsf(current);
+      result.edges.insert(result.edges.end(), finish.begin(), finish.end());
+      return;
+    }
+    result.rounds = round + 1;
+    const uint64_t round_seed = options.seed + 1000003ULL * round;
+
+    int64_t search_limit = options.search_limit;
+    if (search_limit <= 0) {
+      search_limit = std::max<int64_t>(
+          2, static_cast<int64_t>(
+                 std::ceil(std::pow(static_cast<double>(n), options.eps / 2))));
+    }
+
+    // --- SortGraph (shuffle): weight-sorted adjacency -------------------
+    WallTimer sort_timer;
+    WeightedGraph wg = graph::BuildWeightedGraph(current);
+    wg.SortAdjacenciesByWeight();
+    int64_t graph_bytes = 0;
+    for (int64_t v = 0; v < n; ++v) {
+      graph_bytes += wg.AdjacencyBytes(static_cast<NodeId>(v));
+    }
+    cluster.AccountShuffle("SortGraph", graph_bytes, sort_timer.Seconds());
+
+    // --- KV-Write --------------------------------------------------------
+    WAdjStore store(n);
+    cluster.RunKvWritePhase("KV-Write", store, n, [&](int64_t v) {
+      const NodeId node = static_cast<NodeId>(v);
+      auto nbrs = wg.neighbors(node);
+      auto ws = wg.weights(node);
+      auto ids = wg.edge_ids(node);
+      std::vector<WAdj> row(nbrs.size());
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        row[i] = WAdj{nbrs[i], ids[i], ws[i]};
+      }
+      return row;
+    });
+
+    // --- PrimSearch (map) -------------------------------------------------
+    ConcurrentBag<EdgeId> found_edges;
+    std::vector<NodeId> parent(n, kInvalidNode);
+    cluster.RunMapPhase(
+        "PrimSearch", n, [&](int64_t item, sim::MachineContext& ctx) {
+          SearchOutput out = TruncatedPrimSearch(
+              static_cast<NodeId>(item), ctx, store, round_seed, search_limit);
+          parent[item] = out.stop_parent;
+          found_edges.Merge(std::move(out.msf_edges));
+        });
+    std::vector<EdgeId> emitted = found_edges.Take();
+    std::sort(emitted.begin(), emitted.end());
+    emitted.erase(std::unique(emitted.begin(), emitted.end()), emitted.end());
+    result.edges.insert(result.edges.end(), emitted.begin(), emitted.end());
+
+    // --- Combine (shuffle): visitor tuples grouped by visited vertex ----
+    int64_t stopped = 0;
+    for (NodeId p : parent) stopped += (p != kInvalidNode);
+    cluster.AccountShuffle(
+        "Combine", stopped * (kv::kKeyBytes + sizeof(NodeId)));
+
+    // --- PointerJump: write parent map, chase chains to roots ------------
+    kv::Store<NodeId> parent_store(n);
+    cluster.RunKvWritePhase("PointerJumpBuild", parent_store, n,
+                            [&](int64_t v) { return parent[v]; });
+    // The parent-map construction is itself a shuffle in the Flume
+    // implementation (Section 5.5 counts it among the 5 AMPC MSF
+    // shuffles).
+    cluster.AccountShuffle("PointerJumpBuild",
+                           n * (kv::kKeyBytes + sizeof(NodeId)));
+    std::vector<NodeId> root_of(n);
+    std::atomic<int64_t> max_chain{0};
+    cluster.RunMapPhase(
+        "PointerJump", n, [&](int64_t item, sim::MachineContext& ctx) {
+          NodeId cur = static_cast<NodeId>(item);
+          NodeId next = parent[item];  // own record: local input
+          int64_t chain = 0;
+          while (next != kInvalidNode) {
+            cur = next;
+            const NodeId* p = ctx.Lookup(parent_store, cur);
+            next = (p == nullptr) ? kInvalidNode : *p;
+            ++chain;
+          }
+          root_of[item] = cur;
+          int64_t seen = max_chain.load(std::memory_order_relaxed);
+          while (chain > seen && !max_chain.compare_exchange_weak(
+                                     seen, chain, std::memory_order_relaxed)) {
+          }
+        });
+    result.max_jump_chain =
+        std::max(result.max_jump_chain, max_chain.load());
+
+    // --- Contract (two shuffles in the Flume implementation) -------------
+    WallTimer contract_timer;
+    ContractedGraph contracted = graph::ContractEdgeList(current, root_of);
+    const int64_t edge_bytes =
+        static_cast<int64_t>(current.edges.size()) *
+        static_cast<int64_t>(sizeof(graph::WeightedEdge));
+    const int64_t contracted_bytes =
+        static_cast<int64_t>(contracted.list.edges.size()) *
+        static_cast<int64_t>(sizeof(graph::WeightedEdge));
+    const double contract_wall = contract_timer.Seconds();
+    cluster.AccountShuffle("Contract", edge_bytes, contract_wall / 2);
+    cluster.AccountShuffle(
+        "Contract", contracted_bytes + n * static_cast<int64_t>(sizeof(NodeId)),
+        contract_wall / 2);
+
+    // Progress guard: Lemma 3.3 promises an Omega(n^{eps/2}) shrink; if a
+    // pathological input defeats it, finish in memory rather than loop.
+    if (contracted.list.num_nodes >= n) {
+      const int64_t items = static_cast<int64_t>(contracted.list.edges.size());
+      cluster.AccountInMemoryCompute("InMemoryMSF", items);
+      std::vector<EdgeId> finish = seq::KruskalMsf(contracted.list);
+      result.edges.insert(result.edges.end(), finish.begin(), finish.end());
+      return;
+    }
+    current = std::move(contracted.list);
+  }
+}
+
+}  // namespace
+
+MsfResult AmpcMsf(sim::Cluster& cluster, const WeightedEdgeList& list,
+                  const MsfOptions& options) {
+  MsfResult result;
+  if (options.ternarize) {
+    // Algorithm 2's sparse path: bound degrees by 3 first; dummy cycle
+    // edges are lighter than every real edge, so they join the MSF and
+    // are stripped from the output.
+    graph::Ternarized t = graph::TernarizeGraph(list);
+    MsfLoop(cluster, t.list, options, result);
+    result.edges = graph::StripDummyEdges(t, result.edges);
+  } else {
+    MsfLoop(cluster, list, options, result);
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  result.edges.erase(std::unique(result.edges.begin(), result.edges.end()),
+                     result.edges.end());
+  return result;
+}
+
+}  // namespace ampc::core

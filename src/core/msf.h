@@ -1,0 +1,70 @@
+// AMPC Minimum Spanning Forest (paper Section 3, Algorithms 1-2;
+// implementation Section 5.5).
+//
+// Per contraction round:
+//   SortGraph (shuffle)   adjacency sorted by (weight, edge id),
+//   KV-Write  (cheap)     written to the DHT,
+//   PrimSearch (map)      every vertex runs Prim's algorithm truncated by
+//                         the three stopping rules of Algorithm 1 —
+//                         (1) search_limit vertices explored,
+//                         (2) component exhausted,
+//                         (3) an edge is added to a vertex that precedes
+//                             the origin in the random permutation — and
+//                         emits the MSF edges it discovered plus, for
+//                         rule (3), the visitor pointer v -> u,
+//   Combine (shuffle)     visitor tuples grouped by visited vertex,
+//   PointerJump           parent pointers written to the DHT and chased
+//                         to roots (paper observed max chain length 33),
+//   Contract (2 shuffles) the graph is contracted by the root mapping.
+//
+// Rounds repeat until the residual graph fits the in-memory threshold,
+// where Kruskal finishes (the paper found one round suffices in practice).
+// Edge weights are totally ordered by (weight, id), so the MSF is unique
+// and tested for exact equality against seq::KruskalMsf.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::core {
+
+struct MsfOptions {
+  uint64_t seed = 42;
+  /// Stopping rule (1): a search stops after exploring this many vertices.
+  /// 0 derives ceil(n^{eps/2}) from `eps`.
+  int64_t search_limit = 0;
+  /// Exponent for the derived search limit (space per machine n^eps).
+  /// The paper's footnote observes that in real deployments eps exceeds
+  /// 1 (each machine holds more bytes than the graph has vertices: 262GB
+  /// machines against n up to 3.56B give eps ~ 1.2), and Section 5.5
+  /// reports that a single search pass shrinks the graph to a very small
+  /// size. At this library's ~1000x-compressed benchmark scale the same
+  /// behaviour needs a proportionally stronger limit, so the default is
+  /// the deployment-realistic 1.4 (searches are almost always stopped by
+  /// the rank rule, not the budget — as in the paper's runs).
+  double eps = 1.4;
+  /// Run the ternarization pre-pass of Algorithm 2 (faithful sparse-case
+  /// path). The practical configuration (Section 5.5) skips it.
+  bool ternarize = false;
+  /// Hard cap on contraction rounds (safety; one round is typical).
+  int max_rounds = 12;
+};
+
+struct MsfResult {
+  /// Edge ids (into the input list) of the minimum spanning forest,
+  /// sorted ascending.
+  std::vector<graph::EdgeId> edges;
+  /// Contraction rounds executed before the in-memory finish.
+  int rounds = 0;
+  /// Longest parent-pointer chain seen while pointer jumping.
+  int64_t max_jump_chain = 0;
+};
+
+/// Runs the AMPC MSF algorithm. The input edge list's ids must be unique.
+MsfResult AmpcMsf(sim::Cluster& cluster, const graph::WeightedEdgeList& list,
+                  const MsfOptions& options = {});
+
+}  // namespace ampc::core

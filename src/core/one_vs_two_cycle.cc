@@ -1,0 +1,135 @@
+#include "core/one_vs_two_cycle.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "common/concurrent_bag.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/priorities.h"
+#include "kv/store.h"
+#include "seq/union_find.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+struct CycleAdj {
+  NodeId a;
+  NodeId b;
+};
+static_assert(std::is_trivially_copyable_v<CycleAdj>);
+
+bool IsSampled(NodeId v, uint64_t seed, double probability) {
+  return ToUnitDouble(Hash64(v, seed ^ 0x327633ULL)) < probability;
+}
+
+}  // namespace
+
+CycleResult AmpcOneVsTwoCycle(sim::Cluster& cluster, const Graph& g,
+                              const CycleOptions& options) {
+  const int64_t n = g.num_nodes();
+  AMPC_CHECK_GE(n, 3);
+
+  // One shuffle + KV write stages the (successor, predecessor) records.
+  WallTimer stage_timer;
+  kv::Store<CycleAdj> store(n);
+  int64_t bytes = 0;
+  for (int64_t v = 0; v < n; ++v) {
+    AMPC_CHECK_EQ(g.degree(static_cast<NodeId>(v)), 2)
+        << "1-vs-2-cycle input must be a union of cycles";
+    bytes += kv::kKeyBytes + static_cast<int64_t>(sizeof(CycleAdj));
+  }
+  cluster.AccountShuffle("WriteGraph", bytes, stage_timer.Seconds());
+  cluster.RunKvWritePhase("KV-Write", store, n, [&](int64_t v) {
+    auto nbrs = g.neighbors(static_cast<NodeId>(v));
+    return CycleAdj{nbrs[0], nbrs[1]};
+  });
+
+  CycleResult result;
+  double probability = options.sample_probability;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    ++result.attempts;
+    const uint64_t seed = options.seed + attempt;
+
+    // Every sampled vertex searches outward in both directions until the
+    // next sample (or all the way around). The union of all walks covers
+    // exactly the vertices of cycles containing at least one sample, so
+    // comparing the covered count against n detects unsampled cycles.
+    ConcurrentBag<std::pair<NodeId, NodeId>> contracted;
+    std::vector<std::atomic<uint8_t>> covered(n);
+    for (auto& c : covered) c.store(0, std::memory_order_relaxed);
+    std::atomic<int64_t> samples{0};
+    cluster.RunMapPhase(
+        "Search", n, [&](int64_t item, sim::MachineContext& ctx) {
+          const NodeId v = static_cast<NodeId>(item);
+          if (!IsSampled(v, seed, probability)) return;
+          samples.fetch_add(1, std::memory_order_relaxed);
+          covered[v].store(1, std::memory_order_relaxed);
+          const CycleAdj* own = ctx.LookupLocal(store, v);
+          for (NodeId first : {own->a, own->b}) {
+            NodeId prev = v;
+            NodeId cur = first;
+            while (cur != v && !IsSampled(cur, seed, probability)) {
+              covered[cur].store(1, std::memory_order_relaxed);
+              const CycleAdj* adj = ctx.Lookup(store, cur);
+              AMPC_CHECK(adj != nullptr);
+              const NodeId next = (adj->a == prev) ? adj->b : adj->a;
+              prev = cur;
+              cur = next;
+            }
+            contracted.Push({v, cur});  // cur == v means a full loop
+            if (cur == v) break;        // whole cycle traversed already
+          }
+        });
+
+    int64_t covered_count = 0;
+    for (const auto& c : covered) {
+      covered_count += c.load(std::memory_order_relaxed);
+    }
+    result.visited = covered_count;
+    result.samples = samples.load();
+
+    // Gather the contracted instance onto one machine and count cycles.
+    std::vector<std::pair<NodeId, NodeId>> edges = contracted.Take();
+    cluster.AccountInMemoryFinish(
+        "SolveContracted",
+        static_cast<int64_t>(edges.size()) * 2 *
+            static_cast<int64_t>(sizeof(NodeId)),
+        static_cast<int64_t>(edges.size()));
+
+    // Components among sampled vertices (self-loop = an entire cycle).
+    std::unordered_map<NodeId, int64_t> index;
+    for (const auto& [a, b] : edges) {
+      index.emplace(a, static_cast<int64_t>(index.size()));
+      index.emplace(b, static_cast<int64_t>(index.size()));
+    }
+    seq::UnionFind uf(static_cast<int64_t>(index.size()));
+    for (const auto& [a, b] : edges) uf.Union(index[a], index[b]);
+    std::unordered_map<int64_t, int> roots;
+    for (const auto& [node, idx] : index) roots[uf.Find(idx)] = 1;
+    const int sampled_cycles = static_cast<int>(roots.size());
+
+    if (result.visited == n) {
+      result.num_cycles = sampled_cycles;
+      return result;
+    }
+    if (sampled_cycles >= 1) {
+      // At least one cycle is fully unsampled; with the 1-vs-2 promise
+      // the answer must be 2.
+      result.num_cycles = sampled_cycles + 1;
+      return result;
+    }
+    // No sample landed anywhere: retry with a denser sample.
+    probability = std::min(1.0, probability * options.retry_growth);
+  }
+  // Deterministic fallback: sample probability 1 always terminates above,
+  // so reaching this point is a logic error.
+  AMPC_CHECK(false) << "1-vs-2-cycle did not resolve";
+  return result;
+}
+
+}  // namespace ampc::core

@@ -1,0 +1,45 @@
+// AMPC 1-vs-2-Cycle (paper Section 5.6).
+//
+// Input: a graph promised to be a disjoint union of one cycle on n
+// vertices or two cycles on n/2 vertices each (the conjectured
+// Omega(log n)-round problem for MPC). The AMPC algorithm samples
+// vertices with a fixed probability (the paper uses 1/1024), walks from
+// every sample around the cycle to the next sample using DHT lookups,
+// contracts the cycle onto the samples, and solves the contracted
+// instance on a single machine — a single shuffle in total.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::core {
+
+struct CycleOptions {
+  uint64_t seed = 42;
+  /// Vertex sampling probability (paper: 1/1024).
+  double sample_probability = 1.0 / 1024.0;
+  /// If a sampling round leaves cycles uncovered and ambiguous, the
+  /// probability is multiplied by this factor and the round repeated
+  /// (w.h.p. never needed at benchmark sizes).
+  double retry_growth = 8.0;
+  int max_attempts = 8;
+};
+
+struct CycleResult {
+  /// Number of cycles found (1 or 2).
+  int num_cycles = 0;
+  /// Vertices visited by all walks in the final attempt.
+  int64_t visited = 0;
+  /// Samples drawn in the final attempt.
+  int64_t samples = 0;
+  int attempts = 0;
+};
+
+/// Distinguishes one cycle from two. CHECK-fails if a vertex of degree
+/// != 2 is encountered (the input promise is violated).
+CycleResult AmpcOneVsTwoCycle(sim::Cluster& cluster, const graph::Graph& g,
+                              const CycleOptions& options = {});
+
+}  // namespace ampc::core

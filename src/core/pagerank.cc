@@ -1,0 +1,193 @@
+#include "core/pagerank.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "kv/store.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::NodeId;
+
+using AdjStore = kv::Store<std::vector<NodeId>>;
+
+// Stages the adjacency in the DHT: one shuffle + one cheap KV-write.
+std::unique_ptr<AdjStore> StageAdjacency(sim::Cluster& cluster,
+                                         const graph::Graph& g) {
+  const int64_t n = g.num_nodes();
+  WallTimer timer;
+  int64_t bytes = 0;
+  for (NodeId v = 0; v < n; ++v) bytes += g.AdjacencyBytes(v);
+  cluster.AccountShuffle("WriteGraph", bytes, timer.Seconds());
+  auto store = std::make_unique<AdjStore>(n);
+  cluster.RunKvWritePhase("KV-Write", *store, n, [&](int64_t v) {
+    const auto span = g.neighbors(static_cast<NodeId>(v));
+    return std::vector<NodeId>(span.begin(), span.end());
+  });
+  return store;
+}
+
+// The walk's next hop from `v`, or kInvalidNode to stop. Dangling
+// vertices teleport to a uniform vertex with probability `damping`
+// (matching the exact oracle's dangling redistribution) and stop
+// otherwise.
+NodeId NextHop(const std::vector<NodeId>* adj, int64_t n, double damping,
+               Rng& rng) {
+  if (!rng.NextBernoulli(damping)) return graph::kInvalidNode;
+  if (adj == nullptr || adj->empty()) {
+    return static_cast<NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+  }
+  return (*adj)[rng.NextBelow(adj->size())];
+}
+
+}  // namespace
+
+PageRankMcResult AmpcMonteCarloPageRank(sim::Cluster& cluster,
+                                        const graph::Graph& g,
+                                        const PageRankMcOptions& options) {
+  const int64_t n = g.num_nodes();
+  PageRankMcResult result;
+  if (n == 0) return result;
+  AMPC_CHECK_GT(options.walks_per_node, 0);
+
+  std::unique_ptr<AdjStore> store = StageAdjacency(cluster, g);
+
+  auto visits = std::make_unique<std::atomic<int64_t>[]>(n);
+  for (int64_t v = 0; v < n; ++v) {
+    visits[v].store(0, std::memory_order_relaxed);
+  }
+  std::atomic<int64_t> steps{0};
+
+  cluster.RunMapPhase(
+      "RandomWalks", n, [&](int64_t item, sim::MachineContext& ctx) {
+        const NodeId start = static_cast<NodeId>(item);
+        int64_t local_steps = 0;
+        for (int j = 0; j < options.walks_per_node; ++j) {
+          // Per-(vertex, walk) hash stream: identical output regardless
+          // of which machine/worker runs the item.
+          Rng rng(Hash64(static_cast<uint64_t>(item) *
+                                 options.walks_per_node +
+                             j,
+                         options.seed ^ 0x7061676572616e6bULL));
+          NodeId v = start;
+          const std::vector<NodeId>* adj = ctx.LookupLocal(*store, v);
+          for (;;) {
+            visits[v].fetch_add(1, std::memory_order_relaxed);
+            const NodeId next = NextHop(adj, n, options.damping, rng);
+            if (next == graph::kInvalidNode) break;
+            v = next;
+            adj = ctx.Lookup(*store, v);
+            ++local_steps;
+          }
+        }
+        steps.fetch_add(local_steps, std::memory_order_relaxed);
+      });
+
+  result.total_steps = steps.load();
+  result.rank.resize(n);
+  double total = 0.0;
+  for (int64_t v = 0; v < n; ++v) {
+    result.rank[v] = static_cast<double>(visits[v].load());
+    total += result.rank[v];
+  }
+  for (double& r : result.rank) r /= total;
+  return result;
+}
+
+PageRankMcResult AmpcPersonalizedPageRank(sim::Cluster& cluster,
+                                          const graph::Graph& g,
+                                          NodeId source,
+                                          const PageRankMcOptions& options) {
+  const int64_t n = g.num_nodes();
+  PageRankMcResult result;
+  if (n == 0) return result;
+  AMPC_CHECK_LT(source, n);
+  AMPC_CHECK_GT(options.walks_per_node, 0);
+
+  std::unique_ptr<AdjStore> store = StageAdjacency(cluster, g);
+
+  auto visits = std::make_unique<std::atomic<int64_t>[]>(n);
+  for (int64_t v = 0; v < n; ++v) {
+    visits[v].store(0, std::memory_order_relaxed);
+  }
+  std::atomic<int64_t> steps{0};
+
+  cluster.RunMapPhase(
+      "PersonalizedWalks", n, [&](int64_t item, sim::MachineContext& ctx) {
+        int64_t local_steps = 0;
+        for (int j = 0; j < options.walks_per_node; ++j) {
+          Rng rng(Hash64(static_cast<uint64_t>(item) *
+                                 options.walks_per_node +
+                             j,
+                         options.seed ^ 0x707072616e6bULL));
+          NodeId v = source;
+          const std::vector<NodeId>* adj = ctx.Lookup(*store, v);
+          for (;;) {
+            visits[v].fetch_add(1, std::memory_order_relaxed);
+            if (!rng.NextBernoulli(options.damping)) break;
+            // Dangling vertices return to the source (the personalized
+            // teleport target), matching PersonalizedPageRankExact.
+            const NodeId next =
+                (adj == nullptr || adj->empty())
+                    ? source
+                    : (*adj)[rng.NextBelow(adj->size())];
+            v = next;
+            adj = ctx.Lookup(*store, v);
+            ++local_steps;
+          }
+        }
+        steps.fetch_add(local_steps, std::memory_order_relaxed);
+      });
+
+  result.total_steps = steps.load();
+  result.rank.resize(n);
+  double total = 0.0;
+  for (int64_t v = 0; v < n; ++v) {
+    result.rank[v] = static_cast<double>(visits[v].load());
+    total += result.rank[v];
+  }
+  for (double& r : result.rank) r /= total;
+  return result;
+}
+
+std::vector<std::vector<NodeId>> AmpcSampleWalks(sim::Cluster& cluster,
+                                                 const graph::Graph& g,
+                                                 const WalkOptions& options) {
+  const int64_t n = g.num_nodes();
+  AMPC_CHECK_GT(options.walks_per_node, 0);
+  AMPC_CHECK_GE(options.length, 0);
+  std::vector<std::vector<NodeId>> walks(
+      static_cast<size_t>(n) * options.walks_per_node);
+  if (n == 0) return walks;
+
+  std::unique_ptr<AdjStore> store = StageAdjacency(cluster, g);
+
+  cluster.RunMapPhase(
+      "SampleWalks", n, [&](int64_t item, sim::MachineContext& ctx) {
+        const NodeId start = static_cast<NodeId>(item);
+        for (int j = 0; j < options.walks_per_node; ++j) {
+          Rng rng(Hash64(static_cast<uint64_t>(item) *
+                                 options.walks_per_node +
+                             j,
+                         options.seed ^ 0x6465657077616c6bULL));
+          std::vector<NodeId>& walk =
+              walks[static_cast<size_t>(item) * options.walks_per_node + j];
+          walk.reserve(options.length + 1);
+          walk.push_back(start);
+          const std::vector<NodeId>* adj = ctx.LookupLocal(*store, start);
+          for (int s = 0; s < options.length; ++s) {
+            if (adj == nullptr || adj->empty()) break;  // stranded
+            const NodeId next = (*adj)[rng.NextBelow(adj->size())];
+            walk.push_back(next);
+            adj = ctx.Lookup(*store, next);
+          }
+        }
+      });
+  return walks;
+}
+
+}  // namespace ampc::core

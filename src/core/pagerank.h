@@ -1,0 +1,77 @@
+// AMPC random walks and Monte-Carlo PageRank — the Section 5.7
+// "Random-walk and Embedding" extension study ("The AMPC model can
+// potentially help accelerate random-walk based problems, such as
+// PageRank and Personalized PageRank [...] since it efficiently supports
+// random access").
+//
+// The adjacency is staged in the DHT once (1 shuffle). After that a walk
+// is just a chain of KV lookups inside one map round — the step-by-step
+// shuffle an MPC implementation needs (one per walk step or power
+// iteration; see baselines/mpc_pagerank.h) disappears entirely.
+//
+//  * AmpcMonteCarloPageRank — Bahmani-et-al-style estimator [13]: R
+//    restart-terminated walks start from every vertex; the visit
+//    frequency scaled by the restart probability estimates PageRank.
+//  * AmpcSampleWalks — fixed-length walk corpus (the DeepWalk/LINE/
+//    NetSMF [58, 65, 59] ingestion pattern the paper names).
+//
+// Walk randomness derives from (seed, start vertex, walk index) hash
+// streams, so outputs are independent of machine scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::core {
+
+struct PageRankMcOptions {
+  uint64_t seed = 42;
+  /// Damping factor (walk continues with this probability per step).
+  double damping = 0.85;
+  /// Walks started per vertex. The L1 error of the estimate shrinks as
+  /// O(1 / sqrt(walks_per_node)).
+  int walks_per_node = 16;
+};
+
+struct PageRankMcResult {
+  /// Estimated PageRank, normalized to sum to 1 (n > 0).
+  std::vector<double> rank;
+  /// Total walk steps taken (expected ~ n * walks_per_node / (1 - d)).
+  int64_t total_steps = 0;
+};
+
+/// Monte-Carlo PageRank over the DHT-resident graph.
+PageRankMcResult AmpcMonteCarloPageRank(sim::Cluster& cluster,
+                                        const graph::Graph& g,
+                                        const PageRankMcOptions& options = {});
+
+/// Monte-Carlo Personalized PageRank from `source` (paper §5.7 names
+/// Personalized PageRank [13] as an AMPC target): every walk starts at
+/// the source, and dangling vertices return there. Same DHT staging as
+/// the global estimator. Each of the num_nodes map items contributes
+/// walks_per_node walks, so num_nodes * walks_per_node walks total.
+PageRankMcResult AmpcPersonalizedPageRank(sim::Cluster& cluster,
+                                          const graph::Graph& g,
+                                          graph::NodeId source,
+                                          const PageRankMcOptions& options =
+                                              {});
+
+struct WalkOptions {
+  uint64_t seed = 42;
+  /// Steps per walk (walk holds length + 1 vertices).
+  int length = 8;
+  /// Walks started per vertex.
+  int walks_per_node = 1;
+};
+
+/// A fixed-length random-walk corpus: walks[i] is the vertex sequence of
+/// the i-th walk (walks are grouped by start vertex, then walk index).
+/// Walks stop early at isolated vertices.
+std::vector<std::vector<graph::NodeId>> AmpcSampleWalks(
+    sim::Cluster& cluster, const graph::Graph& g,
+    const WalkOptions& options = {});
+
+}  // namespace ampc::core

@@ -1,0 +1,22 @@
+#include "core/priorities.h"
+
+namespace ampc::core {
+
+std::vector<uint64_t> AllVertexRanks(int64_t num_nodes, uint64_t seed) {
+  std::vector<uint64_t> ranks(num_nodes);
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    ranks[v] = VertexRank(static_cast<graph::NodeId>(v), seed);
+  }
+  return ranks;
+}
+
+std::vector<uint64_t> AllEdgeRanks(const graph::EdgeList& list,
+                                   uint64_t seed) {
+  std::vector<uint64_t> ranks(list.edges.size());
+  for (size_t i = 0; i < list.edges.size(); ++i) {
+    ranks[i] = EdgeRank(list.edges[i].u, list.edges[i].v, seed);
+  }
+  return ranks;
+}
+
+}  // namespace ampc::core

@@ -1,0 +1,40 @@
+// Shared random priorities. Every algorithm — AMPC, MPC baseline, and
+// sequential oracle — derives vertex/edge ranks from these functions, so
+// fixing the seed fixes the permutation and all three compute identical
+// greedy solutions (the comparison methodology of Section 5.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace ampc::core {
+
+/// Rank of a vertex under `seed`; lower rank = earlier in the permutation.
+inline uint64_t VertexRank(graph::NodeId v, uint64_t seed) {
+  return Hash64(v, seed ^ 0x7665727478ULL);  // "vertx"
+}
+
+/// Rank of an undirected edge; symmetric in endpoints.
+inline uint64_t EdgeRank(graph::NodeId u, graph::NodeId v, uint64_t seed) {
+  return HashEdge(u, v, seed ^ 0x65646765ULL);  // "edge"
+}
+
+/// Materializes all vertex ranks.
+std::vector<uint64_t> AllVertexRanks(int64_t num_nodes, uint64_t seed);
+
+/// Materializes ranks for every edge of a list (indexed by position).
+std::vector<uint64_t> AllEdgeRanks(const graph::EdgeList& list,
+                                   uint64_t seed);
+
+/// True if a precedes b in the vertex permutation (ties by id).
+inline bool VertexBefore(graph::NodeId a, graph::NodeId b, uint64_t seed) {
+  const uint64_t ra = VertexRank(a, seed);
+  const uint64_t rb = VertexRank(b, seed);
+  if (ra != rb) return ra < rb;
+  return a < b;
+}
+
+}  // namespace ampc::core

@@ -1,0 +1,40 @@
+#include "graph/contraction.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace ampc::graph {
+
+ContractedGraph ContractEdgeList(const WeightedEdgeList& list,
+                                 const std::vector<NodeId>& cluster_of) {
+  AMPC_CHECK_EQ(static_cast<int64_t>(cluster_of.size()), list.num_nodes);
+  ContractedGraph out;
+
+  // Compact cluster ids that appear on at least one surviving edge.
+  std::unordered_map<NodeId, NodeId> compact;
+  auto compact_id = [&](NodeId root) {
+    auto [it, fresh] = compact.emplace(
+        root, static_cast<NodeId>(compact.size()));
+    if (fresh) out.representative.push_back(root);
+    return it->second;
+  };
+
+  for (const WeightedEdge& e : list.edges) {
+    const NodeId ru = cluster_of[e.u];
+    const NodeId rv = cluster_of[e.v];
+    if (ru == rv) continue;
+    out.list.edges.push_back(
+        WeightedEdge{compact_id(ru), compact_id(rv), e.w, e.id});
+  }
+  out.list.num_nodes = static_cast<int64_t>(compact.size());
+
+  out.compact_of_vertex.assign(list.num_nodes, kInvalidNode);
+  for (int64_t v = 0; v < list.num_nodes; ++v) {
+    auto it = compact.find(cluster_of[v]);
+    if (it != compact.end()) out.compact_of_vertex[v] = it->second;
+  }
+  return out;
+}
+
+}  // namespace ampc::graph

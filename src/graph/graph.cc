@@ -1,0 +1,279 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace ampc::graph {
+namespace {
+
+// Computes per-node arc counts for a symmetrized edge list.
+std::vector<uint64_t> CountDegrees(int64_t n, std::span<const NodeId> us,
+                                   std::span<const NodeId> vs,
+                                   bool remove_self_loops) {
+  std::vector<uint64_t> deg(n, 0);
+  for (size_t i = 0; i < us.size(); ++i) {
+    if (remove_self_loops && us[i] == vs[i]) continue;
+    ++deg[us[i]];
+    ++deg[vs[i]];
+  }
+  return deg;
+}
+
+std::vector<uint64_t> ExclusiveScan(const std::vector<uint64_t>& deg) {
+  std::vector<uint64_t> offsets(deg.size() + 1, 0);
+  for (size_t i = 0; i < deg.size(); ++i) offsets[i + 1] = offsets[i] + deg[i];
+  return offsets;
+}
+
+}  // namespace
+
+int64_t Graph::max_degree() const {
+  int64_t best = 0;
+  for (int64_t v = 0; v < num_nodes(); ++v) {
+    best = std::max(best, degree(static_cast<NodeId>(v)));
+  }
+  return best;
+}
+
+int64_t WeightedGraph::max_degree() const {
+  int64_t best = 0;
+  for (int64_t v = 0; v < num_nodes(); ++v) {
+    best = std::max(best, degree(static_cast<NodeId>(v)));
+  }
+  return best;
+}
+
+Graph BuildGraph(const EdgeList& list, const BuildOptions& options) {
+  const int64_t n = list.num_nodes;
+  for (const Edge& e : list.edges) {
+    AMPC_CHECK_LT(e.u, n);
+    AMPC_CHECK_LT(e.v, n);
+  }
+  std::vector<NodeId> us(list.edges.size()), vs(list.edges.size());
+  for (size_t i = 0; i < list.edges.size(); ++i) {
+    us[i] = list.edges[i].u;
+    vs[i] = list.edges[i].v;
+  }
+
+  std::vector<uint64_t> deg =
+      CountDegrees(n, us, vs, options.remove_self_loops);
+  std::vector<uint64_t> offsets = ExclusiveScan(deg);
+  std::vector<NodeId> adjacency(offsets.back());
+  std::vector<uint64_t> cursor = offsets;
+  for (size_t i = 0; i < us.size(); ++i) {
+    if (options.remove_self_loops && us[i] == vs[i]) continue;
+    adjacency[cursor[us[i]]++] = vs[i];
+    adjacency[cursor[vs[i]]++] = us[i];
+  }
+
+  ParallelForChunked(
+      ThreadPool::Global(), 0, n, 1024,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t v = lo; v < hi; ++v) {
+          std::sort(adjacency.begin() + offsets[v],
+                    adjacency.begin() + offsets[v + 1]);
+        }
+      });
+
+  Graph g;
+  if (!options.dedup) {
+    g.offsets_ = std::move(offsets);
+    g.adjacency_ = std::move(adjacency);
+    return g;
+  }
+
+  // Dedup within each sorted adjacency, then compact.
+  std::vector<uint64_t> new_deg(n, 0);
+  for (int64_t v = 0; v < n; ++v) {
+    auto begin = adjacency.begin() + offsets[v];
+    auto end = adjacency.begin() + offsets[v + 1];
+    new_deg[v] = static_cast<uint64_t>(std::unique(begin, end) - begin);
+  }
+  std::vector<uint64_t> new_offsets = ExclusiveScan(new_deg);
+  std::vector<NodeId> compact(new_offsets.back());
+  for (int64_t v = 0; v < n; ++v) {
+    std::copy_n(adjacency.begin() + offsets[v], new_deg[v],
+                compact.begin() + new_offsets[v]);
+  }
+  g.offsets_ = std::move(new_offsets);
+  g.adjacency_ = std::move(compact);
+  return g;
+}
+
+WeightedGraph BuildWeightedGraph(const WeightedEdgeList& list,
+                                 const BuildOptions& options) {
+  const int64_t n = list.num_nodes;
+  for (const WeightedEdge& e : list.edges) {
+    AMPC_CHECK_LT(e.u, n);
+    AMPC_CHECK_LT(e.v, n);
+  }
+
+  std::vector<uint64_t> deg(n, 0);
+  for (const WeightedEdge& e : list.edges) {
+    if (options.remove_self_loops && e.u == e.v) continue;
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  std::vector<uint64_t> offsets = ExclusiveScan(deg);
+
+  struct Arc {
+    NodeId to;
+    Weight w;
+    EdgeId id;
+  };
+  std::vector<Arc> arcs(offsets.back());
+  std::vector<uint64_t> cursor = offsets;
+  for (const WeightedEdge& e : list.edges) {
+    if (options.remove_self_loops && e.u == e.v) continue;
+    arcs[cursor[e.u]++] = Arc{e.v, e.w, e.id};
+    arcs[cursor[e.v]++] = Arc{e.u, e.w, e.id};
+  }
+
+  ParallelForChunked(
+      ThreadPool::Global(), 0, n, 1024,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t v = lo; v < hi; ++v) {
+          std::sort(arcs.begin() + offsets[v], arcs.begin() + offsets[v + 1],
+                    [](const Arc& a, const Arc& b) {
+                      if (a.to != b.to) return a.to < b.to;
+                      if (a.w != b.w) return a.w < b.w;
+                      return a.id < b.id;
+                    });
+        }
+      });
+
+  std::vector<uint64_t> new_deg(n, 0);
+  if (options.dedup) {
+    for (int64_t v = 0; v < n; ++v) {
+      uint64_t count = 0;
+      NodeId prev = kInvalidNode;
+      for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+        if (arcs[i].to != prev) {
+          ++count;
+          prev = arcs[i].to;
+        }
+      }
+      new_deg[v] = count;
+    }
+  } else {
+    for (int64_t v = 0; v < n; ++v) new_deg[v] = offsets[v + 1] - offsets[v];
+  }
+
+  std::vector<uint64_t> new_offsets = ExclusiveScan(new_deg);
+  WeightedGraph g;
+  g.offsets_ = new_offsets;
+  g.adjacency_.resize(new_offsets.back());
+  g.weights_.resize(new_offsets.back());
+  g.edge_ids_.resize(new_offsets.back());
+  for (int64_t v = 0; v < n; ++v) {
+    uint64_t out = new_offsets[v];
+    NodeId prev = kInvalidNode;
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (options.dedup && arcs[i].to == prev) continue;
+      prev = arcs[i].to;
+      g.adjacency_[out] = arcs[i].to;
+      g.weights_[out] = arcs[i].w;
+      g.edge_ids_[out] = arcs[i].id;
+      ++out;
+    }
+    AMPC_CHECK_EQ(out, new_offsets[v + 1]);
+  }
+  return g;
+}
+
+void WeightedGraph::SortAdjacenciesByWeight() {
+  const int64_t n = num_nodes();
+  ParallelForChunked(
+      ThreadPool::Global(), 0, n, 512,
+      [this](int64_t lo, int64_t hi) {
+        for (int64_t v = lo; v < hi; ++v) {
+          const uint64_t begin = offsets_[v];
+          const uint64_t end = offsets_[v + 1];
+          const uint64_t len = end - begin;
+          std::vector<uint32_t> order(len);
+          std::iota(order.begin(), order.end(), 0u);
+          std::sort(order.begin(), order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      const uint64_t ia = begin + a, ib = begin + b;
+                      if (weights_[ia] != weights_[ib]) {
+                        return weights_[ia] < weights_[ib];
+                      }
+                      return edge_ids_[ia] < edge_ids_[ib];
+                    });
+          std::vector<NodeId> adj(len);
+          std::vector<Weight> w(len);
+          std::vector<EdgeId> ids(len);
+          for (uint64_t i = 0; i < len; ++i) {
+            adj[i] = adjacency_[begin + order[i]];
+            w[i] = weights_[begin + order[i]];
+            ids[i] = edge_ids_[begin + order[i]];
+          }
+          std::copy(adj.begin(), adj.end(), adjacency_.begin() + begin);
+          std::copy(w.begin(), w.end(), weights_.begin() + begin);
+          std::copy(ids.begin(), ids.end(), edge_ids_.begin() + begin);
+        }
+      });
+}
+
+Weight WeightedGraph::MinWeight() const {
+  Weight best = 0;
+  bool any = false;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    if (!any || weights_[i] < best) {
+      best = weights_[i];
+      any = true;
+    }
+  }
+  return best;
+}
+
+WeightedEdgeList MakeDegreeWeighted(const EdgeList& list, const Graph& g) {
+  WeightedEdgeList out;
+  out.num_nodes = list.num_nodes;
+  out.edges.reserve(list.edges.size());
+  for (size_t i = 0; i < list.edges.size(); ++i) {
+    const Edge& e = list.edges[i];
+    out.edges.push_back(WeightedEdge{
+        e.u, e.v, static_cast<Weight>(g.degree(e.u) + g.degree(e.v)),
+        static_cast<EdgeId>(i)});
+  }
+  return out;
+}
+
+WeightedEdgeList MakeRandomWeighted(const EdgeList& list, uint64_t seed) {
+  WeightedEdgeList out;
+  out.num_nodes = list.num_nodes;
+  out.edges.reserve(list.edges.size());
+  for (size_t i = 0; i < list.edges.size(); ++i) {
+    const Edge& e = list.edges[i];
+    out.edges.push_back(WeightedEdge{
+        e.u, e.v, ToUnitDouble(HashEdge(e.u, e.v, seed)),
+        static_cast<EdgeId>(i)});
+  }
+  return out;
+}
+
+WeightedEdgeList MakeUnitWeighted(const EdgeList& list) {
+  WeightedEdgeList out;
+  out.num_nodes = list.num_nodes;
+  out.edges.reserve(list.edges.size());
+  for (size_t i = 0; i < list.edges.size(); ++i) {
+    const Edge& e = list.edges[i];
+    out.edges.push_back(WeightedEdge{e.u, e.v, 1.0, static_cast<EdgeId>(i)});
+  }
+  return out;
+}
+
+EdgeList StripWeights(const WeightedEdgeList& list) {
+  EdgeList out;
+  out.num_nodes = list.num_nodes;
+  out.edges.reserve(list.edges.size());
+  for (const WeightedEdge& e : list.edges) out.edges.push_back(Edge{e.u, e.v});
+  return out;
+}
+
+}  // namespace ampc::graph

@@ -1,0 +1,31 @@
+// Edge-list file IO. Text format: one `u v [w]` pair per line, `#`
+// comments allowed. Binary format: a small header plus raw arrays —
+// the format used to cache generated benchmark inputs.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ampc::graph {
+
+/// Reads a text edge list. Node ids must fit in NodeId; num_nodes is
+/// max id + 1 unless a `# nodes <n>` header line is present.
+StatusOr<EdgeList> ReadEdgeListText(const std::string& path);
+
+/// Reads a weighted text edge list (`u v w` per line).
+StatusOr<WeightedEdgeList> ReadWeightedEdgeListText(const std::string& path);
+
+/// Writes a text edge list with a `# nodes <n>` header.
+Status WriteEdgeListText(const EdgeList& list, const std::string& path);
+
+/// Writes a weighted text edge list.
+Status WriteWeightedEdgeListText(const WeightedEdgeList& list,
+                                 const std::string& path);
+
+/// Binary round-trip (little-endian, fixed-width header + packed edges).
+Status WriteEdgeListBinary(const EdgeList& list, const std::string& path);
+StatusOr<EdgeList> ReadEdgeListBinary(const std::string& path);
+
+}  // namespace ampc::graph

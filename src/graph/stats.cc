@@ -1,0 +1,126 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace ampc::graph {
+namespace {
+
+// BFS from `source`, returning (farthest node, eccentricity) and visiting
+// only nodes with labels[v] == labels[source].
+std::pair<NodeId, int64_t> BfsFarthest(const Graph& g, NodeId source,
+                                       std::vector<int64_t>& dist) {
+  std::fill(dist.begin(), dist.end(), -1);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  NodeId farthest = source;
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    if (dist[v] > dist[farthest]) farthest = v;
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return {farthest, dist[farthest]};
+}
+
+}  // namespace
+
+std::vector<NodeId> SequentialComponents(const Graph& g) {
+  const int64_t n = g.num_nodes();
+  std::vector<NodeId> label(n, kInvalidNode);
+  std::deque<NodeId> queue;
+  for (int64_t s = 0; s < n; ++s) {
+    if (label[s] != kInvalidNode) continue;
+    label[s] = static_cast<NodeId>(s);
+    queue.push_back(static_cast<NodeId>(s));
+    while (!queue.empty()) {
+      NodeId v = queue.front();
+      queue.pop_front();
+      for (NodeId u : g.neighbors(v)) {
+        if (label[u] == kInvalidNode) {
+          label[u] = static_cast<NodeId>(s);
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<int64_t> ComponentSizes(const std::vector<NodeId>& labels) {
+  std::unordered_map<NodeId, int64_t> sizes;
+  for (NodeId l : labels) ++sizes[l];
+  std::vector<int64_t> out;
+  out.reserve(sizes.size());
+  for (const auto& [label, size] : sizes) out.push_back(size);
+  std::sort(out.rbegin(), out.rend());
+  return out;
+}
+
+bool SamePartition(const std::vector<NodeId>& a,
+                   const std::vector<NodeId>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<NodeId, NodeId> a_to_b, b_to_a;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto [it_ab, fresh_ab] = a_to_b.emplace(a[i], b[i]);
+    if (!fresh_ab && it_ab->second != b[i]) return false;
+    auto [it_ba, fresh_ba] = b_to_a.emplace(b[i], a[i]);
+    if (!fresh_ba && it_ba->second != a[i]) return false;
+  }
+  return true;
+}
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats stats;
+  stats.num_nodes = g.num_nodes();
+  stats.num_arcs = g.num_arcs();
+  stats.max_degree = g.max_degree();
+  stats.avg_degree =
+      stats.num_nodes == 0
+          ? 0
+          : static_cast<double>(stats.num_arcs) / stats.num_nodes;
+
+  std::vector<NodeId> labels = SequentialComponents(g);
+  std::vector<int64_t> sizes = ComponentSizes(labels);
+  stats.num_components = static_cast<int64_t>(sizes.size());
+  stats.largest_component = sizes.empty() ? 0 : sizes.front();
+
+  if (stats.num_nodes > 0) {
+    // Double sweep inside the component of the max-degree node (a cheap,
+    // standard diameter lower bound).
+    NodeId start = 0;
+    for (int64_t v = 0; v < g.num_nodes(); ++v) {
+      if (g.degree(static_cast<NodeId>(v)) > g.degree(start)) {
+        start = static_cast<NodeId>(v);
+      }
+    }
+    std::vector<int64_t> dist(g.num_nodes());
+    auto [far1, ecc1] = BfsFarthest(g, start, dist);
+    auto [far2, ecc2] = BfsFarthest(g, far1, dist);
+    (void)far2;
+    stats.diameter_lower_bound = std::max(ecc1, ecc2);
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << num_nodes << " m=" << num_arcs << " maxdeg=" << max_degree
+     << " avgdeg=" << avg_degree << " cc=" << num_components
+     << " largest=" << largest_component
+     << " diam>=" << diameter_lower_bound;
+  return os.str();
+}
+
+}  // namespace ampc::graph

@@ -1,0 +1,41 @@
+// Whole-graph statistics: the census columns of the paper's Table 2
+// (n, m, diameter, number of components, largest component).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampc::graph {
+
+/// Dataset census, one row of Table 2.
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int64_t num_arcs = 0;  // directed arc count, as the paper reports m
+  int64_t max_degree = 0;
+  double avg_degree = 0;
+  int64_t num_components = 0;
+  int64_t largest_component = 0;
+  /// Lower bound on diameter from a double BFS sweep inside the largest
+  /// component (the paper also reports lower bounds for its big graphs).
+  int64_t diameter_lower_bound = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes all stats. BFS-based; linear work.
+GraphStats ComputeStats(const Graph& g);
+
+/// Labels connected components sequentially (BFS); label = smallest node
+/// id in the component. Ground-truth oracle for connectivity tests.
+std::vector<NodeId> SequentialComponents(const Graph& g);
+
+/// Returns sizes of all components, descending.
+std::vector<int64_t> ComponentSizes(const std::vector<NodeId>& labels);
+
+/// True if labels `a` and `b` induce the same partition of the nodes.
+bool SamePartition(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+
+}  // namespace ampc::graph

@@ -1,0 +1,35 @@
+#include "kv/network_model.h"
+
+namespace ampc::kv {
+
+NetworkModel NetworkModel::Rdma() {
+  NetworkModel m;
+  m.name = "RDMA";
+  m.lookup_latency_sec = 2.5e-6;
+  m.write_latency_sec = 0.5e-6;
+  m.bytes_per_sec = 2.5e9;            // 20 Gbps NIC
+  m.aggregate_bytes_per_sec = 1.0e10;  // ~80 Gb/s ceiling (paper §5.7)
+  return m;
+}
+
+NetworkModel NetworkModel::TcpIp() {
+  NetworkModel m;
+  m.name = "TCP/IP";
+  m.lookup_latency_sec = 25e-6;
+  m.write_latency_sec = 5e-6;
+  m.bytes_per_sec = 1.2e9;
+  m.aggregate_bytes_per_sec = 1.0e10;
+  return m;
+}
+
+NetworkModel NetworkModel::Free() {
+  NetworkModel m;
+  m.name = "free";
+  m.lookup_latency_sec = 0;
+  m.write_latency_sec = 0;
+  m.bytes_per_sec = 1e15;
+  m.aggregate_bytes_per_sec = 1e15;
+  return m;
+}
+
+}  // namespace ampc::kv

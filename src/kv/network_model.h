@@ -1,0 +1,40 @@
+// Network cost models for the simulated distributed hash table.
+//
+// The paper's DHT is backed by RDMA, with a TCP/IP fallback evaluated in
+// Table 4, and observes (Section 5.7) an aggregate network ceiling of
+// about 80 Gb/s across the job. We model a KV operation's simulated cost
+// as  latency + bytes / per_machine_bytes_per_sec,  and cap the cluster's
+// aggregate KV throughput at aggregate_bytes_per_sec, which produces the
+// sublinear self-speedup shape of Figure 8.
+#pragma once
+
+#include <string>
+
+namespace ampc::kv {
+
+/// Cost model for one side of the KV communication.
+struct NetworkModel {
+  std::string name;
+  /// Per-lookup round-trip latency (seconds).
+  double lookup_latency_sec = 0;
+  /// Per-write latency (seconds); writes are batched in practice so this
+  /// is lower than lookup latency.
+  double write_latency_sec = 0;
+  /// Per-machine NIC throughput for KV payload bytes.
+  double bytes_per_sec = 1e12;
+  /// Cluster-wide ceiling on aggregate KV throughput (paper §5.7: about
+  /// 80 Gb/s ≈ 1e10 bytes/s).
+  double aggregate_bytes_per_sec = 1e13;
+
+  /// RDMA-backed store: ~2.5us lookups (an order of magnitude slower than
+  /// DRAM, per §5.3), 20 Gbps NIC, 80 Gb/s aggregate ceiling.
+  static NetworkModel Rdma();
+
+  /// TCP/IP RPC store: ~25us lookups, the same NICs.
+  static NetworkModel TcpIp();
+
+  /// Zero-cost network for unit tests that only check outputs.
+  static NetworkModel Free();
+};
+
+}  // namespace ampc::kv

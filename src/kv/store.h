@@ -1,0 +1,79 @@
+// The simulated distributed hash table (DHT).
+//
+// AMPC computations write each round's data into a fresh store D_i and the
+// next round reads D_i with random access (paper Section 2). The paper's
+// stores key by consecutive integers ("the input data is stored in D0 and
+// uses a set of keys known to all machines (e.g., consecutive integers)"),
+// so this simulation uses a dense, fixed-capacity slot table: key k lives
+// in slot k. A sharded variant with striped locks covers concurrent
+// writers; reads after Freeze() are wait-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "kv/byte_size.h"
+
+namespace ampc::kv {
+
+/// A dense key -> V store. Keys must be < capacity. Writes are
+/// thread-safe (per-slot publication via an atomic presence flag);
+/// Lookup is thread-safe with respect to completed writes of other keys.
+/// Re-writing an existing key is not supported (AMPC stores are
+/// write-once per round).
+template <typename V>
+class Store {
+ public:
+  explicit Store(int64_t capacity)
+      : slots_(capacity), present_(capacity) {
+    for (auto& p : present_) p.store(0, std::memory_order_relaxed);
+  }
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  int64_t capacity() const { return static_cast<int64_t>(slots_.size()); }
+
+  /// Inserts (key, value). Returns the wire size of the record.
+  int64_t Put(uint64_t key, V value) {
+    AMPC_CHECK_LT(key, slots_.size());
+    AMPC_CHECK_EQ(present_[key].load(std::memory_order_acquire), 0)
+        << "duplicate Put for key " << key;
+    slots_[key] = std::move(value);
+    present_[key].store(1, std::memory_order_release);
+    return kKeyBytes + KvByteSize(slots_[key]);
+  }
+
+  /// Returns the value for `key`, or nullptr when absent.
+  const V* Lookup(uint64_t key) const {
+    if (key >= slots_.size()) return nullptr;
+    if (present_[key].load(std::memory_order_acquire) == 0) return nullptr;
+    return &slots_[key];
+  }
+
+  bool Contains(uint64_t key) const { return Lookup(key) != nullptr; }
+
+  /// Wire size of the record for `key` (0 when absent).
+  int64_t RecordBytes(uint64_t key) const {
+    const V* v = Lookup(key);
+    return v == nullptr ? 0 : kKeyBytes + KvByteSize(*v);
+  }
+
+  /// Number of present keys (O(capacity); intended for tests/diagnostics).
+  int64_t size() const {
+    int64_t count = 0;
+    for (const auto& p : present_) {
+      count += p.load(std::memory_order_relaxed);
+    }
+    return count;
+  }
+
+ private:
+  std::vector<V> slots_;
+  mutable std::vector<std::atomic<uint8_t>> present_;
+};
+
+}  // namespace ampc::kv

@@ -1,0 +1,112 @@
+// A miniature Flume/Beam-style dataflow layer over the cluster simulator.
+//
+// The paper implements everything in Flume-C++ (Section 5.1): stages
+// consume PCollections and emit PCollections, and the only way workers
+// exchange bulk data is a *shuffle* (GroupByKey), which writes to durable
+// storage. This header reproduces that programming model in-process:
+// ParDo runs a stage in parallel and counts a cheap round; GroupByKey
+// counts a costly shuffle round and charges its wire bytes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/concurrent_bag.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "kv/byte_size.h"
+#include "sim/cluster.h"
+
+namespace ampc::mpc {
+
+/// A distributed multi-element dataset (materialized in memory here).
+template <typename T>
+using PCollection = std::vector<T>;
+
+/// A key-value record.
+template <typename K, typename V>
+using KV = std::pair<K, V>;
+
+/// Runs `fn(element, emit)` over the input in parallel; `emit` appends
+/// output elements. Counts one cheap (non-shuffle) round.
+template <typename In, typename Out, typename Fn>
+PCollection<Out> ParDo(sim::Cluster& cluster, const std::string& phase,
+                       const PCollection<In>& input, Fn fn) {
+  WallTimer timer;
+  ConcurrentBag<Out> bag;
+  ParallelForChunked(
+      cluster.pool(), 0, static_cast<int64_t>(input.size()), 1024,
+      [&](int64_t lo, int64_t hi) {
+        std::vector<Out> local;
+        auto emit = [&local](Out value) { local.push_back(std::move(value)); };
+        for (int64_t i = lo; i < hi; ++i) fn(input[i], emit);
+        bag.Merge(std::move(local));
+      });
+  cluster.AccountMapRound(phase);
+  cluster.metrics().AddTime("wall:" + phase, timer.Seconds());
+  cluster.metrics().AddTime("wall_total", timer.Seconds());
+  return bag.Take();
+}
+
+/// Wire size of a PCollection of KV records.
+template <typename K, typename V>
+int64_t ShuffleBytes(const PCollection<KV<K, V>>& records) {
+  int64_t bytes = 0;
+  for (const auto& [k, v] : records) {
+    bytes += kv::KvByteSize(k) + kv::KvByteSize(v);
+  }
+  return bytes;
+}
+
+/// Groups records by key. Counts one shuffle and charges the records'
+/// wire bytes. Output groups are sorted by key; values preserve no
+/// particular order (as in a real shuffle).
+template <typename K, typename V>
+PCollection<KV<K, std::vector<V>>> GroupByKey(
+    sim::Cluster& cluster, const std::string& phase,
+    PCollection<KV<K, V>> records) {
+  WallTimer timer;
+  const int64_t bytes = ShuffleBytes(records);
+  std::sort(records.begin(), records.end(),
+            [](const KV<K, V>& a, const KV<K, V>& b) {
+              return a.first < b.first;
+            });
+  PCollection<KV<K, std::vector<V>>> out;
+  for (size_t i = 0; i < records.size();) {
+    size_t j = i;
+    std::vector<V> values;
+    while (j < records.size() && records[j].first == records[i].first) {
+      values.push_back(std::move(records[j].second));
+      ++j;
+    }
+    out.emplace_back(records[i].first, std::move(values));
+    i = j;
+  }
+  cluster.AccountShuffle(phase, bytes, timer.Seconds());
+  return out;
+}
+
+/// Keys of a KV collection.
+template <typename K, typename V>
+PCollection<K> Keys(const PCollection<KV<K, V>>& records) {
+  PCollection<K> out;
+  out.reserve(records.size());
+  for (const auto& [k, v] : records) out.push_back(k);
+  return out;
+}
+
+/// Concatenates collections.
+template <typename T>
+PCollection<T> Flatten(std::vector<PCollection<T>> parts) {
+  PCollection<T> out;
+  for (auto& part : parts) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+}  // namespace ampc::mpc

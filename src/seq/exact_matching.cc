@@ -1,0 +1,80 @@
+#include "seq/exact_matching.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ampc::seq {
+namespace {
+
+using graph::NodeId;
+using graph::Weight;
+
+// Adjacency bitmasks for the subset DP. Self-loops are dropped (they can
+// never be matched); parallel edges collapse to the best weight.
+std::vector<std::vector<Weight>> WeightMatrix(
+    const graph::WeightedEdgeList& list) {
+  const int64_t n = list.num_nodes;
+  std::vector<std::vector<Weight>> w(
+      n, std::vector<Weight>(n, -std::numeric_limits<Weight>::infinity()));
+  for (const graph::WeightedEdge& e : list.edges) {
+    if (e.u == e.v) continue;
+    w[e.u][e.v] = std::max(w[e.u][e.v], e.w);
+    w[e.v][e.u] = w[e.u][e.v];
+  }
+  return w;
+}
+
+}  // namespace
+
+int64_t ExactMaximumMatchingSize(const graph::EdgeList& list) {
+  const int64_t n = list.num_nodes;
+  AMPC_CHECK_LE(n, kExactMatchingMaxNodes);
+  std::vector<uint32_t> adj(n, 0);
+  for (const graph::Edge& e : list.edges) {
+    if (e.u == e.v) continue;
+    adj[e.u] |= 1u << e.v;
+    adj[e.v] |= 1u << e.u;
+  }
+  // f[S] = max matching size within the induced subgraph on S. Processing
+  // the lowest set vertex first makes every state reachable exactly once.
+  std::vector<int8_t> f(size_t{1} << n, 0);
+  for (uint32_t s = 1; s < (1u << n); ++s) {
+    const int v = std::countr_zero(s);
+    const uint32_t rest = s & (s - 1);  // s without v
+    int8_t best = f[rest];              // v stays unmatched
+    uint32_t candidates = adj[v] & rest;
+    while (candidates != 0) {
+      const int u = std::countr_zero(candidates);
+      candidates &= candidates - 1;
+      best = std::max<int8_t>(best,
+                              static_cast<int8_t>(1 + f[rest & ~(1u << u)]));
+    }
+    f[s] = best;
+  }
+  return f[(size_t{1} << n) - 1];
+}
+
+Weight ExactMaximumWeightMatching(const graph::WeightedEdgeList& list) {
+  const int64_t n = list.num_nodes;
+  AMPC_CHECK_LE(n, kExactMatchingMaxNodes);
+  const std::vector<std::vector<Weight>> w = WeightMatrix(list);
+  std::vector<Weight> f(size_t{1} << n, 0);
+  for (uint32_t s = 1; s < (1u << n); ++s) {
+    const int v = std::countr_zero(s);
+    const uint32_t rest = s & (s - 1);
+    Weight best = f[rest];
+    uint32_t candidates = rest;
+    while (candidates != 0) {
+      const int u = std::countr_zero(candidates);
+      candidates &= candidates - 1;
+      if (w[v][u] > 0) best = std::max(best, w[v][u] + f[rest & ~(1u << u)]);
+    }
+    f[s] = best;
+  }
+  return f[(size_t{1} << n) - 1];
+}
+
+}  // namespace ampc::seq

@@ -1,0 +1,26 @@
+// Exact maximum (weight) matching for small graphs, by dynamic programming
+// over vertex subsets. These are test oracles for the Corollary 4.1
+// approximation algorithms: exponential in num_nodes, so callers must keep
+// n <= kExactMatchingMaxNodes (checked).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampc::seq {
+
+/// Largest graph the subset DP accepts (2^n states).
+inline constexpr int64_t kExactMatchingMaxNodes = 24;
+
+/// Size of a maximum-cardinality matching of `list` (general graphs,
+/// exact). Requires list.num_nodes <= kExactMatchingMaxNodes.
+int64_t ExactMaximumMatchingSize(const graph::EdgeList& list);
+
+/// Total weight of a maximum-weight matching of `list` (general graphs,
+/// exact; negative-weight edges are never used). Requires
+/// list.num_nodes <= kExactMatchingMaxNodes.
+graph::Weight ExactMaximumWeightMatching(const graph::WeightedEdgeList& list);
+
+}  // namespace ampc::seq

@@ -1,0 +1,160 @@
+#include "seq/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace ampc::seq {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::Graph;
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::WeightedEdgeList;
+
+std::vector<uint8_t> GreedyMis(const Graph& g, std::span<const uint64_t> rank) {
+  const int64_t n = g.num_nodes();
+  AMPC_CHECK_EQ(static_cast<int64_t>(rank.size()), n);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (rank[a] != rank[b]) return rank[a] < rank[b];
+    return a < b;
+  });
+  std::vector<uint8_t> in_mis(n, 0);
+  std::vector<uint8_t> blocked(n, 0);
+  for (NodeId v : order) {
+    if (blocked[v]) continue;
+    in_mis[v] = 1;
+    for (NodeId u : g.neighbors(v)) blocked[u] = 1;
+  }
+  return in_mis;
+}
+
+MatchingResult GreedyMaximalMatching(const EdgeList& list,
+                                     std::span<const uint64_t> edge_rank) {
+  AMPC_CHECK_EQ(edge_rank.size(), list.edges.size());
+  std::vector<uint32_t> order(list.edges.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (edge_rank[a] != edge_rank[b]) return edge_rank[a] < edge_rank[b];
+    return a < b;
+  });
+  MatchingResult result;
+  result.partner.assign(list.num_nodes, kInvalidNode);
+  for (uint32_t idx : order) {
+    const Edge& e = list.edges[idx];
+    if (e.u == e.v) continue;
+    if (result.partner[e.u] == kInvalidNode &&
+        result.partner[e.v] == kInvalidNode) {
+      result.partner[e.u] = e.v;
+      result.partner[e.v] = e.u;
+      result.edges.push_back(static_cast<EdgeId>(idx));
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+MatchingResult GreedyWeightMatching(const WeightedEdgeList& list) {
+  std::vector<uint32_t> order(list.edges.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const auto& ea = list.edges[a];
+    const auto& eb = list.edges[b];
+    if (ea.w != eb.w) return ea.w > eb.w;
+    return ea.id < eb.id;
+  });
+  MatchingResult result;
+  result.partner.assign(list.num_nodes, kInvalidNode);
+  for (uint32_t idx : order) {
+    const auto& e = list.edges[idx];
+    if (e.u == e.v) continue;
+    if (result.partner[e.u] == kInvalidNode &&
+        result.partner[e.v] == kInvalidNode) {
+      result.partner[e.u] = e.v;
+      result.partner[e.v] = e.u;
+      result.edges.push_back(e.id);
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+bool IsIndependentSet(const Graph& g, std::span<const uint8_t> in_set) {
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    if (!in_set[v]) continue;
+    for (NodeId u : g.neighbors(static_cast<NodeId>(v))) {
+      if (in_set[u] && u != static_cast<NodeId>(v)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsMaximalIndependentSet(const Graph& g, std::span<const uint8_t> in_set) {
+  if (!IsIndependentSet(g, in_set)) return false;
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    if (in_set[v]) continue;
+    bool has_in_neighbor = false;
+    for (NodeId u : g.neighbors(static_cast<NodeId>(v))) {
+      if (in_set[u]) {
+        has_in_neighbor = true;
+        break;
+      }
+    }
+    if (!has_in_neighbor) return false;
+  }
+  return true;
+}
+
+bool IsMatching(const EdgeList& list, const std::vector<EdgeId>& edge_ids) {
+  std::vector<uint8_t> used(list.num_nodes, 0);
+  for (EdgeId id : edge_ids) {
+    if (id >= list.edges.size()) return false;
+    const Edge& e = list.edges[id];
+    if (e.u == e.v) return false;
+    if (used[e.u] || used[e.v]) return false;
+    used[e.u] = used[e.v] = 1;
+  }
+  return true;
+}
+
+bool IsMaximalMatching(const EdgeList& list,
+                       const std::vector<EdgeId>& edge_ids) {
+  if (!IsMatching(list, edge_ids)) return false;
+  std::vector<uint8_t> used(list.num_nodes, 0);
+  for (EdgeId id : edge_ids) {
+    used[list.edges[id].u] = used[list.edges[id].v] = 1;
+  }
+  for (const Edge& e : list.edges) {
+    if (e.u != e.v && !used[e.u] && !used[e.v]) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> VertexCoverFromMatching(const EdgeList& list,
+                                            const MatchingResult& matching) {
+  std::vector<NodeId> cover;
+  for (EdgeId id : matching.edges) {
+    cover.push_back(list.edges[id].u);
+    cover.push_back(list.edges[id].v);
+  }
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+  return cover;
+}
+
+bool IsVertexCover(const EdgeList& list, const std::vector<NodeId>& cover) {
+  std::vector<uint8_t> in_cover(list.num_nodes, 0);
+  for (NodeId v : cover) in_cover[v] = 1;
+  for (const Edge& e : list.edges) {
+    if (e.u != e.v && !in_cover[e.u] && !in_cover[e.v]) return false;
+  }
+  return true;
+}
+
+}  // namespace ampc::seq

@@ -1,0 +1,59 @@
+// Sequential lexicographically-first greedy MIS and maximal matching.
+//
+// These are the ground-truth oracles: given the same random priorities,
+// the paper's AMPC and MPC algorithms both compute exactly the greedy
+// solution for the corresponding permutation ("By specifying the same
+// source of randomness, both the MPC and AMPC algorithms compute the same
+// MIS", Section 5.3), so tests compare distributed outputs against these
+// byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampc::seq {
+
+/// Greedy MIS over the vertex order induced by ascending `rank` (ties by
+/// vertex id). Returns an indicator vector.
+std::vector<uint8_t> GreedyMis(const graph::Graph& g,
+                               std::span<const uint64_t> rank);
+
+/// Result of a maximal matching computation.
+struct MatchingResult {
+  /// Matched edge ids, sorted.
+  std::vector<graph::EdgeId> edges;
+  /// partner[v] = matched neighbor of v, or kInvalidNode.
+  std::vector<graph::NodeId> partner;
+};
+
+/// Greedy maximal matching over the edge order induced by ascending
+/// `edge_rank` (indexed by position in list.edges; ties by edge id).
+MatchingResult GreedyMaximalMatching(const graph::EdgeList& list,
+                                     std::span<const uint64_t> edge_rank);
+
+/// Greedy matching by descending weight (ties: ascending id): the classic
+/// 2-approximation to maximum weight matching (Corollary 4.1).
+MatchingResult GreedyWeightMatching(const graph::WeightedEdgeList& list);
+
+/// Validation helpers for property tests.
+bool IsIndependentSet(const graph::Graph& g, std::span<const uint8_t> in_set);
+bool IsMaximalIndependentSet(const graph::Graph& g,
+                             std::span<const uint8_t> in_set);
+bool IsMatching(const graph::EdgeList& list,
+                const std::vector<graph::EdgeId>& edge_ids);
+bool IsMaximalMatching(const graph::EdgeList& list,
+                       const std::vector<graph::EdgeId>& edge_ids);
+
+/// Endpoints of a maximal matching form a 2-approximate minimum vertex
+/// cover (Corollary 4.1); returns the sorted cover.
+std::vector<graph::NodeId> VertexCoverFromMatching(
+    const graph::EdgeList& list, const MatchingResult& matching);
+
+/// True if `cover` covers every edge.
+bool IsVertexCover(const graph::EdgeList& list,
+                   const std::vector<graph::NodeId>& cover);
+
+}  // namespace ampc::seq

@@ -1,0 +1,69 @@
+#include "seq/kcore.h"
+
+#include <algorithm>
+
+namespace ampc::seq {
+
+std::vector<int32_t> CoreDecomposition(const graph::Graph& g) {
+  const int64_t n = g.num_nodes();
+  std::vector<int32_t> deg(n);
+  int32_t max_deg = 0;
+  for (int64_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<int32_t>(g.degree(static_cast<graph::NodeId>(v)));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  // Bucket sort vertices by degree, then peel in ascending order while
+  // keeping buckets current — O(m) total.
+  std::vector<int64_t> bucket_start(max_deg + 2, 0);
+  for (int64_t v = 0; v < n; ++v) ++bucket_start[deg[v] + 1];
+  for (int32_t d = 0; d <= max_deg; ++d) {
+    bucket_start[d + 1] += bucket_start[d];
+  }
+  std::vector<graph::NodeId> order(n);
+  std::vector<int64_t> pos(n);
+  {
+    std::vector<int64_t> cursor(bucket_start.begin(),
+                                bucket_start.end() - 1);
+    for (int64_t v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]]++;
+      order[pos[v]] = static_cast<graph::NodeId>(v);
+    }
+  }
+
+  std::vector<int32_t> coreness(n, 0);
+  std::vector<int32_t> cur(deg);
+  for (int64_t i = 0; i < n; ++i) {
+    const graph::NodeId v = order[i];
+    coreness[v] = cur[v];
+    for (const graph::NodeId u : g.neighbors(v)) {
+      if (cur[u] <= cur[v]) continue;  // u already peeled or same level
+      // Swap u to the front of its bucket, then shrink its degree.
+      const int32_t du = cur[u];
+      const int64_t front = bucket_start[du];
+      const graph::NodeId w = order[front];
+      std::swap(order[pos[u]], order[front]);
+      std::swap(pos[u], pos[w]);
+      ++bucket_start[du];
+      --cur[u];
+    }
+  }
+  return coreness;
+}
+
+std::vector<graph::NodeId> KCoreVertices(const std::vector<int32_t>& coreness,
+                                         int32_t k) {
+  std::vector<graph::NodeId> out;
+  for (size_t v = 0; v < coreness.size(); ++v) {
+    if (coreness[v] >= k) out.push_back(static_cast<graph::NodeId>(v));
+  }
+  return out;
+}
+
+int32_t Degeneracy(const std::vector<int32_t>& coreness) {
+  int32_t best = 0;
+  for (const int32_t c : coreness) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace ampc::seq

@@ -1,0 +1,28 @@
+// Sequential k-core decomposition (Batagelj–Zaversnik bucket peeling,
+// O(m)) — the ground-truth oracle for the AMPC/MPC core decompositions of
+// the Section 5.7 extension study.
+//
+// The coreness of a vertex v is the largest k such that v belongs to a
+// subgraph whose minimum degree is at least k (the k-core). The
+// degeneracy of the graph is the maximum coreness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampc::seq {
+
+/// Exact coreness of every vertex.
+std::vector<int32_t> CoreDecomposition(const graph::Graph& g);
+
+/// Vertices of the k-core: the maximal subgraph with min degree >= k
+/// (equivalently, coreness >= k). Sorted ascending.
+std::vector<graph::NodeId> KCoreVertices(const std::vector<int32_t>& coreness,
+                                         int32_t k);
+
+/// Max coreness (0 for an empty graph).
+int32_t Degeneracy(const std::vector<int32_t>& coreness);
+
+}  // namespace ampc::seq

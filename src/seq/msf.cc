@@ -1,0 +1,150 @@
+#include "seq/msf.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "seq/union_find.h"
+
+namespace ampc::seq {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::Weight;
+using graph::WeightedEdge;
+using graph::WeightedEdgeList;
+using graph::WeightedGraph;
+
+std::vector<EdgeId> KruskalMsf(const WeightedEdgeList& list) {
+  std::vector<uint32_t> order(list.edges.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return EdgeLess(list.edges[a], list.edges[b]);
+  });
+  UnionFind uf(list.num_nodes);
+  std::vector<EdgeId> msf;
+  for (uint32_t idx : order) {
+    const WeightedEdge& e = list.edges[idx];
+    if (e.u != e.v && uf.Union(e.u, e.v)) msf.push_back(e.id);
+  }
+  std::sort(msf.begin(), msf.end());
+  return msf;
+}
+
+std::vector<EdgeId> PrimMsf(const WeightedGraph& g) {
+  const int64_t n = g.num_nodes();
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<EdgeId> msf;
+
+  struct HeapEdge {
+    Weight w;
+    EdgeId id;
+    NodeId to;
+    bool operator>(const HeapEdge& o) const {
+      if (w != o.w) return w > o.w;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<HeapEdge, std::vector<HeapEdge>, std::greater<>> heap;
+
+  for (int64_t start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    visited[start] = 1;
+    auto push_edges = [&](NodeId v) {
+      auto nbrs = g.neighbors(v);
+      auto ws = g.weights(v);
+      auto ids = g.edge_ids(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (!visited[nbrs[i]]) heap.push(HeapEdge{ws[i], ids[i], nbrs[i]});
+      }
+    };
+    push_edges(static_cast<NodeId>(start));
+    while (!heap.empty()) {
+      HeapEdge top = heap.top();
+      heap.pop();
+      if (visited[top.to]) continue;
+      visited[top.to] = 1;
+      msf.push_back(top.id);
+      push_edges(top.to);
+    }
+  }
+  std::sort(msf.begin(), msf.end());
+  msf.erase(std::unique(msf.begin(), msf.end()), msf.end());
+  return msf;
+}
+
+std::vector<EdgeId> BoruvkaMsf(const WeightedEdgeList& list) {
+  const int64_t n = list.num_nodes;
+  UnionFind uf(n);
+  std::vector<EdgeId> msf;
+  int64_t components = n;
+  bool progress = true;
+  while (progress && components > 1) {
+    progress = false;
+    // cheapest[root] = index of the lightest edge leaving that component.
+    std::unordered_map<int64_t, uint32_t> cheapest;
+    for (uint32_t i = 0; i < list.edges.size(); ++i) {
+      const WeightedEdge& e = list.edges[i];
+      const int64_t ru = uf.Find(e.u);
+      const int64_t rv = uf.Find(e.v);
+      if (ru == rv) continue;
+      for (int64_t root : {ru, rv}) {
+        auto it = cheapest.find(root);
+        if (it == cheapest.end() ||
+            EdgeLess(e, list.edges[it->second])) {
+          cheapest[root] = i;
+        }
+      }
+    }
+    for (const auto& [root, idx] : cheapest) {
+      const WeightedEdge& e = list.edges[idx];
+      if (uf.Union(e.u, e.v)) {
+        msf.push_back(e.id);
+        --components;
+        progress = true;
+      }
+    }
+  }
+  std::sort(msf.begin(), msf.end());
+  return msf;
+}
+
+Weight TotalWeight(const WeightedEdgeList& list,
+                   const std::vector<EdgeId>& edge_ids) {
+  // Edge ids are indices into list.edges for lists built by this library;
+  // fall back to a lookup table otherwise.
+  std::unordered_map<EdgeId, const WeightedEdge*> by_id;
+  by_id.reserve(list.edges.size());
+  for (const WeightedEdge& e : list.edges) by_id[e.id] = &e;
+  Weight total = 0;
+  for (EdgeId id : edge_ids) {
+    auto it = by_id.find(id);
+    AMPC_CHECK(it != by_id.end()) << "unknown edge id " << id;
+    total += it->second->w;
+  }
+  return total;
+}
+
+bool IsSpanningForest(const WeightedEdgeList& list,
+                      const std::vector<EdgeId>& edge_ids) {
+  std::unordered_map<EdgeId, const WeightedEdge*> by_id;
+  for (const WeightedEdge& e : list.edges) by_id[e.id] = &e;
+
+  UnionFind forest(list.num_nodes);
+  for (EdgeId id : edge_ids) {
+    auto it = by_id.find(id);
+    if (it == by_id.end()) return false;
+    if (!forest.Union(it->second->u, it->second->v)) return false;  // cycle
+  }
+  // Spanning: forest connects whatever the graph connects.
+  UnionFind all(list.num_nodes);
+  for (const WeightedEdge& e : list.edges) all.Union(e.u, e.v);
+  for (const WeightedEdge& e : list.edges) {
+    if (all.Connected(e.u, e.v) && !forest.Connected(e.u, e.v)) return false;
+  }
+  return true;
+}
+
+}  // namespace ampc::seq

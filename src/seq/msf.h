@@ -1,0 +1,38 @@
+// Sequential minimum-spanning-forest algorithms. Weights are totally
+// ordered by (weight, edge id), which makes the MSF unique — distributed
+// and sequential implementations are compared for exact edge-set equality.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampc::seq {
+
+/// Comparator defining the total order on edges used across the library.
+inline bool EdgeLess(const graph::WeightedEdge& a,
+                     const graph::WeightedEdge& b) {
+  if (a.w != b.w) return a.w < b.w;
+  return a.id < b.id;
+}
+
+/// Kruskal's algorithm; returns the MSF as sorted edge ids.
+std::vector<graph::EdgeId> KruskalMsf(const graph::WeightedEdgeList& list);
+
+/// Prim's algorithm run from every component; returns sorted edge ids.
+/// Used as an independent cross-check of Kruskal in tests.
+std::vector<graph::EdgeId> PrimMsf(const graph::WeightedGraph& g);
+
+/// Sequential Borůvka; returns sorted edge ids.
+std::vector<graph::EdgeId> BoruvkaMsf(const graph::WeightedEdgeList& list);
+
+/// Sum of weights of the given edges.
+graph::Weight TotalWeight(const graph::WeightedEdgeList& list,
+                          const std::vector<graph::EdgeId>& edge_ids);
+
+/// True if `edge_ids` form a spanning forest of `list`'s graph: acyclic
+/// and connecting every pair of vertices that the graph connects.
+bool IsSpanningForest(const graph::WeightedEdgeList& list,
+                      const std::vector<graph::EdgeId>& edge_ids);
+
+}  // namespace ampc::seq

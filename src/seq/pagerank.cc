@@ -1,0 +1,90 @@
+#include "seq/pagerank.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ampc::seq {
+
+PageRankResult PageRankExact(const graph::Graph& g,
+                             const PageRankOptions& options) {
+  const int64_t n = g.num_nodes();
+  PageRankResult result;
+  if (n == 0) return result;
+
+  const double d = options.damping;
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (; result.iterations < options.max_iterations; ++result.iterations) {
+    double dangling = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (g.degree(v) == 0) dangling += rank[v];
+    }
+    const double base =
+        ((1.0 - d) + d * dangling) / static_cast<double>(n);
+    for (graph::NodeId v = 0; v < n; ++v) next[v] = base;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (g.degree(v) == 0) continue;
+      const double share = d * rank[v] / static_cast<double>(g.degree(v));
+      for (const graph::NodeId u : g.neighbors(v)) next[u] += share;
+    }
+    double delta = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      delta += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (delta < options.tolerance) {
+      ++result.iterations;
+      break;
+    }
+  }
+  result.rank = std::move(rank);
+  return result;
+}
+
+PageRankResult PersonalizedPageRankExact(const graph::Graph& g,
+                                         graph::NodeId source,
+                                         const PageRankOptions& options) {
+  const int64_t n = g.num_nodes();
+  PageRankResult result;
+  if (n == 0) return result;
+  AMPC_CHECK_LT(source, n);
+
+  const double d = options.damping;
+  std::vector<double> rank(n, 0.0);
+  rank[source] = 1.0;
+  std::vector<double> next(n, 0.0);
+  for (; result.iterations < options.max_iterations; ++result.iterations) {
+    double dangling = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (g.degree(v) == 0) dangling += rank[v];
+    }
+    std::fill(next.begin(), next.end(), 0.0);
+    next[source] = (1.0 - d) + d * dangling;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (g.degree(v) == 0) continue;
+      const double share = d * rank[v] / static_cast<double>(g.degree(v));
+      for (const graph::NodeId u : g.neighbors(v)) next[u] += share;
+    }
+    double delta = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      delta += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (delta < options.tolerance) {
+      ++result.iterations;
+      break;
+    }
+  }
+  result.rank = std::move(rank);
+  return result;
+}
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  AMPC_CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::abs(a[i] - b[i]);
+  return total;
+}
+
+}  // namespace ampc::seq

@@ -1,0 +1,45 @@
+// Sequential PageRank by power iteration — the exact oracle for the
+// Section 5.7 random-walk extension study. Uses the standard damping
+// formulation on the symmetrized graph: with probability `damping` the
+// surfer follows a uniform incident edge, otherwise it teleports to a
+// uniform vertex; the rank mass of isolated (dangling) vertices is
+// redistributed uniformly each step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampc::seq {
+
+struct PageRankOptions {
+  /// Damping factor (probability of following an edge).
+  double damping = 0.85;
+  /// Stop when the L1 change between iterations drops below this.
+  double tolerance = 1e-12;
+  /// Hard iteration cap.
+  int max_iterations = 1000;
+};
+
+struct PageRankResult {
+  /// rank[v], summing to 1 over all vertices (n > 0).
+  std::vector<double> rank;
+  /// Power iterations executed.
+  int iterations = 0;
+};
+
+/// Exact PageRank of an undirected graph.
+PageRankResult PageRankExact(const graph::Graph& g,
+                             const PageRankOptions& options = {});
+
+/// Exact Personalized PageRank: teleports (and the mass of dangling
+/// vertices) return to `source` instead of a uniform vertex.
+PageRankResult PersonalizedPageRankExact(const graph::Graph& g,
+                                         graph::NodeId source,
+                                         const PageRankOptions& options = {});
+
+/// L1 distance between two distributions (test/benchmark helper).
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace ampc::seq

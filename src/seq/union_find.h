@@ -1,0 +1,47 @@
+// Disjoint-set union with path compression and union by rank.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace ampc::seq {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int64_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), int64_t{0});
+  }
+
+  int64_t Find(int64_t x) {
+    int64_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      int64_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Unions the sets of a and b; returns false if already joined.
+  bool Union(int64_t a, int64_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    return true;
+  }
+
+  bool Connected(int64_t a, int64_t b) { return Find(a) == Find(b); }
+
+  int64_t size() const { return static_cast<int64_t>(parent_.size()); }
+
+ private:
+  std::vector<int64_t> parent_;
+  std::vector<uint8_t> rank_;
+};
+
+}  // namespace ampc::seq

@@ -1,0 +1,175 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace ampc::sim {
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  AMPC_CHECK_GE(config_.num_machines, 1);
+  AMPC_CHECK_GE(config_.threads_per_machine, 1);
+  const int logical_threads =
+      config_.num_machines *
+      (config_.multithreading ? config_.threads_per_machine : 1);
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  pool_ = std::make_unique<ThreadPool>(
+      std::max(1, std::min(logical_threads, hw)));
+}
+
+void Cluster::AccountShuffle(const std::string& phase, int64_t bytes,
+                             double wall_seconds) {
+  metrics_.Add("shuffles", 1);
+  metrics_.Add("rounds", 1);
+  metrics_.Add("shuffle_bytes", bytes);
+  const double throughput =
+      config_.shuffle_bytes_per_sec * config_.num_machines;
+  const double sim =
+      std::max(config_.shuffle_min_sec,
+               static_cast<double>(bytes) / throughput) +
+      config_.round_spawn_sec;
+  RecordRound(sim);
+  metrics_.AddTime("sim:" + phase, sim);
+  metrics_.AddTime("sim_total", sim);
+  metrics_.AddTime("wall:" + phase, wall_seconds);
+  metrics_.AddTime("wall_total", wall_seconds);
+}
+
+void Cluster::AccountMapRound(const std::string& phase) {
+  metrics_.Add("rounds", 1);
+  RecordRound(config_.round_spawn_sec);
+  metrics_.AddTime("sim:" + phase, config_.round_spawn_sec);
+  metrics_.AddTime("sim_total", config_.round_spawn_sec);
+}
+
+void Cluster::AccountInMemoryFinish(const std::string& phase, int64_t bytes,
+                                    int64_t items) {
+  // Gathering the residual graph onto one machine is a shuffle...
+  AccountShuffle(phase, bytes);
+  // ...followed by a sequential in-memory solve.
+  AccountInMemoryCompute(phase, items);
+}
+
+void Cluster::AccountInMemoryCompute(const std::string& phase,
+                                     int64_t items) {
+  const double sim = static_cast<double>(items) * config_.map_item_cpu_sec;
+  ExtendLastRound(sim);
+  metrics_.AddTime("sim:" + phase, sim);
+  metrics_.AddTime("sim_total", sim);
+}
+
+void Cluster::SettleMapPhase(const std::string& phase,
+                             std::vector<PhaseCounters>& per_machine,
+                             double wall_seconds) {
+  const int overlap =
+      config_.multithreading ? config_.threads_per_machine : 1;
+  double slowest_machine = 0;
+  int64_t total_queries = 0, total_bytes = 0, total_items = 0;
+  int64_t total_hits = 0, total_misses = 0;
+  for (const PhaseCounters& counters : per_machine) {
+    const int64_t queries = counters.kv_queries.load();
+    const int64_t bytes = counters.kv_read_bytes.load();
+    const int64_t items = counters.items.load();
+    total_queries += queries;
+    total_bytes += bytes;
+    total_items += items;
+    total_hits += counters.cache_hits.load();
+    total_misses += counters.cache_misses.load();
+    const double kv_time = queries * config_.network.lookup_latency_sec +
+                           bytes / config_.network.bytes_per_sec;
+    const double cpu_time = items * config_.map_item_cpu_sec;
+    slowest_machine =
+        std::max(slowest_machine, (kv_time + cpu_time) / overlap);
+  }
+  // The cluster-wide network ceiling (paper Section 5.7) floors the round.
+  const double network_floor =
+      total_bytes / config_.network.aggregate_bytes_per_sec;
+  const double sim =
+      std::max(slowest_machine, network_floor) + config_.round_spawn_sec;
+
+  metrics_.Add("rounds", 1);
+  RecordRound(sim);
+  metrics_.Add("kv_reads", total_queries);
+  metrics_.Add("kv_read_bytes", total_bytes);
+  metrics_.Add("map_items", total_items);
+  metrics_.Add("cache_hits", total_hits);
+  metrics_.Add("cache_misses", total_misses);
+  metrics_.AddTime("sim:" + phase, sim);
+  metrics_.AddTime("sim_total", sim);
+  metrics_.AddTime("wall:" + phase, wall_seconds);
+  metrics_.AddTime("wall_total", wall_seconds);
+}
+
+void Cluster::RunMapPhase(
+    const std::string& phase, int64_t n,
+    const std::function<void(int64_t, MachineContext&)>& fn) {
+  WallTimer timer;
+  const int num_machines = config_.num_machines;
+  std::vector<PhaseCounters> counters(num_machines);
+
+  // Bucket items by owning machine.
+  std::vector<std::atomic<int64_t>> machine_sizes(num_machines);
+  for (auto& s : machine_sizes) s.store(0, std::memory_order_relaxed);
+  ParallelForChunked(*pool_, 0, n, 4096, [&](int64_t lo, int64_t hi) {
+    std::vector<int64_t> local(num_machines, 0);
+    for (int64_t i = lo; i < hi; ++i) ++local[MachineOf(i)];
+    for (int m = 0; m < num_machines; ++m) {
+      if (local[m] != 0) {
+        machine_sizes[m].fetch_add(local[m], std::memory_order_relaxed);
+      }
+    }
+  });
+  std::vector<int64_t> offsets(num_machines + 1, 0);
+  for (int m = 0; m < num_machines; ++m) {
+    offsets[m + 1] = offsets[m] + machine_sizes[m].load();
+  }
+  std::vector<int64_t> buckets(n);
+  std::vector<std::atomic<int64_t>> cursors(num_machines);
+  for (int m = 0; m < num_machines; ++m) {
+    cursors[m].store(offsets[m], std::memory_order_relaxed);
+  }
+  ParallelForChunked(*pool_, 0, n, 4096, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int m = MachineOf(i);
+      buckets[cursors[m].fetch_add(1, std::memory_order_relaxed)] = i;
+    }
+  });
+
+  // Execute: each machine's slice split over its worker threads.
+  const int workers = config_.threads_per_machine;
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining;
+  };
+  Latch latch;
+  latch.remaining = num_machines * workers;
+  for (int m = 0; m < num_machines; ++m) {
+    const int64_t begin = offsets[m];
+    const int64_t end = offsets[m + 1];
+    const int64_t span = end - begin;
+    for (int w = 0; w < workers; ++w) {
+      const int64_t lo = begin + span * w / workers;
+      const int64_t hi = begin + span * (w + 1) / workers;
+      pool_->Schedule([&, m, w, lo, hi] {
+        MachineContext ctx(
+            this, &counters[m], m, w,
+            Hash64(HashCombine(Hash64(m, config_.seed), w),
+                   HashCombine(config_.seed, std::hash<std::string>{}(phase))));
+        for (int64_t i = lo; i < hi; ++i) fn(buckets[i], ctx);
+        counters[m].items.fetch_add(hi - lo, std::memory_order_relaxed);
+        std::unique_lock<std::mutex> lock(latch.mu);
+        if (--latch.remaining == 0) latch.cv.notify_all();
+      });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(latch.mu);
+    latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+  }
+  SettleMapPhase(phase, counters, timer.Seconds());
+}
+
+}  // namespace ampc::sim

@@ -1,0 +1,259 @@
+// The AMPC cluster simulator.
+//
+// Executes an AMPC (or MPC) computation's phases on a pool of logical
+// machines backed by real threads, while charging a simulated distributed
+// cost model. Two clocks are kept per phase:
+//
+//   wall:<phase>  real seconds spent on this multicore host, and
+//   sim:<phase>   modeled seconds in the paper's environment: per-machine
+//                 KV latency/throughput (kv::NetworkModel), an aggregate
+//                 network ceiling (paper Section 5.7), durable-storage
+//                 shuffle throughput, and fixed per-round spawn overhead.
+//
+// Round accounting matches the paper's conventions: a *shuffle* is a
+// costly round (Table 3 counts these); KV writes and map rounds are cheap
+// rounds. The multithreading and caching toggles correspond to the
+// optimizations ablated in Figure 4.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "kv/network_model.h"
+#include "kv/store.h"
+
+namespace ampc::sim {
+
+/// Cluster-wide configuration. Defaults model the paper's setting scaled
+/// to a single multicore host.
+struct ClusterConfig {
+  /// Number of logical machines (paper: up to 100).
+  int num_machines = 8;
+  /// Worker threads per machine used to overlap synchronous KV lookups
+  /// (the multithreading optimization of Section 5.3).
+  int threads_per_machine = 8;
+  /// Disables the multithreading optimization when false (Figure 4).
+  bool multithreading = true;
+  /// Enables per-machine query-result caching. The runtime exposes this
+  /// flag; algorithms consult it (Figure 4).
+  bool caching = true;
+  /// KV-store network cost model (RDMA vs TCP/IP, Table 4).
+  kv::NetworkModel network = kv::NetworkModel::Rdma();
+  /// Fixed simulated cost of spawning any round (stage scheduling,
+  /// worker startup). Dominates when the graph is small or P is large.
+  /// Calibrated so that fixed-vs-data cost ratios at this library's
+  /// benchmark scale (1e5..1e7 arcs) match the paper's at its scale
+  /// (1e8..1e11 arcs).
+  double round_spawn_sec = 0.05;
+  /// Per-machine throughput of shuffle writes to durable storage.
+  double shuffle_bytes_per_sec = 2.0e7;
+  /// Simulated floor per shuffle (fault-tolerant checkpointing).
+  double shuffle_min_sec = 0.02;
+  /// Simulated CPU cost per item touched in a map phase.
+  double map_item_cpu_sec = 2e-8;
+  /// Seed from which all algorithmic randomness is derived.
+  uint64_t seed = 42;
+  /// Baselines switch to a single-machine in-memory algorithm below this
+  /// many arcs (paper: 5e7; default scaled to our dataset sizes).
+  int64_t in_memory_threshold_arcs = 2'000'000;
+};
+
+class MachineContext;
+
+/// A simulated AMPC cluster: phase executor + metric accountant.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  Metrics& metrics() { return metrics_; }
+  ThreadPool& pool() { return *pool_; }
+
+  /// The machine that owns key/item `key` (stable hash partition).
+  int MachineOf(uint64_t key) const {
+    return static_cast<int>(Hash64(key, config_.seed ^ 0x6d61636821ULL) %
+                            static_cast<uint64_t>(config_.num_machines));
+  }
+
+  /// Records a shuffle that moved `bytes` through durable storage.
+  /// Counts one costly round. `wall_seconds` is the real time the caller
+  /// spent materializing the shuffle (already measured by the caller).
+  void AccountShuffle(const std::string& phase, int64_t bytes,
+                      double wall_seconds = 0.0);
+
+  /// Records a cheap (map-only) round that is not a shuffle.
+  void AccountMapRound(const std::string& phase);
+
+  /// Records work done by the single-machine in-memory fallback: one
+  /// gather shuffle of `bytes` plus `items` sequential item costs.
+  void AccountInMemoryFinish(const std::string& phase, int64_t bytes,
+                             int64_t items);
+
+  /// Records a single-machine in-memory computation whose input was
+  /// already materialized on one machine by a previous shuffle (no
+  /// additional gather is charged).
+  void AccountInMemoryCompute(const std::string& phase, int64_t items);
+
+  /// Runs `fn(item, ctx)` for every item in [0, n), with items hash-
+  /// partitioned onto machines and each machine's share processed by
+  /// `threads_per_machine` workers. Charges KV costs accumulated through
+  /// the MachineContext plus per-item CPU cost. Counts one cheap round.
+  void RunMapPhase(const std::string& phase, int64_t n,
+                   const std::function<void(int64_t, MachineContext&)>& fn);
+
+  /// Writes records for keys [0, n) into `store` using value = producer(key)
+  /// and charges distributed write costs. Producers run concurrently.
+  /// Counts one cheap round.
+  template <typename V, typename Producer>
+  void RunKvWritePhase(const std::string& phase, kv::Store<V>& store,
+                       int64_t n, Producer producer);
+
+  /// Total simulated seconds accumulated so far.
+  double SimSeconds() const { return metrics_.GetTime("sim_total"); }
+  double WallSeconds() const { return metrics_.GetTime("wall_total"); }
+
+  /// Simulated duration of every round charged so far, in order. One
+  /// entry per "rounds" metric increment; in-memory compute time extends
+  /// the round that gathered its input. Consumed by sim/faults.h to
+  /// model per-round preemption behaviour.
+  const std::vector<double>& round_log() const { return round_log_; }
+
+ private:
+  friend class MachineContext;
+
+  struct PhaseCounters {
+    std::atomic<int64_t> kv_queries{0};
+    std::atomic<int64_t> kv_read_bytes{0};
+    std::atomic<int64_t> items{0};
+    std::atomic<int64_t> cache_hits{0};
+    std::atomic<int64_t> cache_misses{0};
+  };
+
+  // Converts per-machine phase counters into simulated round time and
+  // folds everything into metrics.
+  void SettleMapPhase(const std::string& phase,
+                      std::vector<PhaseCounters>& per_machine,
+                      double wall_seconds);
+
+  // Appends a round of simulated duration `sim` to the log.
+  void RecordRound(double sim) { round_log_.push_back(sim); }
+  // Extends the most recent round (in-memory compute riding a gather).
+  void ExtendLastRound(double sim) {
+    if (!round_log_.empty()) round_log_.back() += sim;
+  }
+
+  ClusterConfig config_;
+  Metrics metrics_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<double> round_log_;
+};
+
+/// Per-(machine, worker) handle passed to map-phase functions. KV lookups
+/// made through the context are charged to the owning machine.
+class MachineContext {
+ public:
+  MachineContext(Cluster* cluster, Cluster::PhaseCounters* counters,
+                 int machine_id, int worker_id, uint64_t rng_seed)
+      : cluster_(cluster),
+        counters_(counters),
+        machine_id_(machine_id),
+        worker_id_(worker_id),
+        rng_(rng_seed) {}
+
+  int machine_id() const { return machine_id_; }
+  int worker_id() const { return worker_id_; }
+
+  /// True when the caching optimization is enabled for this run.
+  bool caching_enabled() const { return cluster_->config().caching; }
+
+  /// Looks up `key`, charging one query and the record's wire size.
+  /// Returns nullptr when the key is absent (callers must handle this:
+  /// the store is a remote service, not library-internal state).
+  template <typename V>
+  const V* Lookup(const kv::Store<V>& store, uint64_t key) {
+    counters_->kv_queries.fetch_add(1, std::memory_order_relaxed);
+    const V* value = store.Lookup(key);
+    const int64_t bytes =
+        value == nullptr ? kv::kKeyBytes : kv::kKeyBytes + kv::KvByteSize(*value);
+    counters_->kv_read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    return value;
+  }
+
+  /// Reads the machine-local input record for `key` without charging KV
+  /// costs. In the dataflow model the ParDo input element (e.g. the
+  /// vertex's own adjacency) arrives with the work item; only lookups of
+  /// *other* records are remote.
+  template <typename V>
+  const V* LookupLocal(const kv::Store<V>& store, uint64_t key) {
+    return store.Lookup(key);
+  }
+
+  /// Cache accounting (algorithms own the cache arrays; see Section 5.3).
+  void CountCacheHit() {
+    counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountCacheMiss() {
+    counters_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Per-worker deterministic RNG (seeded from cluster seed, phase,
+  /// machine and worker ids). Must not influence algorithm outputs that
+  /// are compared across runtimes.
+  Rng& rng() { return rng_; }
+
+ private:
+  Cluster* cluster_;
+  Cluster::PhaseCounters* counters_;
+  int machine_id_;
+  int worker_id_;
+  Rng rng_;
+};
+
+template <typename V, typename Producer>
+void Cluster::RunKvWritePhase(const std::string& phase, kv::Store<V>& store,
+                              int64_t n, Producer producer) {
+  WallTimer timer;
+  std::atomic<int64_t> total_bytes{0};
+  ParallelForChunked(*pool_, 0, n, 1024, [&](int64_t lo, int64_t hi) {
+    int64_t bytes = 0;
+    for (int64_t key = lo; key < hi; ++key) {
+      bytes += store.Put(static_cast<uint64_t>(key), producer(key));
+    }
+    total_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  });
+  const double wall = timer.Seconds();
+  const int64_t bytes = total_bytes.load();
+
+  metrics_.Add("rounds", 1);
+  metrics_.Add("kv_writes", n);
+  metrics_.Add("kv_write_bytes", bytes);
+
+  // Writes stream from all machines concurrently.
+  const double per_machine_bytes =
+      static_cast<double>(bytes) / config_.num_machines;
+  const double per_machine_writes =
+      static_cast<double>(n) / config_.num_machines;
+  const int overlap = config_.multithreading ? config_.threads_per_machine : 1;
+  double machine_time = (per_machine_writes * config_.network.write_latency_sec +
+                         per_machine_bytes / config_.network.bytes_per_sec) /
+                        overlap;
+  machine_time = std::max(
+      machine_time,
+      static_cast<double>(bytes) / config_.network.aggregate_bytes_per_sec);
+  const double sim = machine_time + config_.round_spawn_sec;
+  RecordRound(sim);
+  metrics_.AddTime("sim:" + phase, sim);
+  metrics_.AddTime("sim_total", sim);
+  metrics_.AddTime("wall:" + phase, wall);
+  metrics_.AddTime("wall_total", wall);
+}
+
+}  // namespace ampc::sim

@@ -1,0 +1,99 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace ampc::sim {
+namespace {
+
+// Expected time to complete a unit of work of length `t` when any
+// preemption during the attempt restarts it: (e^{lambda t} - 1) / lambda.
+// The lambda -> 0 limit is t; expm1 keeps the small-rate case accurate.
+double RestartRenewalTime(double t, double lambda) {
+  if (lambda <= 0.0) return t;
+  return std::expm1(lambda * t) / lambda;
+}
+
+}  // namespace
+
+double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
+                                 const PreemptionModel& model,
+                                 RecoveryDiscipline discipline) {
+  AMPC_CHECK_GE(model.rate_per_machine_sec, 0.0);
+  AMPC_CHECK_GE(model.machines, 1);
+  const double lambda =
+      model.rate_per_machine_sec * static_cast<double>(model.machines);
+  switch (discipline) {
+    case RecoveryDiscipline::kFaultTolerant: {
+      double total = 0.0;
+      for (const double t : round_seconds) {
+        total += RestartRenewalTime(t, lambda);
+      }
+      return total;
+    }
+    case RecoveryDiscipline::kInMemory: {
+      double job = 0.0;
+      for (const double t : round_seconds) job += t;
+      return RestartRenewalTime(job, lambda);
+    }
+  }
+  return 0.0;
+}
+
+PreemptionTrialStats SimulatePreemptions(
+    const std::vector<double>& round_seconds, const PreemptionModel& model,
+    RecoveryDiscipline discipline, int trials, uint64_t seed) {
+  AMPC_CHECK_GT(trials, 0);
+  const double lambda =
+      model.rate_per_machine_sec * static_cast<double>(model.machines);
+  PreemptionTrialStats stats;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng(Hash64(trial, seed ^ 0x707265656d7074ULL));
+    auto next_gap = [&]() {
+      // Exponential inter-arrival; infinite when preemptions are off.
+      if (lambda <= 0.0) return std::numeric_limits<double>::infinity();
+      return -std::log(1.0 - rng.NextDouble()) / lambda;
+    };
+
+    double elapsed = 0.0;
+    int64_t preemptions = 0;
+    if (discipline == RecoveryDiscipline::kFaultTolerant) {
+      for (const double t : round_seconds) {
+        for (;;) {
+          const double gap = next_gap();
+          if (gap >= t) {
+            elapsed += t;
+            break;
+          }
+          elapsed += gap;  // work lost, round restarts
+          ++preemptions;
+        }
+      }
+    } else {
+      double job = 0.0;
+      for (const double t : round_seconds) job += t;
+      for (;;) {
+        const double gap = next_gap();
+        if (gap >= job) {
+          elapsed += job;
+          break;
+        }
+        elapsed += gap;
+        ++preemptions;
+      }
+    }
+    stats.mean_seconds += elapsed;
+    stats.max_seconds = std::max(stats.max_seconds, elapsed);
+    stats.mean_preemptions += static_cast<double>(preemptions);
+  }
+  stats.mean_seconds /= trials;
+  stats.mean_preemptions /= trials;
+  return stats;
+}
+
+}  // namespace ampc::sim

@@ -1,0 +1,63 @@
+// Preemption modeling for the shared-data-center setting of Section 5.1:
+// "batch jobs are typically run at low priorities (i.e., using resources
+// that are currently not used by high priority jobs), which makes them
+// susceptible to preemptions. [...] This is why systems like MapReduce,
+// Hadoop or Flume-C++ have strong fault tolerance properties and write
+// the results of each computation round to durable storage."
+//
+// Preemptions arrive as a Poisson process with rate `rate_per_machine_sec`
+// on each of `machines` machines. Two execution disciplines:
+//
+//   * kFaultTolerant (Flume-style): round outputs persist, so a
+//     preemption only restarts the *current round*. Expected time of a
+//     round of length t under full-round restarts is the classic renewal
+//     quantity (e^{Λt} − 1) / Λ with Λ = machines × rate.
+//   * kInMemory: nothing persists; any preemption restarts the whole
+//     job, giving (e^{ΛT} − 1) / Λ for total length T.
+//
+// This quantifies the Section 5.7 positioning of AMPC as "an interesting
+// middle-ground between systems that communicate through persistent
+// storage [...] and systems that run fully in memory, which deliver
+// better performance at the cost of not tolerating preemptions well".
+// An analytic model and a Monte-Carlo simulator are both provided; tests
+// verify they agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ampc::sim {
+
+enum class RecoveryDiscipline {
+  kFaultTolerant,  // per-round restart from durable storage
+  kInMemory,       // whole-job restart
+};
+
+struct PreemptionModel {
+  /// Poisson preemption rate per machine-second (e.g. 1/3600 = each
+  /// machine is preempted about once an hour).
+  double rate_per_machine_sec = 0.0;
+  /// Machines participating in every round.
+  int machines = 1;
+};
+
+/// Expected completion seconds of a job whose rounds take
+/// `round_seconds` (e.g. Cluster::round_log()) under `model`.
+double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
+                                 const PreemptionModel& model,
+                                 RecoveryDiscipline discipline);
+
+struct PreemptionTrialStats {
+  double mean_seconds = 0;
+  double max_seconds = 0;
+  /// Mean preemptions (= restarts) per trial.
+  double mean_preemptions = 0;
+};
+
+/// Monte-Carlo validation of the analytic model: runs `trials`
+/// executions with exponential preemption inter-arrivals.
+PreemptionTrialStats SimulatePreemptions(
+    const std::vector<double>& round_seconds, const PreemptionModel& model,
+    RecoveryDiscipline discipline, int trials, uint64_t seed);
+
+}  // namespace ampc::sim

@@ -1,0 +1,55 @@
+#include "trees/lca.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ampc::trees {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+
+LcaOracle::LcaOracle(const RootedForest& forest) : forest_(forest) {
+  const int64_t n = forest.num_nodes;
+  first_occurrence_.assign(n, -1);
+  tour_.reserve(2 * n);
+  tour_depth_.reserve(2 * n);
+
+  // Iterative Euler tour: push (vertex, child cursor) frames.
+  std::vector<std::pair<NodeId, int64_t>> stack;
+  for (int64_t s = 0; s < n; ++s) {
+    const NodeId root = static_cast<NodeId>(s);
+    if (!forest.IsRoot(root)) continue;
+    stack.emplace_back(root, forest.child_offsets[root]);
+    first_occurrence_[root] = static_cast<int64_t>(tour_.size());
+    tour_.push_back(root);
+    tour_depth_.push_back(forest.depth[root]);
+    while (!stack.empty()) {
+      auto& [v, cursor] = stack.back();
+      if (cursor < forest.child_offsets[v + 1]) {
+        const NodeId child = forest.children[cursor++];
+        stack.emplace_back(child, forest.child_offsets[child]);
+        first_occurrence_[child] = static_cast<int64_t>(tour_.size());
+        tour_.push_back(child);
+        tour_depth_.push_back(forest.depth[child]);
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) {
+          tour_.push_back(stack.back().first);
+          tour_depth_.push_back(forest.depth[stack.back().first]);
+        }
+      }
+    }
+  }
+  rmq_ = MinSparseTable<int64_t>(tour_depth_);
+}
+
+NodeId LcaOracle::Lca(NodeId u, NodeId v) const {
+  if (!forest_.SameTree(u, v)) return kInvalidNode;
+  int64_t a = first_occurrence_[u];
+  int64_t b = first_occurrence_[v];
+  if (a > b) std::swap(a, b);
+  return tour_[rmq_.QueryIndex(a, b)];
+}
+
+}  // namespace ampc::trees

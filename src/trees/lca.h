@@ -1,0 +1,35 @@
+// Lowest common ancestors via Euler tour + range-minimum queries
+// (Algorithm 5, lines 4-6: "Compute an Euler tour traversal of each tree
+// ... assign to each vertex the weight equal to its level and compute an
+// RMQ data structure ... compute LCA(u, w)").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "trees/rmq.h"
+#include "trees/rooted_forest.h"
+
+namespace ampc::trees {
+
+/// O(1) LCA queries over a rooted forest after O(n log n) preprocessing.
+class LcaOracle {
+ public:
+  explicit LcaOracle(const RootedForest& forest);
+
+  /// LCA of u and v, or kInvalidNode when they are in different trees.
+  graph::NodeId Lca(graph::NodeId u, graph::NodeId v) const;
+
+  /// Length of the Euler tour (2n - #trees entries).
+  int64_t TourLength() const { return static_cast<int64_t>(tour_.size()); }
+
+ private:
+  const RootedForest& forest_;
+  std::vector<graph::NodeId> tour_;      // vertices in Euler order
+  std::vector<int64_t> tour_depth_;      // depth of tour_[i]
+  std::vector<int64_t> first_occurrence_;
+  MinSparseTable<int64_t> rmq_;
+};
+
+}  // namespace ampc::trees

@@ -1,0 +1,104 @@
+#include "trees/path_max.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ampc::trees {
+
+using graph::kInvalidEdge;
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::Weight;
+
+PathMaxOracle::PathMaxOracle(const RootedForest& forest)
+    : forest_(forest), lca_(forest) {
+  const int64_t n = forest.num_nodes;
+  head_.assign(n, kInvalidNode);
+  pos_.assign(n, -1);
+  heavy_.assign(n, kInvalidNode);
+
+  // Subtree sizes bottom-up over reverse BFS order.
+  std::vector<int64_t> size(n, 1);
+  for (auto it = forest.bfs_order.rbegin(); it != forest.bfs_order.rend();
+       ++it) {
+    const NodeId v = *it;
+    int64_t best = 0;
+    for (int64_t i = forest.child_offsets[v]; i < forest.child_offsets[v + 1];
+         ++i) {
+      const NodeId c = forest.children[i];
+      size[v] += size[c];
+      if (size[c] > best) {
+        best = size[c];
+        heavy_[v] = c;
+      }
+    }
+  }
+
+  // Assign heavy-path-contiguous positions: walk each heavy chain from its
+  // head; light children start new chains.
+  std::vector<MaxEdge> base(n);
+  int64_t counter = 0;
+  std::vector<NodeId> stack;
+  for (int64_t s = 0; s < n; ++s) {
+    if (!forest.IsRoot(static_cast<NodeId>(s))) continue;
+    stack.push_back(static_cast<NodeId>(s));
+    while (!stack.empty()) {
+      const NodeId chain_head = stack.back();
+      stack.pop_back();
+      for (NodeId v = chain_head; v != kInvalidNode; v = heavy_[v]) {
+        head_[v] = chain_head;
+        pos_[v] = counter++;
+        base[pos_[v]] =
+            forest.IsRoot(v)
+                ? MaxEdge{-std::numeric_limits<Weight>::infinity(),
+                          kInvalidEdge}
+                : MaxEdge{forest.parent_weight[v], forest.parent_edge_id[v]};
+        for (int64_t i = forest.child_offsets[v];
+             i < forest.child_offsets[v + 1]; ++i) {
+          const NodeId c = forest.children[i];
+          if (c != heavy_[v]) stack.push_back(c);
+        }
+      }
+    }
+  }
+  AMPC_CHECK_EQ(counter, n);
+  table_ = MaxSparseTable<MaxEdge>(std::move(base));
+}
+
+void PathMaxOracle::QueryUp(NodeId u, NodeId top,
+                            std::optional<MaxEdge>& acc) const {
+  auto fold = [&acc](const MaxEdge& e) {
+    if (!acc.has_value() || *acc < e) acc = e;
+  };
+  while (head_[u] != head_[top]) {
+    fold(table_.Query(pos_[head_[u]], pos_[u]));
+    u = forest_.parent[head_[u]];
+  }
+  if (u != top) fold(table_.Query(pos_[top] + 1, pos_[u]));
+}
+
+std::optional<PathMaxOracle::MaxEdge> PathMaxOracle::MaxEdgeOnPath(
+    NodeId u, NodeId v) const {
+  if (u == v) return std::nullopt;
+  const NodeId l = lca_.Lca(u, v);
+  AMPC_CHECK_NE(l, kInvalidNode)
+      << "MaxEdgeOnPath across trees; callers must check SameTree";
+  std::optional<MaxEdge> acc;
+  QueryUp(u, l, acc);
+  QueryUp(v, l, acc);
+  return acc;
+}
+
+int64_t PathMaxOracle::CountLightEdgesToRoot(NodeId v) const {
+  int64_t light = 0;
+  while (!forest_.IsRoot(v)) {
+    const NodeId p = forest_.parent[v];
+    if (heavy_[p] != v) ++light;
+    v = p;
+  }
+  return light;
+}
+
+}  // namespace ampc::trees

@@ -1,0 +1,64 @@
+// Maximum-weight edge on tree paths, via heavy-light decomposition plus
+// sparse-table range-maximum queries — the machinery of Appendix B
+// (Algorithm 5, lines 7-10) used to classify F-light edges in O(log n)
+// per query after linearithmic preprocessing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "trees/lca.h"
+#include "trees/rmq.h"
+#include "trees/rooted_forest.h"
+
+namespace ampc::trees {
+
+/// Answers "heaviest edge on the tree path u..v" queries over a rooted
+/// forest. Edge order is (weight, edge id) — the library's total order —
+/// so the returned edge is unique.
+class PathMaxOracle {
+ public:
+  /// The heaviest edge of a path.
+  struct MaxEdge {
+    graph::Weight w = 0;
+    graph::EdgeId id = graph::kInvalidEdge;
+
+    bool operator<(const MaxEdge& o) const {
+      if (w != o.w) return w < o.w;
+      return id < o.id;
+    }
+    bool operator>(const MaxEdge& o) const { return o < *this; }
+  };
+
+  explicit PathMaxOracle(const RootedForest& forest);
+
+  /// The LCA oracle built for the same forest (exposed for reuse).
+  const LcaOracle& lca() const { return lca_; }
+
+  /// Heaviest edge on the u..v path. nullopt when u == v (empty path).
+  /// CHECK-fails when u and v are in different trees — callers must test
+  /// SameTree first (different trees mean w_F = infinity, Definition 3.7).
+  std::optional<MaxEdge> MaxEdgeOnPath(graph::NodeId u,
+                                       graph::NodeId v) const;
+
+  /// Number of light (non-heavy) edges on v's root path. Lemma B.1 bounds
+  /// this by O(log n); property-tested.
+  int64_t CountLightEdgesToRoot(graph::NodeId v) const;
+
+ private:
+  // Heaviest edge on the path from u up to ancestor `top` (exclusive of
+  // top's parent edge), folded into acc.
+  void QueryUp(graph::NodeId u, graph::NodeId top,
+               std::optional<MaxEdge>& acc) const;
+
+  const RootedForest& forest_;
+  LcaOracle lca_;
+  std::vector<graph::NodeId> head_;  // top of v's heavy path
+  std::vector<int64_t> pos_;         // position in the HLD base array
+  std::vector<graph::NodeId> heavy_; // heavy child (kInvalidNode if leaf)
+  MaxSparseTable<MaxEdge> table_;
+};
+
+}  // namespace ampc::trees

@@ -1,0 +1,79 @@
+// Sparse-table range queries in O(1) after O(k log k) preprocessing —
+// the RMQ data structure of Appendix B ("Andoni et al. showed how to
+// compute the RMQ data structure in the MPC model in O(1) rounds"; here
+// the build is a parallelizable doubling scan, used in-process).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ampc::trees {
+
+/// Range-minimum (or maximum) query over a fixed array. Returns the
+/// *index* of the extreme element; ties break toward the smaller index.
+template <typename T, bool kMax = false>
+class SparseTable {
+ public:
+  SparseTable() = default;
+
+  explicit SparseTable(std::vector<T> values) : values_(std::move(values)) {
+    const size_t k = values_.size();
+    if (k == 0) return;
+    log2_.resize(k + 1, 0);
+    for (size_t i = 2; i <= k; ++i) log2_[i] = log2_[i / 2] + 1;
+    const int levels = log2_[k] + 1;
+    table_.resize(levels);
+    table_[0].resize(k);
+    for (size_t i = 0; i < k; ++i) table_[0][i] = static_cast<int64_t>(i);
+    for (int level = 1; level < levels; ++level) {
+      const size_t width = size_t{1} << level;
+      table_[level].resize(k - width + 1);
+      for (size_t i = 0; i + width <= k; ++i) {
+        table_[level][i] = Pick(table_[level - 1][i],
+                                table_[level - 1][i + width / 2]);
+      }
+    }
+  }
+
+  /// Index of the extreme value in [lo, hi] (inclusive).
+  int64_t QueryIndex(int64_t lo, int64_t hi) const {
+    AMPC_CHECK_LE(lo, hi);
+    AMPC_CHECK_GE(lo, 0);
+    AMPC_CHECK_LT(hi, static_cast<int64_t>(values_.size()));
+    const int level = log2_[static_cast<size_t>(hi - lo + 1)];
+    return Pick(table_[level][lo],
+                table_[level][hi - (int64_t{1} << level) + 1]);
+  }
+
+  const T& Query(int64_t lo, int64_t hi) const {
+    return values_[QueryIndex(lo, hi)];
+  }
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  const std::vector<T>& values() const { return values_; }
+
+ private:
+  int64_t Pick(int64_t a, int64_t b) const {
+    if constexpr (kMax) {
+      if (values_[a] > values_[b]) return a;
+      if (values_[b] > values_[a]) return b;
+    } else {
+      if (values_[a] < values_[b]) return a;
+      if (values_[b] < values_[a]) return b;
+    }
+    return a < b ? a : b;
+  }
+
+  std::vector<T> values_;
+  std::vector<int> log2_;
+  std::vector<std::vector<int64_t>> table_;
+};
+
+template <typename T>
+using MinSparseTable = SparseTable<T, false>;
+template <typename T>
+using MaxSparseTable = SparseTable<T, true>;
+
+}  // namespace ampc::trees

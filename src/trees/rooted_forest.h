@@ -1,0 +1,42 @@
+// Rooted-forest construction (Algorithm 5, lines 1-3: find components,
+// root each tree, compute levels). Input is an undirected forest given as
+// weighted edges; output is parent pointers with per-vertex depth/root.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampc::trees {
+
+/// A forest rooted at the minimum-id vertex of each component.
+struct RootedForest {
+  int64_t num_nodes = 0;
+  /// parent[v]; roots point to themselves.
+  std::vector<graph::NodeId> parent;
+  /// Weight / id of the edge (v, parent[v]); undefined for roots.
+  std::vector<graph::Weight> parent_weight;
+  std::vector<graph::EdgeId> parent_edge_id;
+  /// Number of edges on the path to the root.
+  std::vector<int64_t> depth;
+  /// Root of v's tree.
+  std::vector<graph::NodeId> root;
+  /// Children adjacency in CSR form.
+  std::vector<int64_t> child_offsets;
+  std::vector<graph::NodeId> children;
+  /// Vertices in BFS order (parents before children) — a valid
+  /// topological order for bottom-up/top-down sweeps.
+  std::vector<graph::NodeId> bfs_order;
+
+  bool IsRoot(graph::NodeId v) const { return parent[v] == v; }
+  bool SameTree(graph::NodeId u, graph::NodeId v) const {
+    return root[u] == root[v];
+  }
+};
+
+/// Builds the rooted forest. CHECK-fails if `edges` contain a cycle.
+RootedForest BuildRootedForest(int64_t num_nodes,
+                               const std::vector<graph::WeightedEdge>& edges);
+
+}  // namespace ampc::trees

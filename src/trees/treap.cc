@@ -1,0 +1,139 @@
+#include "trees/treap.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace ampc::trees {
+
+using graph::Edge;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+TernaryTreap BuildTernaryTreap(int64_t num_nodes,
+                               const std::vector<Edge>& edges,
+                               std::span<const uint64_t> rank) {
+  AMPC_CHECK_EQ(static_cast<int64_t>(rank.size()), num_nodes);
+
+  // Adjacency (CSR) with the degree <= 3 guarantee checked.
+  std::vector<int64_t> deg(num_nodes, 0);
+  for (const Edge& e : edges) {
+    AMPC_CHECK_NE(e.u, e.v);
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    AMPC_CHECK_LE(deg[v], 3) << "ternary treap requires max degree 3";
+  }
+  std::vector<int64_t> offsets(num_nodes + 1, 0);
+  for (int64_t v = 0; v < num_nodes; ++v) offsets[v + 1] = offsets[v] + deg[v];
+  std::vector<NodeId> adj(offsets.back());
+  std::vector<int64_t> cursor = offsets;
+  for (const Edge& e : edges) {
+    adj[cursor[e.u]++] = e.v;
+    adj[cursor[e.v]++] = e.u;
+  }
+
+  TernaryTreap treap;
+  treap.parent.assign(num_nodes, kInvalidNode);
+  treap.depth.assign(num_nodes, 0);
+  treap.subtree_size.assign(num_nodes, 1);
+
+  auto less_rank = [&rank](NodeId a, NodeId b) {
+    if (rank[a] != rank[b]) return rank[a] < rank[b];
+    return a < b;
+  };
+
+  // Work items: (component vertex list, treap parent of its root).
+  struct Item {
+    std::vector<NodeId> vertices;
+    NodeId treap_parent;
+    int64_t depth;
+  };
+  std::vector<uint8_t> removed(num_nodes, 0);
+  std::vector<uint8_t> seen(num_nodes, 0);
+
+  // Seed: one component list per tree of the forest.
+  std::vector<Item> stack;
+  {
+    std::vector<uint8_t> visited(num_nodes, 0);
+    for (int64_t s = 0; s < num_nodes; ++s) {
+      if (visited[s]) continue;
+      Item item;
+      item.treap_parent = kInvalidNode;
+      item.depth = 0;
+      std::deque<NodeId> queue{static_cast<NodeId>(s)};
+      visited[s] = 1;
+      while (!queue.empty()) {
+        NodeId v = queue.front();
+        queue.pop_front();
+        item.vertices.push_back(v);
+        for (int64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+          if (!visited[adj[i]]) {
+            visited[adj[i]] = 1;
+            queue.push_back(adj[i]);
+          }
+        }
+      }
+      stack.push_back(std::move(item));
+    }
+  }
+
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    // Root = minimum-rank vertex of the component.
+    NodeId root = item.vertices.front();
+    for (NodeId v : item.vertices) {
+      if (less_rank(v, root)) root = v;
+    }
+    treap.parent[root] = item.treap_parent == kInvalidNode
+                             ? root
+                             : item.treap_parent;
+    treap.depth[root] = item.depth;
+    treap.height = std::max(treap.height, item.depth + 1);
+    removed[root] = 1;
+
+    // Split the remaining vertices into connected subcomponents.
+    for (NodeId v : item.vertices) seen[v] = 0;
+    seen[root] = 1;
+    for (int64_t i = offsets[root]; i < offsets[root + 1]; ++i) {
+      const NodeId start = adj[i];
+      if (removed[start] || seen[start]) continue;
+      Item child;
+      child.treap_parent = root;
+      child.depth = item.depth + 1;
+      std::deque<NodeId> queue{start};
+      seen[start] = 1;
+      while (!queue.empty()) {
+        NodeId v = queue.front();
+        queue.pop_front();
+        child.vertices.push_back(v);
+        for (int64_t j = offsets[v]; j < offsets[v + 1]; ++j) {
+          const NodeId u = adj[j];
+          if (!removed[u] && !seen[u]) {
+            seen[u] = 1;
+            queue.push_back(u);
+          }
+        }
+      }
+      stack.push_back(std::move(child));
+    }
+  }
+
+  // Subtree sizes bottom-up: order vertices by decreasing depth.
+  std::vector<NodeId> order(num_nodes);
+  for (int64_t v = 0; v < num_nodes; ++v) order[v] = static_cast<NodeId>(v);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return treap.depth[a] > treap.depth[b];
+  });
+  for (NodeId v : order) {
+    if (treap.parent[v] != v) {
+      treap.subtree_size[treap.parent[v]] += treap.subtree_size[v];
+    }
+  }
+  return treap;
+}
+
+}  // namespace ampc::trees

@@ -1,0 +1,37 @@
+// Ternary treaps (paper Appendix A). Given a tree T with max degree <= 3
+// and a random rank permutation pi, the ternary treap is the unique
+// recursive decomposition whose root is the minimum-rank vertex and whose
+// children are the treaps of the components of T - root. The paper bounds
+// truncated-Prim query cost by subtree sizes in this structure
+// (Lemma A.2) and its height by O(log n) w.h.p. (Lemma A.1); both are
+// property-tested against this reference implementation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ampc::trees {
+
+/// The ternary treap of a forest under a rank permutation.
+struct TernaryTreap {
+  /// Treap parent; component treap roots point to themselves.
+  std::vector<graph::NodeId> parent;
+  /// Depth within the treap (roots have depth 0).
+  std::vector<int64_t> depth;
+  /// Size of the treap subtree rooted at v.
+  std::vector<int64_t> subtree_size;
+  /// Maximum depth + 1 over all vertices (0 for an empty forest).
+  int64_t height = 0;
+};
+
+/// Builds the ternary treap of the forest given by `edges` over vertices
+/// [0, num_nodes) with priority order: smaller rank first, ties by id.
+/// CHECK-fails if any vertex has degree > 3 or the edges contain a cycle.
+TernaryTreap BuildTernaryTreap(int64_t num_nodes,
+                               const std::vector<graph::Edge>& edges,
+                               std::span<const uint64_t> rank);
+
+}  // namespace ampc::trees

@@ -1,0 +1,330 @@
+// Tests for the Corollary 4.1 approximation algorithms: validity of every
+// output plus the approximation guarantee against exact small-graph
+// oracles and analytic optima on structured graphs.
+#include "core/approx.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/priorities.h"
+#include "graph/generators.h"
+#include "seq/exact_matching.h"
+#include "seq/greedy.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::Weight;
+using graph::WeightedEdgeList;
+
+sim::ClusterConfig SmallConfig() {
+  sim::ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  return config;
+}
+
+int64_t MatchingSize(const std::vector<NodeId>& partner) {
+  int64_t matched = 0;
+  for (NodeId p : partner) matched += p != kInvalidNode;
+  return matched / 2;
+}
+
+// Checks that `partner` is symmetric and uses only edges of `g`.
+void ExpectValidMatching(const Graph& g, const std::vector<NodeId>& partner) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId p = partner[v];
+    if (p == kInvalidNode) continue;
+    ASSERT_LT(p, g.num_nodes());
+    EXPECT_EQ(partner[p], v) << "partner array must be symmetric";
+    bool is_edge = false;
+    for (NodeId u : g.neighbors(v)) is_edge |= (u == p);
+    EXPECT_TRUE(is_edge) << "matched pair (" << v << "," << p
+                         << ") is not an edge";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Vertex cover.
+// ---------------------------------------------------------------------------
+
+TEST(VertexCoverTest, CoversEveryEdgeAndIsWithinTwiceOptimal) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    EdgeList list = graph::GenerateErdosRenyi(16, 30, seed);
+    Graph g = graph::BuildGraph(list);
+    sim::Cluster cluster(SmallConfig());
+    MatchingOptions options;
+    options.seed = seed;
+    VertexCoverResult cover = AmpcVertexCover(cluster, g, options);
+
+    std::vector<NodeId> cover_nodes;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (cover.in_cover[v]) cover_nodes.push_back(v);
+    }
+    EXPECT_EQ(static_cast<int64_t>(cover_nodes.size()), cover.size);
+    EXPECT_TRUE(seq::IsVertexCover(list, cover_nodes));
+
+    // LP duality sandwich: max matching <= min cover <= |cover| <= 2 * mm.
+    const int64_t exact_mm = seq::ExactMaximumMatchingSize(list);
+    EXPECT_LE(cover.size, 2 * exact_mm);
+    EXPECT_GE(cover.size, exact_mm);
+  }
+}
+
+TEST(VertexCoverTest, StarNeedsOnlyTwoVertices) {
+  Graph g = graph::BuildGraph(graph::GenerateStar(50));
+  sim::Cluster cluster(SmallConfig());
+  VertexCoverResult cover = AmpcVertexCover(cluster, g);
+  // Any maximal matching of a star has one edge -> cover size exactly 2
+  // (optimal is 1: the hub), demonstrating the worst-case factor.
+  EXPECT_EQ(cover.size, 2);
+}
+
+TEST(VertexCoverTest, EmptyGraphNeedsNoCover) {
+  EdgeList list;
+  list.num_nodes = 4;
+  Graph g = graph::BuildGraph(list);
+  sim::Cluster cluster(SmallConfig());
+  VertexCoverResult cover = AmpcVertexCover(cluster, g);
+  EXPECT_EQ(cover.size, 0);
+}
+
+// ---------------------------------------------------------------------------
+// (2 + eps)-approximate maximum weight matching.
+// ---------------------------------------------------------------------------
+
+TEST(WeightMatchingTest, GuaranteeOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    graph::EdgeList raw = graph::GenerateErdosRenyi(15, 28, seed);
+    WeightedEdgeList list = graph::MakeRandomWeighted(raw, seed + 1000);
+    // Spread weights across several orders of magnitude to exercise
+    // multiple buckets.
+    for (auto& e : list.edges) e.w = std::pow(10.0, 3.0 * e.w);
+
+    sim::Cluster cluster(SmallConfig());
+    WeightMatchingOptions options;
+    options.epsilon = 0.2;
+    options.matching.seed = seed;
+    WeightMatchingResult result =
+        AmpcApproxMaxWeightMatching(cluster, list, options);
+
+    Graph g = graph::BuildGraph(raw);
+    ExpectValidMatching(g, result.partner);
+
+    const Weight exact = seq::ExactMaximumWeightMatching(list);
+    const double ratio =
+        2.0 * (1.0 + options.epsilon) / (1.0 - options.epsilon / 2.0);
+    EXPECT_GE(result.total_weight * ratio, exact - 1e-9)
+        << "seed " << seed << ": got " << result.total_weight
+        << " vs exact " << exact;
+    EXPECT_LE(result.total_weight, exact + 1e-9);
+  }
+}
+
+TEST(WeightMatchingTest, TotalWeightMatchesPartnerArray) {
+  graph::EdgeList raw = graph::GenerateGrid(4, 5);
+  WeightedEdgeList list = graph::MakeRandomWeighted(raw, 7);
+  sim::Cluster cluster(SmallConfig());
+  WeightMatchingResult result = AmpcApproxMaxWeightMatching(cluster, list);
+
+  Weight recomputed = 0;
+  for (NodeId v = 0; v < list.num_nodes; ++v) {
+    const NodeId p = result.partner[v];
+    if (p == kInvalidNode || p < v) continue;
+    Weight best = 0;
+    for (const auto& e : list.edges) {
+      if ((e.u == v && e.v == p) || (e.u == p && e.v == v)) {
+        best = std::max(best, e.w);
+      }
+    }
+    recomputed += best;
+  }
+  EXPECT_NEAR(result.total_weight, recomputed, 1e-9);
+}
+
+TEST(WeightMatchingTest, NonPositiveWeightsYieldEmptyMatching) {
+  graph::EdgeList raw = graph::GenerateCycle(6);
+  WeightedEdgeList list;
+  list.num_nodes = raw.num_nodes;
+  for (size_t i = 0; i < raw.edges.size(); ++i) {
+    list.edges.push_back(graph::WeightedEdge{
+        raw.edges[i].u, raw.edges[i].v, -1.0, static_cast<graph::EdgeId>(i)});
+  }
+  sim::Cluster cluster(SmallConfig());
+  WeightMatchingResult result = AmpcApproxMaxWeightMatching(cluster, list);
+  EXPECT_EQ(MatchingSize(result.partner), 0);
+  EXPECT_EQ(result.total_weight, 0.0);
+}
+
+TEST(WeightMatchingTest, SingleHeavyEdgeBeatsLightTriangleNeighbors) {
+  // Path with weights 1, 100, 1: the rounded-class greedy must take the
+  // heavy middle edge, exactly like greedy by true weight.
+  WeightedEdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1, 1.0, 0}, {1, 2, 100.0, 1}, {2, 3, 1.0, 2}};
+  sim::Cluster cluster(SmallConfig());
+  WeightMatchingResult result = AmpcApproxMaxWeightMatching(cluster, list);
+  EXPECT_EQ(result.partner[1], 2u);
+  EXPECT_EQ(result.partner[2], 1u);
+  EXPECT_EQ(result.total_weight, 100.0);
+}
+
+TEST(WeightMatchingTest, BucketCountIsLogarithmic) {
+  // Weights in [1, n^3] with eps = 0.5: bucket count is at most
+  // log_{1.5}(n / eps * max/min-kept) and certainly far below m.
+  graph::EdgeList raw = graph::GenerateErdosRenyi(64, 300, 5);
+  WeightedEdgeList list = graph::MakeRandomWeighted(raw, 5);
+  for (auto& e : list.edges) e.w = 1.0 + e.w * 64.0 * 64.0 * 64.0;
+  sim::Cluster cluster(SmallConfig());
+  WeightMatchingOptions options;
+  options.epsilon = 0.5;
+  WeightMatchingResult result =
+      AmpcApproxMaxWeightMatching(cluster, list, options);
+  const double bound =
+      std::log(64.0 * 64 * 64 * 64 / options.epsilon) /
+      std::log1p(options.epsilon);
+  EXPECT_GT(result.num_buckets, 0);
+  EXPECT_LE(result.num_buckets, static_cast<int64_t>(bound) + 2);
+}
+
+TEST(WeightMatchingTest, MatchesSequentialGreedyOnSameBuckets) {
+  // With a single weight class the reduction degenerates to the plain
+  // random-order LFMM, which equals the sequential oracle exactly.
+  graph::EdgeList raw = graph::GenerateErdosRenyi(40, 90, 11);
+  WeightedEdgeList list;
+  list.num_nodes = raw.num_nodes;
+  for (size_t i = 0; i < raw.edges.size(); ++i) {
+    list.edges.push_back(graph::WeightedEdge{
+        raw.edges[i].u, raw.edges[i].v, 1.0, static_cast<graph::EdgeId>(i)});
+  }
+  sim::Cluster cluster(SmallConfig());
+  WeightMatchingOptions options;
+  options.matching.seed = 99;
+  WeightMatchingResult result =
+      AmpcApproxMaxWeightMatching(cluster, list, options);
+
+  Graph g = graph::BuildGraph(raw);
+  std::vector<uint64_t> ranks(raw.edges.size());
+  for (size_t i = 0; i < raw.edges.size(); ++i) {
+    ranks[i] = EdgeRank(raw.edges[i].u, raw.edges[i].v, 99);
+  }
+  seq::MatchingResult oracle = seq::GreedyMaximalMatching(raw, ranks);
+  EXPECT_EQ(result.partner, oracle.partner);
+}
+
+// ---------------------------------------------------------------------------
+// (1 + eps)-approximate maximum cardinality matching.
+// ---------------------------------------------------------------------------
+
+TEST(ApproxMatchingTest, GuaranteeOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    EdgeList list = graph::GenerateErdosRenyi(16, 30, seed);
+    Graph g = graph::BuildGraph(list);
+    sim::Cluster cluster(SmallConfig());
+    ApproxMatchingOptions options;
+    options.epsilon = 0.34;  // k = 3, paths up to length 5
+    options.matching.seed = seed;
+    ApproxMatchingResult result =
+        AmpcApproxMaximumMatching(cluster, g, options);
+
+    ExpectValidMatching(g, result.partner);
+    EXPECT_EQ(MatchingSize(result.partner), result.size);
+
+    const int64_t exact = seq::ExactMaximumMatchingSize(list);
+    EXPECT_GE(static_cast<double>(result.size) * (1.0 + options.epsilon),
+              static_cast<double>(exact))
+        << "seed " << seed;
+    EXPECT_LE(result.size, exact);
+  }
+}
+
+TEST(ApproxMatchingTest, SmallEpsilonIsExactOnSmallGraphs) {
+  // With eps < 2/n the searched path length covers any augmenting path,
+  // so the result is an exact maximum matching.
+  for (uint64_t seed = 50; seed < 56; ++seed) {
+    EdgeList list = graph::GenerateErdosRenyi(12, 20, seed);
+    Graph g = graph::BuildGraph(list);
+    sim::Cluster cluster(SmallConfig());
+    ApproxMatchingOptions options;
+    options.epsilon = 0.12;  // k = 9 > n/2
+    options.matching.seed = seed;
+    ApproxMatchingResult result =
+        AmpcApproxMaximumMatching(cluster, g, options);
+    EXPECT_EQ(result.size, seq::ExactMaximumMatchingSize(list))
+        << "seed " << seed;
+  }
+}
+
+TEST(ApproxMatchingTest, AugmentsGreedyOnLongPath) {
+  // On an even path, an adversarial greedy can leave isolated free
+  // vertices; augmentation must recover the perfect matching when eps is
+  // small enough to search across the path.
+  const int64_t n = 10;
+  EdgeList list = graph::GeneratePath(n);
+  Graph g = graph::BuildGraph(list);
+  sim::Cluster cluster(SmallConfig());
+  ApproxMatchingOptions options;
+  options.epsilon = 0.1;  // k = 10: path length up to 19 covers the graph
+  ApproxMatchingResult result = AmpcApproxMaximumMatching(cluster, g, options);
+  EXPECT_EQ(result.size, n / 2);
+}
+
+TEST(ApproxMatchingTest, EpsilonOneIsJustMaximal) {
+  // k = 1: no augmentation; the result equals the maximal matching.
+  EdgeList list = graph::GenerateErdosRenyi(30, 60, 3);
+  Graph g = graph::BuildGraph(list);
+  sim::Cluster cluster(SmallConfig());
+  ApproxMatchingOptions options;
+  options.epsilon = 1.0;
+  options.matching.seed = 3;
+  ApproxMatchingResult approx = AmpcApproxMaximumMatching(cluster, g, options);
+
+  sim::Cluster cluster2(SmallConfig());
+  MatchingResult maximal = AmpcMatching(cluster2, g, options.matching);
+  EXPECT_EQ(approx.partner, maximal.partner);
+  EXPECT_EQ(approx.paths_applied, 0);
+}
+
+TEST(ApproxMatchingTest, BipartiteCrownNeedsAugmentation) {
+  // Crown graph S_3^0 (K_{3,3} minus a perfect matching) plus a bad seed:
+  // whatever the greedy does, augmentation must reach the perfect
+  // matching of size 3 when the search length is >= 3.
+  EdgeList list;
+  list.num_nodes = 6;
+  for (NodeId a = 0; a < 3; ++a) {
+    for (NodeId b = 3; b < 6; ++b) {
+      if (b - 3 != a) list.edges.push_back(graph::Edge{a, b});
+    }
+  }
+  Graph g = graph::BuildGraph(list);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    sim::Cluster cluster(SmallConfig());
+    ApproxMatchingOptions options;
+    options.epsilon = 0.4;  // k = 3: paths up to length 5
+    options.matching.seed = seed;
+    ApproxMatchingResult result =
+        AmpcApproxMaximumMatching(cluster, g, options);
+    EXPECT_EQ(result.size, 3) << "seed " << seed;
+  }
+}
+
+TEST(ApproxMatchingTest, ReportsRoundsAndPaths) {
+  EdgeList list = graph::GeneratePath(8);
+  Graph g = graph::BuildGraph(list);
+  sim::Cluster cluster(SmallConfig());
+  ApproxMatchingOptions options;
+  options.epsilon = 0.2;
+  ApproxMatchingResult result = AmpcApproxMaximumMatching(cluster, g, options);
+  EXPECT_EQ(result.max_path_length, 2 * 5 - 1);
+  EXPECT_GE(result.augment_phases, 1);
+  // Metrics must show the staged graph and any commits.
+  EXPECT_GE(cluster.metrics().Get("shuffles"), 2);
+}
+
+}  // namespace
+}  // namespace ampc::core

@@ -1,0 +1,183 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+namespace ampc::sim {
+namespace {
+
+ClusterConfig TestConfig() {
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  config.network = kv::NetworkModel::Rdma();
+  return config;
+}
+
+TEST(ClusterTest, MachineOfIsStableAndInRange) {
+  Cluster cluster(TestConfig());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    const int m = cluster.MachineOf(k);
+    EXPECT_GE(m, 0);
+    EXPECT_LT(m, 4);
+    EXPECT_EQ(m, cluster.MachineOf(k));
+  }
+}
+
+TEST(ClusterTest, ShuffleAccounting) {
+  Cluster cluster(TestConfig());
+  cluster.AccountShuffle("phase", 1000);
+  cluster.AccountShuffle("phase", 500);
+  EXPECT_EQ(cluster.metrics().Get("shuffles"), 2);
+  EXPECT_EQ(cluster.metrics().Get("rounds"), 2);
+  EXPECT_EQ(cluster.metrics().Get("shuffle_bytes"), 1500);
+  EXPECT_GT(cluster.SimSeconds(), 0.0);
+}
+
+TEST(ClusterTest, MapRoundCountsRoundNotShuffle) {
+  Cluster cluster(TestConfig());
+  cluster.AccountMapRound("m");
+  EXPECT_EQ(cluster.metrics().Get("rounds"), 1);
+  EXPECT_EQ(cluster.metrics().Get("shuffles"), 0);
+}
+
+TEST(ClusterTest, RunMapPhaseVisitsEveryItemOnce) {
+  Cluster cluster(TestConfig());
+  const int64_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  cluster.RunMapPhase("visit", n, [&](int64_t item, MachineContext&) {
+    hits[item].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  EXPECT_EQ(cluster.metrics().Get("map_items"), n);
+  EXPECT_EQ(cluster.metrics().Get("rounds"), 1);
+}
+
+TEST(ClusterTest, MapPhaseRoutesItemsToOwningMachine) {
+  Cluster cluster(TestConfig());
+  std::atomic<int> mismatches{0};
+  cluster.RunMapPhase("route", 2000, [&](int64_t item, MachineContext& ctx) {
+    if (cluster.MachineOf(item) != ctx.machine_id()) mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ClusterTest, KvWriteAndLookupAccounting) {
+  Cluster cluster(TestConfig());
+  kv::Store<int64_t> store(100);
+  cluster.RunKvWritePhase("w", store, 100, [](int64_t k) { return k * 3; });
+  EXPECT_EQ(cluster.metrics().Get("kv_writes"), 100);
+  EXPECT_GT(cluster.metrics().Get("kv_write_bytes"), 0);
+
+  std::atomic<int64_t> sum{0};
+  cluster.RunMapPhase("r", 100, [&](int64_t item, MachineContext& ctx) {
+    const int64_t* v = ctx.Lookup(store, item);
+    ASSERT_NE(v, nullptr);
+    sum.fetch_add(*v);
+  });
+  EXPECT_EQ(sum.load(), 3 * 99 * 100 / 2);
+  EXPECT_EQ(cluster.metrics().Get("kv_reads"), 100);
+  EXPECT_GT(cluster.metrics().Get("kv_read_bytes"), 0);
+}
+
+TEST(ClusterTest, LocalLookupNotCharged) {
+  Cluster cluster(TestConfig());
+  kv::Store<int64_t> store(10);
+  cluster.RunKvWritePhase("w", store, 10, [](int64_t k) { return k; });
+  cluster.RunMapPhase("r", 10, [&](int64_t item, MachineContext& ctx) {
+    ctx.LookupLocal(store, item);
+  });
+  EXPECT_EQ(cluster.metrics().Get("kv_reads"), 0);
+}
+
+TEST(ClusterTest, CacheCountersFlow) {
+  Cluster cluster(TestConfig());
+  cluster.RunMapPhase("c", 10, [&](int64_t item, MachineContext& ctx) {
+    if (item % 2 == 0) {
+      ctx.CountCacheHit();
+    } else {
+      ctx.CountCacheMiss();
+    }
+  });
+  EXPECT_EQ(cluster.metrics().Get("cache_hits"), 5);
+  EXPECT_EQ(cluster.metrics().Get("cache_misses"), 5);
+}
+
+TEST(ClusterTest, MissingKeyLookupReturnsNullAndCharges) {
+  Cluster cluster(TestConfig());
+  kv::Store<int64_t> store(10);  // nothing written
+  std::atomic<int> nulls{0};
+  cluster.RunMapPhase("miss", 10, [&](int64_t item, MachineContext& ctx) {
+    if (ctx.Lookup(store, item) == nullptr) nulls.fetch_add(1);
+  });
+  EXPECT_EQ(nulls.load(), 10);
+  EXPECT_EQ(cluster.metrics().Get("kv_reads"), 10);
+}
+
+TEST(ClusterTest, SimTimeScalesWithMachines) {
+  // The same KV-heavy phase should be faster (in simulated time) on more
+  // machines — the Figure 8 self-speedup mechanism.
+  auto run = [](int machines) {
+    ClusterConfig config;
+    config.num_machines = machines;
+    config.threads_per_machine = 1;
+    Cluster cluster(config);
+    kv::Store<int64_t> store(20000);
+    cluster.RunKvWritePhase("w", store, 20000,
+                            [](int64_t k) { return k; });
+    cluster.RunMapPhase("r", 20000, [&](int64_t item, MachineContext& ctx) {
+      ctx.Lookup(store, (item * 7919) % 20000);
+    });
+    return cluster.metrics().GetTime("sim:r");
+  };
+  EXPECT_GT(run(1), run(16));
+}
+
+TEST(ClusterTest, MultithreadingReducesSimTime) {
+  auto run = [](bool multithreading) {
+    ClusterConfig config;
+    config.num_machines = 2;
+    config.threads_per_machine = 8;
+    config.multithreading = multithreading;
+    Cluster cluster(config);
+    kv::Store<int64_t> store(20000);
+    cluster.RunKvWritePhase("w", store, 20000,
+                            [](int64_t k) { return k; });
+    cluster.RunMapPhase("r", 20000, [&](int64_t item, MachineContext& ctx) {
+      ctx.Lookup(store, (item * 13) % 20000);
+    });
+    return cluster.metrics().GetTime("sim:r");
+  };
+  EXPECT_GT(run(false), run(true));
+}
+
+TEST(ClusterTest, TcpSlowerThanRdmaInSimTime) {
+  auto run = [](kv::NetworkModel model) {
+    ClusterConfig config;
+    config.num_machines = 2;
+    config.network = model;
+    Cluster cluster(config);
+    kv::Store<int64_t> store(20000);
+    cluster.RunKvWritePhase("w", store, 20000,
+                            [](int64_t k) { return k; });
+    cluster.RunMapPhase("r", 20000, [&](int64_t item, MachineContext& ctx) {
+      ctx.Lookup(store, (item * 13) % 20000);
+    });
+    return cluster.metrics().GetTime("sim:r");
+  };
+  EXPECT_GT(run(kv::NetworkModel::TcpIp()), run(kv::NetworkModel::Rdma()));
+}
+
+TEST(ClusterTest, InMemoryFinishChargesGatherShuffle) {
+  Cluster cluster(TestConfig());
+  cluster.AccountInMemoryFinish("f", 1000, 500);
+  EXPECT_EQ(cluster.metrics().Get("shuffles"), 1);
+  cluster.AccountInMemoryCompute("g", 500);
+  EXPECT_EQ(cluster.metrics().Get("shuffles"), 1);  // compute adds none
+}
+
+}  // namespace
+}  // namespace ampc::sim

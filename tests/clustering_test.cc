@@ -1,0 +1,208 @@
+// Tests for single-linkage clustering: dendrogram structure, flat cuts,
+// equivalence with the naive agglomerative algorithm, and the AMPC
+// connectivity-based cut of the paper's Section 1 recipe.
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::NodeId;
+using graph::Weight;
+using graph::WeightedEdge;
+using graph::WeightedEdgeList;
+
+sim::ClusterConfig SmallConfig() {
+  sim::ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  config.in_memory_threshold_arcs = 64;
+  return config;
+}
+
+// Naive O(n^2 m) single-linkage: repeatedly merge the two clusters with
+// the smallest inter-cluster edge. Returns canonical labels at
+// threshold t.
+std::vector<NodeId> NaiveSingleLinkage(const WeightedEdgeList& list,
+                                       Weight t) {
+  const int64_t n = list.num_nodes;
+  std::vector<NodeId> label(n);
+  for (int64_t v = 0; v < n; ++v) label[v] = static_cast<NodeId>(v);
+  for (;;) {
+    Weight best = std::numeric_limits<Weight>::infinity();
+    NodeId la = 0, lb = 0;
+    for (const WeightedEdge& e : list.edges) {
+      if (label[e.u] == label[e.v]) continue;
+      if (e.w < best) {
+        best = e.w;
+        la = label[e.u];
+        lb = label[e.v];
+      }
+    }
+    if (best > t) break;
+    const NodeId to = std::min(la, lb);
+    const NodeId from = std::max(la, lb);
+    for (int64_t v = 0; v < n; ++v) {
+      if (label[v] == from) label[v] = to;
+    }
+  }
+  // Canonicalize to the smallest member id.
+  std::vector<NodeId> smallest(n, graph::kInvalidNode);
+  for (int64_t v = 0; v < n; ++v) {
+    smallest[label[v]] = std::min(smallest[label[v]], static_cast<NodeId>(v));
+  }
+  for (int64_t v = 0; v < n; ++v) label[v] = smallest[label[v]];
+  return label;
+}
+
+// Two 4-cliques with internal weight 1, bridged by a weight-10 edge.
+WeightedEdgeList TwoBlobs() {
+  WeightedEdgeList list;
+  list.num_nodes = 8;
+  graph::EdgeId id = 0;
+  for (NodeId base : {NodeId{0}, NodeId{4}}) {
+    for (NodeId a = 0; a < 4; ++a) {
+      for (NodeId b = a + 1; b < 4; ++b) {
+        list.edges.push_back(WeightedEdge{base + a, base + b, 1.0, id++});
+      }
+    }
+  }
+  list.edges.push_back(WeightedEdge{0, 4, 10.0, id++});
+  return list;
+}
+
+TEST(DendrogramTest, MergeCountEqualsNodesMinusComponents) {
+  WeightedEdgeList list = TwoBlobs();
+  sim::Cluster cluster(SmallConfig());
+  Dendrogram d = AmpcSingleLinkage(cluster, list);
+  EXPECT_EQ(d.num_nodes(), 8);
+  EXPECT_EQ(d.num_components(), 1);
+  EXPECT_EQ(d.merges().size(), 7u);
+  // The bridge must be the final (heaviest) merge.
+  EXPECT_EQ(d.merges().back().weight, 10.0);
+}
+
+TEST(DendrogramTest, CutBetweenBlobScalesGivesTwoClusters) {
+  WeightedEdgeList list = TwoBlobs();
+  sim::Cluster cluster(SmallConfig());
+  Dendrogram d = AmpcSingleLinkage(cluster, list);
+
+  std::vector<NodeId> at5 = d.CutAtThreshold(5.0);
+  EXPECT_EQ(CountClusters(at5), 2);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(at5[v], 0u);
+  for (NodeId v = 4; v < 8; ++v) EXPECT_EQ(at5[v], 4u);
+
+  EXPECT_EQ(CountClusters(d.CutAtThreshold(10.0)), 1);
+  EXPECT_EQ(CountClusters(d.CutAtThreshold(0.5)), 8);
+}
+
+TEST(DendrogramTest, CutToClustersOnWeightedPath) {
+  // Path 0-1-2-3-4 with weights 5, 1, 9, 2: cutting to k clusters removes
+  // the k-1 heaviest dendrogram merges, i.e. the heaviest path edges.
+  WeightedEdgeList list;
+  list.num_nodes = 5;
+  list.edges = {{0, 1, 5.0, 0}, {1, 2, 1.0, 1}, {2, 3, 9.0, 2},
+                {3, 4, 2.0, 3}};
+  sim::Cluster cluster(SmallConfig());
+  Dendrogram d = AmpcSingleLinkage(cluster, list);
+
+  std::vector<NodeId> two = d.CutToClusters(2);
+  // Removing the weight-9 edge splits {0,1,2} | {3,4}.
+  EXPECT_EQ(two, (std::vector<NodeId>{0, 0, 0, 3, 3}));
+
+  std::vector<NodeId> three = d.CutToClusters(3);
+  // Also removing weight-5: {0} | {1,2} | {3,4}.
+  EXPECT_EQ(three, (std::vector<NodeId>{0, 1, 1, 3, 3}));
+
+  EXPECT_EQ(CountClusters(d.CutToClusters(5)), 5);
+  EXPECT_EQ(CountClusters(d.CutToClusters(1)), 1);
+}
+
+TEST(DendrogramTest, ThresholdMonotonicity) {
+  // Raising the threshold can only merge clusters: the clustering at t1
+  // refines the clustering at t2 > t1.
+  graph::EdgeList raw = graph::GenerateErdosRenyi(40, 90, 17);
+  WeightedEdgeList list = graph::MakeRandomWeighted(raw, 17);
+  sim::Cluster cluster(SmallConfig());
+  Dendrogram d = AmpcSingleLinkage(cluster, list);
+  std::vector<NodeId> prev = d.CutAtThreshold(0.0);
+  for (double t : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::vector<NodeId> cur = d.CutAtThreshold(t);
+    EXPECT_LE(CountClusters(cur), CountClusters(prev));
+    // Refinement: same prev-label => same cur-label.
+    for (size_t a = 0; a < prev.size(); ++a) {
+      EXPECT_EQ(cur[a], cur[prev[a]])
+          << "cluster of " << a << " split when raising the threshold";
+    }
+    prev = std::move(cur);
+  }
+}
+
+TEST(DendrogramTest, MatchesNaiveAgglomerativeClustering) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    graph::EdgeList raw = graph::GenerateErdosRenyi(18, 35, seed);
+    WeightedEdgeList list = graph::MakeRandomWeighted(raw, seed + 7);
+    sim::Cluster cluster(SmallConfig());
+    ClusteringOptions options;
+    options.msf.seed = seed;
+    Dendrogram d = AmpcSingleLinkage(cluster, list, options);
+    for (double t : {0.1, 0.3, 0.5, 0.9}) {
+      EXPECT_EQ(d.CutAtThreshold(t), NaiveSingleLinkage(list, t))
+          << "seed " << seed << " t " << t;
+    }
+  }
+}
+
+TEST(DendrogramTest, DisconnectedGraphKeepsComponentsApart) {
+  // Two disjoint triangles: even an infinite threshold leaves 2 clusters.
+  WeightedEdgeList list;
+  list.num_nodes = 6;
+  list.edges = {{0, 1, 1.0, 0}, {1, 2, 1.0, 1}, {2, 0, 1.0, 2},
+                {3, 4, 1.0, 3}, {4, 5, 1.0, 4}, {5, 3, 1.0, 5}};
+  sim::Cluster cluster(SmallConfig());
+  Dendrogram d = AmpcSingleLinkage(cluster, list);
+  EXPECT_EQ(d.num_components(), 2);
+  std::vector<NodeId> labels =
+      d.CutAtThreshold(std::numeric_limits<Weight>::infinity());
+  EXPECT_EQ(CountClusters(labels), 2);
+  EXPECT_EQ(CountClusters(d.CutToClusters(2)), 2);
+}
+
+TEST(DendrogramTest, AmpcCutMatchesLocalCut) {
+  graph::EdgeList raw = graph::GenerateErdosRenyi(60, 140, 23);
+  WeightedEdgeList list = graph::MakeRandomWeighted(raw, 23);
+  sim::Cluster cluster(SmallConfig());
+  Dendrogram d = AmpcSingleLinkage(cluster, list);
+  for (double t : {0.25, 0.75}) {
+    sim::Cluster cut_cluster(SmallConfig());
+    EXPECT_EQ(AmpcCutAtThreshold(cut_cluster, d, t), d.CutAtThreshold(t))
+        << "t " << t;
+    // The distributed cut must go through AMPC rounds.
+    EXPECT_GE(cut_cluster.metrics().Get("shuffles"), 1);
+  }
+}
+
+TEST(DendrogramTest, EmptyAndSingletonGraphs) {
+  WeightedEdgeList empty;
+  empty.num_nodes = 0;
+  sim::Cluster cluster(SmallConfig());
+  Dendrogram d0 = AmpcSingleLinkage(cluster, empty);
+  EXPECT_EQ(d0.num_nodes(), 0);
+  EXPECT_TRUE(d0.CutAtThreshold(1.0).empty());
+
+  WeightedEdgeList one;
+  one.num_nodes = 1;
+  sim::Cluster cluster1(SmallConfig());
+  Dendrogram d1 = AmpcSingleLinkage(cluster1, one);
+  EXPECT_EQ(d1.num_components(), 1);
+  EXPECT_EQ(d1.CutAtThreshold(0.0), std::vector<NodeId>{0});
+}
+
+}  // namespace
+}  // namespace ampc::core

@@ -1,0 +1,84 @@
+#include "core/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "seq/msf.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::EdgeList;
+
+sim::ClusterConfig SmallConfig() {
+  sim::ClusterConfig config;
+  config.num_machines = 4;
+  config.in_memory_threshold_arcs = 64;
+  return config;
+}
+
+TEST(ConnectivityTest, CountsComponentsOnForests) {
+  EdgeList list = graph::GenerateRandomForest(200, 7, 3);
+  sim::Cluster cluster(SmallConfig());
+  ConnectivityResult r = AmpcConnectivity(cluster, list);
+  EXPECT_EQ(r.num_components, 7);
+}
+
+class ConnectivityEqualityTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(ConnectivityEqualityTest, PartitionMatchesBfs) {
+  const auto [shape, seed] = GetParam();
+  EdgeList list;
+  switch (shape) {
+    case 0:
+      list = graph::GenerateErdosRenyi(300, 500, seed);  // fragmented
+      break;
+    case 1:
+      list = graph::GenerateRmat(9, 1200, seed);
+      break;
+    case 2:
+      list = graph::GenerateDoubleCycle(150);
+      break;
+    default:
+      list = graph::GenerateGrid(15, 20);
+  }
+  sim::Cluster cluster(SmallConfig());
+  MsfOptions options;
+  options.seed = seed;
+  ConnectivityResult r = AmpcConnectivity(cluster, list, options);
+
+  graph::Graph g = graph::BuildGraph(list);
+  std::vector<graph::NodeId> oracle = graph::SequentialComponents(g);
+  EXPECT_TRUE(graph::SamePartition(r.component, oracle));
+  EXPECT_EQ(r.num_components,
+            static_cast<int64_t>(graph::ComponentSizes(oracle).size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConnectivityEqualityTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(ConnectivityTest, ForestEdgesFormSpanningForest) {
+  EdgeList list = graph::GenerateRmat(8, 800, 5);
+  sim::Cluster cluster(SmallConfig());
+  ConnectivityResult r = AmpcConnectivity(cluster, list);
+  graph::WeightedEdgeList weighted = graph::MakeUnitWeighted(list);
+  EXPECT_TRUE(seq::IsSpanningForest(weighted, r.forest_edges));
+}
+
+TEST(ConnectivityTest, IsolatedVerticesGetOwnComponent) {
+  EdgeList list;
+  list.num_nodes = 6;
+  list.edges = {{0, 1}};
+  sim::Cluster cluster(SmallConfig());
+  ConnectivityResult r = AmpcConnectivity(cluster, list);
+  EXPECT_EQ(r.num_components, 5);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_NE(r.component[2], r.component[3]);
+}
+
+}  // namespace
+}  // namespace ampc::core

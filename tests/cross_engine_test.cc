@@ -1,0 +1,197 @@
+// Whole-library integration sweeps: for every (generator, seed) input,
+// all three engines — the AMPC algorithm, its MPC baseline, and the
+// sequential oracle — must agree, across every problem at once. This is
+// the paper's comparison methodology ("By specifying the same source of
+// randomness, both the MPC and AMPC algorithms compute the same MIS")
+// lifted to a cross-module contract.
+#include <cstdint>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/boruvka.h"
+#include "baselines/mpc_kcore.h"
+#include "baselines/rootset_matching.h"
+#include "baselines/rootset_mis.h"
+#include "core/connectivity.h"
+#include "core/kcore.h"
+#include "core/matching.h"
+#include "core/mis.h"
+#include "core/msf.h"
+#include "core/priorities.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "seq/greedy.h"
+#include "seq/kcore.h"
+#include "seq/msf.h"
+
+namespace ampc {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::NodeId;
+using graph::WeightedEdgeList;
+
+sim::ClusterConfig SmallConfig() {
+  sim::ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  config.in_memory_threshold_arcs = 128;
+  return config;
+}
+
+// Generator shapes covering the structural variety of the evaluation:
+// skewed (web-like), uniform, high-diameter, tree, grid, dense.
+EdgeList ShapeGraph(int shape, uint64_t seed) {
+  switch (shape) {
+    case 0:
+      return graph::GenerateRmat(8, 1200, seed);
+    case 1:
+      return graph::GenerateErdosRenyi(220, 700, seed);
+    case 2:
+      return graph::GenerateCycle(150);
+    case 3:
+      return graph::GenerateRandomForest(160, 8, seed);
+    case 4:
+      return graph::GenerateGrid(12, 13);
+    case 5:
+      return graph::GenerateComplete(24);
+    default:
+      return graph::GenerateStar(80);
+  }
+}
+
+class CrossEngineTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+ protected:
+  EdgeList list_ = ShapeGraph(std::get<0>(GetParam()),
+                              std::get<1>(GetParam()));
+  Graph g_ = graph::BuildGraph(list_);
+  uint64_t seed_ = std::get<1>(GetParam()) * 7919 + std::get<0>(GetParam());
+};
+
+TEST_P(CrossEngineTest, MisAgreesAcrossAllThreeEngines) {
+  sim::Cluster ampc_cluster(SmallConfig());
+  const core::MisResult ampc = core::AmpcMis(ampc_cluster, g_, seed_);
+
+  sim::Cluster mpc_cluster(SmallConfig());
+  const baselines::RootsetMisResult mpc =
+      baselines::MpcRootsetMis(mpc_cluster, g_, seed_);
+
+  const std::vector<uint8_t> oracle =
+      seq::GreedyMis(g_, core::AllVertexRanks(g_.num_nodes(), seed_));
+  EXPECT_EQ(ampc.in_mis, oracle);
+  EXPECT_EQ(mpc.in_mis, oracle);
+  EXPECT_TRUE(seq::IsMaximalIndependentSet(g_, ampc.in_mis));
+}
+
+TEST_P(CrossEngineTest, MatchingAgreesAcrossAllThreeEngines) {
+  core::MatchingOptions options;
+  options.seed = seed_;
+  sim::Cluster ampc_cluster(SmallConfig());
+  const core::MatchingResult ampc =
+      core::AmpcMatching(ampc_cluster, g_, options);
+
+  sim::Cluster mpc_cluster(SmallConfig());
+  const baselines::RootsetMatchingResult mpc =
+      baselines::MpcRootsetMatching(mpc_cluster, g_, seed_);
+  EXPECT_EQ(ampc.partner, mpc.partner);
+
+  // The oracle runs on the deduplicated edge set realized by the CSR.
+  EdgeList simple;
+  simple.num_nodes = g_.num_nodes();
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+    for (const NodeId u : g_.neighbors(v)) {
+      if (v < u) simple.edges.push_back(graph::Edge{v, u});
+    }
+  }
+  std::vector<uint64_t> ranks(simple.edges.size());
+  for (size_t i = 0; i < simple.edges.size(); ++i) {
+    ranks[i] =
+        core::EdgeRank(simple.edges[i].u, simple.edges[i].v, seed_);
+  }
+  const seq::MatchingResult oracle =
+      seq::GreedyMaximalMatching(simple, ranks);
+  EXPECT_EQ(ampc.partner, oracle.partner);
+  EXPECT_TRUE(seq::IsMaximalMatching(
+      simple, core::ToSeqMatching(simple, ampc.partner).edges));
+}
+
+TEST_P(CrossEngineTest, MsfAgreesAcrossAllThreeEngines) {
+  const WeightedEdgeList weighted =
+      graph::MakeRandomWeighted(list_, seed_ ^ 0xfeed);
+  core::MsfOptions options;
+  options.seed = seed_;
+  sim::Cluster ampc_cluster(SmallConfig());
+  const core::MsfResult ampc =
+      core::AmpcMsf(ampc_cluster, weighted, options);
+
+  sim::Cluster mpc_cluster(SmallConfig());
+  const baselines::BoruvkaResult mpc =
+      baselines::MpcBoruvkaMsf(mpc_cluster, weighted, seed_);
+
+  const std::vector<graph::EdgeId> oracle = seq::KruskalMsf(weighted);
+  EXPECT_EQ(ampc.edges, oracle);
+  EXPECT_EQ(mpc.edges, oracle);
+}
+
+TEST_P(CrossEngineTest, ConnectivityMatchesBfsCensus) {
+  core::MsfOptions options;
+  options.seed = seed_;
+  sim::Cluster cluster(SmallConfig());
+  const core::ConnectivityResult cc =
+      core::AmpcConnectivity(cluster, list_, options);
+
+  const std::vector<NodeId> bfs = graph::SequentialComponents(g_);
+  EXPECT_EQ(cc.num_components,
+            static_cast<int64_t>(graph::ComponentSizes(bfs).size()));
+  EXPECT_TRUE(graph::SamePartition(bfs, cc.component));
+}
+
+TEST_P(CrossEngineTest, KCoreAgreesAcrossAllThreeEngines) {
+  sim::Cluster ampc_cluster(SmallConfig());
+  const core::KCoreResult ampc = core::AmpcKCore(ampc_cluster, g_);
+  sim::Cluster mpc_cluster(SmallConfig());
+  const baselines::MpcKCoreResult mpc =
+      baselines::MpcKCore(mpc_cluster, g_);
+  const std::vector<int32_t> oracle = seq::CoreDecomposition(g_);
+  EXPECT_EQ(ampc.coreness, oracle);
+  EXPECT_EQ(mpc.coreness, oracle);
+}
+
+TEST_P(CrossEngineTest, RoundComplexityContracts) {
+  // Table 1 / Table 3 contracts at any input shape: AMPC MIS and MM use
+  // exactly one shuffle; AMPC kcore one; MSF stays within its O(1) round
+  // budget.
+  {
+    sim::Cluster cluster(SmallConfig());
+    core::AmpcMis(cluster, g_, seed_);
+    EXPECT_EQ(cluster.metrics().Get("shuffles"), 1);
+  }
+  {
+    sim::Cluster cluster(SmallConfig());
+    core::MatchingOptions options;
+    options.seed = seed_;
+    core::AmpcMatching(cluster, g_, options);
+    EXPECT_EQ(cluster.metrics().Get("shuffles"), 1);
+  }
+  {
+    sim::Cluster cluster(SmallConfig());
+    const WeightedEdgeList weighted =
+        graph::MakeRandomWeighted(list_, seed_);
+    core::MsfOptions options;
+    options.seed = seed_;
+    const core::MsfResult msf = core::AmpcMsf(cluster, weighted, options);
+    EXPECT_LE(cluster.metrics().Get("shuffles"),
+              5 * std::max(1, msf.rounds) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrossEngineTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                       ::testing::Values(11u, 12u, 13u)));
+
+}  // namespace
+}  // namespace ampc

@@ -1,0 +1,108 @@
+#include "mpc/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace ampc::mpc {
+namespace {
+
+sim::Cluster MakeCluster() {
+  sim::ClusterConfig config;
+  config.num_machines = 4;
+  return sim::Cluster(config);
+}
+
+TEST(DataflowTest, ParDoTransformsAndCountsRound) {
+  sim::Cluster cluster = MakeCluster();
+  PCollection<int> input = {1, 2, 3, 4};
+  PCollection<int> doubled = ParDo<int, int>(
+      cluster, "double", input,
+      [](const int& x, auto emit) { emit(x * 2); });
+  std::sort(doubled.begin(), doubled.end());
+  EXPECT_EQ(doubled, (PCollection<int>{2, 4, 6, 8}));
+  EXPECT_EQ(cluster.metrics().Get("rounds"), 1);
+  EXPECT_EQ(cluster.metrics().Get("shuffles"), 0);
+}
+
+TEST(DataflowTest, ParDoCanFanOutAndFilter) {
+  sim::Cluster cluster = MakeCluster();
+  PCollection<int> input = {1, 2, 3};
+  PCollection<int> out = ParDo<int, int>(
+      cluster, "fan", input, [](const int& x, auto emit) {
+        if (x % 2 == 1) {
+          emit(x);
+          emit(x * 10);
+        }
+      });
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (PCollection<int>{1, 3, 10, 30}));
+}
+
+TEST(DataflowTest, GroupByKeyGroupsAndCountsShuffle) {
+  sim::Cluster cluster = MakeCluster();
+  PCollection<KV<uint32_t, uint32_t>> records = {
+      {2, 20}, {1, 10}, {2, 21}, {3, 30}, {1, 11}};
+  auto groups = GroupByKey(cluster, "group", std::move(records));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].first, 1u);
+  EXPECT_EQ(groups[1].first, 2u);
+  EXPECT_EQ(groups[2].first, 3u);
+  std::vector<uint32_t> ones = groups[0].second;
+  std::sort(ones.begin(), ones.end());
+  EXPECT_EQ(ones, (std::vector<uint32_t>{10, 11}));
+  EXPECT_EQ(cluster.metrics().Get("shuffles"), 1);
+  // 5 records x (4 + 4) bytes.
+  EXPECT_EQ(cluster.metrics().Get("shuffle_bytes"), 40);
+}
+
+TEST(DataflowTest, ShuffleBytesComputesWireSize) {
+  PCollection<KV<uint64_t, uint32_t>> records = {{1, 2}, {3, 4}};
+  EXPECT_EQ(ShuffleBytes(records), 2 * (8 + 4));
+}
+
+TEST(DataflowTest, KeysAndFlatten) {
+  PCollection<KV<int, int>> records = {{5, 0}, {6, 0}};
+  EXPECT_EQ((Keys(records)), (PCollection<int>{5, 6}));
+  PCollection<int> flat = Flatten<int>({{1, 2}, {3}, {}});
+  EXPECT_EQ(flat, (PCollection<int>{1, 2, 3}));
+}
+
+TEST(DataflowTest, WordCountPipeline) {
+  // A miniature end-to-end Flume-style pipeline.
+  sim::Cluster cluster = MakeCluster();
+  PCollection<std::string> lines = {"a b", "b c", "c b"};
+  auto words = ParDo<std::string, KV<char, uint32_t>>(
+      cluster, "split", lines, [](const std::string& line, auto emit) {
+        for (char c : line) {
+          if (c != ' ') emit(KV<char, uint32_t>{c, 1});
+        }
+      });
+  auto grouped = GroupByKey(cluster, "shuffle", std::move(words));
+  auto counts = ParDo<KV<char, std::vector<uint32_t>>, KV<char, size_t>>(
+      cluster, "count", grouped, [](const auto& group, auto emit) {
+        emit(KV<char, size_t>{group.first, group.second.size()});
+      });
+  std::sort(counts.begin(), counts.end());
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], (KV<char, size_t>{'a', 1}));
+  EXPECT_EQ(counts[1], (KV<char, size_t>{'b', 3}));
+  EXPECT_EQ(counts[2], (KV<char, size_t>{'c', 2}));
+  EXPECT_EQ(cluster.metrics().Get("rounds"), 3);
+  EXPECT_EQ(cluster.metrics().Get("shuffles"), 1);
+}
+
+TEST(DataflowTest, EmptyInputsAreFine) {
+  sim::Cluster cluster = MakeCluster();
+  PCollection<int> empty;
+  auto out = ParDo<int, int>(cluster, "e", empty,
+                             [](const int& x, auto emit) { emit(x); });
+  EXPECT_TRUE(out.empty());
+  auto groups =
+      GroupByKey(cluster, "g", PCollection<KV<int, int>>{});
+  EXPECT_TRUE(groups.empty());
+}
+
+}  // namespace
+}  // namespace ampc::mpc

@@ -1,0 +1,225 @@
+// Adversarial-input coverage: empty graphs, singletons, self-loops,
+// parallel edges, fully disconnected inputs and contract violations,
+// pushed through every public algorithm. Distributed systems die on the
+// inputs nobody benchmarked.
+#include <gtest/gtest.h>
+
+#include "baselines/mpc_kcore.h"
+#include "baselines/mpc_pagerank.h"
+#include "baselines/rootset_matching.h"
+#include "baselines/rootset_mis.h"
+#include "core/approx.h"
+#include "core/clustering.h"
+#include "core/connectivity.h"
+#include "core/kcore.h"
+#include "core/matching.h"
+#include "core/mis.h"
+#include "core/msf.h"
+#include "core/pagerank.h"
+#include "graph/generators.h"
+#include "kv/store.h"
+#include "seq/msf.h"
+
+namespace ampc {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::WeightedEdgeList;
+
+sim::ClusterConfig SmallConfig() {
+  sim::ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 2;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Empty and singleton graphs through every algorithm.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCasesTest, EmptyGraphEverywhere) {
+  EdgeList empty;
+  empty.num_nodes = 0;
+  Graph g = graph::BuildGraph(empty);
+
+  sim::Cluster c1(SmallConfig());
+  EXPECT_TRUE(core::AmpcMis(c1, g, 1).in_mis.empty());
+
+  sim::Cluster c2(SmallConfig());
+  EXPECT_TRUE(core::AmpcMatching(c2, g).partner.empty());
+
+  sim::Cluster c3(SmallConfig());
+  WeightedEdgeList wempty;
+  wempty.num_nodes = 0;
+  EXPECT_TRUE(core::AmpcMsf(c3, wempty).edges.empty());
+
+  sim::Cluster c4(SmallConfig());
+  EXPECT_EQ(core::AmpcConnectivity(c4, empty).num_components, 0);
+
+  sim::Cluster c5(SmallConfig());
+  EXPECT_TRUE(core::AmpcKCore(c5, g).coreness.empty());
+
+  sim::Cluster c6(SmallConfig());
+  EXPECT_TRUE(core::AmpcMonteCarloPageRank(c6, g).rank.empty());
+
+  sim::Cluster c7(SmallConfig());
+  EXPECT_EQ(core::AmpcVertexCover(c7, g).size, 0);
+}
+
+TEST(EdgeCasesTest, EdgelessGraphEverywhere) {
+  EdgeList isolated;
+  isolated.num_nodes = 7;
+  Graph g = graph::BuildGraph(isolated);
+
+  sim::Cluster c1(SmallConfig());
+  const core::MisResult mis = core::AmpcMis(c1, g, 5);
+  EXPECT_EQ(std::count(mis.in_mis.begin(), mis.in_mis.end(), 1), 7);
+
+  sim::Cluster c2(SmallConfig());
+  const core::MatchingResult mm = core::AmpcMatching(c2, g);
+  for (const NodeId p : mm.partner) EXPECT_EQ(p, kInvalidNode);
+
+  sim::Cluster c3(SmallConfig());
+  EXPECT_EQ(core::AmpcConnectivity(c3, isolated).num_components, 7);
+
+  sim::Cluster c4(SmallConfig());
+  for (const int32_t c : core::AmpcKCore(c4, g).coreness) EXPECT_EQ(c, 0);
+
+  // PageRank over isolated vertices: pure teleporting, uniform mass.
+  sim::Cluster c5(SmallConfig());
+  core::PageRankMcOptions pr;
+  pr.walks_per_node = 50;
+  for (const double r : core::AmpcMonteCarloPageRank(c5, g, pr).rank) {
+    EXPECT_NEAR(r, 1.0 / 7, 0.05);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Self-loops and parallel edges survive the builders and the engines.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCasesTest, SelfLoopsAndParallelEdgesAreCanonicalized) {
+  EdgeList noisy;
+  noisy.num_nodes = 4;
+  noisy.edges = {{0, 0}, {0, 1}, {1, 0}, {0, 1}, {2, 2}, {2, 3}, {3, 2}};
+  Graph g = graph::BuildGraph(noisy);
+  EXPECT_EQ(g.num_arcs(), 4);  // {0,1} and {2,3} once each, both arcs
+
+  sim::Cluster c1(SmallConfig());
+  const core::MisResult mis = core::AmpcMis(c1, g, 3);
+  EXPECT_TRUE(seq::IsMaximalIndependentSet(g, mis.in_mis));
+
+  sim::Cluster c2(SmallConfig());
+  const core::MatchingResult mm = core::AmpcMatching(c2, g);
+  EXPECT_EQ(mm.partner[0], 1u);
+  EXPECT_EQ(mm.partner[2], 3u);
+
+  sim::Cluster c3(SmallConfig());
+  EXPECT_EQ(core::AmpcConnectivity(c3, noisy).num_components, 2);
+}
+
+TEST(EdgeCasesTest, MsfWithParallelAndLoopEdgesKeepsCheapest) {
+  WeightedEdgeList list;
+  list.num_nodes = 3;
+  list.edges = {{0, 1, 9.0, 0}, {0, 1, 2.0, 1}, {1, 1, 0.1, 2},
+                {1, 2, 5.0, 3}, {2, 1, 4.0, 4}};
+  sim::Cluster cluster(SmallConfig());
+  const core::MsfResult msf = core::AmpcMsf(cluster, list);
+  EXPECT_EQ(msf.edges, seq::KruskalMsf(list));
+  EXPECT_EQ(msf.edges, (std::vector<graph::EdgeId>{1, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// Extreme shapes.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCasesTest, StarHubThroughEverything) {
+  // One vertex adjacent to all others stresses the skew paths.
+  Graph g = graph::BuildGraph(graph::GenerateStar(500));
+  sim::Cluster c1(SmallConfig());
+  const core::MisResult mis = core::AmpcMis(c1, g, 17);
+  // Either the hub alone or all leaves.
+  const int64_t size =
+      std::count(mis.in_mis.begin(), mis.in_mis.end(), 1);
+  EXPECT_TRUE(size == 1 || size == 499) << size;
+
+  sim::Cluster c2(SmallConfig());
+  const core::MatchingResult mm = core::AmpcMatching(c2, g);
+  int64_t matched = 0;
+  for (const NodeId p : mm.partner) matched += p != kInvalidNode;
+  EXPECT_EQ(matched, 2);  // the hub pairs with exactly one leaf
+
+  sim::Cluster c3(SmallConfig());
+  const core::KCoreResult cores = core::AmpcKCore(c3, g);
+  EXPECT_EQ(cores.coreness[0], 1);
+}
+
+TEST(EdgeCasesTest, TwoVertexGraph) {
+  EdgeList pair;
+  pair.num_nodes = 2;
+  pair.edges = {{0, 1}};
+  Graph g = graph::BuildGraph(pair);
+
+  sim::Cluster c1(SmallConfig());
+  const core::MatchingResult mm = core::AmpcMatching(c1, g);
+  EXPECT_EQ(mm.partner[0], 1u);
+
+  sim::Cluster c2(SmallConfig());
+  const core::VertexCoverResult cover = core::AmpcVertexCover(c2, g);
+  EXPECT_EQ(cover.size, 2);
+
+  sim::Cluster c3(SmallConfig());
+  core::ApproxMatchingOptions approx;
+  approx.epsilon = 0.01;
+  EXPECT_EQ(core::AmpcApproxMaximumMatching(c3, g, approx).size, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Contract violations die loudly (AMPC_CHECK), not silently.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCasesDeathTest, CutToClustersRejectsInfeasibleK) {
+  WeightedEdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1, 1.0, 0}, {2, 3, 1.0, 1}};  // two components
+  sim::Cluster cluster(SmallConfig());
+  const core::Dendrogram d = core::AmpcSingleLinkage(cluster, list);
+  EXPECT_DEATH(d.CutToClusters(1), "");   // below num_components
+  EXPECT_DEATH(d.CutToClusters(5), "");   // above num_nodes
+}
+
+TEST(EdgeCasesDeathTest, SampledMatchingRejectsBuckets) {
+  Graph g = graph::BuildGraph(graph::GenerateCycle(8));
+  sim::Cluster cluster(SmallConfig());
+  core::MatchingOptions options;
+  core::EdgeBucketMap buckets;
+  options.edge_buckets = &buckets;
+  EXPECT_DEATH(core::AmpcMatchingSampled(cluster, g, options), "");
+}
+
+TEST(EdgeCasesDeathTest, StoreRejectsDuplicateAndOversizedKeys) {
+  kv::Store<int> store(4);
+  store.Put(2, 10);
+  EXPECT_DEATH(store.Put(2, 11), "duplicate");
+  EXPECT_DEATH(store.Put(9, 1), "");
+  EXPECT_EQ(store.Lookup(9), nullptr);  // out-of-range reads are benign
+}
+
+TEST(EdgeCasesDeathTest, ApproxOptionsRejectNonPositiveEpsilon) {
+  Graph g = graph::BuildGraph(graph::GenerateCycle(6));
+  WeightedEdgeList w;
+  w.num_nodes = 6;
+  sim::Cluster cluster(SmallConfig());
+  core::WeightMatchingOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_DEATH(core::AmpcApproxMaxWeightMatching(cluster, w, bad), "");
+  core::ApproxMatchingOptions bad2;
+  bad2.epsilon = -1.0;
+  EXPECT_DEATH(core::AmpcApproxMaximumMatching(cluster, g, bad2), "");
+}
+
+}  // namespace
+}  // namespace ampc

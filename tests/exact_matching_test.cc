@@ -1,0 +1,137 @@
+#include "seq/exact_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "seq/greedy.h"
+
+namespace ampc::seq {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::WeightedEdge;
+using graph::WeightedEdgeList;
+
+TEST(ExactMatchingTest, EmptyGraph) {
+  EdgeList list;
+  list.num_nodes = 5;
+  EXPECT_EQ(ExactMaximumMatchingSize(list), 0);
+}
+
+TEST(ExactMatchingTest, SingleEdge) {
+  EdgeList list;
+  list.num_nodes = 2;
+  list.edges = {{0, 1}};
+  EXPECT_EQ(ExactMaximumMatchingSize(list), 1);
+}
+
+TEST(ExactMatchingTest, PathGraphsMatchFloorFormula) {
+  // A path on n vertices has a maximum matching of floor(n / 2).
+  for (int64_t n = 1; n <= 12; ++n) {
+    EXPECT_EQ(ExactMaximumMatchingSize(graph::GeneratePath(n)), n / 2)
+        << "n=" << n;
+  }
+}
+
+TEST(ExactMatchingTest, OddCycleLeavesOneFree) {
+  EdgeList list;
+  list.num_nodes = 7;
+  for (int64_t i = 0; i < 7; ++i) {
+    list.edges.push_back(Edge{static_cast<graph::NodeId>(i),
+                              static_cast<graph::NodeId>((i + 1) % 7)});
+  }
+  EXPECT_EQ(ExactMaximumMatchingSize(list), 3);
+}
+
+TEST(ExactMatchingTest, BlossomStructure) {
+  // Triangle with a pendant on each corner: the maximum matching pairs
+  // each corner with its pendant (size 3); greedy inside the triangle
+  // would find only 2. The DP must see through the odd cycle.
+  EdgeList list;
+  list.num_nodes = 6;
+  list.edges = {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {1, 4}, {2, 5}};
+  EXPECT_EQ(ExactMaximumMatchingSize(list), 3);
+}
+
+TEST(ExactMatchingTest, SelfLoopsIgnored) {
+  EdgeList list;
+  list.num_nodes = 3;
+  list.edges = {{0, 0}, {1, 1}, {0, 1}};
+  EXPECT_EQ(ExactMaximumMatchingSize(list), 1);
+}
+
+TEST(ExactMatchingTest, CompleteGraphIsPerfect) {
+  EdgeList k6 = graph::GenerateComplete(6);
+  EXPECT_EQ(ExactMaximumMatchingSize(k6), 3);
+  EdgeList k7 = graph::GenerateComplete(7);
+  EXPECT_EQ(ExactMaximumMatchingSize(k7), 3);
+}
+
+TEST(ExactMatchingTest, AtLeastAnyGreedyMatching) {
+  // The exact optimum dominates greedy maximal matchings on random
+  // graphs, and never exceeds twice their size (maximality bound).
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    EdgeList list = graph::GenerateErdosRenyi(14, 25, seed);
+    const std::vector<uint64_t> ranks = [&] {
+      std::vector<uint64_t> r(list.edges.size());
+      for (size_t i = 0; i < r.size(); ++i) r[i] = Hash64(i, seed);
+      return r;
+    }();
+    const MatchingResult greedy = GreedyMaximalMatching(list, ranks);
+    const int64_t exact = ExactMaximumMatchingSize(list);
+    EXPECT_GE(exact, static_cast<int64_t>(greedy.edges.size()));
+    EXPECT_LE(exact, 2 * static_cast<int64_t>(greedy.edges.size()));
+  }
+}
+
+TEST(ExactWeightMatchingTest, EmptyAndNegative) {
+  WeightedEdgeList list;
+  list.num_nodes = 4;
+  EXPECT_EQ(ExactMaximumWeightMatching(list), 0.0);
+  list.edges = {{0, 1, -5.0, 0}, {2, 3, -1.0, 1}};
+  EXPECT_EQ(ExactMaximumWeightMatching(list), 0.0);
+}
+
+TEST(ExactWeightMatchingTest, PrefersHeavyOverMany) {
+  // Path a-b-c-d with weights 1, 10, 1: optimum takes the middle edge
+  // only when 10 > 1 + 1 is false... it is true, so optimum = 10? No:
+  // taking (a,b) and (c,d) yields 2, taking (b,c) yields 10. Optimum 10.
+  WeightedEdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1, 1.0, 0}, {1, 2, 10.0, 1}, {2, 3, 1.0, 2}};
+  EXPECT_EQ(ExactMaximumWeightMatching(list), 10.0);
+}
+
+TEST(ExactWeightMatchingTest, PrefersManyOverHeavy) {
+  WeightedEdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1, 6.0, 0}, {1, 2, 10.0, 1}, {2, 3, 6.0, 2}};
+  EXPECT_EQ(ExactMaximumWeightMatching(list), 12.0);
+}
+
+TEST(ExactWeightMatchingTest, ParallelEdgesCollapseToHeaviest) {
+  WeightedEdgeList list;
+  list.num_nodes = 2;
+  list.edges = {{0, 1, 3.0, 0}, {0, 1, 7.0, 1}, {1, 0, 5.0, 2}};
+  EXPECT_EQ(ExactMaximumWeightMatching(list), 7.0);
+}
+
+TEST(ExactWeightMatchingTest, DominatesGreedyByWeight) {
+  // Greedy by descending weight is a 2-approximation; the exact optimum
+  // must sit within [greedy, 2 * greedy].
+  for (uint64_t seed = 100; seed < 115; ++seed) {
+    graph::EdgeList raw = graph::GenerateErdosRenyi(13, 22, seed);
+    WeightedEdgeList list = graph::MakeRandomWeighted(raw, seed);
+    const MatchingResult greedy = GreedyWeightMatching(list);
+    graph::Weight greedy_weight = 0;
+    for (graph::EdgeId id : greedy.edges) greedy_weight += list.edges[id].w;
+    const graph::Weight exact = ExactMaximumWeightMatching(list);
+    EXPECT_GE(exact, greedy_weight - 1e-9);
+    EXPECT_LE(exact, 2 * greedy_weight + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ampc::seq

@@ -1,0 +1,147 @@
+// Tests for the preemption model: closed forms, the Monte-Carlo
+// cross-check, the cluster round log it consumes, and the fault-tolerance
+// ordering the paper's Section 5.7 positioning relies on.
+#include "sim/faults.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/mis.h"
+#include "graph/generators.h"
+#include "sim/cluster.h"
+
+namespace ampc::sim {
+namespace {
+
+TEST(FaultsTest, ZeroRateIsPlainSum) {
+  const std::vector<double> rounds = {1.0, 2.5, 0.5};
+  PreemptionModel off;
+  off.machines = 10;
+  EXPECT_DOUBLE_EQ(ExpectedCompletionSeconds(
+                       rounds, off, RecoveryDiscipline::kFaultTolerant),
+                   4.0);
+  EXPECT_DOUBLE_EQ(
+      ExpectedCompletionSeconds(rounds, off, RecoveryDiscipline::kInMemory),
+      4.0);
+}
+
+TEST(FaultsTest, SingleRoundClosedForm) {
+  // One round of length t: both disciplines give (e^{Lt} - 1) / L.
+  const std::vector<double> rounds = {2.0};
+  PreemptionModel model;
+  model.rate_per_machine_sec = 0.05;
+  model.machines = 4;
+  const double lambda = 0.05 * 4;
+  const double expected = std::expm1(lambda * 2.0) / lambda;
+  EXPECT_NEAR(ExpectedCompletionSeconds(rounds, model,
+                                        RecoveryDiscipline::kFaultTolerant),
+              expected, 1e-12);
+  EXPECT_NEAR(ExpectedCompletionSeconds(rounds, model,
+                                        RecoveryDiscipline::kInMemory),
+              expected, 1e-12);
+}
+
+TEST(FaultsTest, FaultToleranceNeverLosesOnMultiRoundJobs) {
+  // Splitting a job into rounds strictly helps under restarts (convexity
+  // of e^x): FT expected time < in-memory expected time.
+  const std::vector<double> rounds = {1.0, 1.0, 1.0, 1.0};
+  for (const double rate : {0.01, 0.1, 0.5}) {
+    PreemptionModel model;
+    model.rate_per_machine_sec = rate;
+    model.machines = 8;
+    const double ft = ExpectedCompletionSeconds(
+        rounds, model, RecoveryDiscipline::kFaultTolerant);
+    const double restart = ExpectedCompletionSeconds(
+        rounds, model, RecoveryDiscipline::kInMemory);
+    EXPECT_LT(ft, restart) << "rate " << rate;
+    // And both upper-bound the fault-free runtime.
+    EXPECT_GT(ft, 4.0);
+  }
+}
+
+TEST(FaultsTest, FewerLongerRoundsHurtUnderFaultTolerance) {
+  // The same total work in one long round costs more than in ten short
+  // ones — the reason shuffling often beats monolithic rounds in shared
+  // clusters.
+  PreemptionModel model;
+  model.rate_per_machine_sec = 0.02;
+  model.machines = 10;
+  const std::vector<double> monolithic = {10.0};
+  const std::vector<double> split(10, 1.0);
+  EXPECT_GT(ExpectedCompletionSeconds(monolithic, model,
+                                      RecoveryDiscipline::kFaultTolerant),
+            ExpectedCompletionSeconds(split, model,
+                                      RecoveryDiscipline::kFaultTolerant));
+}
+
+TEST(FaultsTest, MonteCarloAgreesWithAnalyticModel) {
+  const std::vector<double> rounds = {0.4, 1.2, 0.8};
+  PreemptionModel model;
+  model.rate_per_machine_sec = 0.05;
+  model.machines = 6;
+  for (const auto discipline : {RecoveryDiscipline::kFaultTolerant,
+                                RecoveryDiscipline::kInMemory}) {
+    const double analytic =
+        ExpectedCompletionSeconds(rounds, model, discipline);
+    const PreemptionTrialStats stats =
+        SimulatePreemptions(rounds, model, discipline, 20000, 11);
+    EXPECT_NEAR(stats.mean_seconds, analytic, 0.05 * analytic);
+    EXPECT_GE(stats.max_seconds, stats.mean_seconds);
+  }
+}
+
+TEST(FaultsTest, MonteCarloZeroRateIsDeterministic) {
+  const std::vector<double> rounds = {1.0, 2.0};
+  PreemptionModel off;
+  const PreemptionTrialStats stats = SimulatePreemptions(
+      rounds, off, RecoveryDiscipline::kInMemory, 10, 3);
+  EXPECT_DOUBLE_EQ(stats.mean_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(stats.mean_preemptions, 0.0);
+}
+
+TEST(FaultsTest, ClusterRoundLogMatchesRoundMetric) {
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(100, 300, 5));
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  Cluster cluster(config);
+  core::AmpcMis(cluster, g, 5);
+  EXPECT_EQ(static_cast<int64_t>(cluster.round_log().size()),
+            cluster.metrics().Get("rounds"));
+  double total = 0;
+  for (const double r : cluster.round_log()) {
+    EXPECT_GT(r, 0.0);
+    total += r;
+  }
+  EXPECT_NEAR(total, cluster.SimSeconds(), 1e-9);
+}
+
+TEST(FaultsTest, EndToEndAmpcJobDegradesGracefully) {
+  // An AMPC MIS run (few short rounds) under increasing preemption rates:
+  // expected completion grows smoothly, far below in-memory restarts.
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(200, 800, 13));
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  Cluster cluster(config);
+  core::AmpcMis(cluster, g, 13);
+
+  PreemptionModel model;
+  model.machines = config.num_machines;
+  double previous = cluster.SimSeconds();
+  for (const double rate : {0.001, 0.01, 0.1}) {
+    model.rate_per_machine_sec = rate;
+    const double ft = ExpectedCompletionSeconds(
+        cluster.round_log(), model, RecoveryDiscipline::kFaultTolerant);
+    EXPECT_GE(ft, previous);
+    EXPECT_LE(ft, ExpectedCompletionSeconds(cluster.round_log(), model,
+                                            RecoveryDiscipline::kInMemory));
+    previous = ft;
+  }
+}
+
+}  // namespace
+}  // namespace ampc::sim

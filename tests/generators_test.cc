@@ -1,0 +1,111 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace ampc::graph {
+namespace {
+
+TEST(GeneratorsTest, ErdosRenyiShape) {
+  EdgeList list = GenerateErdosRenyi(100, 300, 1);
+  EXPECT_EQ(list.num_nodes, 100);
+  EXPECT_EQ(list.edges.size(), 300u);
+  for (const Edge& e : list.edges) {
+    EXPECT_LT(e.u, 100u);
+    EXPECT_LT(e.v, 100u);
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministicPerSeed) {
+  EdgeList a = GenerateErdosRenyi(50, 100, 3);
+  EdgeList b = GenerateErdosRenyi(50, 100, 3);
+  EdgeList c = GenerateErdosRenyi(50, 100, 4);
+  EXPECT_EQ(a.edges.size(), b.edges.size());
+  bool same_as_c = a.edges.size() == c.edges.size();
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i], b.edges[i]);
+    if (same_as_c && !(a.edges[i] == c.edges[i])) same_as_c = false;
+  }
+  EXPECT_FALSE(same_as_c);
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  EdgeList list = GenerateRmat(12, 40000, 5);
+  EXPECT_EQ(list.num_nodes, 4096);
+  Graph g = BuildGraph(list);
+  // Heavy-tailed: the max degree should far exceed the average.
+  const double avg = static_cast<double>(g.num_arcs()) / g.num_nodes();
+  EXPECT_GT(g.max_degree(), 8 * avg);
+}
+
+TEST(GeneratorsTest, CycleIsTwoRegularAndConnected) {
+  EdgeList list = GenerateCycle(50);
+  Graph g = BuildGraph(list);
+  EXPECT_EQ(g.num_arcs(), 100);
+  for (int64_t v = 0; v < 50; ++v) {
+    EXPECT_EQ(g.degree(static_cast<NodeId>(v)), 2);
+  }
+  GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_components, 1);
+}
+
+TEST(GeneratorsTest, DoubleCycleHasTwoComponents) {
+  EdgeList list = GenerateDoubleCycle(40);
+  EXPECT_EQ(list.num_nodes, 80);
+  Graph g = BuildGraph(list);
+  for (int64_t v = 0; v < 80; ++v) {
+    EXPECT_EQ(g.degree(static_cast<NodeId>(v)), 2);
+  }
+  GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_components, 2);
+  EXPECT_EQ(stats.largest_component, 40);
+}
+
+TEST(GeneratorsTest, PathAndStarAndComplete) {
+  Graph path = BuildGraph(GeneratePath(10));
+  EXPECT_EQ(path.num_arcs(), 18);
+  Graph star = BuildGraph(GenerateStar(10));
+  EXPECT_EQ(star.degree(0), 9);
+  EXPECT_EQ(star.max_degree(), 9);
+  Graph complete = BuildGraph(GenerateComplete(6));
+  EXPECT_EQ(complete.num_arcs(), 30);
+}
+
+TEST(GeneratorsTest, GridShape) {
+  EdgeList list = GenerateGrid(3, 4);
+  EXPECT_EQ(list.num_nodes, 12);
+  // 3*3 horizontal + 2*4 vertical = 17 edges.
+  EXPECT_EQ(list.edges.size(), 17u);
+  Graph g = BuildGraph(list);
+  GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_components, 1);
+}
+
+TEST(GeneratorsTest, RandomTreeIsSpanningTree) {
+  EdgeList list = GenerateRandomTree(200, 7);
+  EXPECT_EQ(list.edges.size(), 199u);
+  Graph g = BuildGraph(list);
+  GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_components, 1);
+}
+
+TEST(GeneratorsTest, RandomForestHasRequestedTrees) {
+  EdgeList list = GenerateRandomForest(100, 5, 9);
+  EXPECT_EQ(list.edges.size(), 95u);
+  Graph g = BuildGraph(list);
+  GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_components, 5);
+}
+
+TEST(GeneratorsTest, TernaryTreeRespectsDegreeBound) {
+  EdgeList list = GenerateRandomTernaryTree(500, 11);
+  EXPECT_EQ(list.edges.size(), 499u);
+  Graph g = BuildGraph(list);
+  EXPECT_LE(g.max_degree(), 3);
+  GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_components, 1);
+}
+
+}  // namespace
+}  // namespace ampc::graph

@@ -1,0 +1,124 @@
+#include "seq/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/priorities.h"
+#include "graph/generators.h"
+
+namespace ampc::seq {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+TEST(GreedyMisTest, PathAlternates) {
+  EdgeList list = graph::GeneratePath(5);
+  Graph g = graph::BuildGraph(list);
+  std::vector<uint64_t> rank = {0, 10, 20, 30, 40};  // left to right
+  std::vector<uint8_t> mis = GreedyMis(g, rank);
+  EXPECT_EQ(mis, (std::vector<uint8_t>{1, 0, 1, 0, 1}));
+}
+
+TEST(GreedyMisTest, RankOrderChangesResult) {
+  EdgeList list = graph::GeneratePath(3);
+  Graph g = graph::BuildGraph(list);
+  std::vector<uint8_t> middle_first = GreedyMis(g, std::vector<uint64_t>{10, 0, 20});
+  EXPECT_EQ(middle_first, (std::vector<uint8_t>{0, 1, 0}));
+}
+
+TEST(GreedyMisTest, ValidatorsAcceptAndReject) {
+  EdgeList list = graph::GeneratePath(4);
+  Graph g = graph::BuildGraph(list);
+  EXPECT_TRUE(IsMaximalIndependentSet(g, std::vector<uint8_t>{1, 0, 1, 0}));
+  EXPECT_TRUE(IsMaximalIndependentSet(g, std::vector<uint8_t>{0, 1, 0, 1}));
+  // Adjacent pair: not independent.
+  EXPECT_FALSE(IsIndependentSet(g, std::vector<uint8_t>{1, 1, 0, 0}));
+  // Independent but not maximal (vertex 3 could join).
+  EXPECT_FALSE(IsMaximalIndependentSet(g, std::vector<uint8_t>{1, 0, 0, 0}));
+}
+
+class GreedyRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyRandomTest, MisIsAlwaysMaximalIndependent) {
+  const uint64_t seed = GetParam();
+  EdgeList list = graph::GenerateErdosRenyi(150, 500, seed);
+  Graph g = graph::BuildGraph(list);
+  std::vector<uint64_t> rank = core::AllVertexRanks(150, seed ^ 1);
+  std::vector<uint8_t> mis = GreedyMis(g, rank);
+  EXPECT_TRUE(IsMaximalIndependentSet(g, mis));
+}
+
+TEST_P(GreedyRandomTest, MatchingIsAlwaysMaximal) {
+  const uint64_t seed = GetParam();
+  EdgeList list = graph::GenerateErdosRenyi(150, 500, seed);
+  std::vector<uint64_t> rank = core::AllEdgeRanks(list, seed ^ 2);
+  MatchingResult mm = GreedyMaximalMatching(list, rank);
+  EXPECT_TRUE(IsMaximalMatching(list, mm.edges));
+  // Partner array is symmetric.
+  for (NodeId v = 0; v < 150; ++v) {
+    if (mm.partner[v] != kInvalidNode) {
+      EXPECT_EQ(mm.partner[mm.partner[v]], v);
+    }
+  }
+}
+
+TEST_P(GreedyRandomTest, VertexCoverCoversAndIsTwoApprox) {
+  const uint64_t seed = GetParam();
+  EdgeList list = graph::GenerateErdosRenyi(120, 360, seed);
+  std::vector<uint64_t> rank = core::AllEdgeRanks(list, seed ^ 3);
+  MatchingResult mm = GreedyMaximalMatching(list, rank);
+  std::vector<NodeId> cover = VertexCoverFromMatching(list, mm);
+  EXPECT_TRUE(IsVertexCover(list, cover));
+  // |cover| = 2|M| and any vertex cover has size >= |M|.
+  EXPECT_EQ(cover.size(), 2 * mm.edges.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(GreedyMatchingTest, RespectsRankOrder) {
+  // Path 0-1-2-3 with middle edge ranked first: M = {(1,2)} then nothing.
+  EdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1}, {1, 2}, {2, 3}};
+  MatchingResult mm =
+      GreedyMaximalMatching(list, std::vector<uint64_t>{5, 1, 9});
+  EXPECT_EQ(mm.edges, (std::vector<graph::EdgeId>{1}));
+  EXPECT_EQ(mm.partner[1], 2u);
+  EXPECT_EQ(mm.partner[0], kInvalidNode);
+}
+
+TEST(GreedyWeightMatchingTest, PrefersHeavyEdges) {
+  graph::WeightedEdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1, 1.0, 0}, {1, 2, 10.0, 1}, {2, 3, 1.0, 2}};
+  MatchingResult mm = GreedyWeightMatching(list);
+  EXPECT_EQ(mm.edges, (std::vector<graph::EdgeId>{1}));
+}
+
+TEST(GreedyWeightMatchingTest, TwoApproximationOnStars) {
+  // Star with one heavy edge: greedy picks exactly the heavy edge; the
+  // optimum is the same here, and the 2-approx bound holds trivially.
+  graph::WeightedEdgeList list;
+  list.num_nodes = 5;
+  list.edges = {
+      {0, 1, 5.0, 0}, {0, 2, 3.0, 1}, {0, 3, 2.0, 2}, {0, 4, 1.0, 3}};
+  MatchingResult mm = GreedyWeightMatching(list);
+  EXPECT_EQ(mm.edges, (std::vector<graph::EdgeId>{0}));
+}
+
+TEST(MatchingValidatorTest, RejectsBadMatchings) {
+  EdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_FALSE(IsMatching(list, {0, 1}));          // share vertex 1
+  EXPECT_FALSE(IsMatching(list, {5}));             // bogus id
+  EXPECT_TRUE(IsMatching(list, {0}));              // valid
+  EXPECT_FALSE(IsMaximalMatching(list, {0}));      // (2,3) addable
+  EXPECT_TRUE(IsMaximalMatching(list, {0, 2}));
+}
+
+}  // namespace
+}  // namespace ampc::seq

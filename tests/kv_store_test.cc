@@ -1,0 +1,109 @@
+#include "kv/store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "kv/byte_size.h"
+#include "kv/network_model.h"
+
+namespace ampc::kv {
+namespace {
+
+TEST(ByteSizeTest, ScalarsAndVectors) {
+  EXPECT_EQ(KvByteSize(uint32_t{5}), 4);
+  EXPECT_EQ(KvByteSize(double{1.0}), 8);
+  std::vector<uint32_t> v = {1, 2, 3};
+  EXPECT_EQ(KvByteSize(v), 8 + 12);  // length word + payload
+  std::pair<uint64_t, uint32_t> p{1, 2};
+  EXPECT_EQ(KvByteSize(p), 12);
+}
+
+TEST(StoreTest, PutThenLookup) {
+  Store<int> store(10);
+  EXPECT_EQ(store.Put(3, 42), kKeyBytes + 4);
+  const int* v = store.Lookup(3);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StoreTest, MissingKeyReturnsNull) {
+  Store<int> store(10);
+  EXPECT_EQ(store.Lookup(3), nullptr);
+  EXPECT_EQ(store.Lookup(999), nullptr);  // out of capacity: absent
+  EXPECT_FALSE(store.Contains(3));
+  EXPECT_EQ(store.RecordBytes(3), 0);
+}
+
+TEST(StoreTest, VectorValuesByteAccounting) {
+  Store<std::vector<uint32_t>> store(4);
+  std::vector<uint32_t> value = {7, 8, 9};
+  const int64_t bytes = store.Put(0, value);
+  EXPECT_EQ(bytes, kKeyBytes + 8 + 12);
+  EXPECT_EQ(store.RecordBytes(0), bytes);
+}
+
+TEST(StoreTest, SizeCountsPresentKeys) {
+  Store<int> store(100);
+  store.Put(1, 10);
+  store.Put(50, 20);
+  EXPECT_EQ(store.size(), 2);
+  EXPECT_EQ(store.capacity(), 100);
+}
+
+TEST(StoreTest, ConcurrentWritersDisjointKeys) {
+  const int64_t n = 10000;
+  Store<int64_t> store(n);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 8; ++t) {
+    writers.emplace_back([&store, t] {
+      for (int64_t k = t; k < n; k += 8) store.Put(k, k * 2);
+    });
+  }
+  for (auto& t : writers) t.join();
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t* v = store.Lookup(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k * 2);
+  }
+}
+
+TEST(StoreTest, ConcurrentReadersDuringWrites) {
+  const int64_t n = 4096;
+  Store<int64_t> store(n);
+  std::thread writer([&store] {
+    for (int64_t k = 0; k < n; ++k) store.Put(k, k + 1);
+  });
+  // Spin until the writer finishes, verifying we never observe a
+  // half-written value on the way.
+  int64_t observed = 0;
+  while (store.Lookup(n - 1) == nullptr) {
+    const int64_t k = observed % n;
+    const int64_t* v = store.Lookup(k);
+    if (v != nullptr) {
+      EXPECT_EQ(*v, k + 1);
+    }
+    ++observed;
+  }
+  writer.join();
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t* v = store.Lookup(k);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k + 1);
+  }
+}
+
+TEST(NetworkModelTest, PresetsAreOrdered) {
+  const NetworkModel rdma = NetworkModel::Rdma();
+  const NetworkModel tcp = NetworkModel::TcpIp();
+  EXPECT_LT(rdma.lookup_latency_sec, tcp.lookup_latency_sec);
+  EXPECT_GE(rdma.bytes_per_sec, tcp.bytes_per_sec);
+  EXPECT_EQ(rdma.name, "RDMA");
+  EXPECT_EQ(tcp.name, "TCP/IP");
+  const NetworkModel free = NetworkModel::Free();
+  EXPECT_EQ(free.lookup_latency_sec, 0);
+}
+
+}  // namespace
+}  // namespace ampc::kv

@@ -1,0 +1,98 @@
+#include "trees/lca.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+
+namespace ampc::trees {
+namespace {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::WeightedEdge;
+
+std::vector<WeightedEdge> ToWeighted(const graph::EdgeList& list) {
+  std::vector<WeightedEdge> edges;
+  for (size_t i = 0; i < list.edges.size(); ++i) {
+    edges.push_back(WeightedEdge{list.edges[i].u, list.edges[i].v, 1.0,
+                                 static_cast<graph::EdgeId>(i)});
+  }
+  return edges;
+}
+
+// Reference LCA by walking parents.
+NodeId NaiveLca(const RootedForest& f, NodeId u, NodeId v) {
+  if (!f.SameTree(u, v)) return kInvalidNode;
+  while (u != v) {
+    if (f.depth[u] >= f.depth[v]) {
+      u = f.parent[u];
+    } else {
+      v = f.parent[v];
+    }
+  }
+  return u;
+}
+
+TEST(LcaTest, SmallBinaryTree) {
+  // 0 has children {1, 2}; 1 has children {3, 4}.
+  std::vector<WeightedEdge> edges = {
+      {0, 1, 1, 0}, {0, 2, 1, 1}, {1, 3, 1, 2}, {1, 4, 1, 3}};
+  RootedForest f = BuildRootedForest(5, edges);
+  LcaOracle lca(f);
+  EXPECT_EQ(lca.Lca(3, 4), 1u);
+  EXPECT_EQ(lca.Lca(3, 2), 0u);
+  EXPECT_EQ(lca.Lca(1, 3), 1u);
+  EXPECT_EQ(lca.Lca(0, 4), 0u);
+  EXPECT_EQ(lca.Lca(2, 2), 2u);
+}
+
+TEST(LcaTest, DifferentTreesReturnInvalid) {
+  std::vector<WeightedEdge> edges = {{0, 1, 1, 0}, {2, 3, 1, 1}};
+  RootedForest f = BuildRootedForest(4, edges);
+  LcaOracle lca(f);
+  EXPECT_EQ(lca.Lca(0, 2), kInvalidNode);
+  EXPECT_EQ(lca.Lca(1, 3), kInvalidNode);
+  EXPECT_EQ(lca.Lca(0, 1), 0u);
+}
+
+TEST(LcaTest, TourLengthIsTwoNMinusTrees) {
+  std::vector<WeightedEdge> edges = {{0, 1, 1, 0}, {2, 3, 1, 1}};
+  RootedForest f = BuildRootedForest(5, edges);  // trees: {0,1},{2,3},{4}
+  LcaOracle lca(f);
+  EXPECT_EQ(lca.TourLength(), 2 * 5 - 3);
+}
+
+class LcaRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LcaRandomTest, MatchesNaiveOnRandomTrees) {
+  const uint64_t seed = GetParam();
+  graph::EdgeList tree = graph::GenerateRandomTree(400, seed);
+  RootedForest f = BuildRootedForest(400, ToWeighted(tree));
+  LcaOracle lca(f);
+  Rng rng(seed * 31 + 1);
+  for (int q = 0; q < 500; ++q) {
+    const NodeId u = static_cast<NodeId>(rng.NextBelow(400));
+    const NodeId v = static_cast<NodeId>(rng.NextBelow(400));
+    EXPECT_EQ(lca.Lca(u, v), NaiveLca(f, u, v)) << u << "," << v;
+  }
+}
+
+TEST_P(LcaRandomTest, MatchesNaiveOnRandomForests) {
+  const uint64_t seed = GetParam();
+  graph::EdgeList forest = graph::GenerateRandomForest(300, 7, seed);
+  RootedForest f = BuildRootedForest(300, ToWeighted(forest));
+  LcaOracle lca(f);
+  Rng rng(seed * 17 + 3);
+  for (int q = 0; q < 500; ++q) {
+    const NodeId u = static_cast<NodeId>(rng.NextBelow(300));
+    const NodeId v = static_cast<NodeId>(rng.NextBelow(300));
+    EXPECT_EQ(lca.Lca(u, v), NaiveLca(f, u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcaRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ampc::trees

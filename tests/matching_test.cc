@@ -1,0 +1,187 @@
+#include "core/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "core/priorities.h"
+#include "graph/generators.h"
+#include "seq/greedy.h"
+
+namespace ampc::core {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using graph::kInvalidNode;
+
+sim::ClusterConfig SmallConfig(bool caching = true) {
+  sim::ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  config.caching = caching;
+  return config;
+}
+
+EdgeList ShapeGraph(int shape, uint64_t seed) {
+  switch (shape) {
+    case 0:
+      return graph::GenerateErdosRenyi(300, 1200, seed);
+    case 1:
+      return graph::GenerateRmat(9, 2500, seed);
+    case 2:
+      return graph::GeneratePath(600);
+    case 3:
+      return graph::GenerateCycle(512);
+    default:
+      return graph::GenerateStar(200);
+  }
+}
+
+TEST(AmpcMatchingTest, SingleEdgeMatches) {
+  EdgeList list;
+  list.num_nodes = 2;
+  list.edges = {{0, 1}};
+  Graph g = graph::BuildGraph(list);
+  sim::Cluster cluster(SmallConfig());
+  MatchingResult r = AmpcMatching(cluster, g);
+  EXPECT_EQ(r.partner[0], 1u);
+  EXPECT_EQ(r.partner[1], 0u);
+}
+
+TEST(AmpcMatchingTest, UsesExactlyOneShuffle) {
+  Graph g = graph::BuildGraph(graph::GenerateErdosRenyi(400, 1600, 3));
+  sim::Cluster cluster(SmallConfig());
+  MatchingOptions options;
+  options.seed = 3;
+  AmpcMatching(cluster, g, options);
+  EXPECT_EQ(cluster.metrics().Get("shuffles"), 1);  // Table 3
+}
+
+class MatchingEqualityTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(MatchingEqualityTest, MatchesSequentialGreedyExactly) {
+  const auto [shape, seed] = GetParam();
+  EdgeList list = ShapeGraph(shape, seed);
+  Graph g = graph::BuildGraph(list);
+  sim::Cluster cluster(SmallConfig());
+  MatchingOptions options;
+  options.seed = seed;
+  MatchingResult ampc = AmpcMatching(cluster, g, options);
+
+  // Build the oracle over the *deduped* edge list of g so both sides see
+  // the same simple graph.
+  EdgeList simple;
+  simple.num_nodes = g.num_nodes();
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (graph::NodeId u : g.neighbors(v)) {
+      if (v < u) simple.edges.push_back(graph::Edge{v, u});
+    }
+  }
+  std::vector<uint64_t> ranks = AllEdgeRanks(simple, seed);
+  seq::MatchingResult oracle = seq::GreedyMaximalMatching(simple, ranks);
+  EXPECT_EQ(ampc.partner, oracle.partner);
+
+  seq::MatchingResult converted = ToSeqMatching(simple, ampc.partner);
+  EXPECT_TRUE(seq::IsMaximalMatching(simple, converted.edges));
+  EXPECT_EQ(converted.edges, oracle.edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatchingEqualityTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(AmpcMatchingTest, CachingOffStillCorrect) {
+  EdgeList list = graph::GenerateErdosRenyi(150, 600, 5);
+  Graph g = graph::BuildGraph(list);
+  sim::Cluster with_cache(SmallConfig(true));
+  sim::Cluster no_cache(SmallConfig(false));
+  MatchingOptions options;
+  options.seed = 5;
+  EXPECT_EQ(AmpcMatching(with_cache, g, options).partner,
+            AmpcMatching(no_cache, g, options).partner);
+}
+
+TEST(AmpcMatchingTest, CachingReducesKvTraffic) {
+  EdgeList list = graph::GenerateErdosRenyi(200, 1600, 7);
+  Graph g = graph::BuildGraph(list);
+  sim::Cluster with_cache(SmallConfig(true));
+  sim::Cluster no_cache(SmallConfig(false));
+  MatchingOptions options;
+  options.seed = 7;
+  AmpcMatching(with_cache, g, options);
+  AmpcMatching(no_cache, g, options);
+  EXPECT_LT(with_cache.metrics().Get("kv_read_bytes"),
+            no_cache.metrics().Get("kv_read_bytes"));
+}
+
+TEST(AmpcMatchingTest, TruncationRetriesUntilSettled) {
+  EdgeList list = graph::GenerateErdosRenyi(200, 900, 11);
+  Graph g = graph::BuildGraph(list);
+  sim::Cluster cluster(SmallConfig());
+  MatchingOptions options;
+  options.seed = 11;
+  options.max_queries_per_vertex = 8;  // aggressive truncation
+  MatchingResult r = AmpcMatching(cluster, g, options);
+  EXPECT_GE(r.phases, 1);
+
+  sim::Cluster unlimited(SmallConfig());
+  MatchingOptions wide;
+  wide.seed = 11;
+  MatchingResult full = AmpcMatching(unlimited, g, wide);
+  EXPECT_EQ(r.partner, full.partner);  // truncation changes cost, not output
+}
+
+TEST(AmpcMatchingTest, DeterministicAcrossClusterShapes) {
+  EdgeList list = graph::GenerateRmat(9, 3000, 13);
+  Graph g = graph::BuildGraph(list);
+  sim::ClusterConfig one;
+  one.num_machines = 1;
+  one.threads_per_machine = 1;
+  sim::ClusterConfig many;
+  many.num_machines = 11;
+  many.threads_per_machine = 3;
+  sim::Cluster c1(one), c2(many);
+  MatchingOptions options;
+  options.seed = 17;
+  EXPECT_EQ(AmpcMatching(c1, g, options).partner,
+            AmpcMatching(c2, g, options).partner);
+}
+
+class SampledMatchingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SampledMatchingTest, SampledVariantEqualsGreedyToo) {
+  const uint64_t seed = GetParam();
+  EdgeList list = graph::GenerateRmat(9, 3000, seed);
+  Graph g = graph::BuildGraph(list);
+  sim::Cluster cluster(SmallConfig());
+  MatchingOptions options;
+  options.seed = seed;
+  MatchingResult sampled = AmpcMatchingSampled(cluster, g, options);
+
+  sim::Cluster direct_cluster(SmallConfig());
+  MatchingResult direct = AmpcMatching(direct_cluster, g, options);
+  // Algorithm 4's union of per-level matchings is the global LFMM.
+  EXPECT_EQ(sampled.partner, direct.partner);
+  EXPECT_GE(sampled.phases, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SampledMatchingTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(AmpcMatchingTest, LongPathNoStackOverflow) {
+  Graph g = graph::BuildGraph(graph::GeneratePath(120000));
+  sim::Cluster cluster(SmallConfig());
+  MatchingOptions options;
+  options.seed = 23;
+  MatchingResult r = AmpcMatching(cluster, g, options);
+  // Validate as a matching on the path.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (r.partner[v] != kInvalidNode) {
+      EXPECT_EQ(r.partner[r.partner[v]], v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ampc::core

@@ -1,0 +1,97 @@
+#include "core/one_vs_two_cycle.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/local_contraction.h"
+#include "graph/generators.h"
+
+namespace ampc::core {
+namespace {
+
+sim::ClusterConfig SmallConfig() {
+  sim::ClusterConfig config;
+  config.num_machines = 4;
+  config.in_memory_threshold_arcs = 64;
+  return config;
+}
+
+class OneVsTwoCycleTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, uint64_t>> {};
+
+TEST_P(OneVsTwoCycleTest, DistinguishesOneFromTwo) {
+  const auto [k, seed] = GetParam();
+  CycleOptions options;
+  options.seed = seed;
+  options.sample_probability = 1.0 / 32;
+
+  graph::Graph one = graph::BuildGraph(graph::GenerateCycle(2 * k));
+  sim::Cluster c1(SmallConfig());
+  EXPECT_EQ(AmpcOneVsTwoCycle(c1, one, options).num_cycles, 1);
+
+  graph::Graph two = graph::BuildGraph(graph::GenerateDoubleCycle(k));
+  sim::Cluster c2(SmallConfig());
+  EXPECT_EQ(AmpcOneVsTwoCycle(c2, two, options).num_cycles, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OneVsTwoCycleTest,
+    ::testing::Combine(::testing::Values<int64_t>(64, 500, 4096),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(OneVsTwoCycleTest, SparseSamplingRetriesOnTinyCycles) {
+  // With probability 1/1024 on a 12-vertex instance, several attempts may
+  // sample nothing; the retry loop must still resolve correctly.
+  CycleOptions options;
+  options.seed = 5;
+  options.sample_probability = 1.0 / 1024;
+  graph::Graph two = graph::BuildGraph(graph::GenerateDoubleCycle(6));
+  sim::Cluster cluster(SmallConfig());
+  CycleResult r = AmpcOneVsTwoCycle(cluster, two, options);
+  EXPECT_EQ(r.num_cycles, 2);
+  EXPECT_GE(r.attempts, 1);
+}
+
+TEST(OneVsTwoCycleTest, SingleShuffleForStaging) {
+  graph::Graph g = graph::BuildGraph(graph::GenerateCycle(5000));
+  sim::Cluster cluster(SmallConfig());
+  CycleOptions options;
+  options.sample_probability = 1.0 / 64;
+  CycleResult r = AmpcOneVsTwoCycle(cluster, g, options);
+  EXPECT_EQ(r.num_cycles, 1);
+  // One staging shuffle + one gather per attempt (Section 5.6: "a single
+  // shuffle used to write the graph to the key-value store").
+  EXPECT_EQ(cluster.metrics().Get("shuffles"), 1 + r.attempts);
+}
+
+TEST(OneVsTwoCycleDeathTest, RejectsNonCycleInputs) {
+  graph::Graph star = graph::BuildGraph(graph::GenerateStar(10));
+  sim::Cluster cluster(SmallConfig());
+  EXPECT_DEATH(AmpcOneVsTwoCycle(cluster, star), "union of cycles");
+}
+
+TEST(OneVsTwoCycleTest, AgreesWithMpcBaseline) {
+  for (uint64_t seed : {7u, 8u}) {
+    for (int cycles = 1; cycles <= 2; ++cycles) {
+      graph::EdgeList list = cycles == 1 ? graph::GenerateCycle(3000)
+                                         : graph::GenerateDoubleCycle(1500);
+      graph::Graph g = graph::BuildGraph(list);
+      sim::Cluster ampc_cluster(SmallConfig());
+      CycleOptions options;
+      options.seed = seed;
+      options.sample_probability = 1.0 / 64;
+      const int ampc = AmpcOneVsTwoCycle(ampc_cluster, g, options).num_cycles;
+
+      sim::Cluster mpc_cluster(SmallConfig());
+      const int mpc =
+          baselines::MpcOneVsTwoCycle(mpc_cluster, list, seed);
+      EXPECT_EQ(ampc, cycles);
+      EXPECT_EQ(mpc, cycles);
+      // The headline claim: AMPC needs far fewer shuffles than MPC.
+      EXPECT_LT(ampc_cluster.metrics().Get("shuffles"),
+                mpc_cluster.metrics().Get("shuffles"));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ampc::core

@@ -1,0 +1,135 @@
+#include "trees/path_max.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "graph/generators.h"
+
+namespace ampc::trees {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::WeightedEdge;
+
+std::vector<WeightedEdge> RandomWeightedTree(int64_t n, uint64_t seed) {
+  graph::EdgeList tree = graph::GenerateRandomTree(n, seed);
+  std::vector<WeightedEdge> edges;
+  for (size_t i = 0; i < tree.edges.size(); ++i) {
+    edges.push_back(WeightedEdge{
+        tree.edges[i].u, tree.edges[i].v,
+        ToUnitDouble(Hash64(i, seed ^ 0x77)), static_cast<EdgeId>(i)});
+  }
+  return edges;
+}
+
+// Reference: walk u and v up to their meeting point, tracking the max.
+PathMaxOracle::MaxEdge NaiveMaxEdge(const RootedForest& f, NodeId u,
+                                    NodeId v) {
+  PathMaxOracle::MaxEdge best{-1e300, graph::kInvalidEdge};
+  auto fold = [&](NodeId w) {
+    PathMaxOracle::MaxEdge e{f.parent_weight[w], f.parent_edge_id[w]};
+    if (best < e) best = e;
+  };
+  while (u != v) {
+    if (f.depth[u] >= f.depth[v]) {
+      fold(u);
+      u = f.parent[u];
+    } else {
+      fold(v);
+      v = f.parent[v];
+    }
+  }
+  return best;
+}
+
+TEST(PathMaxTest, SimplePath) {
+  // 0 -1.0- 1 -5.0- 2 -2.0- 3
+  std::vector<WeightedEdge> edges = {
+      {0, 1, 1.0, 0}, {1, 2, 5.0, 1}, {2, 3, 2.0, 2}};
+  RootedForest f = BuildRootedForest(4, edges);
+  PathMaxOracle oracle(f);
+  auto e = oracle.MaxEdgeOnPath(0, 3);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->id, 1u);
+  EXPECT_EQ(e->w, 5.0);
+  auto e2 = oracle.MaxEdgeOnPath(2, 3);
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->id, 2u);
+}
+
+TEST(PathMaxTest, EmptyPathIsNullopt) {
+  std::vector<WeightedEdge> edges = {{0, 1, 1.0, 0}};
+  RootedForest f = BuildRootedForest(2, edges);
+  PathMaxOracle oracle(f);
+  EXPECT_FALSE(oracle.MaxEdgeOnPath(1, 1).has_value());
+}
+
+class PathMaxRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PathMaxRandomTest, MatchesNaiveWalk) {
+  const uint64_t seed = GetParam();
+  const int64_t n = 300;
+  std::vector<WeightedEdge> edges = RandomWeightedTree(n, seed);
+  RootedForest f = BuildRootedForest(n, edges);
+  PathMaxOracle oracle(f);
+  Rng rng(seed + 1000);
+  for (int q = 0; q < 400; ++q) {
+    NodeId u = static_cast<NodeId>(rng.NextBelow(n));
+    NodeId v = static_cast<NodeId>(rng.NextBelow(n));
+    if (u == v) continue;
+    auto fast = oracle.MaxEdgeOnPath(u, v);
+    auto naive = NaiveMaxEdge(f, u, v);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_EQ(fast->id, naive.id);
+    EXPECT_EQ(fast->w, naive.w);
+  }
+}
+
+TEST_P(PathMaxRandomTest, LightEdgeCountIsLogarithmic) {
+  // Lemma B.1: every root path has O(log n) light edges.
+  const uint64_t seed = GetParam();
+  const int64_t n = 4096;
+  std::vector<WeightedEdge> edges = RandomWeightedTree(n, seed);
+  RootedForest f = BuildRootedForest(n, edges);
+  PathMaxOracle oracle(f);
+  const double bound = 2.0 * std::log2(static_cast<double>(n)) + 2;
+  for (NodeId v = 0; v < n; v += 7) {
+    EXPECT_LE(oracle.CountLightEdgesToRoot(v), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathMaxRandomTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+TEST(PathMaxTest, StarAllPathsThroughCenter) {
+  std::vector<WeightedEdge> edges;
+  for (NodeId leaf = 1; leaf <= 8; ++leaf) {
+    edges.push_back(WeightedEdge{0, leaf, static_cast<double>(leaf),
+                                 static_cast<EdgeId>(leaf - 1)});
+  }
+  RootedForest f = BuildRootedForest(9, edges);
+  PathMaxOracle oracle(f);
+  auto e = oracle.MaxEdgeOnPath(3, 7);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->w, 7.0);
+  auto e2 = oracle.MaxEdgeOnPath(0, 5);
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->w, 5.0);
+}
+
+TEST(PathMaxTest, HeavyPathTieBreaksById) {
+  // Equal weights: the max edge must be the one with the larger id.
+  std::vector<WeightedEdge> edges = {
+      {0, 1, 3.0, 0}, {1, 2, 3.0, 1}, {2, 3, 3.0, 2}};
+  RootedForest f = BuildRootedForest(4, edges);
+  PathMaxOracle oracle(f);
+  auto e = oracle.MaxEdgeOnPath(0, 3);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->id, 2u);
+}
+
+}  // namespace
+}  // namespace ampc::trees

@@ -1,0 +1,76 @@
+#include "trees/rmq.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ampc::trees {
+namespace {
+
+TEST(SparseTableTest, MinOnSmallArray) {
+  MinSparseTable<int64_t> rmq({5, 2, 8, 2, 9});
+  EXPECT_EQ(rmq.Query(0, 4), 2);
+  EXPECT_EQ(rmq.QueryIndex(0, 4), 1);  // ties break to the left
+  EXPECT_EQ(rmq.QueryIndex(2, 4), 3);
+  EXPECT_EQ(rmq.Query(2, 2), 8);
+  EXPECT_EQ(rmq.Query(4, 4), 9);
+}
+
+TEST(SparseTableTest, MaxOnSmallArray) {
+  MaxSparseTable<int64_t> rmq({5, 2, 8, 2, 9});
+  EXPECT_EQ(rmq.Query(0, 4), 9);
+  EXPECT_EQ(rmq.Query(0, 2), 8);
+  EXPECT_EQ(rmq.QueryIndex(0, 1), 0);
+}
+
+TEST(SparseTableTest, SingleElement) {
+  MinSparseTable<int64_t> rmq({42});
+  EXPECT_EQ(rmq.Query(0, 0), 42);
+}
+
+TEST(SparseTableTest, MatchesNaiveOnRandomArrays) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t k = 1 + static_cast<int64_t>(rng.NextBelow(200));
+    std::vector<int64_t> values(k);
+    for (auto& v : values) v = static_cast<int64_t>(rng.NextBelow(50));
+    MinSparseTable<int64_t> min_rmq(values);
+    MaxSparseTable<int64_t> max_rmq(values);
+    for (int q = 0; q < 100; ++q) {
+      int64_t lo = static_cast<int64_t>(rng.NextBelow(k));
+      int64_t hi = static_cast<int64_t>(rng.NextBelow(k));
+      if (lo > hi) std::swap(lo, hi);
+      const auto begin = values.begin() + lo;
+      const auto end = values.begin() + hi + 1;
+      EXPECT_EQ(min_rmq.Query(lo, hi), *std::min_element(begin, end));
+      EXPECT_EQ(max_rmq.Query(lo, hi), *std::max_element(begin, end));
+    }
+  }
+}
+
+TEST(SparseTableTest, TieBreaksToSmallestIndex) {
+  MinSparseTable<int64_t> rmq({3, 3, 3, 3});
+  for (int64_t lo = 0; lo < 4; ++lo) {
+    for (int64_t hi = lo; hi < 4; ++hi) {
+      EXPECT_EQ(rmq.QueryIndex(lo, hi), lo);
+    }
+  }
+}
+
+TEST(SparseTableTest, WorksWithCustomOrderedType) {
+  struct Slot {
+    double w;
+    int id;
+    bool operator<(const Slot& o) const { return w < o.w; }
+    bool operator>(const Slot& o) const { return o < *this; }
+  };
+  MaxSparseTable<Slot> rmq({{1.0, 0}, {5.0, 1}, {2.0, 2}});
+  EXPECT_EQ(rmq.Query(0, 2).id, 1);
+  EXPECT_EQ(rmq.Query(2, 2).id, 2);
+}
+
+}  // namespace
+}  // namespace ampc::trees

@@ -1,0 +1,104 @@
+#include "trees/rooted_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ampc::trees {
+namespace {
+
+using graph::NodeId;
+using graph::WeightedEdge;
+
+std::vector<WeightedEdge> PathEdges(int64_t n) {
+  std::vector<WeightedEdge> edges;
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    edges.push_back(WeightedEdge{static_cast<NodeId>(i),
+                                 static_cast<NodeId>(i + 1),
+                                 static_cast<double>(i), static_cast<graph::EdgeId>(i)});
+  }
+  return edges;
+}
+
+TEST(RootedForestTest, PathRootsAtZero) {
+  RootedForest f = BuildRootedForest(5, PathEdges(5));
+  EXPECT_TRUE(f.IsRoot(0));
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_EQ(f.parent[v], v - 1);
+    EXPECT_EQ(f.depth[v], v);
+    EXPECT_EQ(f.root[v], 0u);
+    EXPECT_EQ(f.parent_weight[v], static_cast<double>(v - 1));
+    EXPECT_EQ(f.parent_edge_id[v], v - 1);
+  }
+}
+
+TEST(RootedForestTest, MultipleTrees) {
+  std::vector<WeightedEdge> edges = {{0, 1, 1.0, 0}, {3, 4, 2.0, 1}};
+  RootedForest f = BuildRootedForest(5, edges);
+  EXPECT_TRUE(f.IsRoot(0));
+  EXPECT_TRUE(f.IsRoot(2));
+  EXPECT_TRUE(f.IsRoot(3));
+  EXPECT_TRUE(f.SameTree(0, 1));
+  EXPECT_TRUE(f.SameTree(3, 4));
+  EXPECT_FALSE(f.SameTree(0, 3));
+  EXPECT_FALSE(f.SameTree(2, 4));
+}
+
+TEST(RootedForestTest, ChildrenCsrIsConsistent) {
+  std::vector<WeightedEdge> edges = {
+      {0, 1, 1, 0}, {0, 2, 1, 1}, {1, 3, 1, 2}};
+  RootedForest f = BuildRootedForest(4, edges);
+  // Children of 0 are {1, 2}; of 1 are {3}.
+  std::vector<NodeId> c0(f.children.begin() + f.child_offsets[0],
+                         f.children.begin() + f.child_offsets[1]);
+  std::sort(c0.begin(), c0.end());
+  EXPECT_EQ(c0, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(f.child_offsets[2] - f.child_offsets[1], 1);
+  EXPECT_EQ(f.children[f.child_offsets[1]], 3u);
+}
+
+TEST(RootedForestTest, BfsOrderParentsFirst) {
+  graph::EdgeList tree = graph::GenerateRandomTree(300, 9);
+  std::vector<WeightedEdge> edges;
+  for (size_t i = 0; i < tree.edges.size(); ++i) {
+    edges.push_back(WeightedEdge{tree.edges[i].u, tree.edges[i].v, 1.0,
+                                 static_cast<graph::EdgeId>(i)});
+  }
+  RootedForest f = BuildRootedForest(300, edges);
+  std::vector<int64_t> position(300, -1);
+  for (size_t i = 0; i < f.bfs_order.size(); ++i) {
+    position[f.bfs_order[i]] = static_cast<int64_t>(i);
+  }
+  for (NodeId v = 0; v < 300; ++v) {
+    ASSERT_NE(position[v], -1);
+    if (!f.IsRoot(v)) {
+      EXPECT_LT(position[f.parent[v]], position[v]);
+    }
+  }
+}
+
+TEST(RootedForestTest, DepthsAreConsistent) {
+  graph::EdgeList tree = graph::GenerateRandomTree(500, 4);
+  std::vector<WeightedEdge> edges;
+  for (size_t i = 0; i < tree.edges.size(); ++i) {
+    edges.push_back(WeightedEdge{tree.edges[i].u, tree.edges[i].v, 1.0,
+                                 static_cast<graph::EdgeId>(i)});
+  }
+  RootedForest f = BuildRootedForest(500, edges);
+  for (NodeId v = 0; v < 500; ++v) {
+    if (f.IsRoot(v)) {
+      EXPECT_EQ(f.depth[v], 0);
+    } else {
+      EXPECT_EQ(f.depth[v], f.depth[f.parent[v]] + 1);
+    }
+  }
+}
+
+TEST(RootedForestDeathTest, CycleIsRejected) {
+  std::vector<WeightedEdge> edges = {
+      {0, 1, 1, 0}, {1, 2, 1, 1}, {2, 0, 1, 2}};
+  EXPECT_DEATH(BuildRootedForest(3, edges), "cycle");
+}
+
+}  // namespace
+}  // namespace ampc::trees

@@ -1,0 +1,129 @@
+#include "seq/msf.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.h"
+#include "seq/union_find.h"
+#include "graph/generators.h"
+
+namespace ampc::seq {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::WeightedEdge;
+using graph::WeightedEdgeList;
+
+WeightedEdgeList RandomWeighted(int64_t n, int64_t m, uint64_t seed) {
+  graph::EdgeList raw = graph::GenerateErdosRenyi(n, m, seed);
+  return graph::MakeRandomWeighted(raw, seed ^ 0xabc);
+}
+
+TEST(KruskalTest, TriangleDropsHeaviest) {
+  WeightedEdgeList list;
+  list.num_nodes = 3;
+  list.edges = {{0, 1, 1.0, 0}, {1, 2, 2.0, 1}, {2, 0, 3.0, 2}};
+  std::vector<EdgeId> msf = KruskalMsf(list);
+  EXPECT_EQ(msf, (std::vector<EdgeId>{0, 1}));
+  EXPECT_EQ(TotalWeight(list, msf), 3.0);
+}
+
+TEST(KruskalTest, TieBreaksByEdgeId) {
+  WeightedEdgeList list;
+  list.num_nodes = 3;
+  list.edges = {{0, 1, 1.0, 0}, {1, 2, 1.0, 1}, {2, 0, 1.0, 2}};
+  std::vector<EdgeId> msf = KruskalMsf(list);
+  EXPECT_EQ(msf, (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(KruskalTest, DisconnectedGraphGivesForest) {
+  WeightedEdgeList list;
+  list.num_nodes = 6;
+  list.edges = {{0, 1, 1.0, 0}, {1, 2, 2.0, 1}, {3, 4, 1.0, 2}};
+  std::vector<EdgeId> msf = KruskalMsf(list);
+  EXPECT_EQ(msf.size(), 3u);
+  EXPECT_TRUE(IsSpanningForest(list, msf));
+}
+
+TEST(KruskalTest, SelfLoopsIgnored) {
+  WeightedEdgeList list;
+  list.num_nodes = 2;
+  list.edges = {{0, 0, 0.5, 0}, {0, 1, 1.0, 1}};
+  EXPECT_EQ(KruskalMsf(list), (std::vector<EdgeId>{1}));
+}
+
+TEST(KruskalTest, EmptyGraph) {
+  WeightedEdgeList list;
+  list.num_nodes = 5;
+  EXPECT_TRUE(KruskalMsf(list).empty());
+}
+
+class MsfCrossCheckTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MsfCrossCheckTest, KruskalPrimBoruvkaAgree) {
+  const uint64_t seed = GetParam();
+  WeightedEdgeList list = RandomWeighted(200, 600, seed);
+  std::vector<EdgeId> kruskal = KruskalMsf(list);
+  std::vector<EdgeId> boruvka = BoruvkaMsf(list);
+  graph::WeightedGraph g = graph::BuildWeightedGraph(list);
+  std::vector<EdgeId> prim = PrimMsf(g);
+  // Unique weights (hash-based + id tie-break): identical edge sets.
+  EXPECT_EQ(kruskal, boruvka);
+  // Prim runs on the deduped graph: compare total weight and size, then
+  // set equality via spanning-forest checks.
+  EXPECT_EQ(kruskal.size(), prim.size());
+  EXPECT_DOUBLE_EQ(TotalWeight(list, kruskal), TotalWeight(list, prim));
+  EXPECT_TRUE(IsSpanningForest(list, kruskal));
+  EXPECT_TRUE(IsSpanningForest(list, prim));
+}
+
+TEST_P(MsfCrossCheckTest, MsfIsMinimalAgainstSwaps) {
+  // Exchange property spot check: replacing an MSF edge with any non-MSF
+  // edge of smaller order must disconnect something (i.e., total weight
+  // of any spanning forest >= MSF weight).
+  const uint64_t seed = GetParam();
+  WeightedEdgeList list = RandomWeighted(60, 150, seed + 100);
+  std::vector<EdgeId> msf = KruskalMsf(list);
+  const double best = TotalWeight(list, msf);
+  Rng rng(seed);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random spanning forest via randomized Kruskal order.
+    std::vector<uint32_t> order(list.edges.size());
+    std::iota(order.begin(), order.end(), 0u);
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBelow(i)]);
+    }
+    UnionFind uf(list.num_nodes);
+    double total = 0;
+    for (uint32_t idx : order) {
+      const WeightedEdge& e = list.edges[idx];
+      if (e.u != e.v && uf.Union(e.u, e.v)) total += e.w;
+    }
+    EXPECT_GE(total, best - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsfCrossCheckTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SpanningForestCheckTest, DetectsCycleAndNonSpanning) {
+  WeightedEdgeList list;
+  list.num_nodes = 3;
+  list.edges = {{0, 1, 1.0, 0}, {1, 2, 1.0, 1}, {2, 0, 1.0, 2}};
+  EXPECT_FALSE(IsSpanningForest(list, {0, 1, 2}));  // cycle
+  EXPECT_FALSE(IsSpanningForest(list, {0}));        // not spanning
+  EXPECT_TRUE(IsSpanningForest(list, {0, 2}));
+}
+
+TEST(TotalWeightTest, SumsSelectedEdges) {
+  WeightedEdgeList list;
+  list.num_nodes = 3;
+  list.edges = {{0, 1, 1.5, 7}, {1, 2, 2.5, 9}};
+  EXPECT_DOUBLE_EQ(TotalWeight(list, {7, 9}), 4.0);
+  EXPECT_DOUBLE_EQ(TotalWeight(list, {9}), 2.5);
+}
+
+}  // namespace
+}  // namespace ampc::seq

@@ -1,0 +1,90 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ampc::graph {
+namespace {
+
+TEST(StatsTest, PathStats) {
+  Graph g = BuildGraph(GeneratePath(10));
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 10);
+  EXPECT_EQ(s.num_arcs, 18);
+  EXPECT_EQ(s.num_components, 1);
+  EXPECT_EQ(s.largest_component, 10);
+  EXPECT_EQ(s.diameter_lower_bound, 9);
+}
+
+TEST(StatsTest, DoubleCycleStats) {
+  Graph g = BuildGraph(GenerateDoubleCycle(20));
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_components, 2);
+  EXPECT_EQ(s.largest_component, 20);
+  EXPECT_EQ(s.diameter_lower_bound, 10);  // eccentricity within one cycle
+}
+
+TEST(StatsTest, IsolatedVerticesAreComponents) {
+  EdgeList list;
+  list.num_nodes = 5;
+  list.edges = {{0, 1}};
+  Graph g = BuildGraph(list);
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_components, 4);
+  EXPECT_EQ(s.largest_component, 2);
+}
+
+TEST(StatsTest, SequentialComponentsLabelsBySmallestId) {
+  EdgeList list;
+  list.num_nodes = 6;
+  list.edges = {{3, 4}, {1, 2}};
+  Graph g = BuildGraph(list);
+  std::vector<NodeId> labels = SequentialComponents(g);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[2], 1u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 3u);
+  EXPECT_EQ(labels[5], 5u);
+}
+
+TEST(StatsTest, ComponentSizesSortedDescending) {
+  std::vector<NodeId> labels = {0, 0, 0, 3, 3, 5};
+  std::vector<int64_t> sizes = ComponentSizes(labels);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 3);
+  EXPECT_EQ(sizes[1], 2);
+  EXPECT_EQ(sizes[2], 1);
+}
+
+TEST(StatsTest, SamePartitionIgnoresLabelNames) {
+  std::vector<NodeId> a = {0, 0, 2, 2};
+  std::vector<NodeId> b = {7, 7, 9, 9};
+  std::vector<NodeId> c = {7, 7, 9, 7};
+  EXPECT_TRUE(SamePartition(a, b));
+  EXPECT_FALSE(SamePartition(a, c));
+  EXPECT_FALSE(SamePartition(a, {0, 0, 2}));
+}
+
+TEST(StatsTest, SamePartitionCatchesMergedClasses) {
+  // b maps two distinct classes of a onto one label.
+  std::vector<NodeId> a = {0, 1};
+  std::vector<NodeId> b = {5, 5};
+  EXPECT_FALSE(SamePartition(a, b));
+  EXPECT_FALSE(SamePartition(b, a));
+}
+
+TEST(StatsTest, RmatStatsSane) {
+  Graph g = BuildGraph(GenerateRmat(10, 8000, 3));
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 1024);
+  EXPECT_GT(s.num_components, 0);
+  EXPECT_GE(s.largest_component, s.num_nodes / 2);
+  EXPECT_GT(s.diameter_lower_bound, 1);
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("n=1024"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ampc::graph

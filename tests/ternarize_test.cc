@@ -1,0 +1,153 @@
+#include "graph/ternarize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "seq/msf.h"
+
+namespace ampc::graph {
+namespace {
+
+WeightedEdgeList StarWithWeights(int64_t leaves) {
+  WeightedEdgeList list;
+  list.num_nodes = leaves + 1;
+  for (int64_t i = 1; i <= leaves; ++i) {
+    list.edges.push_back(WeightedEdge{0, static_cast<NodeId>(i),
+                                      static_cast<Weight>(i),
+                                      static_cast<EdgeId>(i - 1)});
+  }
+  return list;
+}
+
+TEST(TernarizeTest, LowDegreeGraphUnchangedStructurally) {
+  WeightedEdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1, 1.0, 0}, {1, 2, 2.0, 1}, {2, 3, 3.0, 2}};
+  Ternarized t = TernarizeGraph(list);
+  EXPECT_EQ(t.list.num_nodes, 4);
+  EXPECT_EQ(t.list.edges.size(), 3u);
+  EXPECT_EQ(t.first_dummy_id, 3u);
+}
+
+TEST(TernarizeTest, HighDegreeVertexBecomesCycle) {
+  WeightedEdgeList star = StarWithWeights(5);
+  Ternarized t = TernarizeGraph(star);
+  // Center (deg 5) -> 5 vertices; leaves stay single: 5 + 5 = 10.
+  EXPECT_EQ(t.list.num_nodes, 10);
+  // 5 original + 5 dummy cycle edges.
+  EXPECT_EQ(t.list.edges.size(), 10u);
+  // Max degree must now be <= 3.
+  Graph g = BuildGraph(StripWeights(t.list));
+  EXPECT_LE(g.max_degree(), 3);
+}
+
+TEST(TernarizeTest, OrigOfNodeMapsBack) {
+  WeightedEdgeList star = StarWithWeights(5);
+  Ternarized t = TernarizeGraph(star);
+  int64_t center_copies = 0;
+  for (NodeId orig : t.orig_of_node) center_copies += (orig == 0);
+  EXPECT_EQ(center_copies, 5);
+}
+
+TEST(TernarizeTest, DummyWeightBelowLightestRealEdge) {
+  WeightedEdgeList star = StarWithWeights(4);
+  Ternarized t = TernarizeGraph(star);
+  EXPECT_LT(t.dummy_weight, 1.0);
+  for (const WeightedEdge& e : t.list.edges) {
+    if (e.id >= t.first_dummy_id) {
+      EXPECT_EQ(e.w, t.dummy_weight);
+    }
+  }
+}
+
+TEST(TernarizeTest, PreservesConnectivity) {
+  EdgeList raw = GenerateRmat(8, 1500, 21);
+  Graph g = BuildGraph(raw);
+  // Rebuild a simple (deduped) edge list from the graph.
+  WeightedEdgeList simple;
+  simple.num_nodes = g.num_nodes();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (v < u) {
+        simple.edges.push_back(WeightedEdge{
+            v, u, 1.0, static_cast<EdgeId>(simple.edges.size())});
+      }
+    }
+  }
+  Ternarized t = TernarizeGraph(simple);
+  Graph tg = BuildGraph(StripWeights(t.list));
+  EXPECT_LE(tg.max_degree(), 3);
+
+  // Components must correspond 1:1 through orig_of_node.
+  std::vector<NodeId> orig_labels = SequentialComponents(g);
+  std::vector<NodeId> tern_labels = SequentialComponents(tg);
+  std::vector<NodeId> lifted(tern_labels.size());
+  for (size_t i = 0; i < tern_labels.size(); ++i) {
+    lifted[i] = orig_labels[t.orig_of_node[tern_labels[i]]];
+  }
+  for (size_t i = 0; i < lifted.size(); ++i) {
+    EXPECT_EQ(lifted[i], orig_labels[t.orig_of_node[i]]);
+  }
+}
+
+TEST(TernarizeTest, MsfOfTernarizedMatchesOriginal) {
+  // MSF(ternarized) minus dummies == MSF(original) by edge id.
+  EdgeList raw = GenerateErdosRenyi(60, 200, 33);
+  Graph g = BuildGraph(raw);
+  WeightedEdgeList simple;
+  simple.num_nodes = g.num_nodes();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (v < u) {
+        simple.edges.push_back(WeightedEdge{
+            v, u, ToUnitDouble(HashEdge(v, u, 5)),
+            static_cast<EdgeId>(simple.edges.size())});
+      }
+    }
+  }
+  Ternarized t = TernarizeGraph(simple);
+  std::vector<EdgeId> tern_msf = seq::KruskalMsf(t.list);
+  std::vector<EdgeId> recovered = StripDummyEdges(t, tern_msf);
+  std::vector<EdgeId> direct = seq::KruskalMsf(simple);
+  EXPECT_EQ(recovered, direct);
+}
+
+TEST(TernarizeTest, SelfLoopsAreDropped) {
+  // Self-loops can never join an MSF; ternarization must skip them rather
+  // than give the looped vertex phantom cycle slots.
+  WeightedEdgeList list;
+  list.num_nodes = 3;
+  list.edges = {{0, 0, 0.5, 0}, {0, 1, 1.0, 1}, {1, 2, 2.0, 2},
+                {2, 2, 0.1, 3}};
+  Ternarized t = TernarizeGraph(list);
+  EXPECT_EQ(t.list.num_nodes, 3);
+  EXPECT_EQ(t.list.edges.size(), 2u);
+  for (const WeightedEdge& e : t.list.edges) EXPECT_NE(e.u, e.v);
+  std::vector<EdgeId> msf = StripDummyEdges(t, seq::KruskalMsf(t.list));
+  EXPECT_EQ(msf, (std::vector<EdgeId>{1, 2}));
+}
+
+TEST(TernarizeTest, SelfLoopOnHighDegreeVertex) {
+  WeightedEdgeList star = StarWithWeights(5);
+  star.edges.push_back(
+      WeightedEdge{0, 0, 0.25, static_cast<EdgeId>(star.edges.size())});
+  Ternarized t = TernarizeGraph(star);
+  // Same layout as the loop-free star: center deg 5 -> 5 cycle slots.
+  EXPECT_EQ(t.list.num_nodes, 10);
+  EXPECT_EQ(t.list.edges.size(), 10u);
+  Graph g = BuildGraph(StripWeights(t.list));
+  EXPECT_LE(g.max_degree(), 3);
+}
+
+TEST(TernarizeTest, StripDummyEdgesFilters) {
+  Ternarized t;
+  t.first_dummy_id = 10;
+  std::vector<EdgeId> mixed = {1, 5, 10, 11, 9};
+  std::vector<EdgeId> real = StripDummyEdges(t, mixed);
+  EXPECT_EQ(real, (std::vector<EdgeId>{1, 5, 9}));
+}
+
+}  // namespace
+}  // namespace ampc::graph

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace ampc {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.Schedule([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelForTest, CoversExactRange) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, 0, 1000, 1, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 5, 5, 1, [&](int64_t) { ++count; });
+  ParallelFor(pool, 7, 3, 1, [&](int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelForChunkedTest, ChunksPartitionRange) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelForChunked(pool, 10, 1010, 1, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  int64_t expect = 10;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expect);
+    EXPECT_LT(lo, hi);
+    expect = hi;
+  }
+  EXPECT_EQ(expect, 1010);
+}
+
+TEST(ParallelForTest, LargeGrainRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(pool, 0, 10, 1000, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelForTest, ConcurrentCallersDoNotInterfere) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&pool, &total] {
+      ParallelFor(pool, 0, 2500, 1, [&](int64_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 10000);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  ParallelFor(ThreadPool::Global(), 0, 64, 1,
+              [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace ampc

@@ -1,0 +1,123 @@
+#include "trees/treap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/priorities.h"
+#include "graph/generators.h"
+
+namespace ampc::trees {
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+
+TEST(TreapTest, PathTreapRootIsMinRank) {
+  graph::EdgeList path = graph::GeneratePath(16);
+  std::vector<uint64_t> rank(16);
+  for (int i = 0; i < 16; ++i) rank[i] = 1000 - i;  // vertex 15 is min
+  TernaryTreap treap = BuildTernaryTreap(16, path.edges, rank);
+  EXPECT_EQ(treap.parent[15], 15u);
+  EXPECT_EQ(treap.depth[15], 0);
+  EXPECT_EQ(treap.subtree_size[15], 16);
+}
+
+TEST(TreapTest, DecreasingRanksOnPathGiveChain) {
+  // Min at one end: each removal splits off one component.
+  graph::EdgeList path = graph::GeneratePath(8);
+  std::vector<uint64_t> rank = {0, 1, 2, 3, 4, 5, 6, 7};
+  TernaryTreap treap = BuildTernaryTreap(8, path.edges, rank);
+  EXPECT_EQ(treap.height, 8);
+  for (NodeId v = 1; v < 8; ++v) EXPECT_EQ(treap.parent[v], v - 1);
+}
+
+TEST(TreapTest, ParentHasLowerRank) {
+  graph::EdgeList tree = graph::GenerateRandomTernaryTree(512, 5);
+  std::vector<uint64_t> rank = core::AllVertexRanks(512, 77);
+  TernaryTreap treap = BuildTernaryTreap(512, tree.edges, rank);
+  for (NodeId v = 0; v < 512; ++v) {
+    if (treap.parent[v] != v) {
+      EXPECT_LT(rank[treap.parent[v]], rank[v]);
+      EXPECT_EQ(treap.depth[v], treap.depth[treap.parent[v]] + 1);
+    }
+  }
+}
+
+TEST(TreapTest, SubtreeSizesSumCorrectly) {
+  graph::EdgeList tree = graph::GenerateRandomTernaryTree(256, 9);
+  std::vector<uint64_t> rank = core::AllVertexRanks(256, 3);
+  TernaryTreap treap = BuildTernaryTreap(256, tree.edges, rank);
+  // Every vertex's subtree size = 1 + children's sizes.
+  std::vector<int64_t> expected(256, 1);
+  std::vector<NodeId> order(256);
+  for (NodeId v = 0; v < 256; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return treap.depth[a] > treap.depth[b];
+  });
+  for (NodeId v : order) {
+    if (treap.parent[v] != v) expected[treap.parent[v]] += expected[v];
+  }
+  for (NodeId v = 0; v < 256; ++v) {
+    EXPECT_EQ(treap.subtree_size[v], expected[v]);
+  }
+  // The root's subtree covers the whole (connected) tree.
+  for (NodeId v = 0; v < 256; ++v) {
+    if (treap.parent[v] == v) {
+      EXPECT_EQ(treap.subtree_size[v], 256);
+    }
+  }
+}
+
+TEST(TreapTest, ForestBuildsOneTreapPerComponent) {
+  graph::EdgeList paths;
+  paths.num_nodes = 12;
+  paths.edges = {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {6, 7}};
+  std::vector<uint64_t> rank = core::AllVertexRanks(12, 8);
+  TernaryTreap treap = BuildTernaryTreap(12, paths.edges, rank);
+  int roots = 0;
+  for (NodeId v = 0; v < 12; ++v) roots += (treap.parent[v] == v);
+  EXPECT_EQ(roots, 12 - 5);  // n - edges components
+}
+
+// Lemma A.1 height behaviour. For path-shaped trees the ternary treap is
+// an ordinary treap and its height concentrates around 3*log2 n. For
+// *balanced* ternary trees the expected number of ancestors of i is
+// sum_j 1/(dist(i,j)+1), which grows like n/log n because the number of
+// vertices at distance d grows exponentially — so no O(log n) bound can
+// hold there (the MSF algorithm is protected by Prim stopping rule (1),
+// which truncates searches regardless; see DESIGN.md "fidelity notes").
+class TreapHeightTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreapHeightTest, HeightIsLogarithmicOnPaths) {
+  const uint64_t seed = GetParam();
+  const int64_t n = 8192;
+  graph::EdgeList path = graph::GeneratePath(n);
+  std::vector<uint64_t> rank = core::AllVertexRanks(n, seed ^ 0x9999);
+  TernaryTreap treap = BuildTernaryTreap(n, path.edges, rank);
+  EXPECT_LE(treap.height, 8 * std::log2(static_cast<double>(n)));
+  EXPECT_GE(treap.height, std::log2(static_cast<double>(n)) / 2);
+}
+
+TEST_P(TreapHeightTest, HeightOnBalancedTreesIsSublinearNotLogarithmic) {
+  const uint64_t seed = GetParam();
+  const int64_t n = 8192;
+  graph::EdgeList tree = graph::GenerateRandomTernaryTree(n, seed);
+  std::vector<uint64_t> rank = core::AllVertexRanks(n, seed ^ 0x9999);
+  TernaryTreap treap = BuildTernaryTreap(n, tree.edges, rank);
+  // Far below n, far above log n: the n/polylog regime.
+  EXPECT_LE(treap.height, n / 4);
+  EXPECT_GE(treap.height, 4 * std::log2(static_cast<double>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreapHeightTest,
+                         ::testing::Values(21, 22, 23, 24, 25));
+
+TEST(TreapDeathTest, RejectsHighDegree) {
+  graph::EdgeList star = graph::GenerateStar(5);  // center degree 4
+  std::vector<uint64_t> rank = core::AllVertexRanks(5, 1);
+  EXPECT_DEATH(BuildTernaryTreap(5, star.edges, rank), "degree");
+}
+
+}  // namespace
+}  // namespace ampc::trees

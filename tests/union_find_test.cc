@@ -1,0 +1,69 @@
+#include "seq/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ampc::seq {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(uf.Find(i), i);
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, UnionConnects) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_TRUE(uf.Union(1, 3));
+  EXPECT_TRUE(uf.Connected(0, 2));
+}
+
+TEST(UnionFindTest, RedundantUnionReturnsFalse) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_FALSE(uf.Union(0, 0));
+}
+
+TEST(UnionFindTest, TransitiveClosureOnRandomUnions) {
+  const int64_t n = 2000;
+  UnionFind uf(n);
+  // Naive labels as the oracle.
+  std::vector<int64_t> label(n);
+  for (int64_t i = 0; i < n; ++i) label[i] = i;
+  Rng rng(3);
+  for (int i = 0; i < 1500; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.NextBelow(n));
+    const int64_t b = static_cast<int64_t>(rng.NextBelow(n));
+    uf.Union(a, b);
+    const int64_t la = label[a], lb = label[b];
+    if (la != lb) {
+      for (int64_t v = 0; v < n; ++v) {
+        if (label[v] == lb) label[v] = la;
+      }
+    }
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.NextBelow(n));
+    const int64_t b = static_cast<int64_t>(rng.NextBelow(n));
+    EXPECT_EQ(uf.Connected(a, b), label[a] == label[b]);
+  }
+}
+
+TEST(UnionFindTest, ChainCompressionStillCorrect) {
+  const int64_t n = 100000;
+  UnionFind uf(n);
+  for (int64_t i = 0; i + 1 < n; ++i) uf.Union(i, i + 1);
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+  const int64_t root = uf.Find(0);
+  for (int64_t i = 0; i < n; i += 997) EXPECT_EQ(uf.Find(i), root);
+}
+
+}  // namespace
+}  // namespace ampc::seq
