@@ -1,0 +1,41 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace ampc {
+
+std::vector<IndexChunk> SplitIndexChunks(int64_t begin, int64_t end,
+                                         int64_t grain, int64_t max_chunks) {
+  std::vector<IndexChunk> chunks;
+  if (begin >= end) return chunks;
+  grain = std::max<int64_t>(1, grain);
+  max_chunks = std::max<int64_t>(1, max_chunks);
+  const int64_t n = end - begin;
+  const int64_t chunk =
+      std::max(grain, (n + max_chunks - 1) / max_chunks);
+  chunks.reserve((n + chunk - 1) / chunk);
+  for (int64_t lo = begin; lo < end; lo += chunk) {
+    chunks.push_back({lo, std::min(end, lo + chunk)});
+  }
+  return chunks;
+}
+
+int64_t DefaultChunksForPool(const ThreadPool& pool) {
+  // 4x the thread count: enough slack that an unlucky chunk does not
+  // serialize the tail, cheap enough that chunk dispatch is noise.
+  return 4 * static_cast<int64_t>(pool.num_threads());
+}
+
+void ParallelForEachChunk(ThreadPool& pool,
+                          const std::vector<IndexChunk>& chunks,
+                          const std::function<void(int64_t)>& fn) {
+  const int64_t num_chunks = static_cast<int64_t>(chunks.size());
+  if (num_chunks == 0) return;
+  if (num_chunks == 1) {
+    fn(0);
+    return;
+  }
+  ParallelFor(pool, 0, num_chunks, 1, fn);
+}
+
+}  // namespace ampc

@@ -1,0 +1,236 @@
+// Reusable parallel primitives over ThreadPool: ParallelTabulate,
+// ParallelReduce and ParallelSort (a deterministic sample sort).
+//
+// The paper's practical claim is that shuffle cost dominates MPC graph
+// algorithms (Section 5.7, Table 3), so the simulated runtime's shuffle
+// path must itself scale with cores to be a credible baseline. These
+// primitives are the Parlay-style building blocks the shuffle engine in
+// mpc/dataflow.h is written against: partition deterministically, process
+// shards in parallel, reassemble in index order. Every primitive here
+// produces output that is a pure function of its input — never of the
+// thread schedule — because algorithm outputs are compared across
+// runtimes (see common/random.h for the same contract on randomness).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ampc {
+
+/// A half-open index range [begin, end).
+struct IndexChunk {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t size() const { return end - begin; }
+};
+
+/// Splits [begin, end) into at most `max_chunks` contiguous chunks of at
+/// least `grain` indices each. Boundaries depend only on the arguments
+/// (never on thread scheduling), so per-chunk results can be reassembled
+/// in chunk order to give deterministic output. Returns an empty vector
+/// when begin >= end.
+std::vector<IndexChunk> SplitIndexChunks(int64_t begin, int64_t end,
+                                         int64_t grain, int64_t max_chunks);
+
+/// Chunk count used by the primitives below for a pool: enough chunks to
+/// load-balance, few enough to keep per-chunk overhead negligible.
+int64_t DefaultChunksForPool(const ThreadPool& pool);
+
+/// Runs fn(c) for every chunk index c in [0, chunks.size()) on the pool.
+/// Blocks until complete.
+void ParallelForEachChunk(ThreadPool& pool,
+                          const std::vector<IndexChunk>& chunks,
+                          const std::function<void(int64_t)>& fn);
+
+/// Builds {gen(0), gen(1), ..., gen(n-1)} in parallel. T must be default
+/// constructible; gen must be safe to call concurrently for distinct i.
+template <typename T, typename Gen>
+std::vector<T> ParallelTabulate(ThreadPool& pool, int64_t n, Gen gen,
+                                int64_t grain = 2048) {
+  std::vector<T> out(std::max<int64_t>(n, 0));
+  ParallelForChunked(pool, 0, n, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = gen(i);
+  });
+  return out;
+}
+
+/// Reduces map(i) for i in [begin, end) with `reduce`, starting from
+/// `identity`. Each chunk folds locally; partials are folded in chunk
+/// order, so the result is deterministic for any associative `reduce`
+/// (it need not be commutative). Returns `identity` on an empty range.
+template <typename T, typename MapFn, typename ReduceOp>
+T ParallelReduce(ThreadPool& pool, int64_t begin, int64_t end, T identity,
+                 MapFn map, ReduceOp reduce, int64_t grain = 1024) {
+  const std::vector<IndexChunk> chunks =
+      SplitIndexChunks(begin, end, grain, DefaultChunksForPool(pool));
+  if (chunks.empty()) return identity;
+  if (chunks.size() == 1) {
+    T acc = identity;
+    for (int64_t i = begin; i < end; ++i) acc = reduce(std::move(acc), map(i));
+    return acc;
+  }
+  std::vector<T> partial(chunks.size(), identity);
+  ParallelForEachChunk(pool, chunks, [&](int64_t c) {
+    T acc = identity;
+    for (int64_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+      acc = reduce(std::move(acc), map(i));
+    }
+    partial[c] = std::move(acc);
+  });
+  T acc = identity;
+  for (T& p : partial) acc = reduce(std::move(acc), std::move(p));
+  return acc;
+}
+
+/// Convenience overload: sums map(i) over [0, n) with operator+.
+template <typename T, typename MapFn>
+T ParallelSum(ThreadPool& pool, int64_t n, T identity, MapFn map,
+              int64_t grain = 1024) {
+  return ParallelReduce(
+      pool, 0, n, identity, map,
+      [](T a, T b) { return std::move(a) + std::move(b); }, grain);
+}
+
+namespace parallel_internal {
+
+// Below this size the sequential sort wins outright.
+constexpr int64_t kSortCutoff = 1 << 13;
+
+// Merges `runs` (each sorted under cmp) located back-to-back inside
+// [first, last) by a binary tree of std::inplace_merge passes. `bounds`
+// holds the run boundaries as offsets from `first` (bounds.front() == 0,
+// bounds.back() == last - first).
+template <typename It, typename Cmp>
+void MergeAdjacentRuns(It first, std::vector<int64_t> bounds, Cmp cmp) {
+  while (bounds.size() > 2) {
+    std::vector<int64_t> next;
+    next.reserve(bounds.size() / 2 + 1);
+    next.push_back(bounds[0]);
+    for (size_t i = 0; i + 2 < bounds.size(); i += 2) {
+      std::inplace_merge(first + bounds[i], first + bounds[i + 1],
+                         first + bounds[i + 2], cmp);
+      next.push_back(bounds[i + 2]);
+    }
+    if ((bounds.size() - 1) % 2 == 1) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+}
+
+}  // namespace parallel_internal
+
+/// Sorts `items` under `cmp` using a stable, deterministic sample sort:
+///   1. split into chunks and stable-sort each chunk on the pool;
+///   2. pick bucket splitters from a regular sample of the sorted chunks;
+///   3. locate each chunk's bucket boundaries by binary search (chunks
+///      are sorted, so every bucket is one contiguous run per chunk);
+///   4. scatter runs to their bucket's output region and merge the runs
+///      of each bucket in parallel.
+/// Chunks are gathered in index order and every merge is stable, so the
+/// result equals std::stable_sort's: equal elements keep input order, and
+/// the output is a pure function of the input — identical across runs
+/// and thread counts. Falls back to std::stable_sort for small inputs or
+/// single-thread pools.
+template <typename T, typename Cmp = std::less<T>>
+void ParallelSort(ThreadPool& pool, std::vector<T>& items, Cmp cmp = Cmp()) {
+  const int64_t n = static_cast<int64_t>(items.size());
+  if (n < parallel_internal::kSortCutoff || pool.num_threads() <= 1) {
+    std::stable_sort(items.begin(), items.end(), cmp);
+    return;
+  }
+
+  const std::vector<IndexChunk> chunks = SplitIndexChunks(
+      0, n, parallel_internal::kSortCutoff / 4, DefaultChunksForPool(pool));
+  const int64_t num_chunks = static_cast<int64_t>(chunks.size());
+  ParallelForEachChunk(pool, chunks, [&](int64_t c) {
+    std::stable_sort(items.begin() + chunks[c].begin,
+                     items.begin() + chunks[c].end, cmp);
+  });
+
+  // A regular sample (every chunk contributes `kOversample` evenly spaced
+  // elements) is already sorted within each chunk; merging via sort is
+  // cheap because the sample is tiny. Sampling works on indices so heavy
+  // elements (e.g. groups holding large value vectors) are never copied.
+  constexpr int64_t kOversample = 8;
+  const int64_t num_buckets = num_chunks;
+  std::vector<int64_t> sample;
+  sample.reserve(num_chunks * kOversample);
+  for (const IndexChunk& chunk : chunks) {
+    for (int64_t s = 0; s < kOversample; ++s) {
+      const int64_t offset = chunk.size() * (2 * s + 1) / (2 * kOversample);
+      sample.push_back(chunk.begin + offset);
+    }
+  }
+  std::sort(sample.begin(), sample.end(), [&](int64_t a, int64_t b) {
+    return cmp(items[a], items[b]);
+  });
+  std::vector<int64_t> splitters;  // indices into `items`
+  splitters.reserve(num_buckets - 1);
+  for (int64_t b = 1; b < num_buckets; ++b) {
+    splitters.push_back(
+        sample[b * static_cast<int64_t>(sample.size()) / num_buckets]);
+  }
+
+  // run_end[c][b]: end offset (within chunk c) of the run bound for
+  // bucket b. Runs are contiguous because each chunk is sorted. Splitter
+  // indices stay valid here: items is not mutated again until the
+  // scatter below.
+  std::vector<std::vector<int64_t>> run_end(
+      num_chunks, std::vector<int64_t>(num_buckets, 0));
+  ParallelForEachChunk(pool, chunks, [&](int64_t c) {
+    const auto chunk_begin = items.begin() + chunks[c].begin;
+    const auto chunk_end = items.begin() + chunks[c].end;
+    for (int64_t b = 0; b + 1 < num_buckets; ++b) {
+      run_end[c][b] =
+          std::lower_bound(chunk_begin, chunk_end, splitters[b],
+                           [&](const T& element, int64_t splitter) {
+                             return cmp(element, items[splitter]);
+                           }) -
+          chunk_begin;
+    }
+    run_end[c][num_buckets - 1] = chunks[c].size();
+  });
+
+  // Bucket output regions: bucket b holds run b of every chunk, chunks in
+  // index order (this fixes the order of equal elements deterministically).
+  std::vector<int64_t> bucket_begin(num_buckets + 1, 0);
+  for (int64_t b = 0; b < num_buckets; ++b) {
+    int64_t size = 0;
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      const int64_t lo = b == 0 ? 0 : run_end[c][b - 1];
+      size += run_end[c][b] - lo;
+    }
+    bucket_begin[b + 1] = bucket_begin[b] + size;
+  }
+
+  std::vector<T> scratch(n);
+  std::vector<IndexChunk> buckets(num_buckets);
+  for (int64_t b = 0; b < num_buckets; ++b) {
+    buckets[b] = {bucket_begin[b], bucket_begin[b + 1]};
+  }
+  ParallelForEachChunk(pool, buckets, [&](int64_t b) {
+    int64_t out = bucket_begin[b];
+    std::vector<int64_t> bounds;
+    bounds.reserve(num_chunks + 1);
+    bounds.push_back(0);
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      const int64_t lo = chunks[c].begin + (b == 0 ? 0 : run_end[c][b - 1]);
+      const int64_t hi = chunks[c].begin + run_end[c][b];
+      std::move(items.begin() + lo, items.begin() + hi, scratch.begin() + out);
+      out += hi - lo;
+      if (out - bucket_begin[b] != bounds.back()) {
+        bounds.push_back(out - bucket_begin[b]);
+      }
+    }
+    parallel_internal::MergeAdjacentRuns(scratch.begin() + bucket_begin[b],
+                                         std::move(bounds), cmp);
+  });
+  items = std::move(scratch);
+}
+
+}  // namespace ampc

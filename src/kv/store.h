@@ -44,6 +44,7 @@ class Store {
         << "duplicate Put for key " << key;
     slots_[key] = std::move(value);
     present_[key].store(1, std::memory_order_release);
+    count_.fetch_add(1, std::memory_order_relaxed);
     return kKeyBytes + KvByteSize(slots_[key]);
   }
 
@@ -62,18 +63,14 @@ class Store {
     return v == nullptr ? 0 : kKeyBytes + KvByteSize(*v);
   }
 
-  /// Number of present keys (O(capacity); intended for tests/diagnostics).
-  int64_t size() const {
-    int64_t count = 0;
-    for (const auto& p : present_) {
-      count += p.load(std::memory_order_relaxed);
-    }
-    return count;
-  }
+  /// Number of present keys. O(1): maintained as an atomic insert
+  /// counter (keys are write-once, so inserts never repeat).
+  int64_t size() const { return count_.load(std::memory_order_relaxed); }
 
  private:
   std::vector<V> slots_;
   mutable std::vector<std::atomic<uint8_t>> present_;
+  std::atomic<int64_t> count_{0};
 };
 
 }  // namespace ampc::kv

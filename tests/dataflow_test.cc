@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
+
+#include "common/random.h"
 
 namespace ampc::mpc {
 namespace {
@@ -91,6 +94,103 @@ TEST(DataflowTest, WordCountPipeline) {
   EXPECT_EQ(counts[2], (KV<char, size_t>{'c', 2}));
   EXPECT_EQ(cluster.metrics().Get("rounds"), 3);
   EXPECT_EQ(cluster.metrics().Get("shuffles"), 1);
+}
+
+TEST(DataflowTest, ParDoOutputIsDeterministicAndInSerialOrder) {
+  // Per-chunk slots are assembled in index order, so the output must be
+  // exactly the serial emission sequence — on every run.
+  const int64_t n = 100000;
+  PCollection<uint32_t> input(n);
+  for (int64_t i = 0; i < n; ++i) input[i] = static_cast<uint32_t>(i);
+  auto fan = [](const uint32_t& x, auto emit) {
+    if (x % 3 == 0) return;  // filtering changes slot sizes
+    emit(x);
+    if (x % 5 == 0) emit(x + 1000000);
+  };
+  PCollection<uint32_t> serial;
+  auto serial_emit = [&serial](uint32_t v) { serial.push_back(v); };
+  for (const uint32_t& x : input) fan(x, serial_emit);
+
+  PCollection<uint32_t> first;
+  for (int run = 0; run < 3; ++run) {
+    sim::Cluster cluster = MakeCluster();
+    auto out = ParDo<uint32_t, uint32_t>(cluster, "fan", input, fan);
+    EXPECT_EQ(out, serial);
+    if (run == 0) {
+      first = std::move(out);
+    } else {
+      EXPECT_EQ(out, first);
+    }
+  }
+}
+
+TEST(DataflowTest, GroupByKeyLargeInputMatchesSerialReference) {
+  // Large enough to take the sharded parallel path (>= kShardCutoff).
+  const int64_t n = 200000;
+  Rng rng(7);
+  PCollection<KV<uint32_t, uint32_t>> records(n);
+  for (int64_t i = 0; i < n; ++i) {
+    records[i] = {static_cast<uint32_t>(rng.NextBelow(5000)),
+                  static_cast<uint32_t>(i)};
+  }
+  // Serial reference: stable sort by key, then scan.
+  auto reference = records;
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  PCollection<KV<uint32_t, std::vector<uint32_t>>> want;
+  for (size_t i = 0; i < reference.size();) {
+    size_t j = i;
+    std::vector<uint32_t> values;
+    while (j < reference.size() &&
+           reference[j].first == reference[i].first) {
+      values.push_back(reference[j].second);
+      ++j;
+    }
+    want.emplace_back(reference[i].first, std::move(values));
+    i = j;
+  }
+
+  sim::Cluster cluster = MakeCluster();
+  auto groups = GroupByKey(cluster, "big", std::move(records));
+  ASSERT_EQ(groups.size(), want.size());
+  EXPECT_EQ(groups, want);  // key-sorted, values in input order
+  EXPECT_EQ(cluster.metrics().Get("shuffles"), 1);
+  EXPECT_EQ(cluster.metrics().Get("rounds"), 1);
+  EXPECT_EQ(cluster.metrics().Get("shuffle_bytes"), n * (4 + 4));
+}
+
+TEST(DataflowTest, GroupByKeyDeterministicAcrossThreadCounts) {
+  const int64_t n = 60000;
+  Rng rng(9);
+  PCollection<KV<uint64_t, uint64_t>> records(n);
+  for (int64_t i = 0; i < n; ++i) {
+    records[i] = {rng.NextBelow(300), static_cast<uint64_t>(i)};
+  }
+  std::vector<PCollection<KV<uint64_t, std::vector<uint64_t>>>> results;
+  for (int threads : {1, 3, 8}) {
+    ThreadPool pool(threads);
+    auto copy = records;
+    auto groups = GroupByKeyEngine(pool, std::move(copy));
+    EXPECT_TRUE(std::is_sorted(groups.begin(), groups.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.first < b.first;
+                               }));
+    results.push_back(std::move(groups));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(DataflowTest, ShuffleBytesParallelOverloadMatchesSerial) {
+  ThreadPool pool(4);
+  Rng rng(11);
+  PCollection<KV<uint64_t, uint32_t>> records(50000);
+  for (auto& r : records) {
+    r = {rng.Next(), static_cast<uint32_t>(rng.NextBelow(100))};
+  }
+  EXPECT_EQ(ShuffleBytes(pool, records), ShuffleBytes(records));
 }
 
 TEST(DataflowTest, EmptyInputsAreFine) {

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/timer.h"
 #include "kv/byte_size.h"
 #include "kv/network_model.h"
 
@@ -67,6 +68,25 @@ TEST(StoreTest, ConcurrentWritersDisjointKeys) {
     ASSERT_NE(v, nullptr) << k;
     EXPECT_EQ(*v, k * 2);
   }
+  // The O(1) insert counter must agree with the slot scan's answer even
+  // after concurrent writers.
+  EXPECT_EQ(store.size(), n);
+}
+
+TEST(StoreTest, SizeIsConstantTimeNotCapacityScan) {
+  // A huge, nearly-empty store: size() must not depend on capacity.
+  const int64_t capacity = 1 << 22;
+  Store<int64_t> store(capacity);
+  EXPECT_EQ(store.size(), 0);
+  store.Put(0, 1);
+  store.Put(capacity - 1, 2);
+  WallTimer timer;
+  int64_t total = 0;
+  for (int i = 0; i < 100000; ++i) total += store.size();
+  EXPECT_EQ(total, 2 * 100000);
+  // 1e5 calls over a 4M-slot store: far under a second when O(1),
+  // minutes when O(capacity).
+  EXPECT_LT(timer.Seconds(), 2.0);
 }
 
 TEST(StoreTest, ConcurrentReadersDuringWrites) {
