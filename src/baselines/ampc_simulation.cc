@@ -14,14 +14,20 @@ namespace {
 using graph::Graph;
 using graph::NodeId;
 
+// Per-(step, machine) byte profile of the lockstep query rounds:
+// bytes[step][m] is the traffic machine m's DHT shard serves at that
+// sequential lookup depth.
+using StepBytes = std::vector<std::vector<int64_t>>;
+
 // The uncached Yoshida-et-al. query process from `root`: v is in the MIS
 // iff none of its preceding (lower-rank) neighbors is. Every descent
 // fetches the child's directed adjacency — in this MPC simulation that is
 // one synchronized lookup round. Appends the record bytes of the fetch at
-// each sequential step index into `bytes_at_step`.
+// each sequential step index into `bytes_at_step`, charged to the machine
+// owning the fetched record's shard.
 bool QueryProcess(NodeId root,
                   const std::vector<std::vector<NodeId>>& directed,
-                  std::vector<int64_t>& bytes_at_step,
+                  const sim::Cluster& cluster, StepBytes& bytes_at_step,
                   int64_t* steps_out) {
   struct Frame {
     NodeId v;
@@ -56,9 +62,11 @@ bool QueryProcess(NodeId root,
     // directed adjacency is one sequential lookup round.
     const NodeId u = adj[f.idx];
     if (static_cast<size_t>(steps) >= bytes_at_step.size()) {
-      bytes_at_step.resize(steps + 1, 0);
+      bytes_at_step.resize(
+          steps + 1,
+          std::vector<int64_t>(cluster.config().num_machines, 0));
     }
-    bytes_at_step[steps] += static_cast<int64_t>(
+    bytes_at_step[steps][cluster.MachineOf(u)] += static_cast<int64_t>(
         sizeof(NodeId) * (1 + directed[u].size()));
     ++steps;
     f.awaiting = true;
@@ -77,8 +85,9 @@ SimulatedAmpcMisResult MpcSimulatedAmpcMis(sim::Cluster& cluster,
   // DirectGraph shuffle, exactly as in the AMPC implementation (Fig. 1
   // step 1): keep lower-rank neighbors, sorted ascending by rank.
   WallTimer timer;
+  const int num_machines = cluster.config().num_machines;
   std::vector<std::vector<NodeId>> directed(n);
-  int64_t direct_bytes = 0;
+  std::vector<int64_t> direct_bytes(num_machines, 0);
   for (NodeId v = 0; v < n; ++v) {
     for (const NodeId u : g.neighbors(v)) {
       if (core::VertexBefore(u, v, seed)) directed[v].push_back(u);
@@ -87,38 +96,41 @@ SimulatedAmpcMisResult MpcSimulatedAmpcMis(sim::Cluster& cluster,
               [&](NodeId a, NodeId b) {
                 return core::VertexBefore(a, b, seed);
               });
-    direct_bytes +=
+    // Each directed adjacency record lands on its vertex's shard owner.
+    direct_bytes[cluster.MachineOf(v)] +=
         static_cast<int64_t>(sizeof(NodeId) * (1 + directed[v].size()));
   }
-  cluster.AccountShuffle("DirectGraph", direct_bytes, timer.Seconds());
+  cluster.AccountShardedShuffle("DirectGraph", direct_bytes, timer.Seconds());
 
   // Run every vertex's query process and profile its sequential lookup
   // chain. The executions are independent, so they run concurrently
   // here; the *accounting* below serializes them into lockstep rounds.
   SimulatedAmpcMisResult result;
   result.in_mis.assign(n, 0);
-  std::vector<int64_t> bytes_at_step;
+  StepBytes bytes_at_step;
   std::mutex mu;
   WallTimer run_timer;
   ParallelForChunked(
       cluster.pool(), 0, n, 256, [&](int64_t lo, int64_t hi) {
-        std::vector<int64_t> local_bytes;
+        StepBytes local_bytes;
         std::vector<std::pair<int64_t, uint8_t>> local_status;
         int64_t local_queries = 0;
         for (int64_t v = lo; v < hi; ++v) {
           int64_t steps = 0;
-          const bool in =
-              QueryProcess(static_cast<NodeId>(v), directed, local_bytes,
-                           &steps);
+          const bool in = QueryProcess(static_cast<NodeId>(v), directed,
+                                       cluster, local_bytes, &steps);
           local_status.emplace_back(v, in ? 1 : 0);
           local_queries += steps;
         }
         std::lock_guard<std::mutex> lock(mu);
         if (bytes_at_step.size() < local_bytes.size()) {
-          bytes_at_step.resize(local_bytes.size(), 0);
+          bytes_at_step.resize(local_bytes.size(),
+                               std::vector<int64_t>(num_machines, 0));
         }
         for (size_t i = 0; i < local_bytes.size(); ++i) {
-          bytes_at_step[i] += local_bytes[i];
+          for (int m = 0; m < num_machines; ++m) {
+            bytes_at_step[i][m] += local_bytes[i][m];
+          }
         }
         for (const auto& [v, in] : local_status) result.in_mis[v] = in;
         result.total_queries += local_queries;
@@ -130,9 +142,9 @@ SimulatedAmpcMisResult MpcSimulatedAmpcMis(sim::Cluster& cluster,
   // that step. Rounds continue until the deepest chain finishes.
   result.rounds = static_cast<int64_t>(bytes_at_step.size());
   for (size_t r = 0; r < bytes_at_step.size(); ++r) {
-    cluster.AccountShuffle("QueryRound", bytes_at_step[r],
-                           run_wall / std::max<size_t>(1,
-                                                       bytes_at_step.size()));
+    cluster.AccountShardedShuffle(
+        "QueryRound", bytes_at_step[r],
+        run_wall / std::max<size_t>(1, bytes_at_step.size()));
   }
   return result;
 }

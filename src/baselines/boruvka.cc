@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "graph/contraction.h"
@@ -96,7 +97,7 @@ BoruvkaResult MpcBoruvkaMsf(sim::Cluster& cluster,
   std::vector<graph::EdgeId> finish = seq::KruskalMsf(current);
   result.edges.insert(result.edges.end(), finish.begin(), finish.end());
 
-  std::sort(result.edges.begin(), result.edges.end());
+  ParallelSort(cluster.pool(), result.edges);
   result.edges.erase(std::unique(result.edges.begin(), result.edges.end()),
                      result.edges.end());
   return result;

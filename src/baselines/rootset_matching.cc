@@ -132,7 +132,8 @@ RootsetMatchingResult MpcRootsetMatching(sim::Cluster& cluster,
   }
   cluster.AccountInMemoryFinish("InMemoryMM", graph_bytes(),
                                 arcs + static_cast<int64_t>(rest.edges.size()));
-  std::vector<uint64_t> ranks = core::AllEdgeRanks(rest, seed);
+  std::vector<uint64_t> ranks =
+      core::AllEdgeRanks(cluster.pool(), rest, seed);
   seq::MatchingResult local = seq::GreedyMaximalMatching(rest, ranks);
   for (int64_t v = 0; v < n; ++v) {
     if (local.partner[v] != kInvalidNode) {

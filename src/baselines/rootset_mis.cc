@@ -128,7 +128,8 @@ RootsetMisResult MpcRootsetMis(sim::Cluster& cluster, const Graph& g,
       "InMemoryMIS", r.GraphBytes(),
       r.arcs + static_cast<int64_t>(rest.edges.size()));
   graph::Graph rest_graph = graph::BuildGraph(rest);
-  std::vector<uint64_t> ranks = core::AllVertexRanks(n, seed);
+  std::vector<uint64_t> ranks =
+      core::AllVertexRanks(cluster.pool(), n, seed);
   std::vector<uint8_t> local = seq::GreedyMis(rest_graph, ranks);
   for (int64_t v = 0; v < n; ++v) {
     if (r.alive[v] && local[v]) result.in_mis[v] = 1;

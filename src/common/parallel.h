@@ -102,23 +102,56 @@ namespace parallel_internal {
 // Below this size the sequential sort wins outright.
 constexpr int64_t kSortCutoff = 1 << 13;
 
-// Merges `runs` (each sorted under cmp) located back-to-back inside
-// [first, last) by a binary tree of std::inplace_merge passes. `bounds`
-// holds the run boundaries as offsets from `first` (bounds.front() == 0,
-// bounds.back() == last - first).
-template <typename It, typename Cmp>
-void MergeAdjacentRuns(It first, std::vector<int64_t> bounds, Cmp cmp) {
-  while (bounds.size() > 2) {
-    std::vector<int64_t> next;
-    next.reserve(bounds.size() / 2 + 1);
-    next.push_back(bounds[0]);
-    for (size_t i = 0; i + 2 < bounds.size(); i += 2) {
-      std::inplace_merge(first + bounds[i], first + bounds[i + 1],
-                         first + bounds[i + 2], cmp);
-      next.push_back(bounds[i + 2]);
+// Target elements per split-point merge segment.
+constexpr int64_t kMergeGrain = 1 << 14;
+
+// One contiguous piece of a two-run merge: stable-merges src[a_lo, a_hi)
+// with src[b_lo, b_hi) into dst starting at `out`.
+struct MergeSegment {
+  int64_t a_lo, a_hi, b_lo, b_hi, out;
+};
+
+// Plans the stable merge of adjacent runs src[lo, mid) and src[mid, hi)
+// as split-point segments of roughly kMergeGrain elements and appends
+// them to `out`. Split points cut the larger run at even positions and
+// locate the matching boundary in the other run by binary search; the
+// tie rules (right boundary = lower_bound of a left split value, left
+// boundary = upper_bound of a right split value) keep every element of
+// the left run ahead of its equals from the right run, so the segmented
+// merge equals one stable merge. The plan is a pure function of the
+// data — never of the thread schedule.
+template <typename T, typename Cmp>
+void PlanMerge(const std::vector<T>& src, int64_t lo, int64_t mid,
+               int64_t hi, Cmp cmp, std::vector<MergeSegment>& out) {
+  const int64_t left_len = mid - lo;
+  const int64_t right_len = hi - mid;
+  const int64_t pieces =
+      std::max<int64_t>(1, (hi - lo + kMergeGrain - 1) / kMergeGrain);
+  if (pieces == 1) {
+    out.push_back(MergeSegment{lo, mid, mid, hi, lo});
+    return;
+  }
+  const bool split_left = left_len >= right_len;
+  int64_t prev_a = lo, prev_b = mid, dst = lo;
+  for (int64_t s = 1; s <= pieces; ++s) {
+    int64_t cur_a = mid, cur_b = hi;
+    if (s < pieces) {
+      if (split_left) {
+        cur_a = lo + left_len * s / pieces;
+        cur_b = std::lower_bound(src.begin() + prev_b, src.begin() + hi,
+                                 src[cur_a], cmp) -
+                src.begin();
+      } else {
+        cur_b = mid + right_len * s / pieces;
+        cur_a = std::upper_bound(src.begin() + prev_a, src.begin() + mid,
+                                 src[cur_b], cmp) -
+                src.begin();
+      }
     }
-    if ((bounds.size() - 1) % 2 == 1) next.push_back(bounds.back());
-    bounds = std::move(next);
+    out.push_back(MergeSegment{prev_a, cur_a, prev_b, cur_b, dst});
+    dst += (cur_a - prev_a) + (cur_b - prev_b);
+    prev_a = cur_a;
+    prev_b = cur_b;
   }
 }
 
@@ -208,29 +241,79 @@ void ParallelSort(ThreadPool& pool, std::vector<T>& items, Cmp cmp = Cmp()) {
     bucket_begin[b + 1] = bucket_begin[b] + size;
   }
 
+  // Scatter runs to their bucket's output region, chunks in index order
+  // (this fixes the order of equal elements deterministically), recording
+  // the surviving (non-empty) run boundaries as global offsets.
   std::vector<T> scratch(n);
   std::vector<IndexChunk> buckets(num_buckets);
   for (int64_t b = 0; b < num_buckets; ++b) {
     buckets[b] = {bucket_begin[b], bucket_begin[b + 1]};
   }
+  std::vector<std::vector<int64_t>> bounds(num_buckets);
   ParallelForEachChunk(pool, buckets, [&](int64_t b) {
     int64_t out = bucket_begin[b];
-    std::vector<int64_t> bounds;
-    bounds.reserve(num_chunks + 1);
-    bounds.push_back(0);
+    std::vector<int64_t>& bd = bounds[b];
+    bd.reserve(num_chunks + 1);
+    bd.push_back(out);
     for (int64_t c = 0; c < num_chunks; ++c) {
       const int64_t lo = chunks[c].begin + (b == 0 ? 0 : run_end[c][b - 1]);
       const int64_t hi = chunks[c].begin + run_end[c][b];
       std::move(items.begin() + lo, items.begin() + hi, scratch.begin() + out);
       out += hi - lo;
-      if (out - bucket_begin[b] != bounds.back()) {
-        bounds.push_back(out - bucket_begin[b]);
-      }
+      if (out != bd.back()) bd.push_back(out);
     }
-    parallel_internal::MergeAdjacentRuns(scratch.begin() + bucket_begin[b],
-                                         std::move(bounds), cmp);
   });
-  items = std::move(scratch);
+
+  // Split-point parallel bucket merge. Each pass pairs up adjacent runs
+  // of every bucket and plans each pair as independent ~kMergeGrain
+  // segments, which the whole pool chews through together — a bucket
+  // with one giant run pair no longer serializes on a single core.
+  // Passes ping-pong between two full-size buffers (std::merge segments
+  // can't overlap in place), copying leftover runs so every pass's
+  // output buffer holds the complete range.
+  std::vector<T> aux(n);
+  std::vector<T>* src = &scratch;
+  std::vector<T>* dst = &aux;
+  auto has_unmerged_runs = [&bounds] {
+    for (const std::vector<int64_t>& bd : bounds) {
+      if (bd.size() > 2) return true;
+    }
+    return false;
+  };
+  while (has_unmerged_runs()) {
+    std::vector<parallel_internal::MergeSegment> segments;
+    for (int64_t b = 0; b < num_buckets; ++b) {
+      std::vector<int64_t>& bd = bounds[b];
+      std::vector<int64_t> next;
+      next.reserve(bd.size() / 2 + 2);
+      next.push_back(bd[0]);
+      size_t i = 0;
+      for (; i + 2 < bd.size(); i += 2) {
+        parallel_internal::PlanMerge(*src, bd[i], bd[i + 1], bd[i + 2], cmp,
+                                     segments);
+        next.push_back(bd[i + 2]);
+      }
+      if (i + 1 < bd.size()) {
+        // Leftover run without a partner: plan it as a merge with an
+        // empty right side, i.e. a parallel copy into the output buffer.
+        parallel_internal::PlanMerge(*src, bd[i], bd[i + 1], bd[i + 1], cmp,
+                                     segments);
+        next.push_back(bd[i + 1]);
+      }
+      bd = std::move(next);
+    }
+    ParallelFor(pool, 0, static_cast<int64_t>(segments.size()), 1,
+                [&](int64_t s) {
+                  const parallel_internal::MergeSegment& seg = segments[s];
+                  std::merge(std::make_move_iterator(src->begin() + seg.a_lo),
+                             std::make_move_iterator(src->begin() + seg.a_hi),
+                             std::make_move_iterator(src->begin() + seg.b_lo),
+                             std::make_move_iterator(src->begin() + seg.b_hi),
+                             dst->begin() + seg.out, cmp);
+                });
+    std::swap(src, dst);
+  }
+  items = std::move(*src);
 }
 
 }  // namespace ampc

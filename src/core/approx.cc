@@ -9,7 +9,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
-#include "kv/store.h"
+#include "kv/sharded_store.h"
 
 namespace ampc::core {
 namespace {
@@ -22,7 +22,7 @@ using graph::Weight;
 using graph::WeightedEdge;
 using graph::WeightedEdgeList;
 
-using AdjStore = kv::Store<std::vector<NodeId>>;
+using AdjStore = kv::ShardedStore<std::vector<NodeId>>;
 
 // Stages the plain id-sorted adjacency of `g` into a fresh DHT store:
 // one shuffle (building the lists) plus one cheap KV-write round.
@@ -35,7 +35,8 @@ std::unique_ptr<AdjStore> StageAdjacency(sim::Cluster& cluster,
   for (NodeId v = 0; v < n; ++v) bytes += g.AdjacencyBytes(v);
   cluster.AccountShuffle(phase, bytes, timer.Seconds());
 
-  auto store = std::make_unique<AdjStore>(n);
+  auto store = std::make_unique<AdjStore>(
+      cluster.MakeStore<std::vector<NodeId>>(n));
   cluster.RunKvWritePhase("KV-Write", *store, n, [&](int64_t v) {
     const auto span = g.neighbors(static_cast<NodeId>(v));
     return std::vector<NodeId>(span.begin(), span.end());

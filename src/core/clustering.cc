@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/connectivity.h"
 #include "seq/union_find.h"
@@ -92,14 +93,18 @@ Dendrogram AmpcSingleLinkage(sim::Cluster& cluster,
     const graph::WeightedEdge& e = list.edges[id];
     merges.push_back(Merge{e.u, e.v, e.w, e.id});
   }
-  std::sort(merges.begin(), merges.end(),
-            [](const Merge& a, const Merge& b) {
-              if (a.weight != b.weight) return a.weight < b.weight;
-              return a.edge < b.edge;
-            });
-  cluster.AccountShuffle(
-      "SortMerges",
-      static_cast<int64_t>(merges.size() * sizeof(Merge)), timer.Seconds());
+  ParallelSort(cluster.pool(), merges,
+               [](const Merge& a, const Merge& b) {
+                 if (a.weight != b.weight) return a.weight < b.weight;
+                 return a.edge < b.edge;
+               });
+  // The sort's records land on the shard owners of their edge ids.
+  std::vector<int64_t> merge_bytes(cluster.config().num_machines, 0);
+  for (const Merge& m : merges) {
+    merge_bytes[cluster.MachineOf(m.edge)] +=
+        static_cast<int64_t>(sizeof(Merge));
+  }
+  cluster.AccountShardedShuffle("SortMerges", merge_bytes, timer.Seconds());
 
   return Dendrogram(list.num_nodes, std::move(merges));
 }

@@ -36,14 +36,23 @@ ConnectivityResult AmpcConnectivity(sim::Cluster& cluster,
   trees::RootedForest forest =
       trees::BuildRootedForest(list.num_nodes, forest_edges);
   const double wall = timer.Seconds();
-  const int64_t forest_bytes =
-      static_cast<int64_t>(forest_edges.size()) *
-      static_cast<int64_t>(sizeof(WeightedEdge));
-  cluster.AccountShuffle("ForestConnectivity", forest_bytes, wall / 2);
-  cluster.AccountShuffle("ForestConnectivity",
-                         list.num_nodes *
-                             static_cast<int64_t>(sizeof(NodeId)),
-                         wall / 2);
+  // Charge both shuffles to the machines whose DHT shards receive the
+  // records: forest edges land with their child endpoint's owner, root
+  // labels with the labelled vertex's owner. Skewed ownership (many tree
+  // edges hashing to one machine) lengthens the round accordingly.
+  const int num_machines = cluster.config().num_machines;
+  std::vector<int64_t> edge_bytes(num_machines, 0);
+  for (const WeightedEdge& e : forest_edges) {
+    edge_bytes[cluster.MachineOf(e.u)] +=
+        static_cast<int64_t>(sizeof(WeightedEdge));
+  }
+  cluster.AccountShardedShuffle("ForestConnectivity", edge_bytes, wall / 2);
+  std::vector<int64_t> label_bytes(num_machines, 0);
+  for (int64_t v = 0; v < list.num_nodes; ++v) {
+    label_bytes[cluster.MachineOf(v)] +=
+        static_cast<int64_t>(sizeof(NodeId));
+  }
+  cluster.AccountShardedShuffle("ForestConnectivity", label_bytes, wall / 2);
   cluster.AccountMapRound("ForestConnectivity");
 
   result.component = forest.root;

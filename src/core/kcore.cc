@@ -6,15 +6,15 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
-#include "kv/store.h"
+#include "kv/sharded_store.h"
 
 namespace ampc::core {
 namespace {
 
 using graph::NodeId;
 
-using AdjStore = kv::Store<std::vector<NodeId>>;
-using ValueStore = kv::Store<int32_t>;
+using AdjStore = kv::ShardedStore<std::vector<NodeId>>;
+using ValueStore = kv::ShardedStore<int32_t>;
 
 }  // namespace
 
@@ -43,7 +43,7 @@ KCoreResult AmpcKCore(sim::Cluster& cluster, const graph::Graph& g,
   int64_t adjacency_bytes = 0;
   for (NodeId v = 0; v < n; ++v) adjacency_bytes += g.AdjacencyBytes(v);
   cluster.AccountShuffle("WriteGraph", adjacency_bytes, timer.Seconds());
-  AdjStore adjacency(n);
+  AdjStore adjacency = cluster.MakeStore<std::vector<NodeId>>(n);
   cluster.RunKvWritePhase("KV-Write", adjacency, n, [&](int64_t v) {
     const auto span = g.neighbors(static_cast<NodeId>(v));
     return std::vector<NodeId>(span.begin(), span.end());
@@ -65,7 +65,7 @@ KCoreResult AmpcKCore(sim::Cluster& cluster, const graph::Graph& g,
     // Publish the current values into a fresh per-round store D_i
     // (cheap round), then recompute each vertex from its neighbors'
     // published values with DHT random access (map round, no shuffle).
-    ValueStore values(n);
+    ValueStore values = cluster.MakeStore<int32_t>(n);
     cluster.RunKvWritePhase("ValueWrite", values, n, [&](int64_t v) {
       return result.coreness[v];
     });

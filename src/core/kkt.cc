@@ -39,14 +39,23 @@ std::vector<uint8_t> FindLightEdges(
   trees::RootedForest forest =
       trees::BuildRootedForest(list.num_nodes, forest_edges);
   trees::PathMaxOracle oracle(forest);
-  const int64_t forest_bytes =
-      static_cast<int64_t>(forest_edges.size()) *
-      static_cast<int64_t>(sizeof(WeightedEdge));
-  cluster.AccountShuffle("FLightBuild", forest_bytes,
-                         build_timer.Seconds() / 2);
-  cluster.AccountShuffle("FLightBuild",
-                         list.num_nodes * static_cast<int64_t>(sizeof(NodeId)),
-                         build_timer.Seconds() / 2);
+  // Per-machine charging: forest edges land on their child endpoint's
+  // shard owner, per-vertex tour/level records on the vertex's owner.
+  const int num_machines = cluster.config().num_machines;
+  std::vector<int64_t> forest_bytes(num_machines, 0);
+  for (const WeightedEdge& e : forest_edges) {
+    forest_bytes[cluster.MachineOf(e.u)] +=
+        static_cast<int64_t>(sizeof(WeightedEdge));
+  }
+  cluster.AccountShardedShuffle("FLightBuild", forest_bytes,
+                                build_timer.Seconds() / 2);
+  std::vector<int64_t> vertex_bytes(num_machines, 0);
+  for (int64_t v = 0; v < list.num_nodes; ++v) {
+    vertex_bytes[cluster.MachineOf(v)] +=
+        static_cast<int64_t>(sizeof(NodeId));
+  }
+  cluster.AccountShardedShuffle("FLightBuild", vertex_bytes,
+                                build_timer.Seconds() / 2);
 
   // Line 10-11: classify every edge with two tree queries.
   std::vector<uint8_t> light(list.edges.size(), 0);
@@ -90,9 +99,13 @@ KktResult AmpcMsfKkt(sim::Cluster& cluster, const WeightedEdgeList& list,
     }
   }
   result.sampled_edges = static_cast<int64_t>(sampled.edges.size());
-  cluster.AccountShuffle(
-      "KKT-Sample", result.sampled_edges *
-                        static_cast<int64_t>(sizeof(WeightedEdge)));
+  // Sampled edges scatter to their id's shard owner.
+  std::vector<int64_t> sample_bytes(cluster.config().num_machines, 0);
+  for (const WeightedEdge& e : sampled.edges) {
+    sample_bytes[cluster.MachineOf(e.id)] +=
+        static_cast<int64_t>(sizeof(WeightedEdge));
+  }
+  cluster.AccountShardedShuffle("KKT-Sample", sample_bytes);
 
   // Line 2: F = MSF of the sample.
   MsfResult f = AmpcMsf(cluster, sampled, options.msf);

@@ -9,7 +9,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/priorities.h"
-#include "kv/store.h"
+#include "kv/sharded_store.h"
 
 namespace ampc::core {
 namespace {
@@ -142,7 +142,7 @@ EdgeStatus StatusFromCache(const VertexCache& cache, const EdgeOrder& order,
 // ascending rank by merging the two endpoints' rank-sorted adjacencies.
 // ---------------------------------------------------------------------------
 
-using AdjStore = kv::Store<std::vector<NodeId>>;
+using AdjStore = kv::ShardedStore<std::vector<NodeId>>;
 
 enum class EdgeResult { kIn, kOut, kTruncated };
 
@@ -391,7 +391,8 @@ StagedGraph StageGraph(sim::Cluster& cluster, const Graph& g,
   cluster.AccountShuffle(phase, bytes.load(), timer.Seconds());
 
   StagedGraph staged;
-  staged.store = std::make_unique<AdjStore>(n);
+  staged.store = std::make_unique<AdjStore>(
+      cluster.MakeStore<std::vector<NodeId>>(n));
   cluster.RunKvWritePhase("KV-Write", *staged.store, n, [&](int64_t v) {
     return std::move(adjacency[v]);
   });

@@ -6,7 +6,7 @@
 
 #include "common/timer.h"
 #include "core/priorities.h"
-#include "kv/store.h"
+#include "kv/sharded_store.h"
 
 namespace ampc::core {
 namespace {
@@ -26,7 +26,7 @@ using CacheArray = std::unique_ptr<std::atomic<uint8_t>[]>;
 // iff none of its preceding neighbors is. An explicit stack replaces
 // recursion because descending-rank chains can be Theta(n) long.
 uint8_t ResolveInMis(NodeId root, sim::MachineContext& ctx,
-                     const kv::Store<std::vector<NodeId>>& store,
+                     const kv::ShardedStore<std::vector<NodeId>>& store,
                      std::atomic<uint8_t>* cache) {
   auto cache_get = [cache](NodeId x) -> uint8_t {
     return cache == nullptr
@@ -126,7 +126,8 @@ MisResult AmpcMis(sim::Cluster& cluster, const Graph& g, uint64_t seed) {
                          direct_timer.Seconds());
 
   // Phase 2 — write the directed graph to the key-value store.
-  kv::Store<std::vector<NodeId>> store(n);
+  kv::ShardedStore<std::vector<NodeId>> store =
+      cluster.MakeStore<std::vector<NodeId>>(n);
   cluster.RunKvWritePhase("KV-Write", store, n, [&](int64_t v) {
     return std::move(directed[v]);
   });

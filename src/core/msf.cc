@@ -9,11 +9,12 @@
 
 #include "common/concurrent_bag.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/priorities.h"
 #include "graph/contraction.h"
 #include "graph/ternarize.h"
-#include "kv/store.h"
+#include "kv/sharded_store.h"
 #include "seq/msf.h"
 
 namespace ampc::core {
@@ -35,7 +36,7 @@ struct WAdj {
 };
 static_assert(std::is_trivially_copyable_v<WAdj>);
 
-using WAdjStore = kv::Store<std::vector<WAdj>>;
+using WAdjStore = kv::ShardedStore<std::vector<WAdj>>;
 
 bool WAdjLess(const WAdj& a, const WAdj& b) {
   if (a.w != b.w) return a.w < b.w;
@@ -133,7 +134,7 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
     cluster.AccountShuffle("SortGraph", graph_bytes, sort_timer.Seconds());
 
     // --- KV-Write --------------------------------------------------------
-    WAdjStore store(n);
+    WAdjStore store = cluster.MakeStore<std::vector<WAdj>>(n);
     cluster.RunKvWritePhase("KV-Write", store, n, [&](int64_t v) {
       const NodeId node = static_cast<NodeId>(v);
       auto nbrs = wg.neighbors(node);
@@ -157,7 +158,7 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
           found_edges.Merge(std::move(out.msf_edges));
         });
     std::vector<EdgeId> emitted = found_edges.Take();
-    std::sort(emitted.begin(), emitted.end());
+    ParallelSort(cluster.pool(), emitted);
     emitted.erase(std::unique(emitted.begin(), emitted.end()), emitted.end());
     result.edges.insert(result.edges.end(), emitted.begin(), emitted.end());
 
@@ -168,7 +169,7 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
         "Combine", stopped * (kv::kKeyBytes + sizeof(NodeId)));
 
     // --- PointerJump: write parent map, chase chains to roots ------------
-    kv::Store<NodeId> parent_store(n);
+    kv::ShardedStore<NodeId> parent_store = cluster.MakeStore<NodeId>(n);
     cluster.RunKvWritePhase("PointerJumpBuild", parent_store, n,
                             [&](int64_t v) { return parent[v]; });
     // The parent-map construction is itself a shuffle in the Flume
@@ -241,7 +242,7 @@ MsfResult AmpcMsf(sim::Cluster& cluster, const WeightedEdgeList& list,
   } else {
     MsfLoop(cluster, list, options, result);
   }
-  std::sort(result.edges.begin(), result.edges.end());
+  ParallelSort(cluster.pool(), result.edges);
   result.edges.erase(std::unique(result.edges.begin(), result.edges.end()),
                      result.edges.end());
   return result;

@@ -8,7 +8,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/priorities.h"
-#include "kv/store.h"
+#include "kv/sharded_store.h"
 #include "seq/union_find.h"
 
 namespace ampc::core {
@@ -36,7 +36,7 @@ CycleResult AmpcOneVsTwoCycle(sim::Cluster& cluster, const Graph& g,
 
   // One shuffle + KV write stages the (successor, predecessor) records.
   WallTimer stage_timer;
-  kv::Store<CycleAdj> store(n);
+  kv::ShardedStore<CycleAdj> store = cluster.MakeStore<CycleAdj>(n);
   int64_t bytes = 0;
   for (int64_t v = 0; v < n; ++v) {
     AMPC_CHECK_EQ(g.degree(static_cast<NodeId>(v)), 2)

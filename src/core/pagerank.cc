@@ -6,14 +6,14 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/timer.h"
-#include "kv/store.h"
+#include "kv/sharded_store.h"
 
 namespace ampc::core {
 namespace {
 
 using graph::NodeId;
 
-using AdjStore = kv::Store<std::vector<NodeId>>;
+using AdjStore = kv::ShardedStore<std::vector<NodeId>>;
 
 // Stages the adjacency in the DHT: one shuffle + one cheap KV-write.
 std::unique_ptr<AdjStore> StageAdjacency(sim::Cluster& cluster,
@@ -23,7 +23,8 @@ std::unique_ptr<AdjStore> StageAdjacency(sim::Cluster& cluster,
   int64_t bytes = 0;
   for (NodeId v = 0; v < n; ++v) bytes += g.AdjacencyBytes(v);
   cluster.AccountShuffle("WriteGraph", bytes, timer.Seconds());
-  auto store = std::make_unique<AdjStore>(n);
+  auto store = std::make_unique<AdjStore>(
+      cluster.MakeStore<std::vector<NodeId>>(n));
   cluster.RunKvWritePhase("KV-Write", *store, n, [&](int64_t v) {
     const auto span = g.neighbors(static_cast<NodeId>(v));
     return std::vector<NodeId>(span.begin(), span.end());

@@ -1,5 +1,7 @@
 #include "core/priorities.h"
 
+#include "common/parallel.h"
+
 namespace ampc::core {
 
 std::vector<uint64_t> AllVertexRanks(int64_t num_nodes, uint64_t seed) {
@@ -10,6 +12,13 @@ std::vector<uint64_t> AllVertexRanks(int64_t num_nodes, uint64_t seed) {
   return ranks;
 }
 
+std::vector<uint64_t> AllVertexRanks(ThreadPool& pool, int64_t num_nodes,
+                                     uint64_t seed) {
+  return ParallelTabulate<uint64_t>(pool, num_nodes, [seed](int64_t v) {
+    return VertexRank(static_cast<graph::NodeId>(v), seed);
+  });
+}
+
 std::vector<uint64_t> AllEdgeRanks(const graph::EdgeList& list,
                                    uint64_t seed) {
   std::vector<uint64_t> ranks(list.edges.size());
@@ -17,6 +26,15 @@ std::vector<uint64_t> AllEdgeRanks(const graph::EdgeList& list,
     ranks[i] = EdgeRank(list.edges[i].u, list.edges[i].v, seed);
   }
   return ranks;
+}
+
+std::vector<uint64_t> AllEdgeRanks(ThreadPool& pool,
+                                   const graph::EdgeList& list,
+                                   uint64_t seed) {
+  return ParallelTabulate<uint64_t>(
+      pool, static_cast<int64_t>(list.edges.size()), [&](int64_t i) {
+        return EdgeRank(list.edges[i].u, list.edges[i].v, seed);
+      });
 }
 
 }  // namespace ampc::core

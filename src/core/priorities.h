@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "graph/graph.h"
 
 namespace ampc::core {
@@ -25,8 +26,18 @@ inline uint64_t EdgeRank(graph::NodeId u, graph::NodeId v, uint64_t seed) {
 /// Materializes all vertex ranks.
 std::vector<uint64_t> AllVertexRanks(int64_t num_nodes, uint64_t seed);
 
+/// Parallel variant: tabulates the ranks on `pool`. Output is identical
+/// to the serial overload (ranks are pure hashes of (id, seed)).
+std::vector<uint64_t> AllVertexRanks(ThreadPool& pool, int64_t num_nodes,
+                                     uint64_t seed);
+
 /// Materializes ranks for every edge of a list (indexed by position).
 std::vector<uint64_t> AllEdgeRanks(const graph::EdgeList& list,
+                                   uint64_t seed);
+
+/// Parallel variant of AllEdgeRanks; same output as the serial overload.
+std::vector<uint64_t> AllEdgeRanks(ThreadPool& pool,
+                                   const graph::EdgeList& list,
                                    uint64_t seed);
 
 /// True if a precedes b in the vertex permutation (ties by id).

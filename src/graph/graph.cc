@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 
@@ -62,22 +63,34 @@ Graph BuildGraph(const EdgeList& list, const BuildOptions& options) {
   std::vector<uint64_t> deg =
       CountDegrees(n, us, vs, options.remove_self_loops);
   std::vector<uint64_t> offsets = ExclusiveScan(deg);
-  std::vector<NodeId> adjacency(offsets.back());
-  std::vector<uint64_t> cursor = offsets;
+
+  // One global sort keyed by (owner, neighbor) replaces per-vertex sorts:
+  // a hub vertex's adjacency no longer sorts on a single thread, so
+  // skewed degree distributions parallelize as well as uniform ones.
+  struct DirArc {
+    NodeId from;
+    NodeId to;
+  };
+  std::vector<DirArc> arcs;
+  arcs.reserve(offsets.back());
   for (size_t i = 0; i < us.size(); ++i) {
     if (options.remove_self_loops && us[i] == vs[i]) continue;
-    adjacency[cursor[us[i]]++] = vs[i];
-    adjacency[cursor[vs[i]]++] = us[i];
+    arcs.push_back(DirArc{us[i], vs[i]});
+    arcs.push_back(DirArc{vs[i], us[i]});
   }
-
-  ParallelForChunked(
-      ThreadPool::Global(), 0, n, 1024,
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t v = lo; v < hi; ++v) {
-          std::sort(adjacency.begin() + offsets[v],
-                    adjacency.begin() + offsets[v + 1]);
-        }
-      });
+  ParallelSort(ThreadPool::Global(), arcs,
+               [](const DirArc& a, const DirArc& b) {
+                 if (a.from != b.from) return a.from < b.from;
+                 return a.to < b.to;
+               });
+  std::vector<NodeId> adjacency(offsets.back());
+  ParallelForChunked(ThreadPool::Global(), 0,
+                     static_cast<int64_t>(arcs.size()), 4096,
+                     [&](int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) {
+                         adjacency[i] = arcs[i].to;
+                       }
+                     });
 
   Graph g;
   if (!options.dedup) {
@@ -120,31 +133,28 @@ WeightedGraph BuildWeightedGraph(const WeightedEdgeList& list,
   }
   std::vector<uint64_t> offsets = ExclusiveScan(deg);
 
+  // Global (owner, neighbor, weight, id) sort instead of per-vertex
+  // sorts, for the same skew-robustness as BuildGraph above.
   struct Arc {
+    NodeId from;
     NodeId to;
     Weight w;
     EdgeId id;
   };
-  std::vector<Arc> arcs(offsets.back());
-  std::vector<uint64_t> cursor = offsets;
+  std::vector<Arc> arcs;
+  arcs.reserve(offsets.back());
   for (const WeightedEdge& e : list.edges) {
     if (options.remove_self_loops && e.u == e.v) continue;
-    arcs[cursor[e.u]++] = Arc{e.v, e.w, e.id};
-    arcs[cursor[e.v]++] = Arc{e.u, e.w, e.id};
+    arcs.push_back(Arc{e.u, e.v, e.w, e.id});
+    arcs.push_back(Arc{e.v, e.u, e.w, e.id});
   }
-
-  ParallelForChunked(
-      ThreadPool::Global(), 0, n, 1024,
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t v = lo; v < hi; ++v) {
-          std::sort(arcs.begin() + offsets[v], arcs.begin() + offsets[v + 1],
-                    [](const Arc& a, const Arc& b) {
-                      if (a.to != b.to) return a.to < b.to;
-                      if (a.w != b.w) return a.w < b.w;
-                      return a.id < b.id;
-                    });
-        }
-      });
+  ParallelSort(ThreadPool::Global(), arcs,
+               [](const Arc& a, const Arc& b) {
+                 if (a.from != b.from) return a.from < b.from;
+                 if (a.to != b.to) return a.to < b.to;
+                 if (a.w != b.w) return a.w < b.w;
+                 return a.id < b.id;
+               });
 
   std::vector<uint64_t> new_deg(n, 0);
   if (options.dedup) {

@@ -1,0 +1,190 @@
+// The simulated distributed hash table, sharded per logical machine.
+//
+// The paper's AMPC model stores each round's data in a DHT partitioned
+// across the cluster's machines, and its performance analysis (Table 4,
+// Figure 8, Section 5.7) is per machine: each machine has bounded local
+// space and a NIC of finite bandwidth, so a key whose records concentrate
+// on one shard makes that machine the round's straggler. ShardedStore
+// models exactly that placement: keys are hash-partitioned across
+// `num_shards` shards with the same seeded hash the cluster simulator
+// uses to place work (sim::Cluster::MachineOf), so shard s of a store is
+// precisely the slice of the DHT held by logical machine s. Each shard
+// owns its own dense slot table, presence flags, insert counter, and
+// byte counter; per-shard occupancy/size/bytes are exposed so the cost
+// model (sim/cluster.h) and the fault model (sim/faults.h) can charge
+// skew and memory pressure to the machine that actually bears them.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "kv/byte_size.h"
+#include "kv/store.h"
+
+namespace ampc::kv {
+
+/// The shard (= logical machine) owning `key` under `seed`. This is the
+/// single placement function of the whole simulator: ShardedStore uses it
+/// to place records and sim::Cluster uses it to place work items, so a
+/// map phase's item v runs on the machine holding v's record.
+inline int ShardForKey(uint64_t key, uint64_t seed, int num_shards) {
+  return static_cast<int>(Hash64(key, seed ^ 0x6d61636821ULL) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+/// The key -> (shard, local slot) assignment of a sharded store: a pure
+/// function of (capacity, num_shards, seed), so factories that mint many
+/// same-shaped stores (one fresh DHT per round) build it once and share
+/// it (see sim::Cluster::MakeStore).
+struct ShardMap {
+  /// local_slot[k] = slot of key k within its owning shard.
+  std::vector<uint32_t> local_slot;
+  /// shard_counts[s] = number of keys owned by shard s.
+  std::vector<int64_t> shard_counts;
+  int64_t capacity = 0;
+  int num_shards = 1;
+  uint64_t seed = 0;
+
+  static std::shared_ptr<const ShardMap> Build(int64_t capacity,
+                                               int num_shards,
+                                               uint64_t seed) {
+    AMPC_CHECK_GE(num_shards, 1);
+    AMPC_CHECK_GE(capacity, 0);
+    AMPC_CHECK_LE(capacity,
+                  static_cast<int64_t>(std::numeric_limits<uint32_t>::max()));
+    auto map = std::make_shared<ShardMap>();
+    map->capacity = capacity;
+    map->num_shards = num_shards;
+    map->seed = seed;
+    // One sequential pass keeps the assignment deterministic; the cost
+    // is one hash per key, the same order as the slot tables' own
+    // O(capacity) initialization.
+    map->local_slot.resize(capacity);
+    map->shard_counts.assign(num_shards, 0);
+    for (int64_t k = 0; k < capacity; ++k) {
+      map->local_slot[k] = static_cast<uint32_t>(
+          map->shard_counts[ShardForKey(k, seed, num_shards)]++);
+    }
+    return map;
+  }
+};
+
+/// A dense key -> V store hash-partitioned into per-machine shards. Keys
+/// must be < capacity. Writes are thread-safe (delegated to the owning
+/// shard's per-slot atomic publication); lookups are thread-safe with
+/// respect to completed writes of other keys. Re-writing an existing key
+/// is not supported (AMPC stores are write-once per round). Movable so
+/// factories (sim::Cluster::MakeStore) can return it by value.
+template <typename V>
+class ShardedStore {
+ public:
+  ShardedStore(int64_t capacity, int num_shards, uint64_t seed)
+      : ShardedStore(ShardMap::Build(capacity, num_shards, seed)) {}
+
+  /// Shares a prebuilt key assignment (must match this store's shape).
+  explicit ShardedStore(std::shared_ptr<const ShardMap> map)
+      : capacity_(map->capacity),
+        num_shards_(map->num_shards),
+        seed_(map->seed),
+        map_(std::move(map)) {
+    shards_.reserve(num_shards_);
+    for (int s = 0; s < num_shards_; ++s) {
+      shards_.push_back(std::make_unique<Store<V>>(map_->shard_counts[s]));
+    }
+  }
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+  ShardedStore(ShardedStore&&) noexcept = default;
+  ShardedStore& operator=(ShardedStore&&) noexcept = default;
+
+  int64_t capacity() const { return capacity_; }
+  int num_shards() const { return num_shards_; }
+  uint64_t seed() const { return seed_; }
+
+  /// The shard (= logical machine) owning `key`.
+  int ShardOf(uint64_t key) const {
+    return ShardForKey(key, seed_, num_shards_);
+  }
+
+  /// Inserts (key, value) into the owning shard. Returns the wire size of
+  /// the record.
+  int64_t Put(uint64_t key, V value) {
+    AMPC_CHECK_LT(key, static_cast<uint64_t>(capacity_));
+    return shards_[ShardOf(key)]->Put(map_->local_slot[key],
+                                      std::move(value));
+  }
+
+  /// Returns the value for `key`, or nullptr when absent.
+  const V* Lookup(uint64_t key) const {
+    if (key >= static_cast<uint64_t>(capacity_)) return nullptr;
+    return shards_[ShardOf(key)]->Lookup(map_->local_slot[key]);
+  }
+
+  bool Contains(uint64_t key) const { return Lookup(key) != nullptr; }
+
+  /// Wire size of the record for `key` (0 when absent).
+  int64_t RecordBytes(uint64_t key) const {
+    const V* v = Lookup(key);
+    return v == nullptr ? 0 : kKeyBytes + KvByteSize(*v);
+  }
+
+  /// Number of present keys across all shards. O(num_shards).
+  int64_t size() const {
+    int64_t total = 0;
+    for (const auto& shard : shards_) total += shard->size();
+    return total;
+  }
+
+  /// Total wire bytes inserted across all shards. O(num_shards).
+  int64_t total_bytes() const {
+    int64_t total = 0;
+    for (const auto& shard : shards_) total += shard->total_bytes();
+    return total;
+  }
+
+  // Per-shard introspection — the cost and fault models read these.
+
+  /// Present keys on shard `s`.
+  int64_t ShardSize(int s) const { return shards_[s]->size(); }
+
+  /// Key-space slice assigned to shard `s` (its slot-table capacity).
+  int64_t ShardCapacity(int s) const { return shards_[s]->capacity(); }
+
+  /// Wire bytes held by shard `s`.
+  int64_t ShardBytes(int s) const { return shards_[s]->total_bytes(); }
+
+  /// Fraction of shard `s`'s slots that hold a record (0 for an empty
+  /// key-space slice).
+  double ShardOccupancy(int s) const {
+    const int64_t cap = shards_[s]->capacity();
+    if (cap == 0) return 0.0;
+    return static_cast<double>(shards_[s]->size()) /
+           static_cast<double>(cap);
+  }
+
+  /// Snapshot of every shard's wire bytes, indexed by shard id.
+  std::vector<int64_t> ShardBytesSnapshot() const {
+    std::vector<int64_t> bytes(num_shards_);
+    for (int s = 0; s < num_shards_; ++s) bytes[s] = ShardBytes(s);
+    return bytes;
+  }
+
+ private:
+  int64_t capacity_ = 0;
+  int num_shards_ = 1;
+  uint64_t seed_ = 0;
+  // key -> slot within its owning shard (the shard id is recomputed from
+  // the hash; storing it would double the table's footprint). Shared:
+  // every same-shaped store minted by a cluster reuses one map.
+  std::shared_ptr<const ShardMap> map_;
+  // unique_ptr keeps the atomic-bearing slot tables movable as a group.
+  std::vector<std::unique_ptr<Store<V>>> shards_;
+};
+
+}  // namespace ampc::kv

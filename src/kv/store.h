@@ -1,12 +1,14 @@
-// The simulated distributed hash table (DHT).
+// A dense slot table: the building block of the simulated DHT.
 //
 // AMPC computations write each round's data into a fresh store D_i and the
 // next round reads D_i with random access (paper Section 2). The paper's
 // stores key by consecutive integers ("the input data is stored in D0 and
 // uses a set of keys known to all machines (e.g., consecutive integers)"),
-// so this simulation uses a dense, fixed-capacity slot table: key k lives
-// in slot k. A sharded variant with striped locks covers concurrent
-// writers; reads after Freeze() are wait-free.
+// so this simulation uses dense, fixed-capacity slot tables: key k lives
+// in slot k. The DHT itself is kv::ShardedStore (sharded_store.h), which
+// hash-partitions the key space across logical machines and owns one
+// Store per shard; Store remains usable directly when per-machine
+// placement is irrelevant (unit tests, scratch tables).
 #pragma once
 
 #include <atomic>
@@ -45,7 +47,9 @@ class Store {
     slots_[key] = std::move(value);
     present_[key].store(1, std::memory_order_release);
     count_.fetch_add(1, std::memory_order_relaxed);
-    return kKeyBytes + KvByteSize(slots_[key]);
+    const int64_t record_bytes = kKeyBytes + KvByteSize(slots_[key]);
+    bytes_.fetch_add(record_bytes, std::memory_order_relaxed);
+    return record_bytes;
   }
 
   /// Returns the value for `key`, or nullptr when absent.
@@ -67,10 +71,17 @@ class Store {
   /// counter (keys are write-once, so inserts never repeat).
   int64_t size() const { return count_.load(std::memory_order_relaxed); }
 
+  /// Total wire bytes of every record inserted so far. O(1): maintained
+  /// as an atomic byte counter alongside the insert counter.
+  int64_t total_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<V> slots_;
   mutable std::vector<std::atomic<uint8_t>> present_;
   std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> bytes_{0};
 };
 
 }  // namespace ampc::kv

@@ -17,6 +17,7 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
       std::max(1u, std::thread::hardware_concurrency()));
   pool_ = std::make_unique<ThreadPool>(
       std::max(1, std::min(logical_threads, hw)));
+  machine_kv_write_bytes_.assign(config_.num_machines, 0);
 }
 
 void Cluster::AccountShuffle(const std::string& phase, int64_t bytes,
@@ -29,6 +30,33 @@ void Cluster::AccountShuffle(const std::string& phase, int64_t bytes,
   const double sim =
       std::max(config_.shuffle_min_sec,
                static_cast<double>(bytes) / throughput) +
+      config_.round_spawn_sec;
+  RecordRound(sim);
+  metrics_.AddTime("sim:" + phase, sim);
+  metrics_.AddTime("sim_total", sim);
+  metrics_.AddTime("wall:" + phase, wall_seconds);
+  metrics_.AddTime("wall_total", wall_seconds);
+}
+
+void Cluster::AccountShardedShuffle(
+    const std::string& phase, const std::vector<int64_t>& per_machine_bytes,
+    double wall_seconds) {
+  int64_t total = 0;
+  int64_t hottest = 0;
+  for (const int64_t bytes : per_machine_bytes) {
+    total += bytes;
+    hottest = std::max(hottest, bytes);
+  }
+  metrics_.Add("shuffles", 1);
+  metrics_.Add("rounds", 1);
+  metrics_.Add("shuffle_bytes", total);
+  metrics_.Add("shuffle_hot_machine_bytes", hottest);
+  // Machines shuffle concurrently; the round lasts as long as the
+  // hottest machine's durable-storage writes. Matches AccountShuffle
+  // (total / (per-machine throughput * P)) when the bytes are uniform.
+  const double sim =
+      std::max(config_.shuffle_min_sec,
+               static_cast<double>(hottest) / config_.shuffle_bytes_per_sec) +
       config_.round_spawn_sec;
   RecordRound(sim);
   metrics_.AddTime("sim:" + phase, sim);
@@ -67,21 +95,34 @@ void Cluster::SettleMapPhase(const std::string& phase,
       config_.multithreading ? config_.threads_per_machine : 1;
   double slowest_machine = 0;
   int64_t total_queries = 0, total_bytes = 0, total_items = 0;
-  int64_t total_hits = 0, total_misses = 0;
+  int64_t total_hits = 0, total_misses = 0, hottest_served = 0;
   for (const PhaseCounters& counters : per_machine) {
     const int64_t queries = counters.kv_queries.load();
     const int64_t bytes = counters.kv_read_bytes.load();
     const int64_t items = counters.items.load();
+    const int64_t served_bytes = counters.kv_served_bytes.load();
     total_queries += queries;
     total_bytes += bytes;
     total_items += items;
     total_hits += counters.cache_hits.load();
     total_misses += counters.cache_misses.load();
-    const double kv_time = queries * config_.network.lookup_latency_sec +
-                           bytes / config_.network.bytes_per_sec;
-    const double cpu_time = items * config_.map_item_cpu_sec;
+    hottest_served = std::max(hottest_served, served_bytes);
+    // Client side: synchronous lookup latency and per-item CPU, hidden
+    // behind `overlap` worker threads (Section 5.3 multithreading), plus
+    // the fetched records arriving through this machine's NIC (a hot
+    // *reader* gathering from every shard is also a straggler).
+    const double client_time =
+        (queries * config_.network.lookup_latency_sec +
+         items * config_.map_item_cpu_sec) /
+            overlap +
+        bytes / config_.network.bytes_per_sec;
+    // Server side: this machine's NIC ships every byte its shard serves;
+    // extra worker threads do not widen a NIC, so no overlap division.
+    // Hot shards make their machine the round's straggler.
+    const double server_time =
+        served_bytes / config_.network.bytes_per_sec;
     slowest_machine =
-        std::max(slowest_machine, (kv_time + cpu_time) / overlap);
+        std::max(slowest_machine, client_time + server_time);
   }
   // The cluster-wide network ceiling (paper Section 5.7) floors the round.
   const double network_floor =
@@ -93,6 +134,7 @@ void Cluster::SettleMapPhase(const std::string& phase,
   RecordRound(sim);
   metrics_.Add("kv_reads", total_queries);
   metrics_.Add("kv_read_bytes", total_bytes);
+  metrics_.Add("kv_hot_machine_read_bytes", hottest_served);
   metrics_.Add("map_items", total_items);
   metrics_.Add("cache_hits", total_hits);
   metrics_.Add("cache_misses", total_misses);
@@ -100,6 +142,56 @@ void Cluster::SettleMapPhase(const std::string& phase,
   metrics_.AddTime("sim_total", sim);
   metrics_.AddTime("wall:" + phase, wall_seconds);
   metrics_.AddTime("wall_total", wall_seconds);
+}
+
+void Cluster::SettleKvWritePhase(const std::string& phase,
+                                 const std::vector<int64_t>& writes,
+                                 const std::vector<int64_t>& bytes,
+                                 double wall_seconds) {
+  const int overlap =
+      config_.multithreading ? config_.threads_per_machine : 1;
+  int64_t total_writes = 0, total_bytes = 0, hottest_bytes = 0;
+  double slowest_machine = 0;
+  for (int m = 0; m < config_.num_machines; ++m) {
+    total_writes += writes[m];
+    total_bytes += bytes[m];
+    hottest_bytes = std::max(hottest_bytes, bytes[m]);
+    machine_kv_write_bytes_[m] += bytes[m];
+    // Writes stream from all machines concurrently; machine m absorbs
+    // the records landing on its shard, so a skewed key distribution
+    // stalls the round on the hottest shard's machine. Worker threads
+    // overlap per-write latency but cannot widen the machine's NIC, so
+    // only the latency term divides by `overlap`.
+    const double machine_time =
+        writes[m] * config_.network.write_latency_sec / overlap +
+        bytes[m] / config_.network.bytes_per_sec;
+    slowest_machine = std::max(slowest_machine, machine_time);
+  }
+  const double sim =
+      std::max(slowest_machine,
+               static_cast<double>(total_bytes) /
+                   config_.network.aggregate_bytes_per_sec) +
+      config_.round_spawn_sec;
+
+  metrics_.Add("rounds", 1);
+  RecordRound(sim);
+  metrics_.Add("kv_writes", total_writes);
+  metrics_.Add("kv_write_bytes", total_bytes);
+  metrics_.Add("kv_hot_machine_write_bytes", hottest_bytes);
+  metrics_.AddTime("sim:" + phase, sim);
+  metrics_.AddTime("sim_total", sim);
+  metrics_.AddTime("wall:" + phase, wall_seconds);
+  metrics_.AddTime("wall_total", wall_seconds);
+}
+
+std::shared_ptr<const kv::ShardMap> Cluster::ShardMapFor(
+    int64_t capacity) const {
+  std::lock_guard<std::mutex> lock(shard_map_mu_);
+  std::shared_ptr<const kv::ShardMap>& map = shard_maps_[capacity];
+  if (map == nullptr) {
+    map = kv::ShardMap::Build(capacity, config_.num_machines, config_.seed);
+  }
+  return map;
 }
 
 void Cluster::RunMapPhase(
@@ -155,7 +247,7 @@ void Cluster::RunMapPhase(
       const int64_t hi = begin + span * (w + 1) / workers;
       pool_->Schedule([&, m, w, lo, hi] {
         MachineContext ctx(
-            this, &counters[m], m, w,
+            this, &counters, m, w,
             Hash64(HashCombine(Hash64(m, config_.seed), w),
                    HashCombine(config_.seed, std::hash<std::string>{}(phase))));
         for (int64_t i = lo; i < hi; ++i) fn(buckets[i], ctx);

@@ -10,17 +10,28 @@
 //                 network ceiling (paper Section 5.7), durable-storage
 //                 shuffle throughput, and fixed per-round spawn overhead.
 //
+// Cost accounting is per machine and skew-aware: the DHT
+// (kv::ShardedStore) is hash-partitioned across machines with the same
+// placement function the simulator uses for work items, and every KV
+// write or lookup is charged to the machine whose shard actually serves
+// it. A round's simulated duration is the *slowest machine's* time (plus
+// the aggregate network ceiling), so hot keys and byte skew surface as
+// stragglers in sim: times instead of vanishing into a total/P average.
+//
 // Round accounting matches the paper's conventions: a *shuffle* is a
 // costly round (Table 3 counts these); KV writes and map rounds are cheap
 // rounds. The multithreading and caching toggles correspond to the
 // optimizations ablated in Figure 4.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -28,7 +39,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "kv/network_model.h"
-#include "kv/store.h"
+#include "kv/sharded_store.h"
 
 namespace ampc::sim {
 
@@ -77,17 +88,37 @@ class Cluster {
   Metrics& metrics() { return metrics_; }
   ThreadPool& pool() { return *pool_; }
 
-  /// The machine that owns key/item `key` (stable hash partition).
+  /// The machine that owns key/item `key`. Delegates to the DHT's
+  /// placement hash, so the machine running item v is the machine whose
+  /// shard holds record v of any store made by MakeStore.
   int MachineOf(uint64_t key) const {
-    return static_cast<int>(Hash64(key, config_.seed ^ 0x6d61636821ULL) %
-                            static_cast<uint64_t>(config_.num_machines));
+    return kv::ShardForKey(key, config_.seed, config_.num_machines);
   }
 
-  /// Records a shuffle that moved `bytes` through durable storage.
-  /// Counts one costly round. `wall_seconds` is the real time the caller
-  /// spent materializing the shuffle (already measured by the caller).
+  /// Creates a DHT store for keys [0, capacity) sharded across this
+  /// cluster's machines (shard s = machine s). The key assignment is a
+  /// pure function of (capacity, machines, seed), so it is computed once
+  /// per capacity and shared across the run's stores (algorithms mint a
+  /// fresh same-shaped store every round).
+  template <typename V>
+  kv::ShardedStore<V> MakeStore(int64_t capacity) const {
+    return kv::ShardedStore<V>(ShardMapFor(capacity));
+  }
+
+  /// Records a shuffle that moved `bytes` through durable storage,
+  /// spread evenly over the machines. Counts one costly round.
+  /// `wall_seconds` is the real time the caller spent materializing the
+  /// shuffle (already measured by the caller).
   void AccountShuffle(const std::string& phase, int64_t bytes,
                       double wall_seconds = 0.0);
+
+  /// Records a shuffle whose bytes land unevenly: per_machine_bytes[m] is
+  /// the traffic machine m writes/receives. The round lasts as long as
+  /// the hottest machine needs (skewed key distributions cost more than
+  /// uniform ones of the same total). Counts one costly round.
+  void AccountShardedShuffle(const std::string& phase,
+                             const std::vector<int64_t>& per_machine_bytes,
+                             double wall_seconds = 0.0);
 
   /// Records a cheap (map-only) round that is not a shuffle.
   void AccountMapRound(const std::string& phase);
@@ -105,15 +136,17 @@ class Cluster {
   /// Runs `fn(item, ctx)` for every item in [0, n), with items hash-
   /// partitioned onto machines and each machine's share processed by
   /// `threads_per_machine` workers. Charges KV costs accumulated through
-  /// the MachineContext plus per-item CPU cost. Counts one cheap round.
+  /// the MachineContext plus per-item CPU cost; lookup traffic is charged
+  /// to the machine whose shard serves it. Counts one cheap round.
   void RunMapPhase(const std::string& phase, int64_t n,
                    const std::function<void(int64_t, MachineContext&)>& fn);
 
   /// Writes records for keys [0, n) into `store` using value = producer(key)
-  /// and charges distributed write costs. Producers run concurrently.
-  /// Counts one cheap round.
+  /// and charges each machine for the writes landing on its shard (the
+  /// round lasts as long as the hottest shard needs). Producers run
+  /// concurrently. Counts one cheap round.
   template <typename V, typename Producer>
-  void RunKvWritePhase(const std::string& phase, kv::Store<V>& store,
+  void RunKvWritePhase(const std::string& phase, kv::ShardedStore<V>& store,
                        int64_t n, Producer producer);
 
   /// Total simulated seconds accumulated so far.
@@ -126,22 +159,43 @@ class Cluster {
   /// model per-round preemption behaviour.
   const std::vector<double>& round_log() const { return round_log_; }
 
+  /// Cumulative KV wire bytes written to each machine's shards across
+  /// every RunKvWritePhase so far. A per-machine memory-pressure signal:
+  /// feed it to sim::MemoryPressureRates (sim/faults.h) to make machines
+  /// holding hot shards preemption-prone, or inspect a single store's
+  /// footprint directly via kv::ShardedStore::ShardBytesSnapshot.
+  const std::vector<int64_t>& machine_kv_write_bytes() const {
+    return machine_kv_write_bytes_;
+  }
+
  private:
   friend class MachineContext;
 
   struct PhaseCounters {
+    // Charged to the machine *running* the item (client side): query
+    // latency, received record bytes, per-item CPU.
     std::atomic<int64_t> kv_queries{0};
     std::atomic<int64_t> kv_read_bytes{0};
     std::atomic<int64_t> items{0};
     std::atomic<int64_t> cache_hits{0};
     std::atomic<int64_t> cache_misses{0};
+    // Charged to the machine whose shard *serves* the lookup (server
+    // side): its NIC ships the record regardless of who asked.
+    std::atomic<int64_t> kv_served_bytes{0};
   };
 
-  // Converts per-machine phase counters into simulated round time and
-  // folds everything into metrics.
+  // Converts per-machine phase counters into simulated round time (the
+  // slowest machine's client + server + CPU time, floored by the
+  // aggregate network ceiling) and folds everything into metrics.
   void SettleMapPhase(const std::string& phase,
                       std::vector<PhaseCounters>& per_machine,
                       double wall_seconds);
+
+  // Same for a KV write phase, from per-machine write/byte deltas.
+  void SettleKvWritePhase(const std::string& phase,
+                          const std::vector<int64_t>& writes,
+                          const std::vector<int64_t>& bytes,
+                          double wall_seconds);
 
   // Appends a round of simulated duration `sim` to the log.
   void RecordRound(double sim) { round_log_.push_back(sim); }
@@ -150,20 +204,30 @@ class Cluster {
     if (!round_log_.empty()) round_log_.back() += sim;
   }
 
+  // The cached key assignment for stores of `capacity` (see MakeStore).
+  std::shared_ptr<const kv::ShardMap> ShardMapFor(int64_t capacity) const;
+
   ClusterConfig config_;
   Metrics metrics_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<double> round_log_;
+  std::vector<int64_t> machine_kv_write_bytes_;
+  mutable std::mutex shard_map_mu_;
+  mutable std::unordered_map<int64_t, std::shared_ptr<const kv::ShardMap>>
+      shard_maps_;
 };
 
 /// Per-(machine, worker) handle passed to map-phase functions. KV lookups
-/// made through the context are charged to the owning machine.
+/// made through the context charge the requesting machine for query
+/// latency and the owning machine for the bytes its shard serves.
 class MachineContext {
  public:
-  MachineContext(Cluster* cluster, Cluster::PhaseCounters* counters,
+  MachineContext(Cluster* cluster,
+                 std::vector<Cluster::PhaseCounters>* all_counters,
                  int machine_id, int worker_id, uint64_t rng_seed)
       : cluster_(cluster),
-        counters_(counters),
+        all_counters_(all_counters),
+        counters_(&(*all_counters)[machine_id]),
         machine_id_(machine_id),
         worker_id_(worker_id),
         rng_(rng_seed) {}
@@ -174,16 +238,24 @@ class MachineContext {
   /// True when the caching optimization is enabled for this run.
   bool caching_enabled() const { return cluster_->config().caching; }
 
-  /// Looks up `key`, charging one query and the record's wire size.
+  /// Looks up `key`, charging one query to this machine and the record's
+  /// wire size to the shard-owning machine (the server pays for skew).
   /// Returns nullptr when the key is absent (callers must handle this:
   /// the store is a remote service, not library-internal state).
   template <typename V>
-  const V* Lookup(const kv::Store<V>& store, uint64_t key) {
+  const V* Lookup(const kv::ShardedStore<V>& store, uint64_t key) {
+    AMPC_CHECK_EQ(static_cast<size_t>(store.num_shards()),
+                  all_counters_->size())
+        << "store sharding disagrees with the cluster (use MakeStore)";
+    AMPC_CHECK_EQ(store.seed(), cluster_->config().seed)
+        << "store placement seed disagrees with the cluster (use MakeStore)";
     counters_->kv_queries.fetch_add(1, std::memory_order_relaxed);
     const V* value = store.Lookup(key);
     const int64_t bytes =
         value == nullptr ? kv::kKeyBytes : kv::kKeyBytes + kv::KvByteSize(*value);
     counters_->kv_read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    Cluster::PhaseCounters& server = (*all_counters_)[store.ShardOf(key)];
+    server.kv_served_bytes.fetch_add(bytes, std::memory_order_relaxed);
     return value;
   }
 
@@ -192,7 +264,7 @@ class MachineContext {
   /// vertex's own adjacency) arrives with the work item; only lookups of
   /// *other* records are remote.
   template <typename V>
-  const V* LookupLocal(const kv::Store<V>& store, uint64_t key) {
+  const V* LookupLocal(const kv::ShardedStore<V>& store, uint64_t key) {
     return store.Lookup(key);
   }
 
@@ -211,6 +283,7 @@ class MachineContext {
 
  private:
   Cluster* cluster_;
+  std::vector<Cluster::PhaseCounters>* all_counters_;
   Cluster::PhaseCounters* counters_;
   int machine_id_;
   int worker_id_;
@@ -218,42 +291,32 @@ class MachineContext {
 };
 
 template <typename V, typename Producer>
-void Cluster::RunKvWritePhase(const std::string& phase, kv::Store<V>& store,
-                              int64_t n, Producer producer) {
+void Cluster::RunKvWritePhase(const std::string& phase,
+                              kv::ShardedStore<V>& store, int64_t n,
+                              Producer producer) {
+  AMPC_CHECK_EQ(store.num_shards(), config_.num_machines)
+      << "store must be sharded per machine (create it with MakeStore)";
   WallTimer timer;
-  std::atomic<int64_t> total_bytes{0};
+  // Stores are write-once but may take several write phases (one per key
+  // range), so charge the per-shard *delta* of this phase.
+  std::vector<int64_t> bytes_before = store.ShardBytesSnapshot();
+  std::vector<int64_t> writes_before(config_.num_machines);
+  for (int m = 0; m < config_.num_machines; ++m) {
+    writes_before[m] = store.ShardSize(m);
+  }
   ParallelForChunked(*pool_, 0, n, 1024, [&](int64_t lo, int64_t hi) {
-    int64_t bytes = 0;
     for (int64_t key = lo; key < hi; ++key) {
-      bytes += store.Put(static_cast<uint64_t>(key), producer(key));
+      store.Put(static_cast<uint64_t>(key), producer(key));
     }
-    total_bytes.fetch_add(bytes, std::memory_order_relaxed);
   });
   const double wall = timer.Seconds();
-  const int64_t bytes = total_bytes.load();
-
-  metrics_.Add("rounds", 1);
-  metrics_.Add("kv_writes", n);
-  metrics_.Add("kv_write_bytes", bytes);
-
-  // Writes stream from all machines concurrently.
-  const double per_machine_bytes =
-      static_cast<double>(bytes) / config_.num_machines;
-  const double per_machine_writes =
-      static_cast<double>(n) / config_.num_machines;
-  const int overlap = config_.multithreading ? config_.threads_per_machine : 1;
-  double machine_time = (per_machine_writes * config_.network.write_latency_sec +
-                         per_machine_bytes / config_.network.bytes_per_sec) /
-                        overlap;
-  machine_time = std::max(
-      machine_time,
-      static_cast<double>(bytes) / config_.network.aggregate_bytes_per_sec);
-  const double sim = machine_time + config_.round_spawn_sec;
-  RecordRound(sim);
-  metrics_.AddTime("sim:" + phase, sim);
-  metrics_.AddTime("sim_total", sim);
-  metrics_.AddTime("wall:" + phase, wall);
-  metrics_.AddTime("wall_total", wall);
+  std::vector<int64_t> bytes(config_.num_machines);
+  std::vector<int64_t> writes(config_.num_machines);
+  for (int m = 0; m < config_.num_machines; ++m) {
+    bytes[m] = store.ShardBytes(m) - bytes_before[m];
+    writes[m] = store.ShardSize(m) - writes_before[m];
+  }
+  SettleKvWritePhase(phase, writes, bytes, wall);
 }
 
 }  // namespace ampc::sim

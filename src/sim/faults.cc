@@ -18,15 +18,8 @@ double RestartRenewalTime(double t, double lambda) {
   return std::expm1(lambda * t) / lambda;
 }
 
-}  // namespace
-
-double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
-                                 const PreemptionModel& model,
-                                 RecoveryDiscipline discipline) {
-  AMPC_CHECK_GE(model.rate_per_machine_sec, 0.0);
-  AMPC_CHECK_GE(model.machines, 1);
-  const double lambda =
-      model.rate_per_machine_sec * static_cast<double>(model.machines);
+double CompletionWithLambda(const std::vector<double>& round_seconds,
+                            double lambda, RecoveryDiscipline discipline) {
   switch (discipline) {
     case RecoveryDiscipline::kFaultTolerant: {
       double total = 0.0;
@@ -42,6 +35,47 @@ double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
     }
   }
   return 0.0;
+}
+
+}  // namespace
+
+double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
+                                 const PreemptionModel& model,
+                                 RecoveryDiscipline discipline) {
+  AMPC_CHECK_GE(model.rate_per_machine_sec, 0.0);
+  AMPC_CHECK_GE(model.machines, 1);
+  const double lambda =
+      model.rate_per_machine_sec * static_cast<double>(model.machines);
+  return CompletionWithLambda(round_seconds, lambda, discipline);
+}
+
+double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
+                                 const std::vector<double>& per_machine_rates,
+                                 RecoveryDiscipline discipline) {
+  AMPC_CHECK_GE(per_machine_rates.size(), 1u);
+  double lambda = 0.0;
+  for (const double rate : per_machine_rates) {
+    AMPC_CHECK_GE(rate, 0.0);
+    lambda += rate;
+  }
+  return CompletionWithLambda(round_seconds, lambda, discipline);
+}
+
+std::vector<double> MemoryPressureRates(
+    const PreemptionModel& base, const std::vector<int64_t>& machine_bytes,
+    int64_t soft_limit_bytes, double overshoot_penalty) {
+  AMPC_CHECK_GE(base.rate_per_machine_sec, 0.0);
+  AMPC_CHECK_GT(soft_limit_bytes, 0);
+  AMPC_CHECK_GE(overshoot_penalty, 0.0);
+  std::vector<double> rates(machine_bytes.size());
+  for (size_t m = 0; m < machine_bytes.size(); ++m) {
+    const double utilization = static_cast<double>(machine_bytes[m]) /
+                               static_cast<double>(soft_limit_bytes);
+    const double overshoot = std::max(0.0, utilization - 1.0);
+    rates[m] =
+        base.rate_per_machine_sec * (1.0 + overshoot_penalty * overshoot);
+  }
+  return rates;
 }
 
 PreemptionTrialStats SimulatePreemptions(

@@ -47,6 +47,29 @@ double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
                                  const PreemptionModel& model,
                                  RecoveryDiscipline discipline);
 
+/// Heterogeneous variant: per_machine_rates[m] is machine m's Poisson
+/// preemption rate. Superposing independent Poisson processes gives a
+/// job-wide rate of sum(rates), so any restart formula below applies
+/// unchanged; machines with hot DHT shards raise the whole job's risk.
+double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
+                                 const std::vector<double>& per_machine_rates,
+                                 RecoveryDiscipline discipline);
+
+/// Derives per-machine preemption rates from per-machine memory
+/// footprints — the memory-pressure signal of the sharded DHT. Machine
+/// m's KV bytes (e.g. Cluster::machine_kv_write_bytes() or a store's
+/// ShardBytesSnapshot()) are compared against `soft_limit_bytes`; a
+/// machine within its budget keeps the base rate, and one exceeding it
+/// becomes increasingly likely to be OOM-killed or evicted:
+///
+///   rate_m = base * (1 + overshoot_penalty * max(0, bytes_m/limit - 1))
+///
+/// With uniform shards nothing changes; a skewed key distribution makes
+/// the hot machine dominate the job's preemption risk.
+std::vector<double> MemoryPressureRates(
+    const PreemptionModel& base, const std::vector<int64_t>& machine_bytes,
+    int64_t soft_limit_bytes, double overshoot_penalty = 4.0);
+
 struct PreemptionTrialStats {
   double mean_seconds = 0;
   double max_seconds = 0;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <vector>
@@ -67,7 +68,7 @@ TEST(ClusterTest, MapPhaseRoutesItemsToOwningMachine) {
 
 TEST(ClusterTest, KvWriteAndLookupAccounting) {
   Cluster cluster(TestConfig());
-  kv::Store<int64_t> store(100);
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(100);
   cluster.RunKvWritePhase("w", store, 100, [](int64_t k) { return k * 3; });
   EXPECT_EQ(cluster.metrics().Get("kv_writes"), 100);
   EXPECT_GT(cluster.metrics().Get("kv_write_bytes"), 0);
@@ -85,7 +86,7 @@ TEST(ClusterTest, KvWriteAndLookupAccounting) {
 
 TEST(ClusterTest, LocalLookupNotCharged) {
   Cluster cluster(TestConfig());
-  kv::Store<int64_t> store(10);
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(10);
   cluster.RunKvWritePhase("w", store, 10, [](int64_t k) { return k; });
   cluster.RunMapPhase("r", 10, [&](int64_t item, MachineContext& ctx) {
     ctx.LookupLocal(store, item);
@@ -108,7 +109,8 @@ TEST(ClusterTest, CacheCountersFlow) {
 
 TEST(ClusterTest, MissingKeyLookupReturnsNullAndCharges) {
   Cluster cluster(TestConfig());
-  kv::Store<int64_t> store(10);  // nothing written
+  kv::ShardedStore<int64_t> store =
+      cluster.MakeStore<int64_t>(10);  // nothing written
   std::atomic<int> nulls{0};
   cluster.RunMapPhase("miss", 10, [&](int64_t item, MachineContext& ctx) {
     if (ctx.Lookup(store, item) == nullptr) nulls.fetch_add(1);
@@ -125,7 +127,7 @@ TEST(ClusterTest, SimTimeScalesWithMachines) {
     config.num_machines = machines;
     config.threads_per_machine = 1;
     Cluster cluster(config);
-    kv::Store<int64_t> store(20000);
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(20000);
     cluster.RunKvWritePhase("w", store, 20000,
                             [](int64_t k) { return k; });
     cluster.RunMapPhase("r", 20000, [&](int64_t item, MachineContext& ctx) {
@@ -143,7 +145,7 @@ TEST(ClusterTest, MultithreadingReducesSimTime) {
     config.threads_per_machine = 8;
     config.multithreading = multithreading;
     Cluster cluster(config);
-    kv::Store<int64_t> store(20000);
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(20000);
     cluster.RunKvWritePhase("w", store, 20000,
                             [](int64_t k) { return k; });
     cluster.RunMapPhase("r", 20000, [&](int64_t item, MachineContext& ctx) {
@@ -160,7 +162,7 @@ TEST(ClusterTest, TcpSlowerThanRdmaInSimTime) {
     config.num_machines = 2;
     config.network = model;
     Cluster cluster(config);
-    kv::Store<int64_t> store(20000);
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(20000);
     cluster.RunKvWritePhase("w", store, 20000,
                             [](int64_t k) { return k; });
     cluster.RunMapPhase("r", 20000, [&](int64_t item, MachineContext& ctx) {
@@ -169,6 +171,171 @@ TEST(ClusterTest, TcpSlowerThanRdmaInSimTime) {
     return cluster.metrics().GetTime("sim:r");
   };
   EXPECT_GT(run(kv::NetworkModel::TcpIp()), run(kv::NetworkModel::Rdma()));
+}
+
+
+TEST(ClusterTest, MakeStoreShardingMatchesMachineOf) {
+  Cluster cluster(TestConfig());
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(500);
+  ASSERT_EQ(store.num_shards(), cluster.config().num_machines);
+  for (uint64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(store.ShardOf(k), cluster.MachineOf(k)) << k;
+  }
+}
+
+TEST(ClusterTest, WritePhaseChargesOwningShards) {
+  Cluster cluster(TestConfig());
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(1000);
+  cluster.RunKvWritePhase("w", store, 1000, [](int64_t k) { return k; });
+  const int64_t record = kv::kKeyBytes + static_cast<int64_t>(sizeof(int64_t));
+  int64_t expected_hot = 0;
+  for (int m = 0; m < store.num_shards(); ++m) {
+    EXPECT_EQ(store.ShardBytes(m), store.ShardSize(m) * record);
+    EXPECT_EQ(cluster.machine_kv_write_bytes()[m], store.ShardBytes(m));
+    expected_hot = std::max(expected_hot, store.ShardBytes(m));
+  }
+  EXPECT_EQ(cluster.metrics().Get("kv_hot_machine_write_bytes"),
+            expected_hot);
+}
+
+// Regression for the old uniform bytes/num_machines charging: a skewed
+// key distribution (~90% of the bytes landing on one machine's shard)
+// must cost strictly more simulated write time than a uniform one of the
+// same total byte volume.
+TEST(ClusterTest, SkewedWriteBytesCostMoreThanUniform) {
+  const int64_t n = 4000;
+  auto run = [&](bool skewed) {
+    ClusterConfig config = TestConfig();
+    Cluster cluster(config);
+    // Count keys on machine 0 so both producers emit the same total.
+    int64_t hot_keys = 0;
+    for (int64_t k = 0; k < n; ++k) hot_keys += cluster.MachineOf(k) == 0;
+    const int64_t total_values = 64 * n;
+    const int64_t hot_value = total_values * 9 / (10 * hot_keys);
+    const int64_t cold_value =
+        (total_values - hot_value * hot_keys) / (n - hot_keys);
+    auto store = cluster.MakeStore<std::vector<uint8_t>>(n);
+    cluster.RunKvWritePhase(
+        "w", store, n, [&](int64_t k) {
+          int64_t len = 64;
+          if (skewed) {
+            len = cluster.MachineOf(k) == 0 ? hot_value : cold_value;
+          }
+          return std::vector<uint8_t>(static_cast<size_t>(len), 0);
+        });
+    return cluster.metrics().GetTime("sim:w");
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(ClusterTest, HotKeyLookupsCostMoreThanSpread) {
+  const int64_t n = 4000;
+  auto run = [&](bool hot) {
+    Cluster cluster(TestConfig());
+    auto store = cluster.MakeStore<std::vector<uint8_t>>(n);
+    cluster.RunKvWritePhase("w", store, n, [](int64_t) {
+      return std::vector<uint8_t>(256, 1);
+    });
+    cluster.RunMapPhase("r", n, [&](int64_t item, MachineContext& ctx) {
+      ctx.Lookup(store, hot ? 0 : static_cast<uint64_t>(item));
+    });
+    return cluster.metrics().GetTime("sim:r");
+  };
+  // Every record fetched in the hot run ships from one machine's shard.
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(ClusterTest, ShardedShuffleSkewCostsMore) {
+  Cluster a(TestConfig()), b(TestConfig());
+  a.AccountShardedShuffle("s", {25'000'000, 25'000'000, 25'000'000,
+                                25'000'000});
+  b.AccountShardedShuffle("s", {91'000'000, 3'000'000, 3'000'000,
+                                3'000'000});
+  EXPECT_EQ(a.metrics().Get("shuffle_bytes"),
+            b.metrics().Get("shuffle_bytes"));
+  EXPECT_GT(b.metrics().GetTime("sim:s"), a.metrics().GetTime("sim:s"));
+  EXPECT_EQ(b.metrics().Get("shuffle_hot_machine_bytes"), 91'000'000);
+}
+
+// Pins the skew-aware settle math: the round lasts as long as the
+// slowest machine's client latency plus the bytes its own shard serves,
+// plus the spawn overhead.
+TEST(ClusterTest, SettleMathChargesServerSideBytes) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  config.map_item_cpu_sec = 0.0;
+  config.round_spawn_sec = 0.125;
+  config.network.lookup_latency_sec = 1e-3;
+  config.network.bytes_per_sec = 1e6;
+  config.network.aggregate_bytes_per_sec = 1e18;  // floor never binds
+  Cluster cluster(config);
+
+  const int64_t n = 64;
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+  cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k; });
+
+  const uint64_t hot = 3;
+  const int hot_owner = cluster.MachineOf(hot);
+  cluster.RunMapPhase("r", n, [&](int64_t item, MachineContext& ctx) {
+    const int64_t* v = ctx.Lookup(store, hot);
+    ASSERT_NE(v, nullptr);
+    (void)item;
+  });
+
+  // Each machine issues one query per item it owns and receives that
+  // record through its own NIC; every record ships *from* the hot key's
+  // owner.
+  std::vector<int64_t> queries(2, 0);
+  for (int64_t i = 0; i < n; ++i) ++queries[cluster.MachineOf(i)];
+  const int64_t record =
+      kv::kKeyBytes + static_cast<int64_t>(sizeof(int64_t));
+  double slowest = 0;
+  for (int m = 0; m < 2; ++m) {
+    const double client =
+        queries[m] * config.network.lookup_latency_sec +
+        static_cast<double>(queries[m]) * record /
+            config.network.bytes_per_sec;
+    const double server =
+        m == hot_owner ? static_cast<double>(n) * record /
+                             config.network.bytes_per_sec
+                       : 0.0;
+    slowest = std::max(slowest, client + server);
+  }
+  EXPECT_NEAR(cluster.metrics().GetTime("sim:r"),
+              slowest + config.round_spawn_sec, 1e-12);
+  EXPECT_EQ(cluster.metrics().Get("kv_hot_machine_read_bytes"),
+            n * record);
+}
+
+// Pins the write-phase settle math symmetrically.
+TEST(ClusterTest, WriteSettleMathChargesOwningShard) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  config.round_spawn_sec = 0.25;
+  config.network.write_latency_sec = 1e-4;
+  config.network.bytes_per_sec = 1e6;
+  config.network.aggregate_bytes_per_sec = 1e18;
+  Cluster cluster(config);
+
+  const int64_t n = 64;
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+  cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k; });
+
+  const int64_t record =
+      kv::kKeyBytes + static_cast<int64_t>(sizeof(int64_t));
+  double slowest = 0;
+  for (int m = 0; m < 2; ++m) {
+    const double machine_time =
+        store.ShardSize(m) * config.network.write_latency_sec +
+        static_cast<double>(store.ShardBytes(m)) /
+            config.network.bytes_per_sec;
+    slowest = std::max(slowest, machine_time);
+  }
+  EXPECT_EQ(store.ShardBytes(0) + store.ShardBytes(1), n * record);
+  EXPECT_NEAR(cluster.metrics().GetTime("sim:w"),
+              slowest + config.round_spawn_sec, 1e-12);
 }
 
 TEST(ClusterTest, InMemoryFinishChargesGatherShuffle) {

@@ -100,6 +100,83 @@ TEST(FaultsTest, MonteCarloZeroRateIsDeterministic) {
   EXPECT_DOUBLE_EQ(stats.mean_preemptions, 0.0);
 }
 
+TEST(FaultsTest, UniformPerMachineRatesMatchHomogeneousModel) {
+  const std::vector<double> rounds = {0.7, 1.3, 0.2};
+  PreemptionModel model;
+  model.rate_per_machine_sec = 0.03;
+  model.machines = 5;
+  const std::vector<double> rates(5, 0.03);
+  for (const auto discipline : {RecoveryDiscipline::kFaultTolerant,
+                                RecoveryDiscipline::kInMemory}) {
+    EXPECT_DOUBLE_EQ(
+        ExpectedCompletionSeconds(rounds, rates, discipline),
+        ExpectedCompletionSeconds(rounds, model, discipline));
+  }
+}
+
+TEST(FaultsTest, MemoryPressureRatesPenalizeOnlyOvershoot) {
+  PreemptionModel base;
+  base.rate_per_machine_sec = 0.01;
+  base.machines = 4;
+  // Machines at or under the soft limit keep the base rate; the one at
+  // 3x the limit is penalized proportionally to its overshoot.
+  const std::vector<int64_t> bytes = {500, 1000, 3000, 0};
+  const std::vector<double> rates =
+      MemoryPressureRates(base, bytes, /*soft_limit_bytes=*/1000,
+                          /*overshoot_penalty=*/2.0);
+  ASSERT_EQ(rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(rates[0], 0.01);
+  EXPECT_DOUBLE_EQ(rates[1], 0.01);
+  EXPECT_DOUBLE_EQ(rates[2], 0.01 * (1.0 + 2.0 * 2.0));
+  EXPECT_DOUBLE_EQ(rates[3], 0.01);
+}
+
+TEST(FaultsTest, SkewedShardsRaiseExpectedCompletion) {
+  // Same total DHT footprint, same job: concentrating the bytes on one
+  // machine pushes it past its memory budget and slows the whole job.
+  const std::vector<double> rounds = {1.0, 1.0, 1.0};
+  PreemptionModel base;
+  base.rate_per_machine_sec = 0.05;
+  base.machines = 4;
+  const std::vector<int64_t> uniform = {1000, 1000, 1000, 1000};
+  const std::vector<int64_t> skewed = {3700, 100, 100, 100};
+  const int64_t limit = 1200;
+  const double uniform_time = ExpectedCompletionSeconds(
+      rounds, MemoryPressureRates(base, uniform, limit),
+      RecoveryDiscipline::kFaultTolerant);
+  const double skewed_time = ExpectedCompletionSeconds(
+      rounds, MemoryPressureRates(base, skewed, limit),
+      RecoveryDiscipline::kFaultTolerant);
+  EXPECT_GT(skewed_time, uniform_time);
+}
+
+TEST(FaultsTest, ClusterExposesPerMachineFootprintForPressure) {
+  // End-to-end: run an algorithm, feed the cluster's per-machine KV
+  // footprint into the pressure model, and get a usable rate vector.
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(150, 600, 3));
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  Cluster cluster(config);
+  core::AmpcMis(cluster, g, 3);
+  const std::vector<int64_t>& footprint = cluster.machine_kv_write_bytes();
+  ASSERT_EQ(footprint.size(), 4u);
+  int64_t total = 0;
+  for (const int64_t b : footprint) total += b;
+  EXPECT_EQ(total, cluster.metrics().Get("kv_write_bytes"));
+  PreemptionModel base;
+  base.rate_per_machine_sec = 0.01;
+  base.machines = config.num_machines;
+  const std::vector<double> rates =
+      MemoryPressureRates(base, footprint, /*soft_limit_bytes=*/1);
+  const double with_pressure = ExpectedCompletionSeconds(
+      cluster.round_log(), rates, RecoveryDiscipline::kFaultTolerant);
+  const double without = ExpectedCompletionSeconds(
+      cluster.round_log(), base, RecoveryDiscipline::kFaultTolerant);
+  EXPECT_GT(with_pressure, without);
+}
+
 TEST(FaultsTest, ClusterRoundLogMatchesRoundMetric) {
   graph::Graph g =
       graph::BuildGraph(graph::GenerateErdosRenyi(100, 300, 5));

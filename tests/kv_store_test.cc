@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/timer.h"
 #include "kv/byte_size.h"
 #include "kv/network_model.h"
+#include "kv/sharded_store.h"
 
 namespace ampc::kv {
 namespace {
@@ -112,6 +114,160 @@ TEST(StoreTest, ConcurrentReadersDuringWrites) {
     ASSERT_NE(v, nullptr);
     EXPECT_EQ(*v, k + 1);
   }
+}
+
+TEST(ShardedStoreTest, PutThenLookupAcrossShards) {
+  const int64_t n = 1000;
+  ShardedStore<int64_t> store(n, 8, /*seed=*/7);
+  EXPECT_EQ(store.capacity(), n);
+  EXPECT_EQ(store.num_shards(), 8);
+  for (int64_t k = 0; k < n; ++k) {
+    EXPECT_EQ(store.Put(k, k * 5), kKeyBytes + 8);
+  }
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t* v = store.Lookup(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k * 5);
+  }
+  EXPECT_EQ(store.Lookup(n + 5), nullptr);
+  EXPECT_EQ(store.size(), n);
+}
+
+TEST(ShardedStoreTest, ShardOwnershipMatchesPlacementHash) {
+  const uint64_t seed = 42;
+  ShardedStore<int> store(300, 5, seed);
+  for (uint64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(store.ShardOf(k), ShardForKey(k, seed, 5)) << k;
+  }
+}
+
+TEST(ShardedStoreTest, PerShardOccupancyTotalsAndCapacity) {
+  const int64_t n = 2048;
+  const int shards = 6;
+  ShardedStore<int32_t> store(n, shards, /*seed=*/11);
+  // Write only even keys; shard sizes must sum to the written count and
+  // match a direct ownership count, and capacities partition [0, n).
+  std::vector<int64_t> expected_size(shards, 0),
+      expected_capacity(shards, 0);
+  for (int64_t k = 0; k < n; ++k) {
+    ++expected_capacity[store.ShardOf(k)];
+    if (k % 2 == 0) {
+      store.Put(k, static_cast<int32_t>(k));
+      ++expected_size[store.ShardOf(k)];
+    }
+  }
+  int64_t total_size = 0, total_capacity = 0;
+  for (int s = 0; s < shards; ++s) {
+    EXPECT_EQ(store.ShardSize(s), expected_size[s]) << s;
+    EXPECT_EQ(store.ShardCapacity(s), expected_capacity[s]) << s;
+    EXPECT_NEAR(store.ShardOccupancy(s),
+                expected_capacity[s] == 0
+                    ? 0.0
+                    : static_cast<double>(expected_size[s]) /
+                          expected_capacity[s],
+                1e-15)
+        << s;
+    total_size += store.ShardSize(s);
+    total_capacity += store.ShardCapacity(s);
+  }
+  EXPECT_EQ(total_size, n / 2);
+  EXPECT_EQ(total_size, store.size());
+  EXPECT_EQ(total_capacity, n);
+}
+
+TEST(ShardedStoreTest, PerShardByteAccounting) {
+  ShardedStore<std::vector<uint32_t>> store(64, 4, /*seed=*/3);
+  int64_t expected_total = 0;
+  for (int64_t k = 0; k < 64; ++k) {
+    expected_total +=
+        store.Put(k, std::vector<uint32_t>(static_cast<size_t>(k % 7), 9u));
+  }
+  const std::vector<int64_t> snapshot = store.ShardBytesSnapshot();
+  int64_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(snapshot[s], store.ShardBytes(s));
+    total += snapshot[s];
+  }
+  EXPECT_EQ(total, expected_total);
+  EXPECT_EQ(total, store.total_bytes());
+}
+
+TEST(ShardedStoreTest, ConcurrentCrossShardWrites) {
+  // Writers race across every shard simultaneously (each key is written
+  // once). Run under TSAN in CI: the per-slot release/acquire publication
+  // plus the per-shard atomic counters must stay race-free.
+  const int64_t n = 20000;
+  ShardedStore<int64_t> store(n, 8, /*seed=*/123);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 8; ++t) {
+    writers.emplace_back([&store, t] {
+      for (int64_t k = t; k < n; k += 8) store.Put(k, k * 2);
+    });
+  }
+  for (auto& t : writers) t.join();
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t* v = store.Lookup(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k * 2);
+  }
+  EXPECT_EQ(store.size(), n);
+  int64_t shard_total = 0;
+  for (int s = 0; s < store.num_shards(); ++s) {
+    shard_total += store.ShardSize(s);
+  }
+  EXPECT_EQ(shard_total, n);
+}
+
+TEST(ShardedStoreTest, ConcurrentReadersDuringCrossShardWrites) {
+  const int64_t n = 4096;
+  ShardedStore<int64_t> store(n, 4, /*seed=*/99);
+  std::thread writer([&store] {
+    for (int64_t k = 0; k < n; ++k) store.Put(k, k + 1);
+  });
+  int64_t observed = 0;
+  while (store.Lookup(n - 1) == nullptr) {
+    const int64_t k = observed % n;
+    const int64_t* v = store.Lookup(k);
+    if (v != nullptr) {
+      EXPECT_EQ(*v, k + 1);
+    }
+    ++observed;
+  }
+  writer.join();
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t* v = store.Lookup(k);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k + 1);
+  }
+}
+
+TEST(ShardedStoreTest, SingleShardBehavesLikeDenseStore) {
+  ShardedStore<int> sharded(100, 1, /*seed=*/1);
+  Store<int> dense(100);
+  for (int64_t k = 0; k < 100; k += 3) {
+    EXPECT_EQ(sharded.Put(k, static_cast<int>(k)),
+              dense.Put(k, static_cast<int>(k)));
+  }
+  for (int64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(sharded.Contains(k), dense.Contains(k)) << k;
+    EXPECT_EQ(sharded.RecordBytes(k), dense.RecordBytes(k)) << k;
+  }
+  EXPECT_EQ(sharded.ShardCapacity(0), 100);
+  EXPECT_EQ(sharded.ShardSize(0), sharded.size());
+}
+
+TEST(ShardedStoreTest, MovableAcrossFactoryReturns) {
+  auto make = [] {
+    ShardedStore<int64_t> store(50, 3, /*seed=*/5);
+    store.Put(10, 77);
+    return store;
+  };
+  ShardedStore<int64_t> store = make();
+  ShardedStore<int64_t> moved = std::move(store);
+  const int64_t* v = moved.Lookup(10);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 77);
+  EXPECT_EQ(moved.size(), 1);
 }
 
 TEST(NetworkModelTest, PresetsAreOrdered) {

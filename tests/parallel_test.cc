@@ -179,6 +179,43 @@ TEST(ParallelSortTest, StableAndDeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelSortTest, SplitPointMergeHandlesTiesAcrossSegments) {
+  // Large enough that merged run pairs exceed the split-point merge
+  // grain, so every pass is planned as multiple segments — with so few
+  // distinct keys that ties straddle nearly every split point. Stability
+  // must survive the segmented merges.
+  const int64_t n = 1 << 20;
+  Rng rng(9);
+  std::vector<std::pair<uint32_t, uint32_t>> input(n);
+  for (int64_t i = 0; i < n; ++i) {
+    input[i] = {static_cast<uint32_t>(rng.NextBelow(3)),
+                static_cast<uint32_t>(i)};
+  }
+  const auto by_key = [](const std::pair<uint32_t, uint32_t>& a,
+                         const std::pair<uint32_t, uint32_t>& b) {
+    return a.first < b.first;
+  };
+  auto want = input;
+  std::stable_sort(want.begin(), want.end(), by_key);
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    auto v = input;
+    ParallelSort(pool, v, by_key);
+    EXPECT_EQ(v, want) << "threads=" << threads;
+  }
+
+  // Fully constant keys: the merge degenerates to pure segmented copies
+  // that must still preserve input order exactly.
+  std::vector<std::pair<uint32_t, uint32_t>> constant(n);
+  for (int64_t i = 0; i < n; ++i) {
+    constant[i] = {7u, static_cast<uint32_t>(i)};
+  }
+  auto constant_want = constant;
+  ThreadPool pool(8);
+  ParallelSort(pool, constant, by_key);
+  EXPECT_EQ(constant, constant_want);
+}
+
 TEST(ParallelForEachChunkTest, VisitsEveryChunkOnce) {
   ThreadPool pool(4);
   const auto chunks = SplitIndexChunks(0, 100000, 64, 32);

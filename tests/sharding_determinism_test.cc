@@ -1,0 +1,139 @@
+// Acceptance test for the sharded DHT: every core algorithm's output is
+// a pure function of the input and seed — bit-identical across
+// num_machines (1, 3, 8) and thread counts — while the *cost model* is
+// free to differ (that is the point of per-machine accounting).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/connectivity.h"
+#include "core/kcore.h"
+#include "core/matching.h"
+#include "core/mis.h"
+#include "core/msf.h"
+#include "core/one_vs_two_cycle.h"
+#include "core/pagerank.h"
+#include "graph/generators.h"
+#include "sim/cluster.h"
+
+namespace ampc {
+namespace {
+
+struct ClusterShape {
+  int machines;
+  int threads;
+};
+
+const ClusterShape kShapes[] = {{1, 1}, {3, 2}, {8, 4}, {3, 1}, {8, 1}};
+
+sim::Cluster MakeCluster(const ClusterShape& shape) {
+  sim::ClusterConfig config;
+  config.num_machines = shape.machines;
+  config.threads_per_machine = shape.threads;
+  return sim::Cluster(config);
+}
+
+TEST(ShardingDeterminismTest, MisIdenticalAcrossMachineCounts) {
+  graph::Graph g = graph::BuildGraph(graph::GenerateRmat(9, 3000, 17));
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::MisResult expected = core::AmpcMis(reference, g, 17);
+  for (const ClusterShape& shape : kShapes) {
+    sim::Cluster cluster = MakeCluster(shape);
+    EXPECT_EQ(core::AmpcMis(cluster, g, 17).in_mis, expected.in_mis)
+        << shape.machines << " machines, " << shape.threads << " threads";
+  }
+}
+
+TEST(ShardingDeterminismTest, KCoreIdenticalAcrossMachineCounts) {
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(400, 2400, 23));
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::KCoreResult expected = core::AmpcKCore(reference, g);
+  for (const ClusterShape& shape : kShapes) {
+    sim::Cluster cluster = MakeCluster(shape);
+    const core::KCoreResult got = core::AmpcKCore(cluster, g);
+    EXPECT_EQ(got.coreness, expected.coreness);
+    EXPECT_EQ(got.iterations, expected.iterations);
+  }
+}
+
+TEST(ShardingDeterminismTest, MsfIdenticalAcrossMachineCounts) {
+  graph::WeightedEdgeList list = graph::MakeRandomWeighted(
+      graph::GenerateErdosRenyi(500, 2500, 31), /*seed=*/31);
+  core::MsfOptions options;
+  options.seed = 31;
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::MsfResult expected =
+      core::AmpcMsf(reference, list, options);
+  for (const ClusterShape& shape : kShapes) {
+    sim::Cluster cluster = MakeCluster(shape);
+    EXPECT_EQ(core::AmpcMsf(cluster, list, options).edges, expected.edges)
+        << shape.machines << " machines";
+  }
+}
+
+TEST(ShardingDeterminismTest, MatchingIdenticalAcrossMachineCounts) {
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(300, 1500, 41));
+  core::MatchingOptions options;
+  options.seed = 41;
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::MatchingResult expected =
+      core::AmpcMatching(reference, g, options);
+  for (const ClusterShape& shape : kShapes) {
+    sim::Cluster cluster = MakeCluster(shape);
+    EXPECT_EQ(core::AmpcMatching(cluster, g, options).partner,
+              expected.partner);
+  }
+}
+
+TEST(ShardingDeterminismTest, PageRankIdenticalAcrossMachineCounts) {
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(200, 1000, 53));
+  core::PageRankMcOptions options;
+  options.seed = 53;
+  options.walks_per_node = 4;
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::PageRankMcResult expected =
+      core::AmpcMonteCarloPageRank(reference, g, options);
+  for (const ClusterShape& shape : kShapes) {
+    sim::Cluster cluster = MakeCluster(shape);
+    const core::PageRankMcResult got =
+        core::AmpcMonteCarloPageRank(cluster, g, options);
+    EXPECT_EQ(got.rank, expected.rank);
+    EXPECT_EQ(got.total_steps, expected.total_steps);
+  }
+}
+
+TEST(ShardingDeterminismTest, ConnectivityIdenticalAcrossMachineCounts) {
+  graph::EdgeList list = graph::GenerateErdosRenyi(400, 900, 61);
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::ConnectivityResult expected =
+      core::AmpcConnectivity(reference, list, {});
+  for (const ClusterShape& shape : kShapes) {
+    sim::Cluster cluster = MakeCluster(shape);
+    const core::ConnectivityResult got =
+        core::AmpcConnectivity(cluster, list, {});
+    EXPECT_EQ(got.component, expected.component);
+    EXPECT_EQ(got.num_components, expected.num_components);
+  }
+}
+
+TEST(ShardingDeterminismTest, OneVsTwoCycleIdenticalAcrossMachineCounts) {
+  graph::Graph g = graph::BuildGraph(graph::GenerateCycle(600));
+  core::CycleOptions options;
+  options.seed = 71;
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::CycleResult expected =
+      core::AmpcOneVsTwoCycle(reference, g, options);
+  for (const ClusterShape& shape : kShapes) {
+    sim::Cluster cluster = MakeCluster(shape);
+    const core::CycleResult got =
+        core::AmpcOneVsTwoCycle(cluster, g, options);
+    EXPECT_EQ(got.num_cycles, expected.num_cycles);
+    EXPECT_EQ(got.attempts, expected.attempts);
+  }
+}
+
+}  // namespace
+}  // namespace ampc
