@@ -37,6 +37,12 @@ double BenchScale() {
   return scale > 0 ? scale : 1.0;
 }
 
+int Reps(const char* env_name, int default_reps) {
+  const char* env = std::getenv(env_name);
+  const int reps = env == nullptr ? default_reps : std::atoi(env);
+  return reps > 0 ? reps : default_reps;
+}
+
 std::vector<Dataset> LoadDatasets(int max_datasets) {
   const double scale = BenchScale();
   std::vector<Dataset> datasets;

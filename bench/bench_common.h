@@ -45,6 +45,22 @@ sim::ClusterConfig BenchConfig(int64_t num_arcs);
 /// AMPC_BENCH_SCALE (default 1.0).
 double BenchScale();
 
+/// Repetition count from the named environment variable (benches keep
+/// their historical per-bench names, e.g. AMPC_SHUFFLE_REPS /
+/// AMPC_KV_REPS), falling back to `default_reps` when unset or invalid.
+int Reps(const char* env_name, int default_reps = 3);
+
+/// Best-of-N timing: the minimum of `reps` runs of `fn`.
+template <typename Fn>
+double BestOf(int reps, Fn fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double sec = fn();
+    if (sec < best) best = sec;
+  }
+  return best;
+}
+
 /// Simple fixed-width table printing.
 void PrintHeader(const std::string& title,
                  const std::vector<std::string>& columns);

@@ -40,19 +40,6 @@ using ampc::kv::ShardedStore;
 constexpr int kMachines = 8;
 constexpr uint64_t kSeed = 42;
 
-int Reps() {
-  const char* env = std::getenv("AMPC_KV_REPS");
-  const int reps = env == nullptr ? 3 : std::atoi(env);
-  return reps > 0 ? reps : 3;
-}
-
-template <typename Fn>
-double BestOf(int reps, Fn fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) best = std::min(best, fn());
-  return best;
-}
-
 // Concurrent strided Put of n int64 records with `threads` writers.
 double TimePuts(int64_t n, int threads) {
   ShardedStore<int64_t> store(n, kMachines, kSeed);
@@ -131,7 +118,7 @@ SkewResult MeasureSkewSensitivity(int64_t n) {
 int main() {
   const int64_t n =
       static_cast<int64_t>(1'000'000 * ampc::bench::BenchScale());
-  const int reps = Reps();
+  const int reps = ampc::bench::Reps("AMPC_KV_REPS");
   const int hw = static_cast<int>(
       std::max(1u, std::thread::hardware_concurrency()));
 
@@ -152,7 +139,7 @@ int main() {
   };
   std::vector<Row> rows;
   for (int threads : thread_counts) {
-    rows.push_back({threads, BestOf(reps, [&] { return TimePuts(n, threads); })});
+    rows.push_back({threads, ampc::bench::BestOf(reps, [&] { return TimePuts(n, threads); })});
   }
   ampc::bench::PrintHeader("micro_kv: concurrent Put throughput",
                            {"threads", "sec", "Mkeys/s", "speedup"});

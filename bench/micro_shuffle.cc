@@ -58,26 +58,13 @@ Groups SerialGroupByKey(PCollection<Record> records) {
   return out;
 }
 
-int Reps() {
-  const char* env = std::getenv("AMPC_SHUFFLE_REPS");
-  const int reps = env == nullptr ? 3 : std::atoi(env);
-  return reps > 0 ? reps : 3;
-}
-
-template <typename Fn>
-double BestOf(int reps, Fn fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) best = std::min(best, fn());
-  return best;
-}
-
 }  // namespace
 
 int main() {
   const int64_t n =
       static_cast<int64_t>(1'000'000 * ampc::bench::BenchScale());
   const uint64_t distinct_keys = std::max<int64_t>(1, n / 16);
-  const int reps = Reps();
+  const int reps = ampc::bench::Reps("AMPC_SHUFFLE_REPS");
   const int hw = static_cast<int>(
       std::max(1u, std::thread::hardware_concurrency()));
 
@@ -92,7 +79,7 @@ int main() {
               static_cast<long long>(n),
               static_cast<unsigned long long>(distinct_keys), hw, reps);
 
-  const double serial_group_sec = BestOf(reps, [&] {
+  const double serial_group_sec = ampc::bench::BestOf(reps, [&] {
     auto copy = records;
     WallTimer timer;
     Groups groups = SerialGroupByKey(std::move(copy));
@@ -100,7 +87,7 @@ int main() {
     if (groups.empty()) std::abort();
     return sec;
   });
-  const double serial_sort_sec = BestOf(reps, [&] {
+  const double serial_sort_sec = ampc::bench::BestOf(reps, [&] {
     auto copy = records;
     WallTimer timer;
     std::sort(copy.begin(), copy.end());
@@ -124,7 +111,7 @@ int main() {
   std::vector<Row> rows;
   for (int threads : thread_counts) {
     ThreadPool pool(threads);
-    const double group_sec = BestOf(reps, [&] {
+    const double group_sec = ampc::bench::BestOf(reps, [&] {
       auto copy = records;
       WallTimer timer;
       Groups groups = GroupByKeyEngine(pool, std::move(copy));
@@ -136,7 +123,7 @@ int main() {
       }
       return sec;
     });
-    const double sort_sec = BestOf(reps, [&] {
+    const double sort_sec = ampc::bench::BestOf(reps, [&] {
       auto copy = records;
       WallTimer timer;
       ampc::ParallelSort(pool, copy);

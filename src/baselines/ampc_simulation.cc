@@ -66,8 +66,9 @@ bool QueryProcess(NodeId root,
           steps + 1,
           std::vector<int64_t>(cluster.config().num_machines, 0));
     }
-    bytes_at_step[steps][cluster.MachineOf(u)] += static_cast<int64_t>(
-        sizeof(NodeId) * (1 + directed[u].size()));
+    bytes_at_step[steps][cluster.MachineOf(
+        u, static_cast<int64_t>(directed.size()))] +=
+        static_cast<int64_t>(sizeof(NodeId) * (1 + directed[u].size()));
     ++steps;
     f.awaiting = true;
     stack.push_back(Frame{u});
@@ -97,7 +98,7 @@ SimulatedAmpcMisResult MpcSimulatedAmpcMis(sim::Cluster& cluster,
                 return core::VertexBefore(a, b, seed);
               });
     // Each directed adjacency record lands on its vertex's shard owner.
-    direct_bytes[cluster.MachineOf(v)] +=
+    direct_bytes[cluster.MachineOf(v, n)] +=
         static_cast<int64_t>(sizeof(NodeId) * (1 + directed[v].size()));
   }
   cluster.AccountShardedShuffle("DirectGraph", direct_bytes, timer.Seconds());

@@ -101,7 +101,8 @@ Dendrogram AmpcSingleLinkage(sim::Cluster& cluster,
   // The sort's records land on the shard owners of their edge ids.
   std::vector<int64_t> merge_bytes(cluster.config().num_machines, 0);
   for (const Merge& m : merges) {
-    merge_bytes[cluster.MachineOf(m.edge)] +=
+    merge_bytes[cluster.MachineOf(
+        m.edge, static_cast<int64_t>(list.edges.size()))] +=
         static_cast<int64_t>(sizeof(Merge));
   }
   cluster.AccountShardedShuffle("SortMerges", merge_bytes, timer.Seconds());

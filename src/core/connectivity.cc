@@ -43,13 +43,13 @@ ConnectivityResult AmpcConnectivity(sim::Cluster& cluster,
   const int num_machines = cluster.config().num_machines;
   std::vector<int64_t> edge_bytes(num_machines, 0);
   for (const WeightedEdge& e : forest_edges) {
-    edge_bytes[cluster.MachineOf(e.u)] +=
+    edge_bytes[cluster.MachineOf(e.u, list.num_nodes)] +=
         static_cast<int64_t>(sizeof(WeightedEdge));
   }
   cluster.AccountShardedShuffle("ForestConnectivity", edge_bytes, wall / 2);
   std::vector<int64_t> label_bytes(num_machines, 0);
   for (int64_t v = 0; v < list.num_nodes; ++v) {
-    label_bytes[cluster.MachineOf(v)] +=
+    label_bytes[cluster.MachineOf(v, list.num_nodes)] +=
         static_cast<int64_t>(sizeof(NodeId));
   }
   cluster.AccountShardedShuffle("ForestConnectivity", label_bytes, wall / 2);

@@ -75,10 +75,15 @@ KCoreResult AmpcKCore(sim::Cluster& cluster, const graph::Graph& g,
         "HIndex", n, [&](int64_t item, sim::MachineContext& ctx) {
           const NodeId v = static_cast<NodeId>(item);
           const std::vector<NodeId>* adj = ctx.LookupLocal(adjacency, v);
+          // The h-index recomputation is one adaptive step needing every
+          // neighbor's published value: fetch them as one batch (one
+          // round trip per owning machine) instead of degree(v)
+          // synchronous lookups.
+          std::vector<uint64_t> keys(adj->begin(), adj->end());
+          const auto batch = ctx.LookupMany(values, keys);
           std::vector<int32_t> neighbor_values;
-          neighbor_values.reserve(adj->size());
-          for (const NodeId u : *adj) {
-            const int32_t* value = ctx.Lookup(values, u);
+          neighbor_values.reserve(batch.values.size());
+          for (const int32_t* value : batch.values) {
             neighbor_values.push_back(value == nullptr ? 0 : *value);
           }
           next[item] = HIndex(neighbor_values);

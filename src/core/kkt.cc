@@ -44,14 +44,14 @@ std::vector<uint8_t> FindLightEdges(
   const int num_machines = cluster.config().num_machines;
   std::vector<int64_t> forest_bytes(num_machines, 0);
   for (const WeightedEdge& e : forest_edges) {
-    forest_bytes[cluster.MachineOf(e.u)] +=
+    forest_bytes[cluster.MachineOf(e.u, list.num_nodes)] +=
         static_cast<int64_t>(sizeof(WeightedEdge));
   }
   cluster.AccountShardedShuffle("FLightBuild", forest_bytes,
                                 build_timer.Seconds() / 2);
   std::vector<int64_t> vertex_bytes(num_machines, 0);
   for (int64_t v = 0; v < list.num_nodes; ++v) {
-    vertex_bytes[cluster.MachineOf(v)] +=
+    vertex_bytes[cluster.MachineOf(v, list.num_nodes)] +=
         static_cast<int64_t>(sizeof(NodeId));
   }
   cluster.AccountShardedShuffle("FLightBuild", vertex_bytes,
@@ -102,7 +102,8 @@ KktResult AmpcMsfKkt(sim::Cluster& cluster, const WeightedEdgeList& list,
   // Sampled edges scatter to their id's shard owner.
   std::vector<int64_t> sample_bytes(cluster.config().num_machines, 0);
   for (const WeightedEdge& e : sampled.edges) {
-    sample_bytes[cluster.MachineOf(e.id)] +=
+    sample_bytes[cluster.MachineOf(
+        e.id, static_cast<int64_t>(list.edges.size()))] +=
         static_cast<int64_t>(sizeof(WeightedEdge));
   }
   cluster.AccountShardedShuffle("KKT-Sample", sample_bytes);

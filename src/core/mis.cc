@@ -22,79 +22,89 @@ enum MisState : uint8_t { kUnknown = 0, kInMis = 1, kNotInMis = 2 };
 // Per-machine caches: caches[machine][vertex].
 using CacheArray = std::unique_ptr<std::atomic<uint8_t>[]>;
 
-// Iterative version of the IsInMIS recursion of Figure 1: v is in the MIS
-// iff none of its preceding neighbors is. An explicit stack replaces
-// recursion because descending-rank chains can be Theta(n) long.
-uint8_t ResolveInMis(NodeId root, sim::MachineContext& ctx,
-                     const kv::ShardedStore<std::vector<NodeId>>& store,
-                     std::atomic<uint8_t>* cache) {
-  auto cache_get = [cache](NodeId x) -> uint8_t {
-    return cache == nullptr
-               ? static_cast<uint8_t>(kUnknown)
-               : cache[x].load(std::memory_order_acquire);
-  };
-  auto cache_set = [cache](NodeId x, uint8_t state) {
-    if (cache != nullptr) cache[x].store(state, std::memory_order_release);
-  };
-
-  if (uint8_t s = cache_get(root); s != kUnknown) {
-    ctx.CountCacheHit();
-    return s;
-  }
-
+// Resumable, iterative version of the IsInMIS recursion of Figure 1: v
+// is in the MIS iff none of its preceding neighbors is. An explicit
+// stack replaces recursion because descending-rank chains can be
+// Theta(n) long, and the resolution is a state machine so a worker can
+// run many of them in lockstep: Advance runs until the resolution either
+// needs a remote adjacency (`pending` set — exactly where the scalar
+// client issued its synchronous Lookup) or finishes (`done` set), and
+// each adaptive step fetches every active resolution's pending adjacency
+// with one LookupMany batch.
+struct MisResolveState {
   struct Frame {
     NodeId v;
     const std::vector<NodeId>* adj;  // preceding neighbors, ascending rank
     size_t idx;
     bool awaiting;  // a child frame is computing adj[idx]'s state
   };
-  std::vector<Frame> stack;
-  // The root's own record is machine-local ParDo input; not charged.
-  stack.push_back(Frame{root, ctx.LookupLocal(store, root), 0, false});
 
+  int64_t item = 0;
+  std::vector<Frame> stack;
   uint8_t last = kUnknown;
-  while (!stack.empty()) {
-    Frame& f = stack.back();
-    if (f.awaiting) {
-      f.awaiting = false;
-      if (last == kInMis) {
-        cache_set(f.v, kNotInMis);
-        last = kNotInMis;
-        stack.pop_back();
-        continue;
+  NodeId pending = 0;
+  bool done = false;
+  std::atomic<uint8_t>* cache = nullptr;
+
+  uint8_t CacheGet(NodeId x) const {
+    return cache == nullptr ? static_cast<uint8_t>(kUnknown)
+                            : cache[x].load(std::memory_order_acquire);
+  }
+  void CacheSet(NodeId x, uint8_t state) {
+    if (cache != nullptr) cache[x].store(state, std::memory_order_release);
+  }
+
+  // Runs the resolution until it terminates (done = true, result in
+  // `last`) or needs the adjacency of `pending`.
+  void Advance(sim::MachineContext& ctx) {
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.awaiting) {
+        f.awaiting = false;
+        if (last == kInMis) {
+          CacheSet(f.v, kNotInMis);
+          last = kNotInMis;
+          stack.pop_back();
+          continue;
+        }
+        ++f.idx;  // child resolved NotInMIS; keep scanning
       }
-      ++f.idx;  // child resolved NotInMIS; keep scanning
-    }
-    bool pushed = false;
-    uint8_t decided = kUnknown;
-    while (f.adj != nullptr && f.idx < f.adj->size()) {
-      const NodeId u = (*f.adj)[f.idx];
-      const uint8_t su = cache_get(u);
-      if (su == kInMis) {
-        ctx.CountCacheHit();
-        decided = kNotInMis;
+      bool needs_lookup = false;
+      uint8_t decided = kUnknown;
+      while (f.adj != nullptr && f.idx < f.adj->size()) {
+        const NodeId u = (*f.adj)[f.idx];
+        const uint8_t su = CacheGet(u);
+        if (su == kInMis) {
+          ctx.CountCacheHit();
+          decided = kNotInMis;
+          break;
+        }
+        if (su == kNotInMis) {
+          ctx.CountCacheHit();
+          ++f.idx;
+          continue;
+        }
+        ctx.CountCacheMiss();
+        f.awaiting = true;
+        pending = u;
+        needs_lookup = true;
         break;
       }
-      if (su == kNotInMis) {
-        ctx.CountCacheHit();
-        ++f.idx;
-        continue;
-      }
-      ctx.CountCacheMiss();
-      f.awaiting = true;
-      const std::vector<NodeId>* adj = ctx.Lookup(store, u);
-      stack.push_back(Frame{u, adj, 0, false});  // invalidates f
-      pushed = true;
-      break;
+      if (needs_lookup) return;
+      if (decided == kUnknown) decided = kInMis;  // no preceding MIS nbr
+      CacheSet(stack.back().v, decided);
+      last = decided;
+      stack.pop_back();
     }
-    if (pushed) continue;
-    if (decided == kUnknown) decided = kInMis;  // no preceding MIS neighbor
-    cache_set(stack.back().v, decided);
-    last = decided;
-    stack.pop_back();
+    done = true;
   }
-  return last;
-}
+
+  // Feeds the fetched adjacency of `pending` back in and keeps going.
+  void Resume(const std::vector<NodeId>* adj, sim::MachineContext& ctx) {
+    stack.push_back(Frame{pending, adj, 0, false});
+    Advance(ctx);
+  }
+};
 
 }  // namespace
 
@@ -150,13 +160,43 @@ MisResult AmpcMis(sim::Cluster& cluster, const Graph& g, uint64_t seed) {
 
   MisResult result;
   result.in_mis.assign(n, 0);
-  cluster.RunMapPhase(
-      "IsInMIS", n, [&](int64_t item, sim::MachineContext& ctx) {
+  cluster.RunBatchMapPhase(
+      "IsInMIS", n,
+      [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
         std::atomic<uint8_t>* cache =
             caching ? caches[ctx.machine_id()].get() : nullptr;
-        const uint8_t state =
-            ResolveInMis(static_cast<NodeId>(item), ctx, store, cache);
-        result.in_mis[item] = (state == kInMis) ? 1 : 0;
+        std::vector<MisResolveState> states;
+        states.reserve(items.size());
+        for (const int64_t item : items) {
+          const NodeId root = static_cast<NodeId>(item);
+          MisResolveState s;
+          s.item = item;
+          s.cache = cache;
+          if (const uint8_t cached = s.CacheGet(root); cached != kUnknown) {
+            ctx.CountCacheHit();
+            s.last = cached;
+            s.done = true;
+          } else {
+            // The root's own record is machine-local ParDo input; not
+            // charged.
+            s.stack.push_back(MisResolveState::Frame{
+                root, ctx.LookupLocal(store, root), 0, false});
+            s.Advance(ctx);
+          }
+          states.push_back(std::move(s));
+        }
+        sim::DriveLookupLockstep(
+            ctx, store, states,
+            [](const MisResolveState& s) { return s.done; },
+            [](const MisResolveState& s) {
+              return static_cast<uint64_t>(s.pending);
+            },
+            [&ctx](MisResolveState& s, const std::vector<NodeId>* adj) {
+              s.Resume(adj, ctx);
+            });
+        for (const MisResolveState& s : states) {
+          result.in_mis[s.item] = (s.last == kInMis) ? 1 : 0;
+        }
       });
   return result;
 }

@@ -49,43 +49,66 @@ struct SearchOutput {
   NodeId stop_parent = kInvalidNode;  // set when rule (3) fired
 };
 
-// Runs Algorithm 1's per-vertex search: Prim from `origin`, stopping on
-// (1) search_limit explored vertices, (2) exhausted component, or
-// (3) adding an edge to a vertex preceding `origin` in the permutation.
-SearchOutput TruncatedPrimSearch(NodeId origin, sim::MachineContext& ctx,
-                                 const WAdjStore& store, uint64_t seed,
-                                 int64_t search_limit) {
-  SearchOutput out;
-  const std::vector<WAdj>* adj = ctx.LookupLocal(store, origin);
-  if (adj == nullptr || adj->empty()) return out;
+struct WAdjGreater {
+  bool operator()(const WAdj& a, const WAdj& b) const {
+    return WAdjLess(b, a);
+  }
+};
 
-  auto cmp = [](const WAdj& a, const WAdj& b) { return WAdjLess(b, a); };
-  std::priority_queue<WAdj, std::vector<WAdj>, decltype(cmp)> heap(cmp);
+// Resumable state of Algorithm 1's per-vertex search: Prim from
+// `origin`, stopping on (1) search_limit explored vertices, (2)
+// exhausted component, or (3) adding an edge to a vertex preceding
+// `origin` in the permutation. The search runs until it either needs a
+// remote adjacency (`pending` set) or terminates (`done` set), so a
+// worker can run many searches in lockstep and fetch every pending
+// adjacency of an adaptive step with one LookupMany batch.
+struct PrimSearchState {
+  int64_t item = 0;
+  NodeId origin = kInvalidNode;
+  std::priority_queue<WAdj, std::vector<WAdj>, WAdjGreater> heap;
   std::unordered_set<NodeId> visited;
-  visited.insert(origin);
-  for (const WAdj& e : *adj) heap.push(e);
+  SearchOutput out;
+  NodeId pending = kInvalidNode;
+  bool done = false;
+};
 
-  while (!heap.empty()) {
-    const WAdj e = heap.top();
-    heap.pop();
-    if (visited.contains(e.to)) continue;
+// Pops edges until the search terminates or needs the adjacency of
+// `pending` (exactly where the scalar search issued its next Lookup).
+void AdvancePrimSearch(PrimSearchState& s, uint64_t seed,
+                       int64_t search_limit) {
+  while (!s.heap.empty()) {
+    const WAdj e = s.heap.top();
+    s.heap.pop();
+    if (s.visited.contains(e.to)) continue;
     // The popped edge is the minimum-order edge leaving the visited set,
     // hence an MSF edge by the cut property (weights totally ordered).
-    out.msf_edges.push_back(e.id);
-    if (VertexBefore(e.to, origin, seed)) {
-      out.stop_parent = e.to;  // rule (3)
-      break;
+    s.out.msf_edges.push_back(e.id);
+    if (VertexBefore(e.to, s.origin, seed)) {
+      s.out.stop_parent = e.to;  // rule (3)
+      s.done = true;
+      return;
     }
-    visited.insert(e.to);
-    if (static_cast<int64_t>(visited.size()) >= search_limit) break;  // (1)
-    const std::vector<WAdj>* next = ctx.Lookup(store, e.to);
-    if (next != nullptr) {
-      for (const WAdj& f : *next) {
-        if (!visited.contains(f.to)) heap.push(f);
-      }
+    s.visited.insert(e.to);
+    if (static_cast<int64_t>(s.visited.size()) >= search_limit) {  // (1)
+      s.done = true;
+      return;
+    }
+    s.pending = e.to;
+    return;
+  }
+  s.done = true;  // rule (2): component exhausted
+}
+
+// Feeds a fetched adjacency back into the search and keeps going.
+void ResumePrimSearch(PrimSearchState& s, const std::vector<WAdj>* next,
+                      uint64_t seed, int64_t search_limit) {
+  if (next != nullptr) {
+    for (const WAdj& f : *next) {
+      if (!s.visited.contains(f.to)) s.heap.push(f);
     }
   }
-  return out;
+  s.pending = kInvalidNode;
+  AdvancePrimSearch(s, seed, search_limit);
 }
 
 // Core contraction loop over an edge list whose ids are preserved
@@ -147,15 +170,44 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
       return row;
     });
 
-    // --- PrimSearch (map) -------------------------------------------------
+    // --- PrimSearch (batched map) ----------------------------------------
+    // Every worker runs its searches in lockstep: each adaptive step
+    // gathers the frontier vertex of every still-active search and
+    // fetches all their adjacencies with one LookupMany (one round trip
+    // per destination machine), instead of one synchronous round trip
+    // per expansion. Per-search semantics are unchanged.
     ConcurrentBag<EdgeId> found_edges;
     std::vector<NodeId> parent(n, kInvalidNode);
-    cluster.RunMapPhase(
-        "PrimSearch", n, [&](int64_t item, sim::MachineContext& ctx) {
-          SearchOutput out = TruncatedPrimSearch(
-              static_cast<NodeId>(item), ctx, store, round_seed, search_limit);
-          parent[item] = out.stop_parent;
-          found_edges.Merge(std::move(out.msf_edges));
+    cluster.RunBatchMapPhase(
+        "PrimSearch", n,
+        [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
+          std::vector<PrimSearchState> searches(items.size());
+          for (size_t i = 0; i < items.size(); ++i) {
+            PrimSearchState& s = searches[i];
+            s.item = items[i];
+            s.origin = static_cast<NodeId>(items[i]);
+            const std::vector<WAdj>* adj = ctx.LookupLocal(store, s.origin);
+            if (adj == nullptr || adj->empty()) {
+              s.done = true;
+              continue;
+            }
+            s.visited.insert(s.origin);
+            for (const WAdj& e : *adj) s.heap.push(e);
+            AdvancePrimSearch(s, round_seed, search_limit);
+          }
+          sim::DriveLookupLockstep(
+              ctx, store, searches,
+              [](const PrimSearchState& s) { return s.done; },
+              [](const PrimSearchState& s) {
+                return static_cast<uint64_t>(s.pending);
+              },
+              [&](PrimSearchState& s, const std::vector<WAdj>* next) {
+                ResumePrimSearch(s, next, round_seed, search_limit);
+              });
+          for (PrimSearchState& s : searches) {
+            parent[s.item] = s.out.stop_parent;
+            found_edges.Merge(std::move(s.out.msf_edges));
+          }
         });
     std::vector<EdgeId> emitted = found_edges.Take();
     ParallelSort(cluster.pool(), emitted);
@@ -179,21 +231,49 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
                            n * (kv::kKeyBytes + sizeof(NodeId)));
     std::vector<NodeId> root_of(n);
     std::atomic<int64_t> max_chain{0};
-    cluster.RunMapPhase(
-        "PointerJump", n, [&](int64_t item, sim::MachineContext& ctx) {
-          NodeId cur = static_cast<NodeId>(item);
-          NodeId next = parent[item];  // own record: local input
-          int64_t chain = 0;
-          while (next != kInvalidNode) {
-            cur = next;
-            const NodeId* p = ctx.Lookup(parent_store, cur);
-            next = (p == nullptr) ? kInvalidNode : *p;
-            ++chain;
+    // Batched pointer jumping: all of a worker's chains advance one hop
+    // per adaptive step, and the step's parent fetches ship as one
+    // LookupMany — the round-trip bill scales with the longest chain
+    // times the destination count, not with the total hop count.
+    cluster.RunBatchMapPhase(
+        "PointerJump", n,
+        [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
+          struct Chain {
+            int64_t item;
+            NodeId cur;
+            int64_t hops;
+            bool done;
+          };
+          std::vector<Chain> chains;
+          chains.reserve(items.size());
+          int64_t local_max = 0;
+          for (const int64_t item : items) {
+            const NodeId next = parent[item];  // own record: local input
+            if (next == kInvalidNode) {
+              root_of[item] = static_cast<NodeId>(item);
+            } else {
+              chains.push_back(Chain{item, next, 1, false});
+            }
           }
-          root_of[item] = cur;
+          sim::DriveLookupLockstep(
+              ctx, parent_store, chains,
+              [](const Chain& c) { return c.done; },
+              [](const Chain& c) { return static_cast<uint64_t>(c.cur); },
+              [&](Chain& c, const NodeId* p) {
+                const NodeId next = (p == nullptr) ? kInvalidNode : *p;
+                if (next == kInvalidNode) {
+                  root_of[c.item] = c.cur;
+                  local_max = std::max(local_max, c.hops);
+                  c.done = true;
+                } else {
+                  c.cur = next;
+                  ++c.hops;
+                }
+              });
           int64_t seen = max_chain.load(std::memory_order_relaxed);
-          while (chain > seen && !max_chain.compare_exchange_weak(
-                                     seen, chain, std::memory_order_relaxed)) {
+          while (local_max > seen &&
+                 !max_chain.compare_exchange_weak(
+                     seen, local_max, std::memory_order_relaxed)) {
           }
         });
     result.max_jump_chain =

@@ -59,31 +59,69 @@ CycleResult AmpcOneVsTwoCycle(sim::Cluster& cluster, const Graph& g,
     // next sample (or all the way around). The union of all walks covers
     // exactly the vertices of cycles containing at least one sample, so
     // comparing the covered count against n detects unsampled cycles.
+    // Each worker advances all of its samples' walks in lockstep: one
+    // LookupMany per adaptive step fetches the whole frontier's
+    // neighbor records (one round trip per destination machine) instead
+    // of one synchronous round trip per walk per hop.
     ConcurrentBag<std::pair<NodeId, NodeId>> contracted;
     std::vector<std::atomic<uint8_t>> covered(n);
     for (auto& c : covered) c.store(0, std::memory_order_relaxed);
     std::atomic<int64_t> samples{0};
-    cluster.RunMapPhase(
-        "Search", n, [&](int64_t item, sim::MachineContext& ctx) {
-          const NodeId v = static_cast<NodeId>(item);
-          if (!IsSampled(v, seed, probability)) return;
-          samples.fetch_add(1, std::memory_order_relaxed);
-          covered[v].store(1, std::memory_order_relaxed);
-          const CycleAdj* own = ctx.LookupLocal(store, v);
-          for (NodeId first : {own->a, own->b}) {
-            NodeId prev = v;
-            NodeId cur = first;
-            while (cur != v && !IsSampled(cur, seed, probability)) {
-              covered[cur].store(1, std::memory_order_relaxed);
-              const CycleAdj* adj = ctx.Lookup(store, cur);
-              AMPC_CHECK(adj != nullptr);
-              const NodeId next = (adj->a == prev) ? adj->b : adj->a;
-              prev = cur;
-              cur = next;
+    cluster.RunBatchMapPhase(
+        "Search", n,
+        [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
+          struct WalkState {
+            NodeId v;             // the sampled origin
+            const CycleAdj* own;  // its own (machine-local) record
+            int dir;              // 0 = via own->a, 1 = via own->b
+            NodeId prev;
+            NodeId cur;
+            bool done;
+          };
+          // Runs walk logic that needs no lookup: emits contracted
+          // edges at walk ends and switches direction; stops at the
+          // first vertex whose record must be fetched.
+          auto advance = [&](WalkState& w) {
+            for (;;) {
+              if (w.cur == w.v || IsSampled(w.cur, seed, probability)) {
+                contracted.Push({w.v, w.cur});  // cur == v: a full loop
+                if (w.cur == w.v || w.dir == 1) {
+                  w.done = true;  // whole cycle traversed, or both dirs
+                  return;
+                }
+                w.dir = 1;
+                w.prev = w.v;
+                w.cur = w.own->b;
+                continue;
+              }
+              covered[w.cur].store(1, std::memory_order_relaxed);
+              return;  // needs Lookup(w.cur)
             }
-            contracted.Push({v, cur});  // cur == v means a full loop
-            if (cur == v) break;        // whole cycle traversed already
+          };
+          std::vector<WalkState> walks;
+          for (const int64_t item : items) {
+            const NodeId v = static_cast<NodeId>(item);
+            if (!IsSampled(v, seed, probability)) continue;
+            samples.fetch_add(1, std::memory_order_relaxed);
+            covered[v].store(1, std::memory_order_relaxed);
+            const CycleAdj* own = ctx.LookupLocal(store, v);
+            WalkState w{v, own, 0, v, own->a, false};
+            advance(w);
+            if (!w.done) walks.push_back(w);
           }
+          sim::DriveLookupLockstep(
+              ctx, store, walks,
+              [](const WalkState& w) { return w.done; },
+              [](const WalkState& w) {
+                return static_cast<uint64_t>(w.cur);
+              },
+              [&](WalkState& w, const CycleAdj* adj) {
+                AMPC_CHECK(adj != nullptr);
+                const NodeId next = (adj->a == w.prev) ? adj->b : adj->a;
+                w.prev = w.cur;
+                w.cur = next;
+                advance(w);
+              });
         });
 
     int64_t covered_count = 0;

@@ -45,6 +45,23 @@ NodeId NextHop(const std::vector<NodeId>* adj, int64_t n, double damping,
   return (*adj)[rng.NextBelow(adj->size())];
 }
 
+// One in-flight random walk of the lockstep frontier. Each worker
+// advances all of its walks together (sim::DriveLookupLockstep): every
+// adaptive step moves each active walk one hop and fetches the whole
+// frontier's adjacencies with a single LookupMany batch (one round trip
+// per destination machine) instead of one synchronous lookup per walk
+// per hop. Per-walk RNG streams are hash-seeded, so outputs match the
+// scalar walk exactly.
+struct WalkState {
+  Rng rng;
+  NodeId v;
+  const std::vector<NodeId>* adj;
+  bool done = false;
+};
+
+bool WalkDone(const WalkState& w) { return w.done; }
+uint64_t WalkKey(const WalkState& w) { return w.v; }
+
 }  // namespace
 
 PageRankMcResult AmpcMonteCarloPageRank(sim::Cluster& cluster,
@@ -63,28 +80,45 @@ PageRankMcResult AmpcMonteCarloPageRank(sim::Cluster& cluster,
   }
   std::atomic<int64_t> steps{0};
 
-  cluster.RunMapPhase(
-      "RandomWalks", n, [&](int64_t item, sim::MachineContext& ctx) {
-        const NodeId start = static_cast<NodeId>(item);
+  cluster.RunBatchMapPhase(
+      "RandomWalks", n,
+      [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
         int64_t local_steps = 0;
-        for (int j = 0; j < options.walks_per_node; ++j) {
-          // Per-(vertex, walk) hash stream: identical output regardless
-          // of which machine/worker runs the item.
-          Rng rng(Hash64(static_cast<uint64_t>(item) *
-                                 options.walks_per_node +
-                             j,
-                         options.seed ^ 0x7061676572616e6bULL));
-          NodeId v = start;
-          const std::vector<NodeId>* adj = ctx.LookupLocal(*store, v);
-          for (;;) {
-            visits[v].fetch_add(1, std::memory_order_relaxed);
-            const NodeId next = NextHop(adj, n, options.damping, rng);
-            if (next == graph::kInvalidNode) break;
-            v = next;
-            adj = ctx.Lookup(*store, v);
-            ++local_steps;
+        // One hop: count the visit, draw the next vertex, finish or move.
+        auto advance = [&](WalkState& w) {
+          visits[w.v].fetch_add(1, std::memory_order_relaxed);
+          const NodeId next = NextHop(w.adj, n, options.damping, w.rng);
+          if (next == graph::kInvalidNode) {
+            w.done = true;
+            return;
+          }
+          w.v = next;
+          ++local_steps;
+        };
+        std::vector<WalkState> walks;
+        walks.reserve(items.size() *
+                      static_cast<size_t>(options.walks_per_node));
+        for (const int64_t item : items) {
+          const NodeId start = static_cast<NodeId>(item);
+          const std::vector<NodeId>* adj = ctx.LookupLocal(*store, start);
+          for (int j = 0; j < options.walks_per_node; ++j) {
+            // Per-(vertex, walk) hash stream: identical output regardless
+            // of which machine/worker runs the item.
+            walks.push_back(WalkState{
+                Rng(Hash64(static_cast<uint64_t>(item) *
+                                   options.walks_per_node +
+                               j,
+                           options.seed ^ 0x7061676572616e6bULL)),
+                start, adj});
+            advance(walks.back());
           }
         }
+        sim::DriveLookupLockstep(
+            ctx, *store, walks, WalkDone, WalkKey,
+            [&](WalkState& w, const std::vector<NodeId>* adj) {
+              w.adj = adj;
+              advance(w);
+            });
         steps.fetch_add(local_steps, std::memory_order_relaxed);
       });
 
@@ -117,30 +151,47 @@ PageRankMcResult AmpcPersonalizedPageRank(sim::Cluster& cluster,
   }
   std::atomic<int64_t> steps{0};
 
-  cluster.RunMapPhase(
-      "PersonalizedWalks", n, [&](int64_t item, sim::MachineContext& ctx) {
+  cluster.RunBatchMapPhase(
+      "PersonalizedWalks", n,
+      [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
         int64_t local_steps = 0;
-        for (int j = 0; j < options.walks_per_node; ++j) {
-          Rng rng(Hash64(static_cast<uint64_t>(item) *
-                                 options.walks_per_node +
-                             j,
-                         options.seed ^ 0x707072616e6bULL));
-          NodeId v = source;
-          const std::vector<NodeId>* adj = ctx.Lookup(*store, v);
-          for (;;) {
-            visits[v].fetch_add(1, std::memory_order_relaxed);
-            if (!rng.NextBernoulli(options.damping)) break;
-            // Dangling vertices return to the source (the personalized
-            // teleport target), matching PersonalizedPageRankExact.
-            const NodeId next =
-                (adj == nullptr || adj->empty())
-                    ? source
-                    : (*adj)[rng.NextBelow(adj->size())];
-            v = next;
-            adj = ctx.Lookup(*store, v);
-            ++local_steps;
+        auto advance = [&](WalkState& w) {
+          visits[w.v].fetch_add(1, std::memory_order_relaxed);
+          if (!w.rng.NextBernoulli(options.damping)) {
+            w.done = true;
+            return;
+          }
+          // Dangling vertices return to the source (the personalized
+          // teleport target), matching PersonalizedPageRankExact.
+          const NodeId next = (w.adj == nullptr || w.adj->empty())
+                                  ? source
+                                  : (*w.adj)[w.rng.NextBelow(w.adj->size())];
+          w.v = next;
+          ++local_steps;
+        };
+        // Every walk starts at the source and begins with a (remote)
+        // fetch of its adjacency, exactly as the scalar client did —
+        // the driver ships the whole frontier's fetches as one batch
+        // per adaptive step, the first step included.
+        std::vector<WalkState> walks;
+        walks.reserve(items.size() *
+                      static_cast<size_t>(options.walks_per_node));
+        for (const int64_t item : items) {
+          for (int j = 0; j < options.walks_per_node; ++j) {
+            walks.push_back(WalkState{
+                Rng(Hash64(static_cast<uint64_t>(item) *
+                                   options.walks_per_node +
+                               j,
+                           options.seed ^ 0x707072616e6bULL)),
+                source, nullptr});
           }
         }
+        sim::DriveLookupLockstep(
+            ctx, *store, walks, WalkDone, WalkKey,
+            [&](WalkState& w, const std::vector<NodeId>* adj) {
+              w.adj = adj;
+              advance(w);
+            });
         steps.fetch_add(local_steps, std::memory_order_relaxed);
       });
 
@@ -167,26 +218,57 @@ std::vector<std::vector<NodeId>> AmpcSampleWalks(sim::Cluster& cluster,
 
   std::unique_ptr<AdjStore> store = StageAdjacency(cluster, g);
 
-  cluster.RunMapPhase(
-      "SampleWalks", n, [&](int64_t item, sim::MachineContext& ctx) {
-        const NodeId start = static_cast<NodeId>(item);
-        for (int j = 0; j < options.walks_per_node; ++j) {
-          Rng rng(Hash64(static_cast<uint64_t>(item) *
-                                 options.walks_per_node +
-                             j,
-                         options.seed ^ 0x6465657077616c6bULL));
-          std::vector<NodeId>& walk =
-              walks[static_cast<size_t>(item) * options.walks_per_node + j];
-          walk.reserve(options.length + 1);
-          walk.push_back(start);
+  cluster.RunBatchMapPhase(
+      "SampleWalks", n,
+      [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
+        struct SampleState {
+          Rng rng;
+          const std::vector<NodeId>* adj;
+          std::vector<NodeId>* out;
+          int remaining;
+          NodeId cur = 0;
+          bool done = false;
+        };
+        auto advance = [](SampleState& s) {
+          if (s.remaining <= 0 || s.adj == nullptr || s.adj->empty()) {
+            s.done = true;  // length reached or stranded
+            return;
+          }
+          s.cur = (*s.adj)[s.rng.NextBelow(s.adj->size())];
+          s.out->push_back(s.cur);
+          --s.remaining;
+        };
+        std::vector<SampleState> states;
+        states.reserve(items.size() *
+                       static_cast<size_t>(options.walks_per_node));
+        for (const int64_t item : items) {
+          const NodeId start = static_cast<NodeId>(item);
           const std::vector<NodeId>* adj = ctx.LookupLocal(*store, start);
-          for (int s = 0; s < options.length; ++s) {
-            if (adj == nullptr || adj->empty()) break;  // stranded
-            const NodeId next = (*adj)[rng.NextBelow(adj->size())];
-            walk.push_back(next);
-            adj = ctx.Lookup(*store, next);
+          for (int j = 0; j < options.walks_per_node; ++j) {
+            std::vector<NodeId>& walk =
+                walks[static_cast<size_t>(item) * options.walks_per_node +
+                      j];
+            walk.reserve(options.length + 1);
+            walk.push_back(start);
+            states.push_back(SampleState{
+                Rng(Hash64(static_cast<uint64_t>(item) *
+                                   options.walks_per_node +
+                               j,
+                           options.seed ^ 0x6465657077616c6bULL)),
+                adj, &walk, options.length});
+            advance(states.back());
           }
         }
+        sim::DriveLookupLockstep(
+            ctx, *store, states,
+            [](const SampleState& s) { return s.done; },
+            [](const SampleState& s) {
+              return static_cast<uint64_t>(s.cur);
+            },
+            [&](SampleState& s, const std::vector<NodeId>* adj) {
+              s.adj = adj;
+              advance(s);
+            });
       });
   return walks;
 }

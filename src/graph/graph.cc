@@ -197,34 +197,40 @@ WeightedGraph BuildWeightedGraph(const WeightedEdgeList& list,
 
 void WeightedGraph::SortAdjacenciesByWeight() {
   const int64_t n = num_nodes();
+  // One global sort keyed by (owner, weight, id) replaces per-vertex
+  // sorts, the same skew-robustness pattern as BuildWeightedGraph: a hub
+  // vertex's adjacency no longer sorts on a single thread. Offsets are
+  // untouched, so scattering the sorted arcs back by position restores
+  // each vertex's slice in weight order.
+  struct Arc {
+    NodeId from;
+    NodeId to;
+    Weight w;
+    EdgeId id;
+  };
+  std::vector<Arc> arcs(adjacency_.size());
   ParallelForChunked(
-      ThreadPool::Global(), 0, n, 512,
-      [this](int64_t lo, int64_t hi) {
+      ThreadPool::Global(), 0, n, 512, [&](int64_t lo, int64_t hi) {
         for (int64_t v = lo; v < hi; ++v) {
-          const uint64_t begin = offsets_[v];
-          const uint64_t end = offsets_[v + 1];
-          const uint64_t len = end - begin;
-          std::vector<uint32_t> order(len);
-          std::iota(order.begin(), order.end(), 0u);
-          std::sort(order.begin(), order.end(),
-                    [&](uint32_t a, uint32_t b) {
-                      const uint64_t ia = begin + a, ib = begin + b;
-                      if (weights_[ia] != weights_[ib]) {
-                        return weights_[ia] < weights_[ib];
-                      }
-                      return edge_ids_[ia] < edge_ids_[ib];
-                    });
-          std::vector<NodeId> adj(len);
-          std::vector<Weight> w(len);
-          std::vector<EdgeId> ids(len);
-          for (uint64_t i = 0; i < len; ++i) {
-            adj[i] = adjacency_[begin + order[i]];
-            w[i] = weights_[begin + order[i]];
-            ids[i] = edge_ids_[begin + order[i]];
+          for (uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+            arcs[i] = Arc{static_cast<NodeId>(v), adjacency_[i],
+                          weights_[i], edge_ids_[i]};
           }
-          std::copy(adj.begin(), adj.end(), adjacency_.begin() + begin);
-          std::copy(w.begin(), w.end(), weights_.begin() + begin);
-          std::copy(ids.begin(), ids.end(), edge_ids_.begin() + begin);
+        }
+      });
+  ParallelSort(ThreadPool::Global(), arcs,
+               [](const Arc& a, const Arc& b) {
+                 if (a.from != b.from) return a.from < b.from;
+                 if (a.w != b.w) return a.w < b.w;
+                 return a.id < b.id;
+               });
+  ParallelForChunked(
+      ThreadPool::Global(), 0, static_cast<int64_t>(arcs.size()), 4096,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          adjacency_[i] = arcs[i].to;
+          weights_[i] = arcs[i].w;
+          edge_ids_[i] = arcs[i].id;
         }
       });
 }

@@ -2,6 +2,19 @@
 
 namespace ampc::kv {
 
+// Calibration targets (paper Table 4 + Sections 5.3/5.7):
+//   * RDMA lookups take ~2.5us, "an order of magnitude slower than
+//     DRAM" (Section 5.3); NICs are 20 Gbps with an ~80 Gb/s aggregate
+//     job ceiling (Section 5.7).
+//   * Table 4 pins the TCP/IP penalty band: the latency-bound
+//     1-vs-2-Cycle walks run 1.74x-5.90x slower over TCP, while the
+//     bandwidth-heavier MIS only loses 1.50x-1.85x. We therefore model
+//     TCP as 5x the RDMA round-trip latency (a latency-bound phase
+//     asymptotically lands at 5.0x, inside the published 1.74-5.90
+//     band) and 1.5625x less per-NIC KV throughput (a bandwidth-bound
+//     phase lands at 1.5625x, inside the published 1.50-1.85 band).
+//     tests/network_calibration_test.cc pins both bands.
+
 NetworkModel NetworkModel::Rdma() {
   NetworkModel m;
   m.name = "RDMA";
@@ -15,9 +28,9 @@ NetworkModel NetworkModel::Rdma() {
 NetworkModel NetworkModel::TcpIp() {
   NetworkModel m;
   m.name = "TCP/IP";
-  m.lookup_latency_sec = 25e-6;
-  m.write_latency_sec = 5e-6;
-  m.bytes_per_sec = 1.2e9;
+  m.lookup_latency_sec = 12.5e-6;      // 5x RDMA (Table 4 latency band)
+  m.write_latency_sec = 2.5e-6;
+  m.bytes_per_sec = 1.6e9;             // 1.5625x below RDMA (Table 4 MIS band)
   m.aggregate_bytes_per_sec = 1.0e10;
   return m;
 }

@@ -1,0 +1,137 @@
+// Placement policies and batched-lookup types for the simulated DHT.
+//
+// The paper's DHT hides its ~2.5us RDMA round-trip by batching and
+// pipelining adaptive queries (Section 5.3): a client gathers the keys an
+// adaptive step needs, groups them by owning machine, and ships one
+// request per destination instead of one per key. Two pieces of that
+// pipeline live here:
+//
+//   * Placement — the key -> machine assignment, pluggable behind the
+//     hash baseline (kv::ShardForKey). Range and affinity variants let
+//     the simulator study placement policies (ROADMAP): range keeps the
+//     key space contiguous per machine, affinity keeps fixed-size blocks
+//     of consecutive keys together so pointer chains over nearby ids hit
+//     fewer destinations per batch.
+//   * LookupBatch / LookupBatchResult — the request/response pair of a
+//     batched read. The response carries the per-batch accounting the
+//     cost model charges (total wire bytes, distinct destinations).
+//
+// Both kv::ShardedStore and sim::Cluster::MachineOf place through the
+// same Placement, so the machine running work item v is still the
+// machine whose shard holds record v under every policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace ampc::kv {
+
+/// The shard (= logical machine) owning `key` under `seed` for the hash
+/// baseline. Kept as a free function: it is the default placement and
+/// the one the paper's implementation uses.
+inline int ShardForKey(uint64_t key, uint64_t seed, int num_shards) {
+  return static_cast<int>(Hash64(key, seed ^ 0x6d61636821ULL) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+/// How keys map to machines.
+enum class PlacementPolicy {
+  /// Seeded hash of the key (the paper's DHT; load-balanced, oblivious).
+  kHash,
+  /// Contiguous key ranges: shard = key * num_shards / capacity. Best
+  /// locality for id-ordered scans, worst exposure to id-correlated
+  /// hot spots.
+  kRange,
+  /// Hash of the key's block (key / block_size): consecutive keys stay
+  /// together, blocks scatter like the hash baseline.
+  kAffinity,
+};
+
+inline const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kHash:
+      return "hash";
+    case PlacementPolicy::kRange:
+      return "range";
+    case PlacementPolicy::kAffinity:
+      return "affinity";
+  }
+  return "?";
+}
+
+/// A concrete key -> machine assignment: policy plus the parameters it
+/// needs. A pure value type shared by kv::ShardedStore (record placement)
+/// and sim::Cluster (work placement).
+struct Placement {
+  PlacementPolicy policy = PlacementPolicy::kHash;
+  int num_shards = 1;
+  uint64_t seed = 0;
+  /// Size of the key space; required by kRange (ignored otherwise).
+  int64_t capacity = 0;
+  /// Consecutive keys per block under kAffinity.
+  int64_t affinity_block = 32;
+
+  int ShardOf(uint64_t key) const {
+    switch (policy) {
+      case PlacementPolicy::kHash:
+        return ShardForKey(key, seed, num_shards);
+      case PlacementPolicy::kRange: {
+        AMPC_CHECK_GT(capacity, 0)
+            << "range placement needs the key-space capacity";
+        // Clamp: cost-attribution callers may probe keys past the key
+        // space (e.g. missing-key lookups); charge them to the last
+        // range owner rather than indexing out of bounds.
+        const uint64_t k =
+            key < static_cast<uint64_t>(capacity)
+                ? key
+                : static_cast<uint64_t>(capacity) - 1;
+        return static_cast<int>(
+            k * static_cast<uint64_t>(num_shards) /
+            static_cast<uint64_t>(capacity));
+      }
+      case PlacementPolicy::kAffinity:
+        AMPC_CHECK_GT(affinity_block, 0);
+        return ShardForKey(key / static_cast<uint64_t>(affinity_block),
+                           seed, num_shards);
+    }
+    return 0;
+  }
+
+  friend bool operator==(const Placement& a, const Placement& b) {
+    if (a.policy != b.policy || a.num_shards != b.num_shards ||
+        a.seed != b.seed) {
+      return false;
+    }
+    if (a.policy == PlacementPolicy::kRange && a.capacity != b.capacity) {
+      return false;
+    }
+    if (a.policy == PlacementPolicy::kAffinity &&
+        a.affinity_block != b.affinity_block) {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// A batched DHT read request: the keys one adaptive step needs. The
+/// client pipeline groups them by owning machine and issues one round
+/// trip per destination.
+struct LookupBatch {
+  std::vector<uint64_t> keys;
+};
+
+/// The response side of a batch, aligned with the request's keys.
+/// `values[i]` is the record for `keys[i]` (nullptr when absent);
+/// `bytes` and `destinations` are the accounting the cost model charges
+/// (total wire bytes moved, distinct owning machines contacted).
+template <typename V>
+struct LookupBatchResult {
+  std::vector<const V*> values;
+  int64_t bytes = 0;
+  int destinations = 0;
+};
+
+}  // namespace ampc::kv

@@ -5,14 +5,16 @@
 // Figure 8, Section 5.7) is per machine: each machine has bounded local
 // space and a NIC of finite bandwidth, so a key whose records concentrate
 // on one shard makes that machine the round's straggler. ShardedStore
-// models exactly that placement: keys are hash-partitioned across
-// `num_shards` shards with the same seeded hash the cluster simulator
+// models exactly that placement: keys are partitioned across
+// `num_shards` shards with the same kv::Placement the cluster simulator
 // uses to place work (sim::Cluster::MachineOf), so shard s of a store is
-// precisely the slice of the DHT held by logical machine s. Each shard
-// owns its own dense slot table, presence flags, insert counter, and
-// byte counter; per-shard occupancy/size/bytes are exposed so the cost
-// model (sim/cluster.h) and the fault model (sim/faults.h) can charge
-// skew and memory pressure to the machine that actually bears them.
+// precisely the slice of the DHT held by logical machine s. The policy
+// is pluggable (hash baseline, range, affinity — see kv/placement.h).
+// Each shard owns its own dense slot table, presence flags, insert
+// counter, and byte counter; per-shard occupancy/size/bytes are exposed
+// so the cost model (sim/cluster.h) and the fault model (sim/faults.h)
+// can charge skew and memory pressure to the machine that actually bears
+// them.
 #pragma once
 
 #include <cstdint>
@@ -24,62 +26,61 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "kv/byte_size.h"
+#include "kv/placement.h"
 #include "kv/store.h"
 
 namespace ampc::kv {
 
-/// The shard (= logical machine) owning `key` under `seed`. This is the
-/// single placement function of the whole simulator: ShardedStore uses it
-/// to place records and sim::Cluster uses it to place work items, so a
-/// map phase's item v runs on the machine holding v's record.
-inline int ShardForKey(uint64_t key, uint64_t seed, int num_shards) {
-  return static_cast<int>(Hash64(key, seed ^ 0x6d61636821ULL) %
-                          static_cast<uint64_t>(num_shards));
-}
-
 /// The key -> (shard, local slot) assignment of a sharded store: a pure
-/// function of (capacity, num_shards, seed), so factories that mint many
-/// same-shaped stores (one fresh DHT per round) build it once and share
-/// it (see sim::Cluster::MakeStore).
+/// function of the Placement, so factories that mint many same-shaped
+/// stores (one fresh DHT per round) build it once and share it (see
+/// sim::Cluster::MakeStore).
 struct ShardMap {
   /// local_slot[k] = slot of key k within its owning shard.
   std::vector<uint32_t> local_slot;
   /// shard_counts[s] = number of keys owned by shard s.
   std::vector<int64_t> shard_counts;
-  int64_t capacity = 0;
-  int num_shards = 1;
-  uint64_t seed = 0;
+  Placement placement;
 
-  static std::shared_ptr<const ShardMap> Build(int64_t capacity,
-                                               int num_shards,
-                                               uint64_t seed) {
-    AMPC_CHECK_GE(num_shards, 1);
-    AMPC_CHECK_GE(capacity, 0);
-    AMPC_CHECK_LE(capacity,
+  static std::shared_ptr<const ShardMap> Build(Placement placement) {
+    AMPC_CHECK_GE(placement.num_shards, 1);
+    AMPC_CHECK_GE(placement.capacity, 0);
+    AMPC_CHECK_LE(placement.capacity,
                   static_cast<int64_t>(std::numeric_limits<uint32_t>::max()));
     auto map = std::make_shared<ShardMap>();
-    map->capacity = capacity;
-    map->num_shards = num_shards;
-    map->seed = seed;
+    map->placement = placement;
     // One sequential pass keeps the assignment deterministic; the cost
-    // is one hash per key, the same order as the slot tables' own
-    // O(capacity) initialization.
-    map->local_slot.resize(capacity);
-    map->shard_counts.assign(num_shards, 0);
-    for (int64_t k = 0; k < capacity; ++k) {
+    // is one placement evaluation per key, the same order as the slot
+    // tables' own O(capacity) initialization.
+    map->local_slot.resize(placement.capacity);
+    map->shard_counts.assign(placement.num_shards, 0);
+    for (int64_t k = 0; k < placement.capacity; ++k) {
       map->local_slot[k] = static_cast<uint32_t>(
-          map->shard_counts[ShardForKey(k, seed, num_shards)]++);
+          map->shard_counts[placement.ShardOf(k)]++);
     }
     return map;
   }
+
+  /// Hash-baseline convenience, the historical constructor shape.
+  static std::shared_ptr<const ShardMap> Build(int64_t capacity,
+                                               int num_shards,
+                                               uint64_t seed) {
+    Placement placement;
+    placement.policy = PlacementPolicy::kHash;
+    placement.num_shards = num_shards;
+    placement.seed = seed;
+    placement.capacity = capacity;
+    return Build(placement);
+  }
 };
 
-/// A dense key -> V store hash-partitioned into per-machine shards. Keys
-/// must be < capacity. Writes are thread-safe (delegated to the owning
-/// shard's per-slot atomic publication); lookups are thread-safe with
-/// respect to completed writes of other keys. Re-writing an existing key
-/// is not supported (AMPC stores are write-once per round). Movable so
-/// factories (sim::Cluster::MakeStore) can return it by value.
+/// A dense key -> V store partitioned into per-machine shards by a
+/// kv::Placement. Keys must be < capacity. Writes are thread-safe
+/// (delegated to the owning shard's per-slot atomic publication);
+/// lookups are thread-safe with respect to completed writes of other
+/// keys. Re-writing an existing key is not supported (AMPC stores are
+/// write-once per round). Movable so factories
+/// (sim::Cluster::MakeStore) can return it by value.
 template <typename V>
 class ShardedStore {
  public:
@@ -88,12 +89,9 @@ class ShardedStore {
 
   /// Shares a prebuilt key assignment (must match this store's shape).
   explicit ShardedStore(std::shared_ptr<const ShardMap> map)
-      : capacity_(map->capacity),
-        num_shards_(map->num_shards),
-        seed_(map->seed),
-        map_(std::move(map)) {
-    shards_.reserve(num_shards_);
-    for (int s = 0; s < num_shards_; ++s) {
+      : map_(std::move(map)) {
+    shards_.reserve(map_->placement.num_shards);
+    for (int s = 0; s < map_->placement.num_shards; ++s) {
       shards_.push_back(std::make_unique<Store<V>>(map_->shard_counts[s]));
     }
   }
@@ -103,26 +101,25 @@ class ShardedStore {
   ShardedStore(ShardedStore&&) noexcept = default;
   ShardedStore& operator=(ShardedStore&&) noexcept = default;
 
-  int64_t capacity() const { return capacity_; }
-  int num_shards() const { return num_shards_; }
-  uint64_t seed() const { return seed_; }
+  int64_t capacity() const { return map_->placement.capacity; }
+  int num_shards() const { return map_->placement.num_shards; }
+  uint64_t seed() const { return map_->placement.seed; }
+  const Placement& placement() const { return map_->placement; }
 
   /// The shard (= logical machine) owning `key`.
-  int ShardOf(uint64_t key) const {
-    return ShardForKey(key, seed_, num_shards_);
-  }
+  int ShardOf(uint64_t key) const { return map_->placement.ShardOf(key); }
 
   /// Inserts (key, value) into the owning shard. Returns the wire size of
   /// the record.
   int64_t Put(uint64_t key, V value) {
-    AMPC_CHECK_LT(key, static_cast<uint64_t>(capacity_));
+    AMPC_CHECK_LT(key, static_cast<uint64_t>(capacity()));
     return shards_[ShardOf(key)]->Put(map_->local_slot[key],
                                       std::move(value));
   }
 
   /// Returns the value for `key`, or nullptr when absent.
   const V* Lookup(uint64_t key) const {
-    if (key >= static_cast<uint64_t>(capacity_)) return nullptr;
+    if (key >= static_cast<uint64_t>(capacity())) return nullptr;
     return shards_[ShardOf(key)]->Lookup(map_->local_slot[key]);
   }
 
@@ -170,18 +167,15 @@ class ShardedStore {
 
   /// Snapshot of every shard's wire bytes, indexed by shard id.
   std::vector<int64_t> ShardBytesSnapshot() const {
-    std::vector<int64_t> bytes(num_shards_);
-    for (int s = 0; s < num_shards_; ++s) bytes[s] = ShardBytes(s);
+    std::vector<int64_t> bytes(num_shards());
+    for (int s = 0; s < num_shards(); ++s) bytes[s] = ShardBytes(s);
     return bytes;
   }
 
  private:
-  int64_t capacity_ = 0;
-  int num_shards_ = 1;
-  uint64_t seed_ = 0;
   // key -> slot within its owning shard (the shard id is recomputed from
-  // the hash; storing it would double the table's footprint). Shared:
-  // every same-shaped store minted by a cluster reuses one map.
+  // the placement; storing it would double the table's footprint).
+  // Shared: every same-shaped store minted by a cluster reuses one map.
   std::shared_ptr<const ShardMap> map_;
   // unique_ptr keeps the atomic-bearing slot tables movable as a group.
   std::vector<std::unique_ptr<Store<V>>> shards_;

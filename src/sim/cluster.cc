@@ -31,7 +31,7 @@ void Cluster::AccountShuffle(const std::string& phase, int64_t bytes,
       std::max(config_.shuffle_min_sec,
                static_cast<double>(bytes) / throughput) +
       config_.round_spawn_sec;
-  RecordRound(sim);
+  RecordRound(phase, sim);
   metrics_.AddTime("sim:" + phase, sim);
   metrics_.AddTime("sim_total", sim);
   metrics_.AddTime("wall:" + phase, wall_seconds);
@@ -58,7 +58,7 @@ void Cluster::AccountShardedShuffle(
       std::max(config_.shuffle_min_sec,
                static_cast<double>(hottest) / config_.shuffle_bytes_per_sec) +
       config_.round_spawn_sec;
-  RecordRound(sim);
+  RecordRound(phase, sim);
   metrics_.AddTime("sim:" + phase, sim);
   metrics_.AddTime("sim_total", sim);
   metrics_.AddTime("wall:" + phase, wall_seconds);
@@ -67,7 +67,7 @@ void Cluster::AccountShardedShuffle(
 
 void Cluster::AccountMapRound(const std::string& phase) {
   metrics_.Add("rounds", 1);
-  RecordRound(config_.round_spawn_sec);
+  RecordRound(phase, config_.round_spawn_sec);
   metrics_.AddTime("sim:" + phase, config_.round_spawn_sec);
   metrics_.AddTime("sim_total", config_.round_spawn_sec);
 }
@@ -94,25 +94,33 @@ void Cluster::SettleMapPhase(const std::string& phase,
   const int overlap =
       config_.multithreading ? config_.threads_per_machine : 1;
   double slowest_machine = 0;
-  int64_t total_queries = 0, total_bytes = 0, total_items = 0;
+  int64_t total_queries = 0, total_trips = 0, total_batches = 0;
+  int64_t total_bytes = 0, total_items = 0;
   int64_t total_hits = 0, total_misses = 0, hottest_served = 0;
-  for (const PhaseCounters& counters : per_machine) {
-    const int64_t queries = counters.kv_queries.load();
+  std::vector<int64_t> served(per_machine.size(), 0);
+  for (size_t m = 0; m < per_machine.size(); ++m) {
+    const PhaseCounters& counters = per_machine[m];
+    const int64_t trips = counters.kv_lookup_trips.load();
     const int64_t bytes = counters.kv_read_bytes.load();
     const int64_t items = counters.items.load();
     const int64_t served_bytes = counters.kv_served_bytes.load();
-    total_queries += queries;
+    total_queries += counters.kv_queries.load();
+    total_trips += trips;
+    total_batches += counters.kv_batches.load();
     total_bytes += bytes;
     total_items += items;
     total_hits += counters.cache_hits.load();
     total_misses += counters.cache_misses.load();
     hottest_served = std::max(hottest_served, served_bytes);
-    // Client side: synchronous lookup latency and per-item CPU, hidden
-    // behind `overlap` worker threads (Section 5.3 multithreading), plus
-    // the fetched records arriving through this machine's NIC (a hot
-    // *reader* gathering from every shard is also a straggler).
+    served[m] = served_bytes;
+    // Client side: round-trip latency (one trip per scalar lookup, one
+    // per destination machine of a batch — the Section 5.3 batching
+    // pipeline) and per-item CPU, hidden behind `overlap` worker threads
+    // (Section 5.3 multithreading), plus the fetched records arriving
+    // through this machine's NIC (a hot *reader* gathering from every
+    // shard is also a straggler).
     const double client_time =
-        (queries * config_.network.lookup_latency_sec +
+        (trips * config_.network.lookup_latency_sec +
          items * config_.map_item_cpu_sec) /
             overlap +
         bytes / config_.network.bytes_per_sec;
@@ -131,8 +139,10 @@ void Cluster::SettleMapPhase(const std::string& phase,
       std::max(slowest_machine, network_floor) + config_.round_spawn_sec;
 
   metrics_.Add("rounds", 1);
-  RecordRound(sim);
+  RecordRound(phase, sim, std::move(served));
   metrics_.Add("kv_reads", total_queries);
+  metrics_.Add("kv_lookup_trips", total_trips);
+  metrics_.Add("kv_batches", total_batches);
   metrics_.Add("kv_read_bytes", total_bytes);
   metrics_.Add("kv_hot_machine_read_bytes", hottest_served);
   metrics_.Add("map_items", total_items);
@@ -174,7 +184,7 @@ void Cluster::SettleKvWritePhase(const std::string& phase,
       config_.round_spawn_sec;
 
   metrics_.Add("rounds", 1);
-  RecordRound(sim);
+  RecordRound(phase, sim, /*kv_read_bytes=*/{}, /*kv_write_bytes=*/bytes);
   metrics_.Add("kv_writes", total_writes);
   metrics_.Add("kv_write_bytes", total_bytes);
   metrics_.Add("kv_hot_machine_write_bytes", hottest_bytes);
@@ -187,9 +197,18 @@ void Cluster::SettleKvWritePhase(const std::string& phase,
 std::shared_ptr<const kv::ShardMap> Cluster::ShardMapFor(
     int64_t capacity) const {
   std::lock_guard<std::mutex> lock(shard_map_mu_);
+  auto recent = std::find(shard_map_recency_.begin(),
+                          shard_map_recency_.end(), capacity);
+  if (recent != shard_map_recency_.end()) {
+    shard_map_recency_.erase(recent);
+  } else if (shard_maps_.size() >= kMaxCachedShardMaps) {
+    shard_maps_.erase(shard_map_recency_.front());
+    shard_map_recency_.erase(shard_map_recency_.begin());
+  }
+  shard_map_recency_.push_back(capacity);
   std::shared_ptr<const kv::ShardMap>& map = shard_maps_[capacity];
   if (map == nullptr) {
-    map = kv::ShardMap::Build(capacity, config_.num_machines, config_.seed);
+    map = kv::ShardMap::Build(PlacementFor(capacity));
   }
   return map;
 }
@@ -197,16 +216,34 @@ std::shared_ptr<const kv::ShardMap> Cluster::ShardMapFor(
 void Cluster::RunMapPhase(
     const std::string& phase, int64_t n,
     const std::function<void(int64_t, MachineContext&)>& fn) {
+  RunMapPhaseImpl(phase, n,
+                  [&fn](std::span<const int64_t> items, MachineContext& ctx) {
+                    for (const int64_t item : items) fn(item, ctx);
+                  });
+}
+
+void Cluster::RunBatchMapPhase(
+    const std::string& phase, int64_t n,
+    const std::function<void(std::span<const int64_t>, MachineContext&)>&
+        fn) {
+  RunMapPhaseImpl(phase, n, fn);
+}
+
+void Cluster::RunMapPhaseImpl(
+    const std::string& phase, int64_t n,
+    const std::function<void(std::span<const int64_t>, MachineContext&)>&
+        slice_fn) {
   WallTimer timer;
   const int num_machines = config_.num_machines;
   std::vector<PhaseCounters> counters(num_machines);
 
-  // Bucket items by owning machine.
+  // Bucket items by owning machine (the machine holding record i of a
+  // capacity-n store under the configured placement).
   std::vector<std::atomic<int64_t>> machine_sizes(num_machines);
   for (auto& s : machine_sizes) s.store(0, std::memory_order_relaxed);
   ParallelForChunked(*pool_, 0, n, 4096, [&](int64_t lo, int64_t hi) {
     std::vector<int64_t> local(num_machines, 0);
-    for (int64_t i = lo; i < hi; ++i) ++local[MachineOf(i)];
+    for (int64_t i = lo; i < hi; ++i) ++local[MachineOf(i, n)];
     for (int m = 0; m < num_machines; ++m) {
       if (local[m] != 0) {
         machine_sizes[m].fetch_add(local[m], std::memory_order_relaxed);
@@ -224,7 +261,7 @@ void Cluster::RunMapPhase(
   }
   ParallelForChunked(*pool_, 0, n, 4096, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      const int m = MachineOf(i);
+      const int m = MachineOf(i, n);
       buckets[cursors[m].fetch_add(1, std::memory_order_relaxed)] = i;
     }
   });
@@ -250,7 +287,8 @@ void Cluster::RunMapPhase(
             this, &counters, m, w,
             Hash64(HashCombine(Hash64(m, config_.seed), w),
                    HashCombine(config_.seed, std::hash<std::string>{}(phase))));
-        for (int64_t i = lo; i < hi; ++i) fn(buckets[i], ctx);
+        slice_fn(std::span<const int64_t>(buckets.data() + lo, hi - lo),
+                 ctx);
         counters[m].items.fetch_add(hi - lo, std::memory_order_relaxed);
         std::unique_lock<std::mutex> lock(latch.mu);
         if (--latch.remaining == 0) latch.cv.notify_all();

@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "kv/network_model.h"
+#include "kv/placement.h"
 #include "kv/sharded_store.h"
 
 namespace ampc::sim {
@@ -56,6 +58,18 @@ struct ClusterConfig {
   /// Enables per-machine query-result caching. The runtime exposes this
   /// flag; algorithms consult it (Figure 4).
   bool caching = true;
+  /// Batches DHT reads issued through MachineContext::LookupMany into one
+  /// round trip per destination machine (the batching/pipelining
+  /// optimization of Section 5.3). When false every key in a batch is
+  /// charged a full round trip — the unbatched scalar client, kept as an
+  /// ablation toggle (outputs are identical either way; only the cost
+  /// model differs).
+  bool batch_lookups = true;
+  /// Key -> machine placement policy, shared by every store minted with
+  /// MakeStore and by the work-item placement of map phases.
+  kv::PlacementPolicy placement_policy = kv::PlacementPolicy::kHash;
+  /// Consecutive keys per block under the affinity placement policy.
+  int64_t affinity_block = 32;
   /// KV-store network cost model (RDMA vs TCP/IP, Table 4).
   kv::NetworkModel network = kv::NetworkModel::Rdma();
   /// Fixed simulated cost of spawning any round (stage scheduling,
@@ -79,6 +93,17 @@ struct ClusterConfig {
 
 class MachineContext;
 
+/// Per-machine KV traffic of one simulated round, aligned with
+/// Cluster::round_log(): read_bytes[m] is what machine m's shard served,
+/// write_bytes[m] what landed on it. Rounds without KV traffic carry
+/// zeros. sim::ReplayMemoryPressureSeconds (sim/faults.h) consumes the
+/// write columns to replay memory pressure round by round.
+struct RoundFootprint {
+  std::string phase;
+  std::vector<int64_t> kv_read_bytes;
+  std::vector<int64_t> kv_write_bytes;
+};
+
 /// A simulated AMPC cluster: phase executor + metric accountant.
 class Cluster {
  public:
@@ -88,11 +113,33 @@ class Cluster {
   Metrics& metrics() { return metrics_; }
   ThreadPool& pool() { return *pool_; }
 
-  /// The machine that owns key/item `key`. Delegates to the DHT's
-  /// placement hash, so the machine running item v is the machine whose
-  /// shard holds record v of any store made by MakeStore.
+  /// The cluster's placement for a key space of `capacity` keys: the
+  /// single key -> machine assignment shared by MakeStore's records and
+  /// the map phases' work items.
+  kv::Placement PlacementFor(int64_t capacity) const {
+    kv::Placement placement;
+    placement.policy = config_.placement_policy;
+    placement.num_shards = config_.num_machines;
+    placement.seed = config_.seed;
+    placement.capacity = capacity;
+    placement.affinity_block = config_.affinity_block;
+    return placement;
+  }
+
+  /// The machine that owns key/item `key` in a key space of `capacity`
+  /// keys. The machine running item v is the machine whose shard holds
+  /// record v of any store made by MakeStore(capacity).
+  int MachineOf(uint64_t key, int64_t capacity) const {
+    return PlacementFor(capacity).ShardOf(key);
+  }
+
+  /// Capacity-oblivious convenience for the policies that do not need
+  /// the key-space size (hash, affinity). Range placement requires the
+  /// capacity-taking overload.
   int MachineOf(uint64_t key) const {
-    return kv::ShardForKey(key, config_.seed, config_.num_machines);
+    AMPC_CHECK(config_.placement_policy != kv::PlacementPolicy::kRange)
+        << "range placement needs MachineOf(key, capacity)";
+    return PlacementFor(0).ShardOf(key);
   }
 
   /// Creates a DHT store for keys [0, capacity) sharded across this
@@ -133,13 +180,25 @@ class Cluster {
   /// additional gather is charged).
   void AccountInMemoryCompute(const std::string& phase, int64_t items);
 
-  /// Runs `fn(item, ctx)` for every item in [0, n), with items hash-
+  /// Runs `fn(item, ctx)` for every item in [0, n), with items placement-
   /// partitioned onto machines and each machine's share processed by
   /// `threads_per_machine` workers. Charges KV costs accumulated through
   /// the MachineContext plus per-item CPU cost; lookup traffic is charged
   /// to the machine whose shard serves it. Counts one cheap round.
   void RunMapPhase(const std::string& phase, int64_t n,
                    const std::function<void(int64_t, MachineContext&)>& fn);
+
+  /// Slice-level variant for algorithms that batch DHT reads across the
+  /// items of a worker: `fn(items, ctx)` receives each worker's whole
+  /// share at once (the concatenation over workers covers [0, n) exactly
+  /// once, machine-partitioned like RunMapPhase), so an adaptive step
+  /// can gather every active item's key and issue one
+  /// MachineContext::LookupMany per step instead of one scalar Lookup
+  /// per item. Cost accounting is identical to RunMapPhase.
+  void RunBatchMapPhase(
+      const std::string& phase, int64_t n,
+      const std::function<void(std::span<const int64_t>, MachineContext&)>&
+          fn);
 
   /// Writes records for keys [0, n) into `store` using value = producer(key)
   /// and charges each machine for the writes landing on its shard (the
@@ -159,6 +218,28 @@ class Cluster {
   /// model per-round preemption behaviour.
   const std::vector<double>& round_log() const { return round_log_; }
 
+  /// Per-round, per-machine KV traffic, aligned index-for-index with
+  /// round_log(). Where machine_kv_write_bytes() is the cumulative
+  /// footprint, this is the phase-resolved history: feed the write
+  /// columns to sim::ReplayMemoryPressureSeconds to replay memory
+  /// pressure round by round instead of judging the whole job by its
+  /// final footprint.
+  const std::vector<RoundFootprint>& round_footprints() const {
+    return round_footprints_;
+  }
+
+  /// The write columns of round_footprints(), shaped for
+  /// sim::ReplayMemoryPressureSeconds: [round][machine] KV bytes landing
+  /// that round.
+  std::vector<std::vector<int64_t>> RoundKvWriteBytes() const {
+    std::vector<std::vector<int64_t>> bytes;
+    bytes.reserve(round_footprints_.size());
+    for (const RoundFootprint& fp : round_footprints_) {
+      bytes.push_back(fp.kv_write_bytes);
+    }
+    return bytes;
+  }
+
   /// Cumulative KV wire bytes written to each machine's shards across
   /// every RunKvWritePhase so far. A per-machine memory-pressure signal:
   /// feed it to sim::MemoryPressureRates (sim/faults.h) to make machines
@@ -175,6 +256,12 @@ class Cluster {
     // Charged to the machine *running* the item (client side): query
     // latency, received record bytes, per-item CPU.
     std::atomic<int64_t> kv_queries{0};
+    // Latency-bearing round trips. A scalar Lookup is one trip; a
+    // LookupMany is one trip per distinct destination machine (or one
+    // per key when batch_lookups is off). This — not kv_queries — is
+    // what the settle math multiplies by lookup latency.
+    std::atomic<int64_t> kv_lookup_trips{0};
+    std::atomic<int64_t> kv_batches{0};
     std::atomic<int64_t> kv_read_bytes{0};
     std::atomic<int64_t> items{0};
     std::atomic<int64_t> cache_hits{0};
@@ -197,8 +284,31 @@ class Cluster {
                           const std::vector<int64_t>& bytes,
                           double wall_seconds);
 
-  // Appends a round of simulated duration `sim` to the log.
-  void RecordRound(double sim) { round_log_.push_back(sim); }
+  // Shared executor behind RunMapPhase/RunBatchMapPhase: partitions
+  // [0, n) onto machines, runs one slice per (machine, worker), settles.
+  void RunMapPhaseImpl(
+      const std::string& phase, int64_t n,
+      const std::function<void(std::span<const int64_t>, MachineContext&)>&
+          slice_fn);
+
+  // Appends a round of simulated duration `sim` to the log, with the
+  // per-machine KV traffic it carried (empty vectors = a KV-free round).
+  void RecordRound(const std::string& phase, double sim,
+                   std::vector<int64_t> kv_read_bytes = {},
+                   std::vector<int64_t> kv_write_bytes = {}) {
+    round_log_.push_back(sim);
+    RoundFootprint fp;
+    fp.phase = phase;
+    fp.kv_read_bytes = std::move(kv_read_bytes);
+    fp.kv_write_bytes = std::move(kv_write_bytes);
+    if (fp.kv_read_bytes.empty()) {
+      fp.kv_read_bytes.assign(config_.num_machines, 0);
+    }
+    if (fp.kv_write_bytes.empty()) {
+      fp.kv_write_bytes.assign(config_.num_machines, 0);
+    }
+    round_footprints_.push_back(std::move(fp));
+  }
   // Extends the most recent round (in-memory compute riding a gather).
   void ExtendLastRound(double sim) {
     if (!round_log_.empty()) round_log_.back() += sim;
@@ -211,10 +321,17 @@ class Cluster {
   Metrics metrics_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<double> round_log_;
+  std::vector<RoundFootprint> round_footprints_;
   std::vector<int64_t> machine_kv_write_bytes_;
   mutable std::mutex shard_map_mu_;
+  // Bounded LRU of key assignments: same-shaped stores within (and
+  // across adjacent) rounds share one map, while contraction-style
+  // algorithms minting ever-smaller capacities cannot accumulate an
+  // O(capacity) table per round for the cluster's lifetime.
+  static constexpr size_t kMaxCachedShardMaps = 16;
   mutable std::unordered_map<int64_t, std::shared_ptr<const kv::ShardMap>>
       shard_maps_;
+  mutable std::vector<int64_t> shard_map_recency_;  // back = most recent
 };
 
 /// Per-(machine, worker) handle passed to map-phase functions. KV lookups
@@ -238,18 +355,15 @@ class MachineContext {
   /// True when the caching optimization is enabled for this run.
   bool caching_enabled() const { return cluster_->config().caching; }
 
-  /// Looks up `key`, charging one query to this machine and the record's
-  /// wire size to the shard-owning machine (the server pays for skew).
-  /// Returns nullptr when the key is absent (callers must handle this:
-  /// the store is a remote service, not library-internal state).
+  /// Looks up `key`, charging one round trip to this machine and the
+  /// record's wire size to the shard-owning machine (the server pays for
+  /// skew). Returns nullptr when the key is absent (callers must handle
+  /// this: the store is a remote service, not library-internal state).
   template <typename V>
   const V* Lookup(const kv::ShardedStore<V>& store, uint64_t key) {
-    AMPC_CHECK_EQ(static_cast<size_t>(store.num_shards()),
-                  all_counters_->size())
-        << "store sharding disagrees with the cluster (use MakeStore)";
-    AMPC_CHECK_EQ(store.seed(), cluster_->config().seed)
-        << "store placement seed disagrees with the cluster (use MakeStore)";
+    CheckStoreMatchesCluster(store);
     counters_->kv_queries.fetch_add(1, std::memory_order_relaxed);
+    counters_->kv_lookup_trips.fetch_add(1, std::memory_order_relaxed);
     const V* value = store.Lookup(key);
     const int64_t bytes =
         value == nullptr ? kv::kKeyBytes : kv::kKeyBytes + kv::KvByteSize(*value);
@@ -257,6 +371,61 @@ class MachineContext {
     Cluster::PhaseCounters& server = (*all_counters_)[store.ShardOf(key)];
     server.kv_served_bytes.fetch_add(bytes, std::memory_order_relaxed);
     return value;
+  }
+
+  /// Batched lookup: resolves every key of one adaptive step together.
+  /// The pipeline groups the keys by owning machine and pays one round
+  /// trip per distinct destination — not one per key — while bytes stay
+  /// charged per machine exactly as scalar Lookup charges them (client
+  /// NIC receives, owning shard's NIC serves, no thread overlap of
+  /// either). With config.batch_lookups == false every key is charged a
+  /// full trip, modeling the unbatched client; returned values are
+  /// identical either way. values[i] answers keys[i] (nullptr = absent).
+  template <typename V>
+  kv::LookupBatchResult<V> LookupMany(const kv::ShardedStore<V>& store,
+                                      std::span<const uint64_t> keys) {
+    CheckStoreMatchesCluster(store);
+    kv::LookupBatchResult<V> result;
+    if (keys.empty()) return result;
+    result.values.reserve(keys.size());
+    destination_seen_.assign(static_cast<size_t>(store.num_shards()), 0);
+    for (const uint64_t key : keys) {
+      const V* value = store.Lookup(key);
+      const int64_t bytes = value == nullptr
+                                ? kv::kKeyBytes
+                                : kv::kKeyBytes + kv::KvByteSize(*value);
+      const int shard = store.ShardOf(key);
+      if (!destination_seen_[shard]) {
+        destination_seen_[shard] = 1;
+        ++result.destinations;
+      }
+      result.bytes += bytes;
+      (*all_counters_)[shard].kv_served_bytes.fetch_add(
+          bytes, std::memory_order_relaxed);
+      result.values.push_back(value);
+    }
+    const bool batching = cluster_->config().batch_lookups;
+    const int64_t trips =
+        batching ? result.destinations : static_cast<int64_t>(keys.size());
+    counters_->kv_queries.fetch_add(static_cast<int64_t>(keys.size()),
+                                    std::memory_order_relaxed);
+    counters_->kv_lookup_trips.fetch_add(trips, std::memory_order_relaxed);
+    // With batching disabled the client model is scalar: no batch is
+    // considered to have been formed, so the metric stays zero and
+    // ablation tables read cleanly.
+    if (batching) {
+      counters_->kv_batches.fetch_add(1, std::memory_order_relaxed);
+    }
+    counters_->kv_read_bytes.fetch_add(result.bytes,
+                                       std::memory_order_relaxed);
+    return result;
+  }
+
+  /// Request-object overload of LookupMany.
+  template <typename V>
+  kv::LookupBatchResult<V> LookupMany(const kv::ShardedStore<V>& store,
+                                      const kv::LookupBatch& batch) {
+    return LookupMany(store, std::span<const uint64_t>(batch.keys));
   }
 
   /// Reads the machine-local input record for `key` without charging KV
@@ -282,13 +451,65 @@ class MachineContext {
   Rng& rng() { return rng_; }
 
  private:
+  template <typename V>
+  void CheckStoreMatchesCluster(const kv::ShardedStore<V>& store) const {
+    AMPC_CHECK_EQ(static_cast<size_t>(store.num_shards()),
+                  all_counters_->size())
+        << "store sharding disagrees with the cluster (use MakeStore)";
+    AMPC_CHECK(store.placement() ==
+               cluster_->PlacementFor(store.capacity()))
+        << "store placement disagrees with the cluster (use MakeStore)";
+  }
+
   Cluster* cluster_;
   std::vector<Cluster::PhaseCounters>* all_counters_;
   Cluster::PhaseCounters* counters_;
   int machine_id_;
   int worker_id_;
   Rng rng_;
+  // Scratch distinct-destination flags reused across LookupMany calls
+  // (contexts are per worker, so no synchronization is needed).
+  std::vector<uint8_t> destination_seen_;
 };
+
+/// Drives a worker's batched state machines in lockstep — the shared
+/// scaffold of every RunBatchMapPhase algorithm. Each adaptive step
+/// gathers the pending key of every unfinished state, resolves them all
+/// with one LookupMany (one round trip per destination machine), and
+/// feeds each record back through `resume`. Callers initialize their
+/// states (running them up to their first pending lookup) and harvest
+/// results afterwards; `done(state)` says whether a state needs no more
+/// lookups, `pending_key(state)` names the key it is waiting on, and
+/// `resume(state, value)` consumes the fetched record and advances the
+/// state to its next pending lookup or to completion.
+template <typename V, typename State, typename DoneFn, typename KeyFn,
+          typename ResumeFn>
+void DriveLookupLockstep(MachineContext& ctx,
+                         const kv::ShardedStore<V>& store,
+                         std::vector<State>& states, DoneFn&& done,
+                         KeyFn&& pending_key, ResumeFn&& resume) {
+  std::vector<size_t> active;
+  active.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (!done(states[i])) active.push_back(i);
+  }
+  std::vector<uint64_t> keys;
+  while (!active.empty()) {
+    keys.clear();
+    keys.reserve(active.size());
+    for (const size_t i : active) {
+      keys.push_back(pending_key(states[i]));
+    }
+    const kv::LookupBatchResult<V> batch = ctx.LookupMany(store, keys);
+    size_t out = 0;
+    for (size_t j = 0; j < active.size(); ++j) {
+      State& state = states[active[j]];
+      resume(state, batch.values[j]);
+      if (!done(state)) active[out++] = active[j];
+    }
+    active.resize(out);
+  }
+}
 
 template <typename V, typename Producer>
 void Cluster::RunKvWritePhase(const std::string& phase,

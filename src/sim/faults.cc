@@ -78,6 +78,29 @@ std::vector<double> MemoryPressureRates(
   return rates;
 }
 
+double ReplayMemoryPressureSeconds(
+    const std::vector<double>& round_seconds,
+    const std::vector<std::vector<int64_t>>& round_machine_kv_bytes,
+    const PreemptionModel& base, int64_t soft_limit_bytes,
+    double overshoot_penalty) {
+  AMPC_CHECK_EQ(round_seconds.size(), round_machine_kv_bytes.size())
+      << "footprint history must align with the round log";
+  std::vector<int64_t> cumulative;
+  double total = 0.0;
+  for (size_t r = 0; r < round_seconds.size(); ++r) {
+    const std::vector<int64_t>& delta = round_machine_kv_bytes[r];
+    if (cumulative.empty()) cumulative.assign(delta.size(), 0);
+    AMPC_CHECK_EQ(cumulative.size(), delta.size());
+    for (size_t m = 0; m < delta.size(); ++m) cumulative[m] += delta[m];
+    const std::vector<double> rates = MemoryPressureRates(
+        base, cumulative, soft_limit_bytes, overshoot_penalty);
+    double lambda = 0.0;
+    for (const double rate : rates) lambda += rate;
+    total += RestartRenewalTime(round_seconds[r], lambda);
+  }
+  return total;
+}
+
 PreemptionTrialStats SimulatePreemptions(
     const std::vector<double>& round_seconds, const PreemptionModel& model,
     RecoveryDiscipline discipline, int trials, uint64_t seed) {

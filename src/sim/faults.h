@@ -70,6 +70,22 @@ std::vector<double> MemoryPressureRates(
     const PreemptionModel& base, const std::vector<int64_t>& machine_bytes,
     int64_t soft_limit_bytes, double overshoot_penalty = 4.0);
 
+/// Round-by-round memory-pressure replay under the fault-tolerant
+/// (per-round restart) discipline. Where ExpectedCompletionSeconds with
+/// MemoryPressureRates judges every round by the job's *final* footprint,
+/// this replays the footprint as it grows: round r's preemption rates
+/// derive from the cumulative per-machine KV bytes after rounds 0..r
+/// (each round's own traffic is already resident while it runs), so
+/// early rounds run at the base rate and only the rounds after a shard
+/// fills up pay the elevated risk. `round_machine_kv_bytes[r][m]` is the
+/// KV bytes machine m's shard absorbed in round r — the write columns of
+/// sim::Cluster::round_footprints() (see Cluster::RoundKvWriteBytes).
+double ReplayMemoryPressureSeconds(
+    const std::vector<double>& round_seconds,
+    const std::vector<std::vector<int64_t>>& round_machine_kv_bytes,
+    const PreemptionModel& base, int64_t soft_limit_bytes,
+    double overshoot_penalty = 4.0);
+
 struct PreemptionTrialStats {
   double mean_seconds = 0;
   double max_seconds = 0;

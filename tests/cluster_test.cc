@@ -346,5 +346,183 @@ TEST(ClusterTest, InMemoryFinishChargesGatherShuffle) {
   EXPECT_EQ(cluster.metrics().Get("shuffles"), 1);  // compute adds none
 }
 
+TEST(ClusterTest, LookupManyReturnsSameValuesAsScalarLookup) {
+  Cluster cluster(TestConfig());
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(200);
+  cluster.RunKvWritePhase("w", store, 100, [](int64_t k) { return 5 * k; });
+  std::atomic<int> mismatches{0};
+  cluster.RunBatchMapPhase(
+      "r", 200, [&](std::span<const int64_t> items, MachineContext& ctx) {
+        // Exercise both entry points: the span overload and the
+        // LookupBatch request object must answer identically.
+        std::vector<uint64_t> keys(items.begin(), items.end());
+        const auto batch = ctx.LookupMany(store, keys);
+        kv::LookupBatch request;
+        request.keys = keys;
+        const auto from_request = ctx.LookupMany(store, request);
+        ASSERT_EQ(batch.values.size(), keys.size());
+        ASSERT_EQ(from_request.values, batch.values);
+        ASSERT_EQ(from_request.destinations, batch.destinations);
+        ASSERT_EQ(from_request.bytes, batch.bytes);
+        for (size_t i = 0; i < keys.size(); ++i) {
+          // Keys >= 100 were never written: both paths must agree on
+          // absence too.
+          const int64_t* scalar = store.Lookup(keys[i]);
+          if (batch.values[i] != scalar) mismatches.fetch_add(1);
+        }
+      });
+  EXPECT_EQ(mismatches.load(), 0);
+  // Batch metrics flowed: both batches charged all 200 keys each.
+  EXPECT_EQ(cluster.metrics().Get("kv_reads"), 400);
+  EXPECT_GT(cluster.metrics().Get("kv_batches"), 0);
+}
+
+// Pins the batched settle math: a batch charges one round-trip latency
+// per distinct destination machine — not one per key — while bytes stay
+// charged per machine (client receives, owner serves).
+TEST(ClusterTest, BatchSettleMathChargesPerDestination) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  config.map_item_cpu_sec = 0.0;
+  config.round_spawn_sec = 0.125;
+  config.network.lookup_latency_sec = 1e-3;
+  config.network.bytes_per_sec = 1e6;
+  config.network.aggregate_bytes_per_sec = 1e18;  // floor never binds
+  Cluster cluster(config);
+
+  const int64_t n = 64;
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+  cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k; });
+
+  // Every item fetches the whole key space in one batch: exactly 2
+  // destinations per batch regardless of the 64 keys inside.
+  std::vector<uint64_t> all_keys(n);
+  for (int64_t k = 0; k < n; ++k) all_keys[k] = static_cast<uint64_t>(k);
+  cluster.RunMapPhase("r", n, [&](int64_t, MachineContext& ctx) {
+    const auto batch = ctx.LookupMany(store, all_keys);
+    ASSERT_EQ(batch.destinations, 2);
+  });
+
+  const int64_t record =
+      kv::kKeyBytes + static_cast<int64_t>(sizeof(int64_t));
+  std::vector<int64_t> items_on(2, 0), keys_on(2, 0);
+  for (int64_t i = 0; i < n; ++i) ++items_on[cluster.MachineOf(i, n)];
+  for (int64_t k = 0; k < n; ++k) ++keys_on[cluster.MachineOf(k, n)];
+  double slowest = 0;
+  for (int m = 0; m < 2; ++m) {
+    // Client: one batch per item it runs, 2 trips per batch; it receives
+    // all n records per batch through its NIC.
+    const double client =
+        items_on[m] * 2 * config.network.lookup_latency_sec +
+        static_cast<double>(items_on[m]) * n * record /
+            config.network.bytes_per_sec;
+    // Server: its shard serves its keys_on[m] records to every item.
+    const double server = static_cast<double>(n) * keys_on[m] * record /
+                          config.network.bytes_per_sec;
+    slowest = std::max(slowest, client + server);
+  }
+  EXPECT_NEAR(cluster.metrics().GetTime("sim:r"),
+              slowest + config.round_spawn_sec, 1e-9);
+  EXPECT_EQ(cluster.metrics().Get("kv_lookup_trips"), n * 2);
+  EXPECT_EQ(cluster.metrics().Get("kv_reads"), n * n);
+  EXPECT_EQ(cluster.metrics().Get("kv_batches"), n);
+}
+
+// The ablation toggle: the same batched workload costs strictly more
+// simulated time when batch_lookups is off (every key pays a full round
+// trip) — and returns bit-identical values either way.
+TEST(ClusterTest, BatchingStrictlyCheaperThanScalarCharging) {
+  auto run = [](bool batch) {
+    ClusterConfig config;
+    config.num_machines = 4;
+    config.threads_per_machine = 1;
+    config.batch_lookups = batch;
+    Cluster cluster(config);
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(4000);
+    cluster.RunKvWritePhase("w", store, 4000,
+                            [](int64_t k) { return k; });
+    std::atomic<int64_t> sum{0};
+    cluster.RunBatchMapPhase(
+        "r", 4000, [&](std::span<const int64_t> items, MachineContext& ctx) {
+          std::vector<uint64_t> keys;
+          for (const int64_t item : items) {
+            keys.push_back(static_cast<uint64_t>((item * 13) % 4000));
+          }
+          const auto batch_result = ctx.LookupMany(store, keys);
+          int64_t local = 0;
+          for (const int64_t* v : batch_result.values) local += *v;
+          sum.fetch_add(local);
+        });
+    return std::pair<double, int64_t>(cluster.metrics().GetTime("sim:r"),
+                                      sum.load());
+  };
+  const auto [batched_time, batched_sum] = run(true);
+  const auto [scalar_time, scalar_sum] = run(false);
+  EXPECT_LT(batched_time, scalar_time);
+  EXPECT_EQ(batched_sum, scalar_sum);
+}
+
+TEST(ClusterTest, RoundFootprintsAlignWithRoundLog) {
+  Cluster cluster(TestConfig());
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(500);
+  cluster.AccountShuffle("shuffle", 1000);
+  cluster.RunKvWritePhase("w", store, 500, [](int64_t k) { return k; });
+  cluster.RunMapPhase("r", 500, [&](int64_t item, MachineContext& ctx) {
+    ctx.Lookup(store, static_cast<uint64_t>(item));
+  });
+  const auto& footprints = cluster.round_footprints();
+  ASSERT_EQ(footprints.size(), cluster.round_log().size());
+  ASSERT_EQ(footprints.size(), 3u);
+  // The shuffle round carries no KV traffic.
+  for (const int64_t b : footprints[0].kv_write_bytes) EXPECT_EQ(b, 0);
+  // The write round's per-machine bytes match the shards' footprint and
+  // the cumulative counter.
+  const int64_t record =
+      kv::kKeyBytes + static_cast<int64_t>(sizeof(int64_t));
+  int64_t write_total = 0;
+  for (int m = 0; m < cluster.config().num_machines; ++m) {
+    EXPECT_EQ(footprints[1].kv_write_bytes[m], store.ShardBytes(m));
+    EXPECT_EQ(footprints[1].kv_write_bytes[m],
+              cluster.machine_kv_write_bytes()[m]);
+    write_total += footprints[1].kv_write_bytes[m];
+  }
+  EXPECT_EQ(write_total, 500 * record);
+  // The map round records what each machine's shard served.
+  int64_t read_total = 0;
+  for (const int64_t b : footprints[2].kv_read_bytes) read_total += b;
+  EXPECT_EQ(read_total, 500 * record);
+  // RoundKvWriteBytes is the write column view.
+  const auto write_rows = cluster.RoundKvWriteBytes();
+  ASSERT_EQ(write_rows.size(), 3u);
+  EXPECT_EQ(write_rows[1], footprints[1].kv_write_bytes);
+}
+
+TEST(ClusterTest, PlacementPoliciesCoLocateWorkAndRecords) {
+  for (const kv::PlacementPolicy policy :
+       {kv::PlacementPolicy::kHash, kv::PlacementPolicy::kRange,
+        kv::PlacementPolicy::kAffinity}) {
+    ClusterConfig config = TestConfig();
+    config.placement_policy = policy;
+    Cluster cluster(config);
+    const int64_t n = 1000;
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+    for (uint64_t k = 0; k < static_cast<uint64_t>(n); ++k) {
+      EXPECT_EQ(store.ShardOf(k), cluster.MachineOf(k, n))
+          << kv::PlacementPolicyName(policy) << " key " << k;
+    }
+    cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k; });
+    std::atomic<int> mismatches{0};
+    cluster.RunMapPhase("route", n, [&](int64_t item, MachineContext& ctx) {
+      if (store.ShardOf(static_cast<uint64_t>(item)) != ctx.machine_id()) {
+        mismatches.fetch_add(1);
+      }
+      const int64_t* v = ctx.Lookup(store, static_cast<uint64_t>(item));
+      if (v == nullptr || *v != item) mismatches.fetch_add(1);
+    });
+    EXPECT_EQ(mismatches.load(), 0) << kv::PlacementPolicyName(policy);
+  }
+}
+
 }  // namespace
 }  // namespace ampc::sim

@@ -195,6 +195,77 @@ TEST(FaultsTest, ClusterRoundLogMatchesRoundMetric) {
   EXPECT_NEAR(total, cluster.SimSeconds(), 1e-9);
 }
 
+TEST(FaultsTest, ReplayWithoutOvershootMatchesBaseRates) {
+  // Footprints below the soft limit never elevate the rate, so the
+  // replay equals the homogeneous fault-tolerant closed form.
+  const std::vector<double> rounds = {1.0, 2.0, 0.5};
+  const std::vector<std::vector<int64_t>> bytes = {
+      {100, 100}, {200, 50}, {0, 300}};
+  PreemptionModel base;
+  base.rate_per_machine_sec = 0.02;
+  base.machines = 2;
+  const double replayed = ReplayMemoryPressureSeconds(
+      rounds, bytes, base, /*soft_limit_bytes=*/1'000'000);
+  EXPECT_NEAR(replayed,
+              ExpectedCompletionSeconds(rounds, base,
+                                        RecoveryDiscipline::kFaultTolerant),
+              1e-12);
+}
+
+TEST(FaultsTest, ReplayChargesPressureOnlyToLaterRounds) {
+  // Machine 0 blows past the limit in round 2. The final-footprint
+  // judgment (MemoryPressureRates on the cumulative bytes) taxes every
+  // round including the early ones; the replay taxes only rounds 2+ and
+  // must land strictly between the base model and the final-footprint
+  // model.
+  const std::vector<double> rounds = {5.0, 5.0, 5.0, 5.0};
+  const int64_t limit = 1000;
+  const std::vector<std::vector<int64_t>> bytes = {
+      {100, 100}, {100, 100}, {5000, 100}, {0, 0}};
+  PreemptionModel base;
+  base.rate_per_machine_sec = 0.02;
+  base.machines = 2;
+  const double replayed =
+      ReplayMemoryPressureSeconds(rounds, bytes, base, limit);
+  const double base_only = ExpectedCompletionSeconds(
+      rounds, base, RecoveryDiscipline::kFaultTolerant);
+  std::vector<int64_t> final_footprint = {5200, 300};
+  const double final_judged = ExpectedCompletionSeconds(
+      rounds, MemoryPressureRates(base, final_footprint, limit),
+      RecoveryDiscipline::kFaultTolerant);
+  EXPECT_GT(replayed, base_only);
+  EXPECT_LT(replayed, final_judged);
+}
+
+TEST(FaultsTest, ClusterFootprintHistoryDrivesReplay) {
+  // End-to-end: the cluster's per-round footprint log feeds the replay
+  // directly, and a tight memory budget makes the replayed completion
+  // strictly worse than the pressure-free one.
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(150, 600, 3));
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  Cluster cluster(config);
+  core::AmpcMis(cluster, g, 3);
+  const auto history = cluster.RoundKvWriteBytes();
+  ASSERT_EQ(history.size(), cluster.round_log().size());
+  // The history's column sums reproduce the cumulative footprint.
+  std::vector<int64_t> summed(config.num_machines, 0);
+  for (const auto& round : history) {
+    for (int m = 0; m < config.num_machines; ++m) summed[m] += round[m];
+  }
+  EXPECT_EQ(summed, cluster.machine_kv_write_bytes());
+  PreemptionModel base;
+  base.rate_per_machine_sec = 0.01;
+  base.machines = config.num_machines;
+  const double replayed = ReplayMemoryPressureSeconds(
+      cluster.round_log(), history, base, /*soft_limit_bytes=*/1);
+  const double base_only = ExpectedCompletionSeconds(
+      cluster.round_log(), base, RecoveryDiscipline::kFaultTolerant);
+  EXPECT_GT(replayed, base_only);
+}
+
 TEST(FaultsTest, EndToEndAmpcJobDegradesGracefully) {
   // An AMPC MIS run (few short rounds) under increasing preemption rates:
   // expected completion grows smoothly, far below in-memory restarts.

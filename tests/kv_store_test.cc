@@ -270,6 +270,93 @@ TEST(ShardedStoreTest, MovableAcrossFactoryReturns) {
   EXPECT_EQ(moved.size(), 1);
 }
 
+TEST(PlacementTest, RangePolicyKeepsRangesContiguousAndCoversAllShards) {
+  Placement placement;
+  placement.policy = PlacementPolicy::kRange;
+  placement.num_shards = 4;
+  placement.capacity = 1000;
+  int prev = 0;
+  std::vector<int64_t> counts(4, 0);
+  for (int64_t k = 0; k < 1000; ++k) {
+    const int s = placement.ShardOf(k);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    EXPECT_GE(s, prev) << "range shards must be monotone in the key";
+    prev = s;
+    ++counts[s];
+  }
+  for (const int64_t c : counts) EXPECT_EQ(c, 250);
+  // Keys past the capacity clamp to the last range owner.
+  EXPECT_EQ(placement.ShardOf(5000), 3);
+}
+
+TEST(PlacementTest, AffinityPolicyKeepsBlocksTogether) {
+  Placement placement;
+  placement.policy = PlacementPolicy::kAffinity;
+  placement.num_shards = 8;
+  placement.seed = 42;
+  placement.affinity_block = 32;
+  std::vector<int64_t> shard_counts(8, 0);
+  for (int64_t block = 0; block < 64; ++block) {
+    const int owner = placement.ShardOf(block * 32);
+    ++shard_counts[owner];
+    for (int64_t k = block * 32; k < (block + 1) * 32; ++k) {
+      EXPECT_EQ(placement.ShardOf(k), owner);
+    }
+  }
+  // ...while distinct blocks scatter like the hash baseline.
+  int populated = 0;
+  for (const int64_t c : shard_counts) populated += c > 0;
+  EXPECT_GT(populated, 4);
+}
+
+TEST(PlacementTest, HashPolicyMatchesShardForKey) {
+  Placement placement;
+  placement.policy = PlacementPolicy::kHash;
+  placement.num_shards = 5;
+  placement.seed = 7;
+  for (uint64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(placement.ShardOf(k), ShardForKey(k, 7, 5));
+  }
+}
+
+TEST(PlacementTest, EqualityDistinguishesPolicies) {
+  Placement hash;
+  hash.num_shards = 4;
+  hash.seed = 1;
+  Placement range = hash;
+  range.policy = PlacementPolicy::kRange;
+  range.capacity = 100;
+  EXPECT_FALSE(hash == range);
+  Placement hash2 = hash;
+  hash2.capacity = 999;  // capacity is irrelevant to the hash policy
+  EXPECT_TRUE(hash == hash2);
+}
+
+TEST(ShardedStoreTest, RoundTripsUnderEveryPlacementPolicy) {
+  for (const PlacementPolicy policy :
+       {PlacementPolicy::kHash, PlacementPolicy::kRange,
+        PlacementPolicy::kAffinity}) {
+    Placement placement;
+    placement.policy = policy;
+    placement.num_shards = 4;
+    placement.seed = 42;
+    placement.capacity = 300;
+    ShardedStore<int64_t> store(ShardMap::Build(placement));
+    EXPECT_TRUE(store.placement() == placement);
+    for (int64_t k = 0; k < 300; ++k) store.Put(k, k * 7);
+    int64_t total = 0;
+    for (int s = 0; s < 4; ++s) total += store.ShardSize(s);
+    EXPECT_EQ(total, 300) << PlacementPolicyName(policy);
+    for (uint64_t k = 0; k < 300; ++k) {
+      const int64_t* v = store.Lookup(k);
+      ASSERT_NE(v, nullptr) << PlacementPolicyName(policy) << " key " << k;
+      EXPECT_EQ(*v, static_cast<int64_t>(k) * 7);
+      EXPECT_EQ(store.ShardOf(k), placement.ShardOf(k));
+    }
+  }
+}
+
 TEST(NetworkModelTest, PresetsAreOrdered) {
   const NetworkModel rdma = NetworkModel::Rdma();
   const NetworkModel tcp = NetworkModel::TcpIp();

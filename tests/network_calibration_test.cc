@@ -1,0 +1,104 @@
+// Pins the RDMA-vs-TCP calibration of kv::NetworkModel against the
+// paper's Table 4: the simulated TCP/RDMA slowdown must land *inside*
+// the published bands, not merely preserve the ordering.
+//
+//   * 1-vs-2-Cycle (latency-bound sequential walks): TCP is 1.74x-5.90x
+//     slower than RDMA.
+//   * MIS (bandwidth-heavier adjacency fetches): TCP is 1.50x-1.85x
+//     slower.
+//
+// The probes isolate the data-dependent component of a round
+// (round_spawn_sec = 0; spawn overhead and durable-storage shuffles are
+// network-model independent, and at this library's reduced scale they
+// would otherwise swamp the KV terms the paper measures at 1e8-1e11
+// arcs).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kv/network_model.h"
+#include "sim/cluster.h"
+
+namespace ampc {
+namespace {
+
+sim::Cluster MakeCluster(const kv::NetworkModel& network) {
+  sim::ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  config.round_spawn_sec = 0.0;
+  config.network = network;
+  return sim::Cluster(config);
+}
+
+TEST(NetworkCalibrationTest, ConstantsMatchPaperAnchors) {
+  const kv::NetworkModel rdma = kv::NetworkModel::Rdma();
+  const kv::NetworkModel tcp = kv::NetworkModel::TcpIp();
+  // Section 5.3: RDMA lookups take ~2.5us.
+  EXPECT_DOUBLE_EQ(rdma.lookup_latency_sec, 2.5e-6);
+  // Section 5.7: ~80 Gb/s aggregate ceiling = 1e10 bytes/s.
+  EXPECT_DOUBLE_EQ(rdma.aggregate_bytes_per_sec, 1.0e10);
+  // Table 4 latency band: the TCP latency multiple must itself sit
+  // inside 1.74-5.90, or a purely latency-bound phase could not.
+  const double latency_ratio =
+      tcp.lookup_latency_sec / rdma.lookup_latency_sec;
+  EXPECT_GE(latency_ratio, 1.74);
+  EXPECT_LE(latency_ratio, 5.90);
+  // Table 4 MIS band for the bandwidth multiple.
+  const double bandwidth_ratio = rdma.bytes_per_sec / tcp.bytes_per_sec;
+  EXPECT_GE(bandwidth_ratio, 1.50);
+  EXPECT_LE(bandwidth_ratio, 1.85);
+}
+
+// Latency-bound probe: pointer-chase walks fetching tiny records — the
+// 1-vs-2-Cycle shape. The simulated TCP/RDMA ratio must land in the
+// published 1.74-5.90 band.
+TEST(NetworkCalibrationTest, LatencyBoundRatioInOneVsTwoCycleBand) {
+  const int64_t n = 20000;
+  auto run = [&](const kv::NetworkModel& network) {
+    sim::Cluster cluster = MakeCluster(network);
+    kv::ShardedStore<uint32_t> store = cluster.MakeStore<uint32_t>(n);
+    cluster.RunKvWritePhase("w", store, n, [&](int64_t k) {
+      return static_cast<uint32_t>((k + 1) % n);
+    });
+    cluster.RunMapPhase("chase", n,
+                        [&](int64_t item, sim::MachineContext& ctx) {
+                          uint64_t key = static_cast<uint64_t>(item);
+                          for (int hop = 0; hop < 4; ++hop) {
+                            const uint32_t* next = ctx.Lookup(store, key);
+                            ASSERT_NE(next, nullptr);
+                            key = *next;
+                          }
+                        });
+    return cluster.metrics().GetTime("sim:chase");
+  };
+  const double ratio =
+      run(kv::NetworkModel::TcpIp()) / run(kv::NetworkModel::Rdma());
+  EXPECT_GE(ratio, 1.74);
+  EXPECT_LE(ratio, 5.90);
+}
+
+// Bandwidth-bound probe: few lookups shipping fat adjacency records —
+// the MIS shape. The ratio must land in the published 1.50-1.85 band.
+TEST(NetworkCalibrationTest, BandwidthBoundRatioInMisBand) {
+  const int64_t n = 2000;
+  auto run = [&](const kv::NetworkModel& network) {
+    sim::Cluster cluster = MakeCluster(network);
+    auto store = cluster.MakeStore<std::vector<uint8_t>>(n);
+    cluster.RunKvWritePhase("w", store, n, [](int64_t) {
+      return std::vector<uint8_t>(1 << 16, 7);
+    });
+    cluster.RunMapPhase("fetch", n,
+                        [&](int64_t item, sim::MachineContext& ctx) {
+                          ctx.Lookup(store, static_cast<uint64_t>(item));
+                        });
+    return cluster.metrics().GetTime("sim:fetch");
+  };
+  const double ratio =
+      run(kv::NetworkModel::TcpIp()) / run(kv::NetworkModel::Rdma());
+  EXPECT_GE(ratio, 1.50);
+  EXPECT_LE(ratio, 1.85);
+}
+
+}  // namespace
+}  // namespace ampc

@@ -1,7 +1,9 @@
 // Acceptance test for the sharded DHT: every core algorithm's output is
 // a pure function of the input and seed — bit-identical across
-// num_machines (1, 3, 8) and thread counts — while the *cost model* is
+// num_machines (1, 3, 8), thread counts, and lookup batching mode
+// (LookupMany vs scalar round-trip charging) — while the *cost model* is
 // free to differ (that is the point of per-machine accounting).
+// A separate test pins outputs across placement policies.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -22,16 +24,33 @@ namespace {
 struct ClusterShape {
   int machines;
   int threads;
+  bool batch_lookups = true;
 };
 
-const ClusterShape kShapes[] = {{1, 1}, {3, 2}, {8, 4}, {3, 1}, {8, 1}};
+// Machine/thread grid, each with batched and scalar lookup charging.
+const ClusterShape kShapes[] = {{1, 1, true},  {3, 2, true},  {8, 4, true},
+                                {3, 1, true},  {8, 1, true},  {1, 1, false},
+                                {3, 2, false}, {8, 4, false}, {8, 1, false}};
 
 sim::Cluster MakeCluster(const ClusterShape& shape) {
   sim::ClusterConfig config;
   config.num_machines = shape.machines;
   config.threads_per_machine = shape.threads;
+  config.batch_lookups = shape.batch_lookups;
   return sim::Cluster(config);
 }
+
+sim::Cluster MakeCluster(int machines, kv::PlacementPolicy policy) {
+  sim::ClusterConfig config;
+  config.num_machines = machines;
+  config.threads_per_machine = 2;
+  config.placement_policy = policy;
+  return sim::Cluster(config);
+}
+
+const kv::PlacementPolicy kPolicies[] = {kv::PlacementPolicy::kHash,
+                                         kv::PlacementPolicy::kRange,
+                                         kv::PlacementPolicy::kAffinity};
 
 TEST(ShardingDeterminismTest, MisIdenticalAcrossMachineCounts) {
   graph::Graph g = graph::BuildGraph(graph::GenerateRmat(9, 3000, 17));
@@ -132,6 +151,69 @@ TEST(ShardingDeterminismTest, OneVsTwoCycleIdenticalAcrossMachineCounts) {
         core::AmpcOneVsTwoCycle(cluster, g, options);
     EXPECT_EQ(got.num_cycles, expected.num_cycles);
     EXPECT_EQ(got.attempts, expected.attempts);
+  }
+}
+
+// Placement only moves records and work between machines; it must never
+// change what an algorithm computes.
+TEST(ShardingDeterminismTest, MisIdenticalAcrossPlacementPolicies) {
+  graph::Graph g = graph::BuildGraph(graph::GenerateRmat(9, 3000, 17));
+  sim::Cluster reference = MakeCluster(1, kv::PlacementPolicy::kHash);
+  const core::MisResult expected = core::AmpcMis(reference, g, 17);
+  for (const kv::PlacementPolicy policy : kPolicies) {
+    for (const int machines : {3, 8}) {
+      sim::Cluster cluster = MakeCluster(machines, policy);
+      EXPECT_EQ(core::AmpcMis(cluster, g, 17).in_mis, expected.in_mis)
+          << kv::PlacementPolicyName(policy) << " x " << machines;
+    }
+  }
+}
+
+TEST(ShardingDeterminismTest, MsfIdenticalAcrossPlacementPolicies) {
+  graph::WeightedEdgeList list = graph::MakeRandomWeighted(
+      graph::GenerateErdosRenyi(500, 2500, 31), /*seed=*/31);
+  core::MsfOptions options;
+  options.seed = 31;
+  sim::Cluster reference = MakeCluster(1, kv::PlacementPolicy::kHash);
+  const core::MsfResult expected = core::AmpcMsf(reference, list, options);
+  for (const kv::PlacementPolicy policy : kPolicies) {
+    for (const int machines : {3, 8}) {
+      sim::Cluster cluster = MakeCluster(machines, policy);
+      EXPECT_EQ(core::AmpcMsf(cluster, list, options).edges, expected.edges)
+          << kv::PlacementPolicyName(policy) << " x " << machines;
+    }
+  }
+}
+
+TEST(ShardingDeterminismTest, KCoreIdenticalAcrossPlacementPolicies) {
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(400, 2400, 23));
+  sim::Cluster reference = MakeCluster(1, kv::PlacementPolicy::kHash);
+  const core::KCoreResult expected = core::AmpcKCore(reference, g);
+  for (const kv::PlacementPolicy policy : kPolicies) {
+    sim::Cluster cluster = MakeCluster(8, policy);
+    const core::KCoreResult got = core::AmpcKCore(cluster, g);
+    EXPECT_EQ(got.coreness, expected.coreness)
+        << kv::PlacementPolicyName(policy);
+    EXPECT_EQ(got.iterations, expected.iterations);
+  }
+}
+
+TEST(ShardingDeterminismTest, PageRankIdenticalAcrossPlacementPolicies) {
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(200, 1000, 53));
+  core::PageRankMcOptions options;
+  options.seed = 53;
+  options.walks_per_node = 4;
+  sim::Cluster reference = MakeCluster(1, kv::PlacementPolicy::kHash);
+  const core::PageRankMcResult expected =
+      core::AmpcMonteCarloPageRank(reference, g, options);
+  for (const kv::PlacementPolicy policy : kPolicies) {
+    sim::Cluster cluster = MakeCluster(8, policy);
+    const core::PageRankMcResult got =
+        core::AmpcMonteCarloPageRank(cluster, g, options);
+    EXPECT_EQ(got.rank, expected.rank) << kv::PlacementPolicyName(policy);
+    EXPECT_EQ(got.total_steps, expected.total_steps);
   }
 }
 
