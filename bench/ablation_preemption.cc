@@ -5,6 +5,16 @@
 // restarts the job on any preemption. This quantifies the paper's
 // positioning of AMPC as a middle ground: it keeps the fault-tolerant
 // discipline but needs far fewer (and cheaper) rounds than MPC.
+//
+// Memory pressure uses the *replayed* phase-resolved footprints
+// (sim::ReplayMemoryPressureSeconds over Cluster::RoundKvWriteBytes):
+// each round's preemption rates derive from the KV bytes accumulated up
+// to that round, so early rounds run at the base rate and only the
+// rounds after a shard fills pay the elevated risk. The final-footprint
+// estimate (MemoryPressureRates over the cumulative bytes) is printed
+// alongside — it judges the whole job by its end state and so
+// overcharges every early round.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -29,17 +39,13 @@ int main() {
   constexpr double kHiRate = 1.0 / 5;
 
   PrintHeader("Ablation: preemption resilience (MIS round traces)",
-              {"Dataset", "Engine", "Rounds", "Fault-free(s)",
-               "FT@lo", "FT@hi", "InMem@lo", "InMem@hi"});
+              {"Dataset", "Engine", "Rounds", "Fault-free(s)", "FT@lo",
+               "FT@hi", "Mem@hi(final)", "Mem@hi(replay)", "InMem@hi"});
   for (const Dataset& d : LoadDatasets(3)) {
     auto report = [&](const char* engine, const sim::Cluster& cluster) {
       sim::PreemptionModel model;
       model.machines = cluster.config().num_machines;
-      auto at = [&](double rate, sim::RecoveryDiscipline discipline) {
-        sim::PreemptionModel m = model;
-        m.rate_per_machine_sec = rate;
-        const double seconds = sim::ExpectedCompletionSeconds(
-            cluster.round_log(), m, discipline);
+      auto fmt = [](double seconds) {
         if (seconds < 1e4) return FmtDouble(seconds);
         // Whole-job restarts grow as e^{rate * job}: print the exponent
         // rather than a meaningless 20-digit figure.
@@ -47,12 +53,35 @@ int main() {
         std::snprintf(buf, sizeof(buf), "%.1e", seconds);
         return std::string(buf);
       };
+      auto at = [&](double rate, sim::RecoveryDiscipline discipline) {
+        sim::PreemptionModel m = model;
+        m.rate_per_machine_sec = rate;
+        return fmt(sim::ExpectedCompletionSeconds(cluster.round_log(), m,
+                                                  discipline));
+      };
+      // Memory pressure: the soft limit is half the hottest machine's
+      // final KV footprint, so the pressured regime is entered partway
+      // through the job — exactly where final-footprint and replayed
+      // charging disagree.
+      const std::vector<int64_t>& footprint =
+          cluster.machine_kv_write_bytes();
+      const int64_t hottest =
+          *std::max_element(footprint.begin(), footprint.end());
+      const int64_t soft_limit = std::max<int64_t>(1, hottest / 2);
+      sim::PreemptionModel hi = model;
+      hi.rate_per_machine_sec = kHiRate;
+      const double mem_final = sim::ExpectedCompletionSeconds(
+          cluster.round_log(),
+          sim::MemoryPressureRates(hi, footprint, soft_limit),
+          sim::RecoveryDiscipline::kFaultTolerant);
+      const double mem_replay = sim::ReplayMemoryPressureSeconds(
+          cluster.round_log(), cluster.RoundKvWriteBytes(), hi, soft_limit);
       PrintRow({d.name, engine,
                 FmtInt(static_cast<int64_t>(cluster.round_log().size())),
                 FmtDouble(cluster.SimSeconds()),
                 at(kLoRate, sim::RecoveryDiscipline::kFaultTolerant),
                 at(kHiRate, sim::RecoveryDiscipline::kFaultTolerant),
-                at(kLoRate, sim::RecoveryDiscipline::kInMemory),
+                fmt(mem_final), fmt(mem_replay),
                 at(kHiRate, sim::RecoveryDiscipline::kInMemory)});
     };
     {
@@ -89,6 +118,8 @@ int main() {
       "only the current round; AMPC's fewer, shorter rounds lose less "
       "work per preemption. An in-memory engine (whole-job restart) "
       "degrades fastest, which is why production batch systems accept "
-      "the durable-storage shuffle cost.");
+      "the durable-storage shuffle cost. Mem@hi compares final-footprint "
+      "vs phase-replayed memory-pressure charging: the replay runs early "
+      "rounds at the base rate, so Mem@hi(replay) <= Mem@hi(final).");
   return 0;
 }

@@ -68,7 +68,7 @@ sim::ClusterConfig BenchConfig(int64_t num_arcs) {
   sim::ClusterConfig config;
   config.num_machines = 8;
   config.threads_per_machine = 8;
-  config.caching = true;
+  config.query_cache.enabled = true;
   config.multithreading = true;
   config.network = kv::NetworkModel::Rdma();
   config.in_memory_threshold_arcs = std::max<int64_t>(10'000, num_arcs / 100);

@@ -32,7 +32,7 @@ int main() {
     int64_t kv_bytes_cached = 0, kv_bytes_uncached = 0;
     for (int i = 0; i < 4; ++i) {
       sim::ClusterConfig config = BenchConfig(d.graph.num_arcs());
-      config.caching = variants[i].caching;
+      config.query_cache.enabled = variants[i].caching;
       config.multithreading = variants[i].multithreading;
       sim::Cluster cluster(config);
       core::AmpcMis(cluster, d.graph, kSeed);

@@ -79,6 +79,10 @@ SkewResult MeasureSkewSensitivity(int64_t n) {
     // Strip the fixed per-round spawn constant: this measurement tracks
     // the data-dependent (skew-sensitive) component of the round time.
     config.round_spawn_sec = 0.0;
+    // Caching off: this bench isolates the raw skew penalty of the cost
+    // model — a query cache would absorb the hot-key read storm (that
+    // rescue is measured by bench/micro_cache instead).
+    config.query_cache.enabled = false;
     ampc::sim::Cluster cluster(config);
     // ~90% of the payload bytes land on machine 0's shard in the skewed
     // configuration; totals match the uniform configuration.

@@ -51,6 +51,10 @@ RunResult RunPointerJump(int64_t n, bool batch,
   config.num_machines = kMachines;
   config.batch_lookups = batch;
   config.placement_policy = policy;
+  // This bench isolates the *batching* stage of the lookup pipeline:
+  // query-result caching is off (bench/micro_cache measures that stage)
+  // so batched-vs-scalar numbers track PR 3's batching-only pipeline.
+  config.query_cache.enabled = false;
   // Track only the data-dependent (latency/bandwidth) component.
   config.round_spawn_sec = 0.0;
   ampc::sim::Cluster cluster(config);

@@ -99,12 +99,13 @@ Dendrogram AmpcSingleLinkage(sim::Cluster& cluster,
                  return a.edge < b.edge;
                });
   // The sort's records land on the shard owners of their edge ids.
-  std::vector<int64_t> merge_bytes(cluster.config().num_machines, 0);
-  for (const Merge& m : merges) {
-    merge_bytes[cluster.MachineOf(
-        m.edge, static_cast<int64_t>(list.edges.size()))] +=
-        static_cast<int64_t>(sizeof(Merge));
-  }
+  const std::vector<int64_t> merge_bytes = cluster.AttributeShardedBytes(
+      static_cast<int64_t>(merges.size()),
+      [&](int64_t i) {
+        return cluster.MachineOf(merges[i].edge,
+                                 static_cast<int64_t>(list.edges.size()));
+      },
+      [](int64_t) { return static_cast<int64_t>(sizeof(Merge)); });
   cluster.AccountShardedShuffle("SortMerges", merge_bytes, timer.Seconds());
 
   return Dendrogram(list.num_nodes, std::move(merges));

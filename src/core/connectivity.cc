@@ -40,18 +40,17 @@ ConnectivityResult AmpcConnectivity(sim::Cluster& cluster,
   // records: forest edges land with their child endpoint's owner, root
   // labels with the labelled vertex's owner. Skewed ownership (many tree
   // edges hashing to one machine) lengthens the round accordingly.
-  const int num_machines = cluster.config().num_machines;
-  std::vector<int64_t> edge_bytes(num_machines, 0);
-  for (const WeightedEdge& e : forest_edges) {
-    edge_bytes[cluster.MachineOf(e.u, list.num_nodes)] +=
-        static_cast<int64_t>(sizeof(WeightedEdge));
-  }
+  const std::vector<int64_t> edge_bytes = cluster.AttributeShardedBytes(
+      static_cast<int64_t>(forest_edges.size()),
+      [&](int64_t i) {
+        return cluster.MachineOf(forest_edges[i].u, list.num_nodes);
+      },
+      [](int64_t) { return static_cast<int64_t>(sizeof(WeightedEdge)); });
   cluster.AccountShardedShuffle("ForestConnectivity", edge_bytes, wall / 2);
-  std::vector<int64_t> label_bytes(num_machines, 0);
-  for (int64_t v = 0; v < list.num_nodes; ++v) {
-    label_bytes[cluster.MachineOf(v, list.num_nodes)] +=
-        static_cast<int64_t>(sizeof(NodeId));
-  }
+  const std::vector<int64_t> label_bytes = cluster.AttributeShardedBytes(
+      list.num_nodes,
+      [&](int64_t v) { return cluster.MachineOf(v, list.num_nodes); },
+      [](int64_t) { return static_cast<int64_t>(sizeof(NodeId)); });
   cluster.AccountShardedShuffle("ForestConnectivity", label_bytes, wall / 2);
   cluster.AccountMapRound("ForestConnectivity");
 

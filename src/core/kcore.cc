@@ -78,7 +78,10 @@ KCoreResult AmpcKCore(sim::Cluster& cluster, const graph::Graph& g,
           // The h-index recomputation is one adaptive step needing every
           // neighbor's published value: fetch them as one batch (one
           // round trip per owning machine) instead of degree(v)
-          // synchronous lookups.
+          // synchronous lookups. High-degree neighbors are shared by
+          // many vertices of a machine, so their published values are
+          // served from the query cache after the first fetch each
+          // round (the fresh per-round store resets the cache).
           std::vector<uint64_t> keys(adj->begin(), adj->end());
           const auto batch = ctx.LookupMany(values, keys);
           std::vector<int32_t> neighbor_values;

@@ -41,19 +41,18 @@ std::vector<uint8_t> FindLightEdges(
   trees::PathMaxOracle oracle(forest);
   // Per-machine charging: forest edges land on their child endpoint's
   // shard owner, per-vertex tour/level records on the vertex's owner.
-  const int num_machines = cluster.config().num_machines;
-  std::vector<int64_t> forest_bytes(num_machines, 0);
-  for (const WeightedEdge& e : forest_edges) {
-    forest_bytes[cluster.MachineOf(e.u, list.num_nodes)] +=
-        static_cast<int64_t>(sizeof(WeightedEdge));
-  }
+  const std::vector<int64_t> forest_bytes = cluster.AttributeShardedBytes(
+      static_cast<int64_t>(forest_edges.size()),
+      [&](int64_t i) {
+        return cluster.MachineOf(forest_edges[i].u, list.num_nodes);
+      },
+      [](int64_t) { return static_cast<int64_t>(sizeof(WeightedEdge)); });
   cluster.AccountShardedShuffle("FLightBuild", forest_bytes,
                                 build_timer.Seconds() / 2);
-  std::vector<int64_t> vertex_bytes(num_machines, 0);
-  for (int64_t v = 0; v < list.num_nodes; ++v) {
-    vertex_bytes[cluster.MachineOf(v, list.num_nodes)] +=
-        static_cast<int64_t>(sizeof(NodeId));
-  }
+  const std::vector<int64_t> vertex_bytes = cluster.AttributeShardedBytes(
+      list.num_nodes,
+      [&](int64_t v) { return cluster.MachineOf(v, list.num_nodes); },
+      [](int64_t) { return static_cast<int64_t>(sizeof(NodeId)); });
   cluster.AccountShardedShuffle("FLightBuild", vertex_bytes,
                                 build_timer.Seconds() / 2);
 
@@ -100,12 +99,13 @@ KktResult AmpcMsfKkt(sim::Cluster& cluster, const WeightedEdgeList& list,
   }
   result.sampled_edges = static_cast<int64_t>(sampled.edges.size());
   // Sampled edges scatter to their id's shard owner.
-  std::vector<int64_t> sample_bytes(cluster.config().num_machines, 0);
-  for (const WeightedEdge& e : sampled.edges) {
-    sample_bytes[cluster.MachineOf(
-        e.id, static_cast<int64_t>(list.edges.size()))] +=
-        static_cast<int64_t>(sizeof(WeightedEdge));
-  }
+  const std::vector<int64_t> sample_bytes = cluster.AttributeShardedBytes(
+      static_cast<int64_t>(sampled.edges.size()),
+      [&](int64_t i) {
+        return cluster.MachineOf(sampled.edges[i].id,
+                                 static_cast<int64_t>(list.edges.size()));
+      },
+      [](int64_t) { return static_cast<int64_t>(sizeof(WeightedEdge)); });
   cluster.AccountShardedShuffle("KKT-Sample", sample_bytes);
 
   // Line 2: F = MSF of the sample.

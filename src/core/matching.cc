@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/priorities.h"
+#include "kv/query_cache.h"
 #include "kv/sharded_store.h"
 
 namespace ampc::core {
@@ -57,8 +60,12 @@ struct EdgeOrder {
 
 // ---------------------------------------------------------------------------
 // Per-machine vertex cache (Section 5.4): packs {state, neighbor} into one
-// atomic word. kPrefix(p) means every edge (v, y) with rank <= rank(v, p)
-// is known to be out of the matching; kMatched(p) means (v, p) is in it.
+// word held in the machine's shared kv::QueryCache. kPrefix(p) means every
+// edge (v, y) with rank <= rank(v, p) is known to be out of the matching;
+// kVMatched(p) means (v, p) is in it. The cache is bounded (an evicted
+// word is recomputed, never wrong) and versioned against the staged
+// adjacency store, so the derived facts die with the graph they were
+// derived from.
 // ---------------------------------------------------------------------------
 
 enum VertexCacheState : uint64_t { kVUnsearched = 0, kVPrefix = 1, kVMatched = 2 };
@@ -73,43 +80,42 @@ inline NodeId CacheNode(uint64_t word) {
 
 class VertexCache {
  public:
-  VertexCache(std::atomic<uint64_t>* slots, const EdgeOrder* order)
-      : slots_(slots), order_(order) {}
+  VertexCache(kv::QueryCache<uint64_t>* cache, uint64_t epoch,
+              const EdgeOrder* order)
+      : cache_(cache), epoch_(epoch), order_(order) {}
 
-  bool enabled() const { return slots_ != nullptr; }
+  bool enabled() const { return cache_ != nullptr; }
 
   uint64_t Load(NodeId v) const {
-    return slots_ == nullptr ? EncodeCache(kVUnsearched, 0)
-                             : slots_[v].load(std::memory_order_acquire);
+    if (cache_ == nullptr) return EncodeCache(kVUnsearched, 0);
+    return cache_->Get(v, epoch_).value_or(EncodeCache(kVUnsearched, 0));
   }
 
   // Records the terminal fact that (v, partner) is matched.
   void SetMatched(NodeId v, NodeId partner) {
-    if (slots_ == nullptr) return;
-    slots_[v].store(EncodeCache(kVMatched, partner),
-                    std::memory_order_release);
+    if (cache_ == nullptr) return;
+    cache_->Put(v, epoch_, EncodeCache(kVMatched, partner));
   }
 
   // Extends v's known out-of-matching prefix to cover rank(v, upto).
+  // Monotone read-modify-write under the cache's shard lock (the shared
+  // QueryCache replaces the old per-slot compare-exchange loop).
   void ExtendPrefix(NodeId v, NodeId upto) {
-    if (slots_ == nullptr) return;
-    uint64_t cur = slots_[v].load(std::memory_order_acquire);
-    for (;;) {
-      if (CacheState(cur) == kVMatched) return;
-      if (CacheState(cur) == kVPrefix &&
-          !order_->Before(v, CacheNode(cur), v, upto)) {
-        return;  // existing prefix already covers upto
+    if (cache_ == nullptr) return;
+    cache_->Update(v, epoch_, [&](std::optional<uint64_t> cur) -> uint64_t {
+      const uint64_t word = cur.value_or(EncodeCache(kVUnsearched, 0));
+      if (CacheState(word) == kVMatched) return word;
+      if (CacheState(word) == kVPrefix &&
+          !order_->Before(v, CacheNode(word), v, upto)) {
+        return word;  // existing prefix already covers upto
       }
-      if (slots_[v].compare_exchange_weak(cur,
-                                          EncodeCache(kVPrefix, upto),
-                                          std::memory_order_acq_rel)) {
-        return;
-      }
-    }
+      return EncodeCache(kVPrefix, upto);
+    });
   }
 
  private:
-  std::atomic<uint64_t>* slots_;
+  kv::QueryCache<uint64_t>* cache_;
+  uint64_t epoch_;
   const EdgeOrder* order_;
 };
 
@@ -241,16 +247,17 @@ class EdgeProcess {
   };
 
   // Pushes a frame for edge (a, b); fetches any adjacency not supplied.
+  // The fetches flow through the read-through lookup pipeline, which
+  // does its own hit/miss accounting and serves repeated adjacencies
+  // from the machine's query cache.
   bool Push(NodeId a, NodeId b, const std::vector<NodeId>* adj_a,
             const std::vector<NodeId>* adj_b, QueryBudget& budget) {
     if (adj_a == nullptr) {
       if (!budget.Spend()) return false;
-      ctx_.CountCacheMiss();
       adj_a = ctx_.Lookup(store_, a);
     }
     if (adj_b == nullptr) {
       if (!budget.Spend()) return false;
-      ctx_.CountCacheMiss();
       adj_b = ctx_.Lookup(store_, b);
     }
     stack_.push_back(Frame{a, b, adj_a, adj_b, 0, 0, false, 0});
@@ -399,35 +406,18 @@ StagedGraph StageGraph(sim::Cluster& cluster, const Graph& g,
   return staged;
 }
 
-// Allocates (or skips) per-machine cache arrays.
-struct MachineCaches {
-  std::vector<std::unique_ptr<std::atomic<uint64_t>[]>> arrays;
-
-  MachineCaches(bool enabled, int num_machines, int64_t n) {
-    if (!enabled) return;
-    arrays.resize(num_machines);
-    for (int m = 0; m < num_machines; ++m) {
-      arrays[m] = std::make_unique<std::atomic<uint64_t>[]>(n);
-      for (int64_t i = 0; i < n; ++i) {
-        arrays[m][i].store(EncodeCache(kVUnsearched, 0),
-                           std::memory_order_relaxed);
-      }
-    }
-  }
-
-  std::atomic<uint64_t>* ForMachine(int m) {
-    return arrays.empty() ? nullptr : arrays[m].get();
-  }
-};
-
 // One IsInMM sweep over the unsettled vertices. Returns how many remain.
+// Derived vertex-status words live in the shared per-machine caches
+// (sim::Cluster::MakeMachineCaches), versioned against the staged store.
 int64_t RunMatchingPhase(sim::Cluster& cluster, const AdjStore& store,
-                         const EdgeOrder& order, MachineCaches& caches,
+                         const EdgeOrder& order,
+                         kv::MachineCaches<uint64_t>& caches,
                          int64_t max_queries, const std::string& phase,
                          const std::vector<uint8_t>* alive,
                          std::vector<uint8_t>& settled,
                          std::vector<NodeId>& partner) {
   const int64_t n = static_cast<int64_t>(settled.size());
+  const uint64_t epoch = store.version();
   std::atomic<int64_t> unsettled{0};
   cluster.RunMapPhase(phase, n, [&](int64_t item, sim::MachineContext& ctx) {
     if (settled[item]) return;
@@ -435,7 +425,7 @@ int64_t RunMatchingPhase(sim::Cluster& cluster, const AdjStore& store,
       settled[item] = 1;
       return;
     }
-    VertexCache cache(caches.ForMachine(ctx.machine_id()), &order);
+    VertexCache cache(caches.ForMachine(ctx.machine_id()), epoch, &order);
     NodeId p = kInvalidNode;
     const VertexOutcome outcome = ProcessVertex(
         static_cast<NodeId>(item), ctx, store, cache, order, max_queries, &p);
@@ -458,26 +448,35 @@ MatchingResult AmpcMatching(sim::Cluster& cluster, const Graph& g,
 
   StagedGraph staged =
       StageGraph(cluster, g, order, "PermuteGraph", nullptr, 1.0);
-  MachineCaches caches(cluster.config().caching,
-                       cluster.config().num_machines, n);
+  kv::MachineCaches<uint64_t> caches =
+      cluster.MakeMachineCaches<uint64_t>();
 
   MatchingResult result;
   result.partner.assign(n, kInvalidNode);
   std::vector<uint8_t> settled(n, 0);
 
   int64_t budget = options.max_queries_per_vertex;
+  int64_t last_remaining = std::numeric_limits<int64_t>::max();
   for (int phase = 0; phase < options.max_phases; ++phase) {
     ++result.phases;
     const int64_t remaining = RunMatchingPhase(
         cluster, *staged.store, order, caches, budget, "IsInMM", nullptr,
         settled, result.partner);
     if (remaining == 0) break;
-    if (!cluster.config().caching) {
+    if (!cluster.config().query_cache.enabled ||
+        remaining >= last_remaining) {
       // Without cross-query caches a repeat pass cannot make more
       // progress than the last; widen the budget instead (Lemma 4.7's
-      // O(1/eps) repetitions assume progress is persisted between rounds).
+      // O(1/eps) repetitions assume progress is persisted between
+      // rounds). The same applies when the caches *are* on but made no
+      // headway: the bounded cache may thrash (capacity << n) and
+      // persist nothing between passes, so a stalled phase count means
+      // only a wider budget guarantees progress — without this,
+      // repeat passes could replay the same truncated work until the
+      // max_phases check aborts.
       budget *= 2;
     }
+    last_remaining = remaining;
     AMPC_CHECK_LT(phase + 1, options.max_phases)
         << "matching did not settle within max_phases";
   }
@@ -537,8 +536,8 @@ MatchingResult AmpcMatchingSampled(sim::Cluster& cluster, const Graph& g,
 
     StagedGraph staged =
         StageGraph(cluster, g, order, "SampleGraph", &alive, threshold);
-    MachineCaches caches(cluster.config().caching,
-                         cluster.config().num_machines, n);
+    kv::MachineCaches<uint64_t> caches =
+        cluster.MakeMachineCaches<uint64_t>();
 
     std::vector<uint8_t> settled(n, 0);
     std::vector<NodeId> iter_partner(n, kInvalidNode);

@@ -8,7 +8,8 @@
 //  * AmpcMatching — Theorem 2 part 2: O(1) rounds. One shuffle builds the
 //    rank-sorted adjacency (PermuteGraph), one cheap round writes it to
 //    the DHT, then vertex-rooted truncated query processes (the paper's
-//    IsInMM) resolve every vertex. Per-machine caches store, per vertex,
+//    IsInMM) resolve every vertex. Per-machine caches (kv::QueryCache
+//    instances from Cluster::MakeMachineCaches) store, per vertex,
 //    either its matched partner or the highest-rank neighbor up to which
 //    all incident edges are known to be out of the matching — exactly the
 //    per-vertex cache described in Section 5.4.

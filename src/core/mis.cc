@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <memory>
 
 #include "common/timer.h"
 #include "core/priorities.h"
+#include "kv/query_cache.h"
 #include "kv/sharded_store.h"
 
 namespace ampc::core {
@@ -16,11 +16,11 @@ using graph::NodeId;
 
 // Three-valued query state (paper Section 5.3: "this table stores a
 // three-valued state reporting whether the status of this vertex is
-// either Unknown, InMIS or NotInMIS").
+// either Unknown, InMIS or NotInMIS"). The states live in the shared
+// per-machine kv::QueryCache (bounded, shared by the machine's worker
+// threads) rather than a bespoke O(n) atomic array; an evicted state is
+// simply recomputed, so outputs never depend on cache contents.
 enum MisState : uint8_t { kUnknown = 0, kInMis = 1, kNotInMis = 2 };
-
-// Per-machine caches: caches[machine][vertex].
-using CacheArray = std::unique_ptr<std::atomic<uint8_t>[]>;
 
 // Resumable, iterative version of the IsInMIS recursion of Figure 1: v
 // is in the MIS iff none of its preceding neighbors is. An explicit
@@ -44,14 +44,15 @@ struct MisResolveState {
   uint8_t last = kUnknown;
   NodeId pending = 0;
   bool done = false;
-  std::atomic<uint8_t>* cache = nullptr;
+  kv::QueryCache<uint8_t>* cache = nullptr;
+  uint64_t epoch = 0;  // the adjacency store's version (see CacheGet)
 
   uint8_t CacheGet(NodeId x) const {
-    return cache == nullptr ? static_cast<uint8_t>(kUnknown)
-                            : cache[x].load(std::memory_order_acquire);
+    if (cache == nullptr) return kUnknown;
+    return cache->Get(x, epoch).value_or(static_cast<uint8_t>(kUnknown));
   }
   void CacheSet(NodeId x, uint8_t state) {
-    if (cache != nullptr) cache[x].store(state, std::memory_order_release);
+    if (cache != nullptr) cache->Put(x, epoch, state);
   }
 
   // Runs the resolution until it terminates (done = true, result in
@@ -84,7 +85,10 @@ struct MisResolveState {
           ++f.idx;
           continue;
         }
-        ctx.CountCacheMiss();
+        // A derived-state miss: the resolution must descend, fetching
+        // u's adjacency through the read-through lookup pipeline (which
+        // does its own hit/miss accounting at the query-cache layer).
+        if (cache != nullptr) ctx.CountCacheMiss();
         f.awaiting = true;
         pending = u;
         needs_lookup = true;
@@ -144,27 +148,20 @@ MisResult AmpcMis(sim::Cluster& cluster, const Graph& g, uint64_t seed) {
   directed.clear();
   directed.shrink_to_fit();
 
-  // Phase 3 — IsInMIS over all vertices.
-  const bool caching = cluster.config().caching;
-  const int num_machines = cluster.config().num_machines;
-  std::vector<CacheArray> caches;
-  if (caching) {
-    caches.resize(num_machines);
-    for (int m = 0; m < num_machines; ++m) {
-      caches[m] = std::make_unique<std::atomic<uint8_t>[]>(n);
-      for (int64_t i = 0; i < n; ++i) {
-        caches[m][i].store(kUnknown, std::memory_order_relaxed);
-      }
-    }
-  }
+  // Phase 3 — IsInMIS over all vertices. Resolved three-valued states
+  // are cached per machine in the shared bounded query-cache budget
+  // (ClusterConfig::query_cache); the adjacency fetches underneath are
+  // additionally served by the store's own read-through caches.
+  kv::MachineCaches<uint8_t> caches =
+      cluster.MakeMachineCaches<uint8_t>();
 
   MisResult result;
   result.in_mis.assign(n, 0);
   cluster.RunBatchMapPhase(
       "IsInMIS", n,
       [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
-        std::atomic<uint8_t>* cache =
-            caching ? caches[ctx.machine_id()].get() : nullptr;
+        kv::QueryCache<uint8_t>* cache = caches.ForMachine(ctx.machine_id());
+        const uint64_t epoch = store.version();
         std::vector<MisResolveState> states;
         states.reserve(items.size());
         for (const int64_t item : items) {
@@ -172,6 +169,7 @@ MisResult AmpcMis(sim::Cluster& cluster, const Graph& g, uint64_t seed) {
           MisResolveState s;
           s.item = item;
           s.cache = cache;
+          s.epoch = epoch;
           if (const uint8_t cached = s.CacheGet(root); cached != kUnknown) {
             ctx.CountCacheHit();
             s.last = cached;

@@ -8,7 +8,11 @@
 //   3. IsInMIS (cheap round): every vertex runs the recursive query
 //      process of Yoshida et al. [69] adapted to AMPC by [19]; results are
 //      memoized in per-machine three-state caches (Unknown / InMIS /
-//      NotInMIS) when the caching optimization is on.
+//      NotInMIS) held in the shared bounded query-cache budget
+//      (kv::QueryCache via Cluster::MakeMachineCaches) when
+//      ClusterConfig::query_cache is enabled; the adjacency fetches
+//      underneath are additionally served by the stores' read-through
+//      caches.
 //
 // The output equals seq::GreedyMis for the same seed, by construction.
 #pragma once

@@ -175,7 +175,10 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
     // gathers the frontier vertex of every still-active search and
     // fetches all their adjacencies with one LookupMany (one round trip
     // per destination machine), instead of one synchronous round trip
-    // per expansion. Per-search semantics are unchanged.
+    // per expansion. Adjacencies that several searches of a machine
+    // expand — hub vertices, overlapping components — are served from
+    // the machine's query cache after the first fetch. Per-search
+    // semantics are unchanged.
     ConcurrentBag<EdgeId> found_edges;
     std::vector<NodeId> parent(n, kInvalidNode);
     cluster.RunBatchMapPhase(
@@ -234,7 +237,9 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
     // Batched pointer jumping: all of a worker's chains advance one hop
     // per adaptive step, and the step's parent fetches ship as one
     // LookupMany — the round-trip bill scales with the longest chain
-    // times the destination count, not with the total hop count.
+    // times the destination count, not with the total hop count. Chains
+    // converge toward shared roots, so the query cache serves the hops
+    // near convergence locally (the Figure-4 caching win).
     cluster.RunBatchMapPhase(
         "PointerJump", n,
         [&](std::span<const int64_t> items, sim::MachineContext& ctx) {

@@ -50,8 +50,10 @@ NodeId NextHop(const std::vector<NodeId>* adj, int64_t n, double damping,
 // adaptive step moves each active walk one hop and fetches the whole
 // frontier's adjacencies with a single LookupMany batch (one round trip
 // per destination machine) instead of one synchronous lookup per walk
-// per hop. Per-walk RNG streams are hash-seeded, so outputs match the
-// scalar walk exactly.
+// per hop. Walk frontiers collide on hub vertices, so the query cache
+// serves repeated adjacency fetches locally — within a batch (duplicate
+// frontier keys are fetched once) and across steps. Per-walk RNG
+// streams are hash-seeded, so outputs match the scalar walk exactly.
 struct WalkState {
   Rng rng;
   NodeId v;

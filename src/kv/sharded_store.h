@@ -17,6 +17,7 @@
 // them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "common/random.h"
 #include "kv/byte_size.h"
 #include "kv/placement.h"
+#include "kv/query_cache.h"
 #include "kv/store.h"
 
 namespace ampc::kv {
@@ -113,8 +115,13 @@ class ShardedStore {
   /// the record.
   int64_t Put(uint64_t key, V value) {
     AMPC_CHECK_LT(key, static_cast<uint64_t>(capacity()));
-    return shards_[ShardOf(key)]->Put(map_->local_slot[key],
-                                      std::move(value));
+    const int64_t bytes =
+        shards_[ShardOf(key)]->Put(map_->local_slot[key], std::move(value));
+    // Bumped *after* the shard publishes the record: a reader that
+    // captures the pre-bump version and still misses the value stamps
+    // its cached negative with an epoch the bump immediately outdates.
+    version_->fetch_add(1, std::memory_order_relaxed);
+    return bytes;
   }
 
   /// Returns the value for `key`, or nullptr when absent.
@@ -172,6 +179,41 @@ class ShardedStore {
     return bytes;
   }
 
+  // Query-result caching (sim::Cluster::MakeStore wires this to
+  // ClusterConfig::query_cache; see kv/query_cache.h).
+
+  /// Monotone content version: the number of records inserted so far
+  /// (stores are write-once per key, so every write moves it). Query
+  /// caches stamp entries with the version captured *before* the
+  /// underlying lookup and treat entries from older versions as stale,
+  /// so a cached value — including a cached negative — can never
+  /// survive a later write phase. O(1): a dedicated counter, not the
+  /// per-shard size sum, because this sits on the hot cached-lookup
+  /// path of every machine.
+  uint64_t version() const {
+    return version_->load(std::memory_order_relaxed);
+  }
+
+  /// Attaches one bounded read-through cache per shard-owning machine
+  /// (cache m serves machine m's repeated lookups locally). Idempotent
+  /// per call: replaces any existing caches.
+  void EnableQueryCache(int64_t capacity_per_machine, int lock_shards = 8) {
+    query_caches_.clear();
+    query_caches_.reserve(static_cast<size_t>(num_shards()));
+    for (int s = 0; s < num_shards(); ++s) {
+      query_caches_.push_back(std::make_unique<QueryCache<const V*>>(
+          capacity_per_machine, lock_shards));
+    }
+  }
+
+  /// Machine `m`'s read-through cache, or nullptr when caching is off.
+  /// Cached values are pointers into this store's slot tables (stable:
+  /// shards live behind unique_ptr and records are write-once), so a
+  /// hit returns exactly what the remote lookup would have.
+  QueryCache<const V*>* QueryCacheFor(int m) const {
+    return query_caches_.empty() ? nullptr : query_caches_[m].get();
+  }
+
  private:
   // key -> slot within its owning shard (the shard id is recomputed from
   // the placement; storing it would double the table's footprint).
@@ -179,6 +221,13 @@ class ShardedStore {
   std::shared_ptr<const ShardMap> map_;
   // unique_ptr keeps the atomic-bearing slot tables movable as a group.
   std::vector<std::unique_ptr<Store<V>>> shards_;
+  // Per-machine read-through caches (empty = caching off). Mutable: the
+  // cache warms through const lookup paths (MachineContext::Lookup takes
+  // the store by const reference — caching never changes answers).
+  mutable std::vector<std::unique_ptr<QueryCache<const V*>>> query_caches_;
+  // Insert counter behind version() (unique_ptr keeps the store movable).
+  std::unique_ptr<std::atomic<uint64_t>> version_ =
+      std::make_unique<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace ampc::kv

@@ -20,8 +20,25 @@
 //
 // Round accounting matches the paper's conventions: a *shuffle* is a
 // costly round (Table 3 counts these); KV writes and map rounds are cheap
-// rounds. The multithreading and caching toggles correspond to the
-// optimizations ablated in Figure 4.
+// rounds.
+//
+// Reads flow through a three-stage lookup pipeline (Section 5.3), each
+// stage an independently togglable Figure-4 optimization axis:
+//
+//   1. query cache   — each machine's bounded kv::QueryCache answers
+//                      repeated keys locally (no trip, no owner bytes);
+//                      ClusterConfig::query_cache.
+//   2. batch coalesce — LookupMany groups one adaptive step's misses by
+//                      owning machine; duplicate keys in a batch are
+//                      fetched once; ClusterConfig::batch_lookups.
+//   3. per-destination trips — each sub-batch (bounded by
+//                      ClusterConfig::max_batch_keys, the adaptive
+//                      sub-batching knob) pays one round-trip latency
+//                      per distinct destination machine.
+//
+// The multithreading toggle (overlapping trips across a machine's worker
+// threads) completes the Figure-4 ablation grid. None of the toggles
+// ever changes a returned value — only the cost model.
 #pragma once
 
 #include <algorithm>
@@ -30,6 +47,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -41,6 +59,7 @@
 #include "common/timer.h"
 #include "kv/network_model.h"
 #include "kv/placement.h"
+#include "kv/query_cache.h"
 #include "kv/sharded_store.h"
 
 namespace ampc::sim {
@@ -55,9 +74,27 @@ struct ClusterConfig {
   int threads_per_machine = 8;
   /// Disables the multithreading optimization when false (Figure 4).
   bool multithreading = true;
-  /// Enables per-machine query-result caching. The runtime exposes this
-  /// flag; algorithms consult it (Figure 4).
-  bool caching = true;
+  /// Per-machine query-result caching (the Section 5.3 caching
+  /// optimization, the largest single Figure-4 win). When enabled,
+  /// every store minted by MakeStore carries one bounded read-through
+  /// kv::QueryCache per machine, consulted by MachineContext::Lookup
+  /// and LookupMany before any trip is charged: hits are served locally
+  /// (counted via cache_hits; no round trip, no owner bytes) and
+  /// duplicate keys within one batch are fetched once. Algorithms park
+  /// derived per-key facts in MakeMachineCaches() instances under the
+  /// same budget. Disabling it reverts to the uncached client without
+  /// changing any returned value — the caching axis of the Figure-4
+  /// ablation grid.
+  struct QueryCacheConfig {
+    bool enabled = true;
+    /// Cached entries per machine (per store, and per derived-fact
+    /// cache set minted by MakeMachineCaches).
+    int64_t capacity = 1 << 16;
+    /// Internal lock shards of each cache — a concurrency knob for the
+    /// machine's worker threads, unrelated to DHT placement.
+    int lock_shards = 8;
+  };
+  QueryCacheConfig query_cache;
   /// Batches DHT reads issued through MachineContext::LookupMany into one
   /// round trip per destination machine (the batching/pipelining
   /// optimization of Section 5.3). When false every key in a batch is
@@ -65,6 +102,17 @@ struct ClusterConfig {
   /// ablation toggle (outputs are identical either way; only the cost
   /// model differs).
   bool batch_lookups = true;
+  /// Adaptive sub-batching: the most keys one in-flight LookupMany
+  /// sub-batch may carry, and the frontier window DriveLookupLockstep
+  /// gathers per adaptive step. Huge lockstep frontiers split into
+  /// sub-batches of this size — each sub-batch still pays one trip per
+  /// distinct destination machine, preserving the batching
+  /// amortization, but a worker never holds every in-flight request and
+  /// response at once. <= 0 disables splitting (one sub-batch per
+  /// call). The default is tuned so typical per-worker frontiers at
+  /// this library's benchmark scale stay whole while hub-degree and
+  /// giant-frontier outliers are bounded.
+  int64_t max_batch_keys = 4096;
   /// Key -> machine placement policy, shared by every store minted with
   /// MakeStore and by the work-item placement of map phases.
   kv::PlacementPolicy placement_policy = kv::PlacementPolicy::kHash;
@@ -146,10 +194,58 @@ class Cluster {
   /// cluster's machines (shard s = machine s). The key assignment is a
   /// pure function of (capacity, machines, seed), so it is computed once
   /// per capacity and shared across the run's stores (algorithms mint a
-  /// fresh same-shaped store every round).
+  /// fresh same-shaped store every round). When query caching is on the
+  /// store carries one bounded read-through cache per machine.
   template <typename V>
   kv::ShardedStore<V> MakeStore(int64_t capacity) const {
-    return kv::ShardedStore<V>(ShardMapFor(capacity));
+    kv::ShardedStore<V> store(ShardMapFor(capacity));
+    if (config_.query_cache.enabled) {
+      store.EnableQueryCache(config_.query_cache.capacity,
+                             config_.query_cache.lock_shards);
+    }
+    return store;
+  }
+
+  /// Per-machine bounded caches for *derived* per-key facts (mis's
+  /// three-valued vertex states, matching's status words), sized by the
+  /// query_cache config. Disabled config => every ForMachine() is
+  /// nullptr and algorithms fall back to uncached resolution. Hit/miss
+  /// accounting stays with the caller via
+  /// MachineContext::CountCacheHit/Miss.
+  template <typename V>
+  kv::MachineCaches<V> MakeMachineCaches() const {
+    if (!config_.query_cache.enabled) return {};
+    return kv::MachineCaches<V>(config_.num_machines,
+                                config_.query_cache.capacity,
+                                config_.query_cache.lock_shards);
+  }
+
+  /// Per-machine byte attribution for sharded-shuffle accounting:
+  /// bytes[m] = sum of bytes_of(i) over i in [0, items) with
+  /// machine_of(i) == m, computed with the per-thread-histogram pattern
+  /// RunMapPhaseImpl uses for bucket counting (one local histogram per
+  /// chunk, a single atomic merge per machine). Replaces the serial
+  /// per-key hash loops that were an O(items)-per-round single-thread
+  /// hot spot in the cost attribution of connectivity/kkt/clustering
+  /// and the simulated-AMPC baseline.
+  template <typename MachineFn, typename BytesFn>
+  std::vector<int64_t> AttributeShardedBytes(int64_t items,
+                                             MachineFn&& machine_of,
+                                             BytesFn&& bytes_of) {
+    std::vector<std::atomic<int64_t>> totals(config_.num_machines);
+    for (auto& t : totals) t.store(0, std::memory_order_relaxed);
+    ParallelForChunked(*pool_, 0, items, 4096, [&](int64_t lo, int64_t hi) {
+      std::vector<int64_t> local(config_.num_machines, 0);
+      for (int64_t i = lo; i < hi; ++i) local[machine_of(i)] += bytes_of(i);
+      for (int m = 0; m < config_.num_machines; ++m) {
+        if (local[m] != 0) {
+          totals[m].fetch_add(local[m], std::memory_order_relaxed);
+        }
+      }
+    });
+    std::vector<int64_t> bytes(config_.num_machines);
+    for (int m = 0; m < config_.num_machines; ++m) bytes[m] = totals[m].load();
+    return bytes;
   }
 
   /// Records a shuffle that moved `bytes` through durable storage,
@@ -353,16 +449,38 @@ class MachineContext {
   int worker_id() const { return worker_id_; }
 
   /// True when the caching optimization is enabled for this run.
-  bool caching_enabled() const { return cluster_->config().caching; }
+  bool caching_enabled() const {
+    return cluster_->config().query_cache.enabled;
+  }
 
-  /// Looks up `key`, charging one round trip to this machine and the
-  /// record's wire size to the shard-owning machine (the server pays for
-  /// skew). Returns nullptr when the key is absent (callers must handle
-  /// this: the store is a remote service, not library-internal state).
+  /// Sub-batch bound for batched lookups (ClusterConfig::max_batch_keys;
+  /// <= 0 = unbounded). DriveLookupLockstep gathers frontier windows of
+  /// at most this many keys per LookupMany call.
+  int64_t max_batch_keys() const { return cluster_->config().max_batch_keys; }
+
+  /// Looks up `key` through the three-stage pipeline: the machine's
+  /// query cache first (a hit is served locally — cache_hits, no trip,
+  /// no owner bytes), then the remote shard, charging one round trip to
+  /// this machine and the record's wire size to the shard-owning machine
+  /// (the server pays for skew). Returns nullptr when the key is absent
+  /// (callers must handle this: the store is a remote service, not
+  /// library-internal state).
   template <typename V>
   const V* Lookup(const kv::ShardedStore<V>& store, uint64_t key) {
     CheckStoreMatchesCluster(store);
     counters_->kv_queries.fetch_add(1, std::memory_order_relaxed);
+    kv::QueryCache<const V*>* cache =
+        caching_enabled() ? store.QueryCacheFor(machine_id_) : nullptr;
+    uint64_t epoch = 0;
+    if (cache != nullptr) {
+      // Capture the version *before* the lookup: if a concurrent write
+      // phase interleaves, the inserted entry is already stale.
+      epoch = store.version();
+      if (const std::optional<const V*> hit = cache->Get(key, epoch)) {
+        CountCacheHit();
+        return *hit;
+      }
+    }
     counters_->kv_lookup_trips.fetch_add(1, std::memory_order_relaxed);
     const V* value = store.Lookup(key);
     const int64_t bytes =
@@ -370,17 +488,28 @@ class MachineContext {
     counters_->kv_read_bytes.fetch_add(bytes, std::memory_order_relaxed);
     Cluster::PhaseCounters& server = (*all_counters_)[store.ShardOf(key)];
     server.kv_served_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    if (cache != nullptr) {
+      CountCacheMiss();
+      cache->Put(key, epoch, value);
+    }
     return value;
   }
 
-  /// Batched lookup: resolves every key of one adaptive step together.
-  /// The pipeline groups the keys by owning machine and pays one round
-  /// trip per distinct destination — not one per key — while bytes stay
-  /// charged per machine exactly as scalar Lookup charges them (client
-  /// NIC receives, owning shard's NIC serves, no thread overlap of
-  /// either). With config.batch_lookups == false every key is charged a
-  /// full trip, modeling the unbatched client; returned values are
-  /// identical either way. values[i] answers keys[i] (nullptr = absent).
+  /// Batched lookup: resolves every key of one adaptive step together
+  /// through the three-stage pipeline — query cache, batch coalescing,
+  /// per-destination trips. Cache hits (including duplicate keys within
+  /// the batch, which are fetched once and hit thereafter) are served
+  /// locally: no trip, no wire bytes on either side. The misses of each
+  /// sub-batch (at most max_batch_keys keys; see adaptive sub-batching)
+  /// are grouped by owning machine and pay one round trip per distinct
+  /// destination — not one per key — while bytes stay charged per
+  /// machine exactly as scalar Lookup charges them (client NIC
+  /// receives, owning shard's NIC serves, no thread overlap of either).
+  /// With config.batch_lookups == false every missed key is charged a
+  /// full trip, modeling the unbatched client (caching still applies,
+  /// so the Figure-4 axes stay independent); returned values are
+  /// identical under every toggle combination. values[i] answers
+  /// keys[i] (nullptr = absent).
   template <typename V>
   kv::LookupBatchResult<V> LookupMany(const kv::ShardedStore<V>& store,
                                       std::span<const uint64_t> keys) {
@@ -388,33 +517,66 @@ class MachineContext {
     kv::LookupBatchResult<V> result;
     if (keys.empty()) return result;
     result.values.reserve(keys.size());
-    destination_seen_.assign(static_cast<size_t>(store.num_shards()), 0);
-    for (const uint64_t key : keys) {
-      const V* value = store.Lookup(key);
-      const int64_t bytes = value == nullptr
-                                ? kv::kKeyBytes
-                                : kv::kKeyBytes + kv::KvByteSize(*value);
-      const int shard = store.ShardOf(key);
-      if (!destination_seen_[shard]) {
-        destination_seen_[shard] = 1;
-        ++result.destinations;
-      }
-      result.bytes += bytes;
-      (*all_counters_)[shard].kv_served_bytes.fetch_add(
-          bytes, std::memory_order_relaxed);
-      result.values.push_back(value);
-    }
     const bool batching = cluster_->config().batch_lookups;
-    const int64_t trips =
-        batching ? result.destinations : static_cast<int64_t>(keys.size());
+    const int64_t max_keys = cluster_->config().max_batch_keys;
+    const size_t sub_batch =
+        max_keys > 0 ? static_cast<size_t>(max_keys) : keys.size();
+    kv::QueryCache<const V*>* cache =
+        caching_enabled() ? store.QueryCacheFor(machine_id_) : nullptr;
+    // Version captured before any fetch: a concurrent write phase
+    // invalidates every entry this batch inserts.
+    const uint64_t epoch = cache != nullptr ? store.version() : 0;
+    int64_t trips = 0, batches = 0, hits = 0, misses = 0;
+    for (size_t begin = 0; begin < keys.size(); begin += sub_batch) {
+      const size_t end = std::min(keys.size(), begin + sub_batch);
+      destination_seen_.assign(static_cast<size_t>(store.num_shards()), 0);
+      int sub_destinations = 0;
+      int64_t sub_misses = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const uint64_t key = keys[i];
+        if (cache != nullptr) {
+          if (const std::optional<const V*> hit = cache->Get(key, epoch)) {
+            ++hits;
+            result.values.push_back(*hit);
+            continue;
+          }
+        }
+        const V* value = store.Lookup(key);
+        const int64_t bytes = value == nullptr
+                                  ? kv::kKeyBytes
+                                  : kv::kKeyBytes + kv::KvByteSize(*value);
+        const int shard = store.ShardOf(key);
+        if (!destination_seen_[shard]) {
+          destination_seen_[shard] = 1;
+          ++sub_destinations;
+        }
+        ++sub_misses;
+        result.bytes += bytes;
+        (*all_counters_)[shard].kv_served_bytes.fetch_add(
+            bytes, std::memory_order_relaxed);
+        if (cache != nullptr) cache->Put(key, epoch, value);
+        result.values.push_back(value);
+      }
+      result.destinations += sub_destinations;
+      trips += batching ? sub_destinations : sub_misses;
+      // With batching disabled the client model is scalar: no batch is
+      // considered to have been formed, so the metric stays zero and
+      // ablation tables read cleanly. A fully cache-served sub-batch
+      // likewise forms no wire batch.
+      if (batching && (cache == nullptr || sub_misses > 0)) ++batches;
+    }
+    misses = cache != nullptr
+                 ? static_cast<int64_t>(keys.size()) - hits
+                 : 0;
     counters_->kv_queries.fetch_add(static_cast<int64_t>(keys.size()),
                                     std::memory_order_relaxed);
     counters_->kv_lookup_trips.fetch_add(trips, std::memory_order_relaxed);
-    // With batching disabled the client model is scalar: no batch is
-    // considered to have been formed, so the metric stays zero and
-    // ablation tables read cleanly.
-    if (batching) {
-      counters_->kv_batches.fetch_add(1, std::memory_order_relaxed);
+    counters_->kv_batches.fetch_add(batches, std::memory_order_relaxed);
+    if (hits != 0) {
+      counters_->cache_hits.fetch_add(hits, std::memory_order_relaxed);
+    }
+    if (misses != 0) {
+      counters_->cache_misses.fetch_add(misses, std::memory_order_relaxed);
     }
     counters_->kv_read_bytes.fetch_add(result.bytes,
                                        std::memory_order_relaxed);
@@ -437,7 +599,11 @@ class MachineContext {
     return store.Lookup(key);
   }
 
-  /// Cache accounting (algorithms own the cache arrays; see Section 5.3).
+  /// Cache accounting. The read-through paths (Lookup/LookupMany) count
+  /// their own hits and misses; algorithms caching *derived* facts in
+  /// MakeMachineCaches() instances count theirs through these, so every
+  /// cache probe at every layer flows into the same two metrics
+  /// (Section 5.3).
   void CountCacheHit() {
     counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
   }
@@ -474,14 +640,20 @@ class MachineContext {
 
 /// Drives a worker's batched state machines in lockstep — the shared
 /// scaffold of every RunBatchMapPhase algorithm. Each adaptive step
-/// gathers the pending key of every unfinished state, resolves them all
-/// with one LookupMany (one round trip per destination machine), and
-/// feeds each record back through `resume`. Callers initialize their
-/// states (running them up to their first pending lookup) and harvest
-/// results afterwards; `done(state)` says whether a state needs no more
-/// lookups, `pending_key(state)` names the key it is waiting on, and
-/// `resume(state, value)` consumes the fetched record and advances the
-/// state to its next pending lookup or to completion.
+/// gathers the pending key of every unfinished state, resolves them
+/// with LookupMany (one round trip per destination machine, cache hits
+/// served locally), and feeds each record back through `resume`.
+/// Adaptive sub-batching: a frontier larger than
+/// ClusterConfig::max_batch_keys is processed in bounded windows — one
+/// LookupMany of at most max_batch_keys keys each — so a worker never
+/// materializes every in-flight request and response at once while each
+/// window keeps the per-destination trip amortization. Callers
+/// initialize their states (running them up to their first pending
+/// lookup) and harvest results afterwards; `done(state)` says whether a
+/// state needs no more lookups, `pending_key(state)` names the key it
+/// is waiting on, and `resume(state, value)` consumes the fetched
+/// record and advances the state to its next pending lookup or to
+/// completion.
 template <typename V, typename State, typename DoneFn, typename KeyFn,
           typename ResumeFn>
 void DriveLookupLockstep(MachineContext& ctx,
@@ -493,19 +665,25 @@ void DriveLookupLockstep(MachineContext& ctx,
   for (size_t i = 0; i < states.size(); ++i) {
     if (!done(states[i])) active.push_back(i);
   }
+  const int64_t max_keys = ctx.max_batch_keys();
+  const size_t window = max_keys > 0 ? static_cast<size_t>(max_keys)
+                                     : std::max<size_t>(1, active.size());
   std::vector<uint64_t> keys;
+  keys.reserve(std::min(window, active.size()));
   while (!active.empty()) {
-    keys.clear();
-    keys.reserve(active.size());
-    for (const size_t i : active) {
-      keys.push_back(pending_key(states[i]));
-    }
-    const kv::LookupBatchResult<V> batch = ctx.LookupMany(store, keys);
     size_t out = 0;
-    for (size_t j = 0; j < active.size(); ++j) {
-      State& state = states[active[j]];
-      resume(state, batch.values[j]);
-      if (!done(state)) active[out++] = active[j];
+    for (size_t begin = 0; begin < active.size(); begin += window) {
+      const size_t end = std::min(active.size(), begin + window);
+      keys.clear();
+      for (size_t j = begin; j < end; ++j) {
+        keys.push_back(pending_key(states[active[j]]));
+      }
+      const kv::LookupBatchResult<V> batch = ctx.LookupMany(store, keys);
+      for (size_t j = begin; j < end; ++j) {
+        State& state = states[active[j]];
+        resume(state, batch.values[j - begin]);
+        if (!done(state)) active[out++] = active[j];
+      }
     }
     active.resize(out);
   }

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <atomic>
 #include <set>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 namespace ampc::sim {
@@ -231,7 +233,12 @@ TEST(ClusterTest, SkewedWriteBytesCostMoreThanUniform) {
 TEST(ClusterTest, HotKeyLookupsCostMoreThanSpread) {
   const int64_t n = 4000;
   auto run = [&](bool hot) {
-    Cluster cluster(TestConfig());
+    ClusterConfig config = TestConfig();
+    // Uncached client: this test pins the raw hot-shard penalty (the
+    // query cache would absorb the repeated key after one fetch per
+    // machine — QueryCacheRescuesHotKeyReads covers that).
+    config.query_cache.enabled = false;
+    Cluster cluster(config);
     auto store = cluster.MakeStore<std::vector<uint8_t>>(n);
     cluster.RunKvWritePhase("w", store, n, [](int64_t) {
       return std::vector<uint8_t>(256, 1);
@@ -264,6 +271,7 @@ TEST(ClusterTest, SettleMathChargesServerSideBytes) {
   ClusterConfig config;
   config.num_machines = 2;
   config.threads_per_machine = 1;
+  config.query_cache.enabled = false;  // pins the uncached client math
   config.map_item_cpu_sec = 0.0;
   config.round_spawn_sec = 0.125;
   config.network.lookup_latency_sec = 1e-3;
@@ -347,7 +355,11 @@ TEST(ClusterTest, InMemoryFinishChargesGatherShuffle) {
 }
 
 TEST(ClusterTest, LookupManyReturnsSameValuesAsScalarLookup) {
-  Cluster cluster(TestConfig());
+  ClusterConfig config = TestConfig();
+  // Uncached: the second LookupMany below re-fetches every key, so the
+  // two batches' byte/destination accounting must be identical.
+  config.query_cache.enabled = false;
+  Cluster cluster(config);
   kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(200);
   cluster.RunKvWritePhase("w", store, 100, [](int64_t k) { return 5 * k; });
   std::atomic<int> mismatches{0};
@@ -384,6 +396,7 @@ TEST(ClusterTest, BatchSettleMathChargesPerDestination) {
   ClusterConfig config;
   config.num_machines = 2;
   config.threads_per_machine = 1;
+  config.query_cache.enabled = false;  // pins the uncached batch math
   config.map_item_cpu_sec = 0.0;
   config.round_spawn_sec = 0.125;
   config.network.lookup_latency_sec = 1e-3;
@@ -496,6 +509,196 @@ TEST(ClusterTest, RoundFootprintsAlignWithRoundLog) {
   const auto write_rows = cluster.RoundKvWriteBytes();
   ASSERT_EQ(write_rows.size(), 3u);
   EXPECT_EQ(write_rows[1], footprints[1].kv_write_bytes);
+}
+
+// --- Query-result caching (the Section 5.3 cache stage) -------------------
+
+// A hot key is fetched remotely once per machine; every later lookup is
+// a cache hit served locally: no trip, no client bytes, no owner bytes.
+TEST(ClusterTest, QueryCacheHitsSkipTripsAndBytes) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  Cluster cluster(config);
+  const int64_t n = 64;
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+  cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k * 3; });
+
+  const uint64_t hot = 3;
+  std::atomic<int64_t> sum{0};
+  cluster.RunMapPhase("r", n, [&](int64_t, MachineContext& ctx) {
+    const int64_t* v = ctx.Lookup(store, hot);
+    ASSERT_NE(v, nullptr);
+    sum.fetch_add(*v);
+  });
+  EXPECT_EQ(sum.load(), n * hot * 3);
+
+  const int64_t record =
+      kv::kKeyBytes + static_cast<int64_t>(sizeof(int64_t));
+  // One miss per machine (single worker each), the rest hits.
+  EXPECT_EQ(cluster.metrics().Get("cache_misses"), 2);
+  EXPECT_EQ(cluster.metrics().Get("cache_hits"), n - 2);
+  EXPECT_EQ(cluster.metrics().Get("kv_lookup_trips"), 2);
+  EXPECT_EQ(cluster.metrics().Get("kv_read_bytes"), 2 * record);
+  EXPECT_EQ(cluster.metrics().Get("kv_hot_machine_read_bytes"), 2 * record);
+  // Queries still count every logical read.
+  EXPECT_EQ(cluster.metrics().Get("kv_reads"), n);
+}
+
+// The caching ablation axis: the same hot-key read storm costs strictly
+// less simulated time with the cache on, and returns identical values.
+TEST(ClusterTest, QueryCacheRescuesHotKeyReads) {
+  const int64_t n = 4000;
+  auto run = [&](bool cached) {
+    ClusterConfig config = TestConfig();
+    config.query_cache.enabled = cached;
+    Cluster cluster(config);
+    auto store = cluster.MakeStore<std::vector<uint8_t>>(n);
+    cluster.RunKvWritePhase("w", store, n, [](int64_t) {
+      return std::vector<uint8_t>(256, 1);
+    });
+    std::atomic<int64_t> sum{0};
+    cluster.RunMapPhase("r", n, [&](int64_t, MachineContext& ctx) {
+      const auto* v = ctx.Lookup(store, 0);
+      sum.fetch_add(static_cast<int64_t>(v->size()));
+    });
+    return std::pair<double, int64_t>(cluster.metrics().GetTime("sim:r"),
+                                      sum.load());
+  };
+  const auto [cached_time, cached_sum] = run(true);
+  const auto [uncached_time, uncached_sum] = run(false);
+  EXPECT_LT(cached_time, uncached_time);
+  EXPECT_EQ(cached_sum, uncached_sum);
+}
+
+// Stale reads are impossible: a write phase invalidates every earlier
+// cache entry, including cached negatives.
+TEST(ClusterTest, QueryCacheEpochInvalidationAfterWritePhase) {
+  ClusterConfig config;
+  config.num_machines = 1;
+  config.threads_per_machine = 1;
+  Cluster cluster(config);
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(64);
+  cluster.RunKvWritePhase("w1", store, 32, [](int64_t k) { return k; });
+
+  const uint64_t probe = 40;  // not yet written
+  cluster.RunMapPhase("r1", 1, [&](int64_t, MachineContext& ctx) {
+    EXPECT_EQ(ctx.Lookup(store, probe), nullptr);  // miss, caches negative
+  });
+  cluster.RunMapPhase("r2", 1, [&](int64_t, MachineContext& ctx) {
+    EXPECT_EQ(ctx.Lookup(store, probe), nullptr);  // hit on the negative
+  });
+  EXPECT_EQ(cluster.metrics().Get("cache_misses"), 1);
+  EXPECT_EQ(cluster.metrics().Get("cache_hits"), 1);
+
+  // Writing the key moves the store's version (write phases are the
+  // normal vehicle for these Puts; RunKvWritePhase covers [0, n) so the
+  // remaining range is written directly here): the cached negative must
+  // not survive the write.
+  store.Put(probe, static_cast<int64_t>(probe) * 7);
+  cluster.RunMapPhase("r3", 1, [&](int64_t, MachineContext& ctx) {
+    const int64_t* v = ctx.Lookup(store, probe);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, static_cast<int64_t>(probe) * 7);
+  });
+  EXPECT_EQ(cluster.metrics().Get("cache_misses"), 2);
+  EXPECT_EQ(cluster.metrics().Get("cache_hits"), 1);
+}
+
+// Duplicate keys inside one batch are fetched once: the first occurrence
+// misses and is charged, the repeats hit the warming cache.
+TEST(ClusterTest, LookupManyCoalescesDuplicateKeysWithinBatch) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  Cluster cluster(config);
+  const int64_t n = 64;
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+  cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k; });
+
+  const std::vector<uint64_t> keys = {5, 5, 5, 9};
+  int expected_destinations = 1 + (store.ShardOf(5) != store.ShardOf(9));
+  cluster.RunMapPhase("r", 1, [&](int64_t, MachineContext& ctx) {
+    const auto batch = ctx.LookupMany(store, keys);
+    ASSERT_EQ(batch.values.size(), keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_NE(batch.values[i], nullptr);
+      EXPECT_EQ(*batch.values[i], static_cast<int64_t>(keys[i]));
+    }
+    EXPECT_EQ(batch.destinations, expected_destinations);
+  });
+  const int64_t record =
+      kv::kKeyBytes + static_cast<int64_t>(sizeof(int64_t));
+  EXPECT_EQ(cluster.metrics().Get("kv_reads"), 4);
+  EXPECT_EQ(cluster.metrics().Get("cache_hits"), 2);
+  EXPECT_EQ(cluster.metrics().Get("cache_misses"), 2);
+  EXPECT_EQ(cluster.metrics().Get("kv_read_bytes"), 2 * record);
+  EXPECT_EQ(cluster.metrics().Get("kv_lookup_trips"), expected_destinations);
+}
+
+// The Figure-4 axes stay independent: with batching off but caching on,
+// each missed key pays a full scalar trip, hits pay nothing, and no wire
+// batch is formed.
+TEST(ClusterTest, CachingSkipsTripsEvenWithBatchingOff) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  config.batch_lookups = false;
+  Cluster cluster(config);
+  const int64_t n = 64;
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+  cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k; });
+
+  const std::vector<uint64_t> keys = {5, 5, 9};
+  cluster.RunMapPhase("r", 1, [&](int64_t, MachineContext& ctx) {
+    const auto batch = ctx.LookupMany(store, keys);
+    ASSERT_EQ(batch.values.size(), 3u);
+  });
+  EXPECT_EQ(cluster.metrics().Get("kv_lookup_trips"), 2);  // the misses
+  EXPECT_EQ(cluster.metrics().Get("cache_hits"), 1);
+  EXPECT_EQ(cluster.metrics().Get("kv_batches"), 0);
+}
+
+// --- Adaptive sub-batching (ClusterConfig::max_batch_keys) ----------------
+
+// A bounded sub-batch pays one trip per distinct destination *per
+// sub-batch*: range placement over two machines makes the arithmetic
+// exact. Values are identical regardless of the bound.
+TEST(ClusterTest, SubBatchingSplitsTripAccounting) {
+  auto run = [](int64_t max_batch_keys) {
+    ClusterConfig config;
+    config.num_machines = 2;
+    config.threads_per_machine = 1;
+    config.placement_policy = kv::PlacementPolicy::kRange;
+    config.query_cache.enabled = false;
+    config.max_batch_keys = max_batch_keys;
+    Cluster cluster(config);
+    const int64_t n = 64;  // range placement: keys 0-31 -> m0, 32-63 -> m1
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+    cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k * 2; });
+    std::vector<uint64_t> keys(n);
+    for (int64_t k = 0; k < n; ++k) keys[k] = static_cast<uint64_t>(k);
+    std::atomic<int64_t> sum{0};
+    cluster.RunMapPhase("r", 1, [&](int64_t, MachineContext& ctx) {
+      const auto batch = ctx.LookupMany(store, keys);
+      int64_t local = 0;
+      for (const int64_t* v : batch.values) local += *v;
+      sum.fetch_add(local);
+    });
+    return std::tuple<int64_t, int64_t, int64_t>(
+        cluster.metrics().Get("kv_lookup_trips"),
+        cluster.metrics().Get("kv_batches"), sum.load());
+  };
+  // Unbounded: one batch, one trip per destination machine.
+  const auto [trips_whole, batches_whole, sum_whole] = run(0);
+  EXPECT_EQ(trips_whole, 2);
+  EXPECT_EQ(batches_whole, 1);
+  // Bounded at 8 keys: 8 sub-batches of 8 consecutive keys, each wholly
+  // owned by one range machine -> one trip each.
+  const auto [trips_sub, batches_sub, sum_sub] = run(8);
+  EXPECT_EQ(trips_sub, 8);
+  EXPECT_EQ(batches_sub, 8);
+  EXPECT_EQ(sum_sub, sum_whole);
 }
 
 TEST(ClusterTest, PlacementPoliciesCoLocateWorkAndRecords) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "common/timer.h"
 #include "kv/byte_size.h"
 #include "kv/network_model.h"
+#include "kv/query_cache.h"
 #include "kv/sharded_store.h"
 
 namespace ampc::kv {
@@ -355,6 +358,125 @@ TEST(ShardedStoreTest, RoundTripsUnderEveryPlacementPolicy) {
       EXPECT_EQ(store.ShardOf(k), placement.ShardOf(k));
     }
   }
+}
+
+TEST(QueryCacheTest, PutGetRoundTripAndEpochValidation) {
+  QueryCache<int> cache(/*capacity=*/16, /*lock_shards=*/1);
+  EXPECT_EQ(cache.Get(7, /*epoch=*/1), std::nullopt);
+  cache.Put(7, 1, 70);
+  EXPECT_EQ(cache.Get(7, 1), std::optional<int>(70));
+  // An entry from another epoch is stale: absent, and dropped for good
+  // (epochs only move forward).
+  EXPECT_EQ(cache.Get(7, 2), std::nullopt);
+  EXPECT_EQ(cache.Get(7, 1), std::nullopt);
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(QueryCacheTest, CapacityEvictionIsLeastRecentlyUsed) {
+  QueryCache<int> cache(/*capacity=*/4, /*lock_shards=*/1);
+  EXPECT_EQ(cache.capacity(), 4);
+  for (uint64_t k = 0; k < 4; ++k) {
+    cache.Put(k, 0, static_cast<int>(k) * 10);
+  }
+  EXPECT_EQ(cache.size(), 4);
+  // Touch key 0 so key 1 becomes the least recently used entry.
+  EXPECT_EQ(cache.Get(0, 0), std::optional<int>(0));
+  cache.Put(9, 0, 90);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.Get(1, 0), std::nullopt);  // evicted
+  EXPECT_EQ(cache.Get(0, 0), std::optional<int>(0));
+  EXPECT_EQ(cache.Get(9, 0), std::optional<int>(90));
+  EXPECT_EQ(cache.size(), 4);
+}
+
+TEST(QueryCacheTest, UpdateIsReadModifyWrite) {
+  QueryCache<int> cache(/*capacity=*/8, /*lock_shards=*/1);
+  // Absent: fn sees nullopt and seeds the entry.
+  cache.Update(3, 1, [](std::optional<int> cur) {
+    EXPECT_EQ(cur, std::nullopt);
+    return 5;
+  });
+  // Present and epoch-valid: fn sees the current value.
+  cache.Update(3, 1, [](std::optional<int> cur) {
+    return cur.value_or(0) + 2;
+  });
+  EXPECT_EQ(cache.Get(3, 1), std::optional<int>(7));
+  // Stale: fn sees nullopt again (the old-epoch value must not leak).
+  cache.Update(3, 2, [](std::optional<int> cur) {
+    EXPECT_EQ(cur, std::nullopt);
+    return 11;
+  });
+  EXPECT_EQ(cache.Get(3, 2), std::optional<int>(11));
+}
+
+TEST(QueryCacheTest, ConcurrentMixedOpsStayConsistent) {
+  // Run under TSAN in CI: threads race Get/Put/Update over overlapping
+  // keys of one shared cache (as a machine's worker threads do). Every
+  // value written for key k is k * 2, so any hit must read k * 2.
+  QueryCache<int64_t> cache(/*capacity=*/128, /*lock_shards=*/4);
+  std::vector<std::thread> threads;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &bad, t] {
+      for (int round = 0; round < 50; ++round) {
+        for (uint64_t k = 0; k < 64; ++k) {
+          if ((k + t) % 3 == 0) {
+            cache.Put(k, 0, static_cast<int64_t>(k) * 2);
+          } else if ((k + t) % 3 == 1) {
+            cache.Update(k, 0, [k](std::optional<int64_t> cur) {
+              return cur.value_or(static_cast<int64_t>(k) * 2);
+            });
+          } else if (const std::optional<int64_t> hit = cache.Get(k, 0)) {
+            if (*hit != static_cast<int64_t>(k) * 2) bad.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(QueryCacheTest, MachineCachesDisabledReturnsNull) {
+  MachineCaches<int> disabled;
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_EQ(disabled.ForMachine(0), nullptr);
+  MachineCaches<int> enabled(/*num_machines=*/3, /*capacity=*/16);
+  EXPECT_TRUE(enabled.enabled());
+  for (int m = 0; m < 3; ++m) {
+    ASSERT_NE(enabled.ForMachine(m), nullptr);
+  }
+  // Machines do not share entries.
+  enabled.ForMachine(0)->Put(1, 0, 10);
+  EXPECT_EQ(enabled.ForMachine(1)->Get(1, 0), std::nullopt);
+  EXPECT_EQ(enabled.ForMachine(0)->Get(1, 0), std::optional<int>(10));
+}
+
+TEST(ShardedStoreTest, VersionMovesOnEveryWrite) {
+  ShardedStore<int64_t> store(100, 4, /*seed=*/7);
+  EXPECT_EQ(store.version(), 0u);
+  store.Put(3, 30);
+  EXPECT_EQ(store.version(), 1u);
+  store.Put(60, 600);
+  EXPECT_EQ(store.version(), 2u);
+}
+
+TEST(ShardedStoreTest, QueryCacheForIsPerMachine) {
+  ShardedStore<int64_t> store(100, 4, /*seed=*/7);
+  EXPECT_EQ(store.QueryCacheFor(0), nullptr);  // off by default
+  store.EnableQueryCache(/*capacity_per_machine=*/32);
+  for (int m = 0; m < 4; ++m) {
+    ASSERT_NE(store.QueryCacheFor(m), nullptr);
+  }
+  EXPECT_NE(store.QueryCacheFor(0), store.QueryCacheFor(1));
+  // The caches hold pointers into the store's stable slot tables.
+  store.Put(5, 55);
+  const int64_t* record = store.Lookup(5);
+  store.QueryCacheFor(0)->Put(5, store.version(), record);
+  const auto hit = store.QueryCacheFor(0)->Get(5, store.version());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, record);
 }
 
 TEST(NetworkModelTest, PresetsAreOrdered) {

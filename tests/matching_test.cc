@@ -17,7 +17,7 @@ sim::ClusterConfig SmallConfig(bool caching = true) {
   sim::ClusterConfig config;
   config.num_machines = 4;
   config.threads_per_machine = 2;
-  config.caching = caching;
+  config.query_cache.enabled = caching;
   return config;
 }
 

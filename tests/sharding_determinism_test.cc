@@ -1,8 +1,9 @@
 // Acceptance test for the sharded DHT: every core algorithm's output is
 // a pure function of the input and seed — bit-identical across
-// num_machines (1, 3, 8), thread counts, and lookup batching mode
-// (LookupMany vs scalar round-trip charging) — while the *cost model* is
-// free to differ (that is the point of per-machine accounting).
+// num_machines (1, 3, 8), thread counts, lookup batching mode (LookupMany
+// vs scalar round-trip charging), query-result caching on/off, and
+// adaptive sub-batch bounds — while the *cost model* is free to differ
+// (that is the point of per-machine accounting).
 // A separate test pins outputs across placement policies.
 #include <gtest/gtest.h>
 
@@ -25,18 +26,44 @@ struct ClusterShape {
   int machines;
   int threads;
   bool batch_lookups = true;
+  bool query_cache = true;
+  int64_t max_batch_keys = 4096;  // the ClusterConfig default
 };
 
-// Machine/thread grid, each with batched and scalar lookup charging.
-const ClusterShape kShapes[] = {{1, 1, true},  {3, 2, true},  {8, 4, true},
-                                {3, 1, true},  {8, 1, true},  {1, 1, false},
-                                {3, 2, false}, {8, 4, false}, {8, 1, false}};
+// Machine/thread grid crossed with the lookup-pipeline toggles: batching
+// on/off x caching on/off, plus a deliberately tiny sub-batch bound that
+// forces DriveLookupLockstep's frontier windows and LookupMany's
+// sub-batch splitting on every workload.
+const ClusterShape kShapes[] = {
+    // batch on, cache on (the optimized client)
+    {1, 1, true, true},
+    {3, 2, true, true},
+    {8, 4, true, true},
+    {3, 1, true, true},
+    {8, 1, true, true},
+    // batch off, cache on
+    {1, 1, false, true},
+    {3, 2, false, true},
+    {8, 4, false, true},
+    {8, 1, false, true},
+    // batch on, cache off (the PR 3 pipeline)
+    {1, 1, true, false},
+    {8, 4, true, false},
+    // batch off, cache off (the unoptimized scalar client)
+    {3, 2, false, false},
+    {8, 4, false, false},
+    // sub-batching forced: windows of 16 in-flight keys
+    {8, 4, true, true, /*max_batch_keys=*/16},
+    {3, 2, true, false, /*max_batch_keys=*/16},
+};
 
 sim::Cluster MakeCluster(const ClusterShape& shape) {
   sim::ClusterConfig config;
   config.num_machines = shape.machines;
   config.threads_per_machine = shape.threads;
   config.batch_lookups = shape.batch_lookups;
+  config.query_cache.enabled = shape.query_cache;
+  config.max_batch_keys = shape.max_batch_keys;
   return sim::Cluster(config);
 }
 

@@ -201,7 +201,7 @@ int Run(const Args& args) {
   sim::ClusterConfig config;
   config.num_machines = args.machines;
   config.threads_per_machine = args.threads;
-  config.caching = args.caching;
+  config.query_cache.enabled = args.caching;
   config.multithreading = args.multithreading;
   config.network = args.network == "tcp" ? kv::NetworkModel::TcpIp()
                                          : kv::NetworkModel::Rdma();
