@@ -55,6 +55,10 @@ RunResult RunConvergentJump(int64_t n, bool cache, bool batch) {
   config.num_machines = kMachines;
   config.query_cache.enabled = cache;
   config.batch_lookups = batch;
+  // Pipelining off (depth 1, the lockstep baseline): this bench
+  // isolates the caching stage, so its grid tracks the PR 4 cost model
+  // bit-identically; bench/micro_pipeline sweeps the depth axis.
+  config.pipeline_depth = 1;
   // Track only the data-dependent (latency/bandwidth) component.
   config.round_spawn_sec = 0.0;
   ampc::sim::Cluster cluster(config);

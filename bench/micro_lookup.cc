@@ -53,8 +53,11 @@ RunResult RunPointerJump(int64_t n, bool batch,
   config.placement_policy = policy;
   // This bench isolates the *batching* stage of the lookup pipeline:
   // query-result caching is off (bench/micro_cache measures that stage)
-  // so batched-vs-scalar numbers track PR 3's batching-only pipeline.
+  // and pipelining is off — depth 1, the lockstep baseline
+  // (bench/micro_pipeline sweeps the depth axis) — so batched-vs-scalar
+  // numbers track PR 3's batching-only pipeline bit-identically.
   config.query_cache.enabled = false;
+  config.pipeline_depth = 1;
   // Track only the data-dependent (latency/bandwidth) component.
   config.round_spawn_sec = 0.0;
   ampc::sim::Cluster cluster(config);

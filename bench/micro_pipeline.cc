@@ -1,0 +1,228 @@
+// micro_pipeline — bounded-depth pipelined lookups on a latency-bound
+// pointer-jump workload.
+//
+// The paper's DHT client stacks three optimizations (Section 5.3):
+// batching, caching, and *pipelining* of asynchronous lookups. This
+// bench drives the simulator's pipeline stage (LookupManyAsync/Await
+// tickets behind DriveLookupPipelined, ClusterConfig::pipeline_depth)
+// over the canonical latency-bound workload — pointer jumping along
+// long parent chains — with the sub-batch bound forced small enough
+// that every adaptive step splits into many windows, so the depth knob
+// has windows to overlap. The full depth {1,2,4,8} x batching x caching
+// grid is reported from one binary, together with the measured peak
+// in-flight keys per worker: the depth x max_batch_keys memory
+// trade-off ROADMAP asks about, as a column rather than a formula.
+//
+// The run FAILS (exit 1) if any depth > 1 does not *strictly* reduce
+// simulated time versus depth 1 (lockstep) on the batched uncached
+// pointer-jump phase — the pipeline stage's whole point — so CI
+// regression-tests the overlapped cost model here. Depth 1 reproduces
+// the lockstep (PR 4) cost model bit-identically, which
+// tests/cluster_test.cc pins.
+//
+//   AMPC_BENCH_SCALE   scales the key count (default 1.0 => 100k keys)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace {
+
+using ampc::graph::kInvalidNode;
+using ampc::graph::NodeId;
+
+constexpr int kMachines = 8;
+constexpr int64_t kChainLength = 64;
+// Forced sub-batch bound: per-worker frontiers split into many windows
+// of this size, giving the pipeline windows to keep in flight.
+constexpr int64_t kMaxBatchKeys = 64;
+
+struct RunResult {
+  double sim_sec = 0;
+  int64_t trips = 0;
+  int64_t lookups = 0;
+  int64_t peak_inflight_keys = 0;
+};
+
+// Pointer jumping over parent chains of kChainLength hops: every item
+// chases its chain to the root. Latency-bound (4-byte records, long
+// chains); each adaptive step's frontier ships as windows of
+// kMaxBatchKeys keys with up to `depth` windows in flight.
+RunResult RunPointerJump(int64_t n, int depth, bool batch, bool cache) {
+  ampc::sim::ClusterConfig config;
+  config.num_machines = kMachines;
+  config.pipeline_depth = depth;
+  config.batch_lookups = batch;
+  config.query_cache.enabled = cache;
+  config.max_batch_keys = kMaxBatchKeys;
+  // Track only the data-dependent (latency/bandwidth) component.
+  config.round_spawn_sec = 0.0;
+  ampc::sim::Cluster cluster(config);
+
+  auto parent_store = cluster.MakeStore<NodeId>(n);
+  cluster.RunKvWritePhase("build", parent_store, n, [&](int64_t k) {
+    // Chains of kChainLength consecutive keys; chain heads are roots.
+    return k % kChainLength == 0 ? kInvalidNode
+                                 : static_cast<NodeId>(k - 1);
+  });
+
+  cluster.RunBatchMapPhase(
+      "jump", n,
+      [&](std::span<const int64_t> items, ampc::sim::MachineContext& ctx) {
+        struct Chain {
+          NodeId cur;
+          bool done = false;
+        };
+        std::vector<Chain> chains;
+        chains.reserve(items.size());
+        for (const int64_t item : items) {
+          chains.push_back(Chain{static_cast<NodeId>(item)});
+        }
+        ampc::sim::DriveLookupPipelined(
+            ctx, parent_store, chains,
+            [](const Chain& c) { return c.done; },
+            [](const Chain& c) { return static_cast<uint64_t>(c.cur); },
+            [](Chain& c, const NodeId* p) {
+              if (p == nullptr || *p == kInvalidNode) {
+                c.done = true;  // at root
+              } else {
+                c.cur = *p;
+              }
+            });
+      });
+
+  RunResult result;
+  result.sim_sec = cluster.metrics().GetTime("sim:jump");
+  result.trips = cluster.metrics().Get("kv_lookup_trips");
+  result.lookups = cluster.metrics().Get("kv_reads");
+  result.peak_inflight_keys = cluster.metrics().Get("kv_peak_inflight_keys");
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t n = std::max<int64_t>(
+      kChainLength, static_cast<int64_t>(100'000 * ampc::bench::BenchScale()));
+
+  std::printf(
+      "micro_pipeline: %lld keys, %d machines, chains of %lld hops, "
+      "windows of %lld keys\n",
+      static_cast<long long>(n), kMachines,
+      static_cast<long long>(kChainLength),
+      static_cast<long long>(kMaxBatchKeys));
+
+  const int kDepths[] = {1, 2, 4, 8};
+  struct GridRow {
+    int depth;
+    bool batch;
+    bool cache;
+    RunResult r;
+  };
+  std::vector<GridRow> grid;
+  for (const bool batch : {true, false}) {
+    for (const bool cache : {false, true}) {
+      for (const int depth : kDepths) {
+        grid.push_back(
+            GridRow{depth, batch, cache, RunPointerJump(n, depth, batch, cache)});
+      }
+    }
+  }
+  auto find = [&](int depth, bool batch, bool cache) -> const RunResult& {
+    for (const GridRow& row : grid) {
+      if (row.depth == depth && row.batch == batch && row.cache == cache) {
+        return row.r;
+      }
+    }
+    std::abort();
+  };
+
+  ampc::bench::PrintHeader(
+      "micro_pipeline: pointer-jump simulated phase seconds",
+      {"depth", "batch", "cache", "sim sec", "trips", "peak keys"});
+  for (const GridRow& row : grid) {
+    ampc::bench::PrintRow(
+        {std::to_string(row.depth), row.batch ? "on" : "off",
+         row.cache ? "on" : "off",
+         ampc::bench::FmtDouble(row.r.sim_sec, 6),
+         ampc::bench::FmtInt(row.r.trips),
+         ampc::bench::FmtInt(row.r.peak_inflight_keys)});
+  }
+  const RunResult& lockstep = find(1, true, false);
+  const RunResult& deep = find(4, true, false);
+  ampc::bench::PrintPaperNote(
+      "pipelining overlaps the round trips of in-flight sub-batches "
+      "(Section 5.3): per adaptive step a destination contacted by w "
+      "windows costs ceil(w / depth) serialized trips instead of w, at "
+      "the price of depth x max_batch_keys keys held in flight per "
+      "worker");
+
+  // Regression gates: pipelining must strictly beat lockstep on the
+  // batched latency-bound phase at every depth > 1, and the measured
+  // in-flight watermark must actually grow with depth (the memory cost
+  // is real, not a formula).
+  for (const int depth : {2, 4, 8}) {
+    const RunResult& r = find(depth, true, false);
+    if (r.sim_sec >= lockstep.sim_sec) {
+      std::fprintf(stderr,
+                   "FATAL: pipeline depth %d did not strictly reduce "
+                   "simulated time (depth-%d %.6f, lockstep %.6f)\n",
+                   depth, depth, r.sim_sec, lockstep.sim_sec);
+      return 1;
+    }
+  }
+  if (deep.peak_inflight_keys <= lockstep.peak_inflight_keys) {
+    std::fprintf(stderr,
+                 "FATAL: depth 4 did not raise the in-flight key "
+                 "watermark (depth-4 %lld, lockstep %lld)\n",
+                 static_cast<long long>(deep.peak_inflight_keys),
+                 static_cast<long long>(lockstep.peak_inflight_keys));
+    return 1;
+  }
+
+  FILE* out = std::fopen("BENCH_pipeline.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"micro_pipeline\",\n"
+               "  \"num_keys\": %lld,\n"
+               "  \"machines\": %d,\n"
+               "  \"chain_length\": %lld,\n"
+               "  \"max_batch_keys\": %lld,\n"
+               "  \"pipeline_speedup_depth4\": %.4f,\n"
+               "  \"trip_reduction_depth4\": %.4f,\n"
+               "  \"grid\": [\n",
+               static_cast<long long>(n), kMachines,
+               static_cast<long long>(kChainLength),
+               static_cast<long long>(kMaxBatchKeys),
+               lockstep.sim_sec / deep.sim_sec,
+               static_cast<double>(lockstep.trips) /
+                   static_cast<double>(std::max<int64_t>(1, deep.trips)));
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const GridRow& row = grid[i];
+    std::fprintf(
+        out,
+        "    {\"depth\": %d, \"batch\": %s, \"cache\": %s, "
+        "\"sim_sec\": %.9f, \"trips\": %lld, \"lookups\": %lld, "
+        "\"peak_inflight_keys\": %lld}%s\n",
+        row.depth, row.batch ? "true" : "false",
+        row.cache ? "true" : "false", row.r.sim_sec,
+        static_cast<long long>(row.r.trips),
+        static_cast<long long>(row.r.lookups),
+        static_cast<long long>(row.r.peak_inflight_keys),
+        i + 1 < grid.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_pipeline.json\n");
+  return 0;
+}

@@ -36,6 +36,10 @@ struct MetricsSnapshot {
 ///   "kv_writes"           KV-store write operations
 ///   "kv_write_bytes"      bytes written to the KV store
 ///   "cache_hits"/"cache_misses"  per-machine query-cache behaviour
+///   "kv_lookup_trips"     latency-bearing round trips (after batching
+///                         and pipeline overlap)
+///   "kv_peak_inflight_keys"  watermark: most keys any worker held in
+///                         flight at once (pipelining memory cost)
 class Metrics {
  public:
   Metrics() = default;

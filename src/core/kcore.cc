@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <memory>
+#include <span>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "kv/placement.h"
 #include "kv/sharded_store.h"
 
 namespace ampc::core {
@@ -71,28 +74,71 @@ KCoreResult AmpcKCore(sim::Cluster& cluster, const graph::Graph& g,
     });
 
     std::atomic<int64_t> changed{0};
-    cluster.RunMapPhase(
-        "HIndex", n, [&](int64_t item, sim::MachineContext& ctx) {
-          const NodeId v = static_cast<NodeId>(item);
-          const std::vector<NodeId>* adj = ctx.LookupLocal(adjacency, v);
-          // The h-index recomputation is one adaptive step needing every
-          // neighbor's published value: fetch them as one batch (one
-          // round trip per owning machine) instead of degree(v)
-          // synchronous lookups. High-degree neighbors are shared by
-          // many vertices of a machine, so their published values are
-          // served from the query cache after the first fetch each
+    cluster.RunBatchMapPhase(
+        "HIndex", n,
+        [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
+          // Each vertex's h-index recomputation is one adaptive step
+          // needing every neighbor's published value. The reads are
+          // independent across the worker's vertices, so the worker
+          // pipelines them: each vertex's neighbor list ships as
+          // sub-batch windows (one LookupManyAsync ticket each, at most
+          // max_batch_keys keys), with up to pipeline_depth tickets —
+          // usually spanning several vertices — in flight at once so
+          // their round trips overlap. High-degree neighbors are shared
+          // by many vertices of a machine, so their published values
+          // are served from the query cache after the first fetch each
           // round (the fresh per-round store resets the cache).
-          std::vector<uint64_t> keys(adj->begin(), adj->end());
-          const auto batch = ctx.LookupMany(values, keys);
+          struct Pending {
+            kv::LookupTicket<int32_t> ticket;
+            int64_t item;
+            bool last_window;  // the final window of the item's list
+          };
+          const size_t depth = static_cast<size_t>(ctx.pipeline_depth());
+          const int64_t max_keys = ctx.max_batch_keys();
+          std::deque<Pending> inflight;
+          // Neighbor values of the item currently settling. Tickets
+          // settle FIFO and an item's windows are issued contiguously,
+          // so the accumulator only ever holds one item's values.
           std::vector<int32_t> neighbor_values;
-          neighbor_values.reserve(batch.values.size());
-          for (const int32_t* value : batch.values) {
-            neighbor_values.push_back(value == nullptr ? 0 : *value);
+          auto settle_oldest = [&] {
+            Pending pending = std::move(inflight.front());
+            inflight.pop_front();
+            const kv::LookupBatchResult<int32_t> batch =
+                ctx.Await(pending.ticket);
+            for (const int32_t* value : batch.values) {
+              neighbor_values.push_back(value == nullptr ? 0 : *value);
+            }
+            if (pending.last_window) {
+              next[pending.item] = HIndex(neighbor_values);
+              if (next[pending.item] != result.coreness[pending.item]) {
+                changed.fetch_add(1, std::memory_order_relaxed);
+              }
+              neighbor_values.clear();
+            }
+          };
+          std::vector<uint64_t> keys;
+          for (const int64_t item : items) {
+            const NodeId v = static_cast<NodeId>(item);
+            const std::vector<NodeId>* adj = ctx.LookupLocal(adjacency, v);
+            const size_t degree = adj->size();
+            const size_t window = max_keys > 0
+                                      ? static_cast<size_t>(max_keys)
+                                      : std::max<size_t>(1, degree);
+            // An isolated vertex still issues one (empty) window so its
+            // h-index of zero settles through the same path.
+            size_t begin = 0;
+            do {
+              const size_t end = std::min(degree, begin + window);
+              keys.assign(adj->begin() + begin, adj->begin() + end);
+              if (inflight.size() == depth) settle_oldest();
+              inflight.push_back(Pending{
+                  ctx.LookupManyAsync(values,
+                                      std::span<const uint64_t>(keys)),
+                  item, end >= degree});
+              begin = end;
+            } while (begin < degree);
           }
-          next[item] = HIndex(neighbor_values);
-          if (next[item] != result.coreness[item]) {
-            changed.fetch_add(1, std::memory_order_relaxed);
-          }
+          while (!inflight.empty()) settle_oldest();
         });
     result.coreness.swap(next);
     if (changed.load() == 0) break;

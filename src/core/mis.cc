@@ -183,7 +183,7 @@ MisResult AmpcMis(sim::Cluster& cluster, const Graph& g, uint64_t seed) {
           }
           states.push_back(std::move(s));
         }
-        sim::DriveLookupLockstep(
+        sim::DriveLookupPipelined(
             ctx, store, states,
             [](const MisResolveState& s) { return s.done; },
             [](const MisResolveState& s) {

@@ -171,14 +171,14 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
     });
 
     // --- PrimSearch (batched map) ----------------------------------------
-    // Every worker runs its searches in lockstep: each adaptive step
+    // Every worker runs its searches together: each adaptive step
     // gathers the frontier vertex of every still-active search and
-    // fetches all their adjacencies with one LookupMany (one round trip
-    // per destination machine), instead of one synchronous round trip
-    // per expansion. Adjacencies that several searches of a machine
-    // expand — hub vertices, overlapping components — are served from
-    // the machine's query cache after the first fetch. Per-search
-    // semantics are unchanged.
+    // fetches all their adjacencies as pipelined sub-batch windows (up
+    // to pipeline_depth in flight, their round trips overlapped),
+    // instead of one synchronous round trip per expansion. Adjacencies
+    // that several searches of a machine expand — hub vertices,
+    // overlapping components — are served from the machine's query
+    // cache after the first fetch. Per-search semantics are unchanged.
     ConcurrentBag<EdgeId> found_edges;
     std::vector<NodeId> parent(n, kInvalidNode);
     cluster.RunBatchMapPhase(
@@ -198,7 +198,7 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
             for (const WAdj& e : *adj) s.heap.push(e);
             AdvancePrimSearch(s, round_seed, search_limit);
           }
-          sim::DriveLookupLockstep(
+          sim::DriveLookupPipelined(
               ctx, store, searches,
               [](const PrimSearchState& s) { return s.done; },
               [](const PrimSearchState& s) {
@@ -235,11 +235,12 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
     std::vector<NodeId> root_of(n);
     std::atomic<int64_t> max_chain{0};
     // Batched pointer jumping: all of a worker's chains advance one hop
-    // per adaptive step, and the step's parent fetches ship as one
-    // LookupMany — the round-trip bill scales with the longest chain
-    // times the destination count, not with the total hop count. Chains
-    // converge toward shared roots, so the query cache serves the hops
-    // near convergence locally (the Figure-4 caching win).
+    // per adaptive step, and the step's parent fetches ship as
+    // pipelined sub-batch windows — the round-trip bill scales with the
+    // longest chain times the destination count over the pipeline
+    // depth, not with the total hop count. Chains converge toward
+    // shared roots, so the query cache serves the hops near convergence
+    // locally (the Figure-4 caching win).
     cluster.RunBatchMapPhase(
         "PointerJump", n,
         [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
@@ -260,7 +261,7 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
               chains.push_back(Chain{item, next, 1, false});
             }
           }
-          sim::DriveLookupLockstep(
+          sim::DriveLookupPipelined(
               ctx, parent_store, chains,
               [](const Chain& c) { return c.done; },
               [](const Chain& c) { return static_cast<uint64_t>(c.cur); },

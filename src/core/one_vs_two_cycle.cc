@@ -59,10 +59,11 @@ CycleResult AmpcOneVsTwoCycle(sim::Cluster& cluster, const Graph& g,
     // next sample (or all the way around). The union of all walks covers
     // exactly the vertices of cycles containing at least one sample, so
     // comparing the covered count against n detects unsampled cycles.
-    // Each worker advances all of its samples' walks in lockstep: one
-    // LookupMany per adaptive step fetches the whole frontier's
-    // neighbor records (one round trip per destination machine) instead
-    // of one synchronous round trip per walk per hop.
+    // Each worker advances all of its samples' walks together: every
+    // adaptive step fetches the whole frontier's neighbor records as
+    // pipelined sub-batch windows (round trips of up to pipeline_depth
+    // windows overlapped) instead of one synchronous round trip per
+    // walk per hop.
     ConcurrentBag<std::pair<NodeId, NodeId>> contracted;
     std::vector<std::atomic<uint8_t>> covered(n);
     for (auto& c : covered) c.store(0, std::memory_order_relaxed);
@@ -109,7 +110,7 @@ CycleResult AmpcOneVsTwoCycle(sim::Cluster& cluster, const Graph& g,
             advance(w);
             if (!w.done) walks.push_back(w);
           }
-          sim::DriveLookupLockstep(
+          sim::DriveLookupPipelined(
               ctx, store, walks,
               [](const WalkState& w) { return w.done; },
               [](const WalkState& w) {

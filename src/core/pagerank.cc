@@ -45,15 +45,17 @@ NodeId NextHop(const std::vector<NodeId>* adj, int64_t n, double damping,
   return (*adj)[rng.NextBelow(adj->size())];
 }
 
-// One in-flight random walk of the lockstep frontier. Each worker
-// advances all of its walks together (sim::DriveLookupLockstep): every
+// One in-flight random walk of the batched frontier. Each worker
+// advances all of its walks together (sim::DriveLookupPipelined): every
 // adaptive step moves each active walk one hop and fetches the whole
-// frontier's adjacencies with a single LookupMany batch (one round trip
-// per destination machine) instead of one synchronous lookup per walk
-// per hop. Walk frontiers collide on hub vertices, so the query cache
-// serves repeated adjacency fetches locally — within a batch (duplicate
-// frontier keys are fetched once) and across steps. Per-walk RNG
-// streams are hash-seeded, so outputs match the scalar walk exactly.
+// frontier's adjacencies as bounded sub-batch windows, keeping up to
+// ClusterConfig::pipeline_depth windows in flight so their round trips
+// overlap (one serialized trip per destination per depth windows)
+// instead of one synchronous lookup per walk per hop. Walk frontiers
+// collide on hub vertices, so the query cache serves repeated adjacency
+// fetches locally — within a batch (duplicate frontier keys are fetched
+// once) and across steps. Per-walk RNG streams are hash-seeded, so
+// outputs match the scalar walk exactly.
 struct WalkState {
   Rng rng;
   NodeId v;
@@ -115,7 +117,7 @@ PageRankMcResult AmpcMonteCarloPageRank(sim::Cluster& cluster,
             advance(walks.back());
           }
         }
-        sim::DriveLookupLockstep(
+        sim::DriveLookupPipelined(
             ctx, *store, walks, WalkDone, WalkKey,
             [&](WalkState& w, const std::vector<NodeId>* adj) {
               w.adj = adj;
@@ -188,7 +190,7 @@ PageRankMcResult AmpcPersonalizedPageRank(sim::Cluster& cluster,
                 source, nullptr});
           }
         }
-        sim::DriveLookupLockstep(
+        sim::DriveLookupPipelined(
             ctx, *store, walks, WalkDone, WalkKey,
             [&](WalkState& w, const std::vector<NodeId>* adj) {
               w.adj = adj;
@@ -261,7 +263,7 @@ std::vector<std::vector<NodeId>> AmpcSampleWalks(sim::Cluster& cluster,
             advance(states.back());
           }
         }
-        sim::DriveLookupLockstep(
+        sim::DriveLookupPipelined(
             ctx, *store, states,
             [](const SampleState& s) { return s.done; },
             [](const SampleState& s) {

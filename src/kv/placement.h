@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -132,6 +133,46 @@ struct LookupBatchResult {
   std::vector<const V*> values;
   int64_t bytes = 0;
   int destinations = 0;
+};
+
+/// One in-flight pipelined sub-batch: the handle returned by
+/// sim::MachineContext::LookupManyAsync and settled by Await. The
+/// simulator resolves the values eagerly at issue time (the ticket
+/// carries them), but the *cost model* treats the sub-batch as in
+/// flight until Await: its round-trip latency overlaps with the other
+/// tickets the worker holds open (up to ClusterConfig::pipeline_depth
+/// are charged concurrently), and its keys count toward the worker's
+/// in-flight memory watermark (kv_peak_inflight_keys) until settled.
+template <typename V>
+struct LookupTicket {
+  /// Move-only: Await decrements the issuing context's outstanding
+  /// count exactly once per ticket, so a copy that could also be
+  /// awaited would corrupt the pipeline accounting. Moving transfers
+  /// the in-flight obligation; the moved-from ticket is left settled
+  /// and empty.
+  LookupTicket() = default;
+  LookupTicket(LookupTicket&& other) noexcept { *this = std::move(other); }
+  LookupTicket& operator=(LookupTicket&& other) noexcept {
+    result = std::move(other.result);
+    keys_in_flight = other.keys_in_flight;
+    settled = other.settled;
+    other.keys_in_flight = 0;
+    other.settled = true;
+    return *this;
+  }
+  LookupTicket(const LookupTicket&) = delete;
+  LookupTicket& operator=(const LookupTicket&) = delete;
+
+  /// The resolved response, populated at issue time. The first Await
+  /// consumes it (moves it out); a repeat Await charges nothing and
+  /// returns an empty response.
+  LookupBatchResult<V> result;
+  /// Keys this ticket holds in flight — request plus response footprint
+  /// — until Await settles it.
+  int64_t keys_in_flight = 0;
+  /// False while the ticket is outstanding. An empty issue starts
+  /// settled.
+  bool settled = true;
 };
 
 }  // namespace ampc::kv

@@ -52,9 +52,15 @@ class QueryCache {
  public:
   /// `capacity` total entries, split over `lock_shards` internal shards
   /// (each shard holds capacity / lock_shards entries and its own lock).
+  /// Effective lock shards are clamped to min(lock_shards, capacity):
+  /// with more shards than entries, the per-shard floor of one entry
+  /// would silently inflate tiny budgets (a capacity-4 cache with 8
+  /// lock shards could hold 8 entries), so capacity() never exceeds the
+  /// requested bound.
   explicit QueryCache(int64_t capacity, int lock_shards = 8) {
     AMPC_CHECK_GE(capacity, 1);
-    const int shards = std::max(1, lock_shards);
+    const int shards = static_cast<int>(
+        std::min<int64_t>(std::max(1, lock_shards), capacity));
     per_shard_capacity_ = std::max<int64_t>(1, capacity / shards);
     shards_.reserve(shards);
     for (int s = 0; s < shards; ++s) {

@@ -10,6 +10,7 @@ namespace ampc::sim {
 Cluster::Cluster(ClusterConfig config) : config_(config) {
   AMPC_CHECK_GE(config_.num_machines, 1);
   AMPC_CHECK_GE(config_.threads_per_machine, 1);
+  AMPC_CHECK_GE(config_.pipeline_depth, 1);
   const int logical_threads =
       config_.num_machines *
       (config_.multithreading ? config_.threads_per_machine : 1);
@@ -97,6 +98,7 @@ void Cluster::SettleMapPhase(const std::string& phase,
   int64_t total_queries = 0, total_trips = 0, total_batches = 0;
   int64_t total_bytes = 0, total_items = 0;
   int64_t total_hits = 0, total_misses = 0, hottest_served = 0;
+  int64_t peak_inflight = 0;
   std::vector<int64_t> served(per_machine.size(), 0);
   for (size_t m = 0; m < per_machine.size(); ++m) {
     const PhaseCounters& counters = per_machine[m];
@@ -111,6 +113,7 @@ void Cluster::SettleMapPhase(const std::string& phase,
     total_items += items;
     total_hits += counters.cache_hits.load();
     total_misses += counters.cache_misses.load();
+    peak_inflight = std::max(peak_inflight, counters.peak_inflight_keys.load());
     hottest_served = std::max(hottest_served, served_bytes);
     served[m] = served_bytes;
     // Client side: round-trip latency (one trip per scalar lookup, one
@@ -148,6 +151,13 @@ void Cluster::SettleMapPhase(const std::string& phase,
   metrics_.Add("map_items", total_items);
   metrics_.Add("cache_hits", total_hits);
   metrics_.Add("cache_misses", total_misses);
+  // A watermark, not a sum: the metric holds the largest per-worker
+  // in-flight key count seen by any phase so far (settles run serially,
+  // so the read-then-top-up is race-free).
+  const int64_t prior_peak = metrics_.Get("kv_peak_inflight_keys");
+  if (peak_inflight > prior_peak) {
+    metrics_.Add("kv_peak_inflight_keys", peak_inflight - prior_peak);
+  }
   metrics_.AddTime("sim:" + phase, sim);
   metrics_.AddTime("sim_total", sim);
   metrics_.AddTime("wall:" + phase, wall_seconds);
@@ -283,13 +293,20 @@ void Cluster::RunMapPhaseImpl(
       const int64_t lo = begin + span * w / workers;
       const int64_t hi = begin + span * (w + 1) / workers;
       pool_->Schedule([&, m, w, lo, hi] {
-        MachineContext ctx(
-            this, &counters, m, w,
-            Hash64(HashCombine(Hash64(m, config_.seed), w),
-                   HashCombine(config_.seed, std::hash<std::string>{}(phase))));
-        slice_fn(std::span<const int64_t>(buckets.data() + lo, hi - lo),
-                 ctx);
-        counters[m].items.fetch_add(hi - lo, std::memory_order_relaxed);
+        {
+          // Scoped so the context's destructor — which settles any
+          // deferred pipeline trips and folds the worker's in-flight
+          // watermark into the counters — runs before the latch
+          // releases the settle.
+          MachineContext ctx(
+              this, &counters, m, w,
+              Hash64(HashCombine(Hash64(m, config_.seed), w),
+                     HashCombine(config_.seed,
+                                 std::hash<std::string>{}(phase))));
+          slice_fn(std::span<const int64_t>(buckets.data() + lo, hi - lo),
+                   ctx);
+          counters[m].items.fetch_add(hi - lo, std::memory_order_relaxed);
+        }
         std::unique_lock<std::mutex> lock(latch.mu);
         if (--latch.remaining == 0) latch.cv.notify_all();
       });

@@ -22,7 +22,7 @@
 // costly round (Table 3 counts these); KV writes and map rounds are cheap
 // rounds.
 //
-// Reads flow through a three-stage lookup pipeline (Section 5.3), each
+// Reads flow through a four-stage lookup pipeline (Section 5.3), each
 // stage an independently togglable Figure-4 optimization axis:
 //
 //   1. query cache   — each machine's bounded kv::QueryCache answers
@@ -31,10 +31,19 @@
 //   2. batch coalesce — LookupMany groups one adaptive step's misses by
 //                      owning machine; duplicate keys in a batch are
 //                      fetched once; ClusterConfig::batch_lookups.
-//   3. per-destination trips — each sub-batch (bounded by
+//   3. pipeline      — a worker keeps up to
+//                      ClusterConfig::pipeline_depth sub-batches in
+//                      flight (LookupManyAsync/Await tickets); the
+//                      round-trip latencies of concurrently in-flight
+//                      sub-batches overlap, so a destination contacted
+//                      by w in-flight windows costs ceil(w / depth)
+//                      serialized trips instead of w. depth = 1 is
+//                      strict lockstep, the bit-identical baseline.
+//   4. per-destination trips — each sub-batch (bounded by
 //                      ClusterConfig::max_batch_keys, the adaptive
 //                      sub-batching knob) pays one round-trip latency
-//                      per distinct destination machine.
+//                      per distinct destination machine; bytes stay
+//                      charged per machine, max-over-machines.
 //
 // The multithreading toggle (overlapping trips across a machine's worker
 // threads) completes the Figure-4 ablation grid. None of the toggles
@@ -44,6 +53,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -103,16 +113,32 @@ struct ClusterConfig {
   /// model differs).
   bool batch_lookups = true;
   /// Adaptive sub-batching: the most keys one in-flight LookupMany
-  /// sub-batch may carry, and the frontier window DriveLookupLockstep
-  /// gathers per adaptive step. Huge lockstep frontiers split into
-  /// sub-batches of this size — each sub-batch still pays one trip per
-  /// distinct destination machine, preserving the batching
-  /// amortization, but a worker never holds every in-flight request and
-  /// response at once. <= 0 disables splitting (one sub-batch per
-  /// call). The default is tuned so typical per-worker frontiers at
-  /// this library's benchmark scale stay whole while hub-degree and
-  /// giant-frontier outliers are bounded.
+  /// sub-batch may carry, and the frontier window DriveLookupPipelined
+  /// gathers per adaptive step. Huge frontiers split into sub-batches
+  /// of this size — each sub-batch still pays one trip per distinct
+  /// destination machine, preserving the batching amortization, but a
+  /// worker never holds every in-flight request and response at once.
+  /// <= 0 disables splitting (one sub-batch per call). The default is
+  /// tuned so typical per-worker frontiers at this library's benchmark
+  /// scale stay whole while hub-degree and giant-frontier outliers are
+  /// bounded.
   int64_t max_batch_keys = 4096;
+  /// Bounded-depth pipelining of asynchronous lookups — the third
+  /// Section 5.3 client optimization, after caching and batching. A
+  /// worker keeps up to this many sub-batches in flight at once
+  /// (MachineContext::LookupManyAsync issues a ticket, Await settles
+  /// it; DriveLookupPipelined and LookupMany drive the pattern), and
+  /// the round-trip latencies of concurrently in-flight sub-batches
+  /// overlap: per adaptive step (one fully drained pipeline), a
+  /// destination machine contacted by w in-flight windows costs
+  /// ceil(w / pipeline_depth) serialized trips instead of w, while
+  /// bytes stay charged per machine (client NIC receives, owning
+  /// shard's NIC serves, max-over-machines) exactly as in lockstep.
+  /// 1 = strict lockstep, the bit-identical ablation baseline (the
+  /// pre-pipelining cost model). The memory trade-off is depth x
+  /// max_batch_keys keys held in flight per worker; the
+  /// kv_peak_inflight_keys metric measures the realized peak.
+  int pipeline_depth = 4;
   /// Key -> machine placement policy, shared by every store minted with
   /// MakeStore and by the work-item placement of map phases.
   kv::PlacementPolicy placement_policy = kv::PlacementPolicy::kHash;
@@ -362,6 +388,11 @@ class Cluster {
     std::atomic<int64_t> items{0};
     std::atomic<int64_t> cache_hits{0};
     std::atomic<int64_t> cache_misses{0};
+    // Peak keys any of this machine's workers held in flight at once
+    // (outstanding LookupManyAsync tickets; max-merged, not summed) —
+    // the measured side of the pipeline_depth x max_batch_keys memory
+    // trade-off.
+    std::atomic<int64_t> peak_inflight_keys{0};
     // Charged to the machine whose shard *serves* the lookup (server
     // side): its NIC ships the record regardless of who asked.
     std::atomic<int64_t> kv_served_bytes{0};
@@ -443,7 +474,18 @@ class MachineContext {
         counters_(&(*all_counters)[machine_id]),
         machine_id_(machine_id),
         worker_id_(worker_id),
-        rng_(rng_seed) {}
+        rng_(rng_seed),
+        destination_seen_(all_counters->size(), 0),
+        pipeline_window_counts_(all_counters->size(), 0) {}
+
+  MachineContext(const MachineContext&) = delete;
+  MachineContext& operator=(const MachineContext&) = delete;
+
+  // Settles any trips still deferred behind un-awaited tickets and
+  // folds the worker's in-flight-keys watermark into the phase
+  // counters (callers normally drain their tickets; this is the
+  // backstop that keeps the cost model complete either way).
+  ~MachineContext() { FlushPipelineTrips(); }
 
   int machine_id() const { return machine_id_; }
   int worker_id() const { return worker_id_; }
@@ -454,11 +496,19 @@ class MachineContext {
   }
 
   /// Sub-batch bound for batched lookups (ClusterConfig::max_batch_keys;
-  /// <= 0 = unbounded). DriveLookupLockstep gathers frontier windows of
-  /// at most this many keys per LookupMany call.
+  /// <= 0 = unbounded). DriveLookupPipelined gathers frontier windows of
+  /// at most this many keys per sub-batch.
   int64_t max_batch_keys() const { return cluster_->config().max_batch_keys; }
 
-  /// Looks up `key` through the three-stage pipeline: the machine's
+  /// Pipeline depth for asynchronous lookups
+  /// (ClusterConfig::pipeline_depth, clamped to >= 1): how many
+  /// sub-batch tickets a worker keeps in flight at once, and the
+  /// divisor of the serialized-trip charge at pipeline drain.
+  int pipeline_depth() const {
+    return std::max(1, cluster_->config().pipeline_depth);
+  }
+
+  /// Looks up `key` through the lookup pipeline: the machine's
   /// query cache first (a hit is served locally — cache_hits, no trip,
   /// no owner bytes), then the remote shard, charging one round trip to
   /// this machine and the record's wire size to the shard-owning machine
@@ -482,6 +532,9 @@ class MachineContext {
       }
     }
     counters_->kv_lookup_trips.fetch_add(1, std::memory_order_relaxed);
+    // A scalar miss momentarily holds one key in flight on top of any
+    // open tickets.
+    peak_inflight_keys_ = std::max(peak_inflight_keys_, inflight_keys_ + 1);
     const V* value = store.Lookup(key);
     const int64_t bytes =
         value == nullptr ? kv::kKeyBytes : kv::kKeyBytes + kv::KvByteSize(*value);
@@ -495,91 +548,170 @@ class MachineContext {
     return value;
   }
 
-  /// Batched lookup: resolves every key of one adaptive step together
-  /// through the three-stage pipeline — query cache, batch coalescing,
-  /// per-destination trips. Cache hits (including duplicate keys within
-  /// the batch, which are fetched once and hit thereafter) are served
-  /// locally: no trip, no wire bytes on either side. The misses of each
-  /// sub-batch (at most max_batch_keys keys; see adaptive sub-batching)
-  /// are grouped by owning machine and pay one round trip per distinct
-  /// destination — not one per key — while bytes stay charged per
-  /// machine exactly as scalar Lookup charges them (client NIC
-  /// receives, owning shard's NIC serves, no thread overlap of either).
-  /// With config.batch_lookups == false every missed key is charged a
-  /// full trip, modeling the unbatched client (caching still applies,
-  /// so the Figure-4 axes stay independent); returned values are
-  /// identical under every toggle combination. values[i] answers
-  /// keys[i] (nullptr = absent).
+  /// Issues one pipelined sub-batch asynchronously: resolves `keys`
+  /// (one window, at most max_batch_keys of them — DriveLookupPipelined
+  /// and LookupMany enforce the bound) through the cache and batch
+  /// coalescing stages immediately, but leaves the sub-batch's
+  /// round-trip latency *in flight* until Await settles the returned
+  /// ticket. All sub-batches issued between two full drains of the
+  /// worker's pipeline (outstanding tickets returning to zero — one
+  /// adaptive step under the drivers) overlap: a destination contacted
+  /// by w of them is charged ceil(w / pipeline_depth) serialized trips
+  /// at the drain, not w. Everything else is charged at issue time
+  /// exactly as the synchronous path charges it — cache hits are free,
+  /// bytes go to the client and the owning shard's machine, duplicate
+  /// keys within the window are fetched once — and the epoch is
+  /// captured per issued window, so a write phase settling between two
+  /// in-flight windows can never hand the later window a stale cached
+  /// value. With batch_lookups == false the scalar client pays one
+  /// full trip per miss at issue time and the pipeline overlaps
+  /// nothing (pipelining is an optimization of the batched client).
   template <typename V>
-  kv::LookupBatchResult<V> LookupMany(const kv::ShardedStore<V>& store,
+  kv::LookupTicket<V> LookupManyAsync(const kv::ShardedStore<V>& store,
                                       std::span<const uint64_t> keys) {
     CheckStoreMatchesCluster(store);
-    kv::LookupBatchResult<V> result;
-    if (keys.empty()) return result;
-    result.values.reserve(keys.size());
+    kv::LookupTicket<V> ticket;
+    if (keys.empty()) return ticket;
+    ticket.result.values.reserve(keys.size());
     const bool batching = cluster_->config().batch_lookups;
-    const int64_t max_keys = cluster_->config().max_batch_keys;
-    const size_t sub_batch =
-        max_keys > 0 ? static_cast<size_t>(max_keys) : keys.size();
     kv::QueryCache<const V*>* cache =
         caching_enabled() ? store.QueryCacheFor(machine_id_) : nullptr;
-    // Version captured before any fetch: a concurrent write phase
-    // invalidates every entry this batch inserts.
+    // Epoch captured per sub-batch window, not per multi-window call: in
+    // the async model a write phase can settle while earlier windows are
+    // still in flight, and entries this window inserts must be stamped
+    // against the store as this window saw it.
     const uint64_t epoch = cache != nullptr ? store.version() : 0;
-    int64_t trips = 0, batches = 0, hits = 0, misses = 0;
-    for (size_t begin = 0; begin < keys.size(); begin += sub_batch) {
-      const size_t end = std::min(keys.size(), begin + sub_batch);
-      destination_seen_.assign(static_cast<size_t>(store.num_shards()), 0);
-      int sub_destinations = 0;
-      int64_t sub_misses = 0;
-      for (size_t i = begin; i < end; ++i) {
-        const uint64_t key = keys[i];
-        if (cache != nullptr) {
-          if (const std::optional<const V*> hit = cache->Get(key, epoch)) {
-            ++hits;
-            result.values.push_back(*hit);
-            continue;
-          }
+    int sub_destinations = 0;
+    int64_t sub_misses = 0, hits = 0;
+    for (const uint64_t key : keys) {
+      if (cache != nullptr) {
+        if (const std::optional<const V*> hit = cache->Get(key, epoch)) {
+          ++hits;
+          ticket.result.values.push_back(*hit);
+          continue;
         }
-        const V* value = store.Lookup(key);
-        const int64_t bytes = value == nullptr
-                                  ? kv::kKeyBytes
-                                  : kv::kKeyBytes + kv::KvByteSize(*value);
-        const int shard = store.ShardOf(key);
-        if (!destination_seen_[shard]) {
-          destination_seen_[shard] = 1;
-          ++sub_destinations;
-        }
-        ++sub_misses;
-        result.bytes += bytes;
-        (*all_counters_)[shard].kv_served_bytes.fetch_add(
-            bytes, std::memory_order_relaxed);
-        if (cache != nullptr) cache->Put(key, epoch, value);
-        result.values.push_back(value);
       }
-      result.destinations += sub_destinations;
-      trips += batching ? sub_destinations : sub_misses;
-      // With batching disabled the client model is scalar: no batch is
-      // considered to have been formed, so the metric stays zero and
-      // ablation tables read cleanly. A fully cache-served sub-batch
-      // likewise forms no wire batch.
-      if (batching && (cache == nullptr || sub_misses > 0)) ++batches;
+      const V* value = store.Lookup(key);
+      const int64_t bytes = value == nullptr
+                                ? kv::kKeyBytes
+                                : kv::kKeyBytes + kv::KvByteSize(*value);
+      const int shard = store.ShardOf(key);
+      if (!destination_seen_[shard]) {
+        destination_seen_[shard] = 1;
+        touched_destinations_.push_back(shard);
+        ++sub_destinations;
+      }
+      ++sub_misses;
+      ticket.result.bytes += bytes;
+      (*all_counters_)[shard].kv_served_bytes.fetch_add(
+          bytes, std::memory_order_relaxed);
+      if (cache != nullptr) cache->Put(key, epoch, value);
+      ticket.result.values.push_back(value);
     }
-    misses = cache != nullptr
-                 ? static_cast<int64_t>(keys.size()) - hits
-                 : 0;
+    // Reset only the destinations this window touched (the flags array
+    // is O(machines); re-zeroing it wholesale made every forced small
+    // window cost O(windows x machines)), and roll the window's
+    // destinations into the in-flight overlap group.
+    for (const int shard : touched_destinations_) {
+      destination_seen_[shard] = 0;
+      if (batching && pipeline_window_counts_[shard]++ == 0) {
+        touched_pipeline_destinations_.push_back(shard);
+      }
+    }
+    touched_destinations_.clear();
+    ticket.result.destinations = sub_destinations;
     counters_->kv_queries.fetch_add(static_cast<int64_t>(keys.size()),
                                     std::memory_order_relaxed);
-    counters_->kv_lookup_trips.fetch_add(trips, std::memory_order_relaxed);
-    counters_->kv_batches.fetch_add(batches, std::memory_order_relaxed);
     if (hits != 0) {
       counters_->cache_hits.fetch_add(hits, std::memory_order_relaxed);
     }
-    if (misses != 0) {
-      counters_->cache_misses.fetch_add(misses, std::memory_order_relaxed);
+    if (cache != nullptr && sub_misses != 0) {
+      counters_->cache_misses.fetch_add(sub_misses,
+                                        std::memory_order_relaxed);
     }
-    counters_->kv_read_bytes.fetch_add(result.bytes,
+    counters_->kv_read_bytes.fetch_add(ticket.result.bytes,
                                        std::memory_order_relaxed);
+    // With batching disabled the client model is scalar: every miss
+    // pays a full trip at issue time, no wire batch is formed, and the
+    // pipeline has nothing to overlap. A fully cache-served sub-batch
+    // likewise forms no wire batch.
+    if (!batching) {
+      counters_->kv_lookup_trips.fetch_add(sub_misses,
+                                           std::memory_order_relaxed);
+    } else if (cache == nullptr || sub_misses > 0) {
+      counters_->kv_batches.fetch_add(1, std::memory_order_relaxed);
+    }
+    ticket.keys_in_flight = static_cast<int64_t>(keys.size());
+    ticket.settled = false;
+    ++outstanding_tickets_;
+    inflight_keys_ += ticket.keys_in_flight;
+    peak_inflight_keys_ = std::max(peak_inflight_keys_, inflight_keys_);
+    return ticket;
+  }
+
+  /// Settles a ticket issued by LookupManyAsync and returns its
+  /// response, consuming it (the first Await moves the result out; a
+  /// repeat Await on the same — or a moved-from — ticket charges
+  /// nothing and returns an empty response). When the settle drains the
+  /// worker's pipeline (no ticket left outstanding — the end of an
+  /// adaptive step), the deferred round-trip latency of the drained
+  /// group is charged: ceil(windows / pipeline_depth) trips per
+  /// destination contacted.
+  template <typename V>
+  kv::LookupBatchResult<V> Await(kv::LookupTicket<V>& ticket) {
+    if (!ticket.settled) {
+      ticket.settled = true;
+      inflight_keys_ -= ticket.keys_in_flight;
+      ticket.keys_in_flight = 0;
+      if (--outstanding_tickets_ == 0) FlushPipelineTrips();
+    }
+    return std::move(ticket.result);
+  }
+
+  /// Batched lookup: resolves every key of one adaptive step together
+  /// through the four-stage pipeline — query cache, batch coalescing,
+  /// pipelining, per-destination trips. Cache hits (including duplicate
+  /// keys within the batch, which are fetched once and hit thereafter)
+  /// are served locally: no trip, no wire bytes on either side. The
+  /// misses of each sub-batch (at most max_batch_keys keys; see
+  /// adaptive sub-batching) are grouped by owning machine and pay one
+  /// round trip per distinct destination — not one per key — while
+  /// bytes stay charged per machine exactly as scalar Lookup charges
+  /// them (client NIC receives, owning shard's NIC serves, no thread
+  /// overlap of either). Up to pipeline_depth sub-batches are kept in
+  /// flight (LookupManyAsync tickets), so with depth > 1 a destination
+  /// contacted by w windows of the call costs ceil(w / depth)
+  /// serialized trips; depth = 1 reproduces lockstep charging
+  /// bit-identically. With config.batch_lookups == false every missed
+  /// key is charged a full trip, modeling the unbatched client (caching
+  /// still applies, so the Figure-4 axes stay independent); returned
+  /// values are identical under every toggle combination. values[i]
+  /// answers keys[i] (nullptr = absent).
+  template <typename V>
+  kv::LookupBatchResult<V> LookupMany(const kv::ShardedStore<V>& store,
+                                      std::span<const uint64_t> keys) {
+    kv::LookupBatchResult<V> result;
+    if (keys.empty()) return result;
+    result.values.reserve(keys.size());
+    const int64_t max_keys = cluster_->config().max_batch_keys;
+    const size_t window =
+        max_keys > 0 ? static_cast<size_t>(max_keys) : keys.size();
+    const size_t depth = static_cast<size_t>(pipeline_depth());
+    std::deque<kv::LookupTicket<V>> inflight;
+    const auto settle_oldest = [&] {
+      kv::LookupBatchResult<V> part = Await(inflight.front());
+      inflight.pop_front();
+      result.values.insert(result.values.end(), part.values.begin(),
+                           part.values.end());
+      result.bytes += part.bytes;
+      result.destinations += part.destinations;
+    };
+    for (size_t begin = 0; begin < keys.size(); begin += window) {
+      if (inflight.size() == depth) settle_oldest();
+      const size_t count = std::min(window, keys.size() - begin);
+      inflight.push_back(LookupManyAsync(store, keys.subspan(begin, count)));
+    }
+    while (!inflight.empty()) settle_oldest();
     return result;
   }
 
@@ -627,39 +759,73 @@ class MachineContext {
         << "store placement disagrees with the cluster (use MakeStore)";
   }
 
+  static void AtomicMaxRelaxed(std::atomic<int64_t>& target, int64_t value) {
+    int64_t seen = target.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !target.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  // Charges the deferred round-trip latency of the drained overlap
+  // group — every sub-batch issued since the last drain: a destination
+  // contacted by w of those windows costs ceil(w / pipeline_depth)
+  // serialized trips (depth = 1 degenerates to one trip per window per
+  // destination, the lockstep charge). Also folds the worker's
+  // in-flight-keys watermark into the machine's phase counters.
+  void FlushPipelineTrips() {
+    const int64_t depth = static_cast<int64_t>(pipeline_depth());
+    int64_t trips = 0;
+    for (const int shard : touched_pipeline_destinations_) {
+      const int64_t windows = pipeline_window_counts_[shard];
+      pipeline_window_counts_[shard] = 0;
+      trips += (windows + depth - 1) / depth;
+    }
+    touched_pipeline_destinations_.clear();
+    if (trips != 0) {
+      counters_->kv_lookup_trips.fetch_add(trips, std::memory_order_relaxed);
+    }
+    if (peak_inflight_keys_ != 0) {
+      AtomicMaxRelaxed(counters_->peak_inflight_keys, peak_inflight_keys_);
+    }
+  }
+
   Cluster* cluster_;
   std::vector<Cluster::PhaseCounters>* all_counters_;
   Cluster::PhaseCounters* counters_;
   int machine_id_;
   int worker_id_;
   Rng rng_;
-  // Scratch distinct-destination flags reused across LookupMany calls
-  // (contexts are per worker, so no synchronization is needed).
+  // Scratch distinct-destination flags for the sub-batch being issued,
+  // with the list of flags actually set — resetting only those keeps a
+  // window O(keys + touched), not O(machines). Contexts are per worker,
+  // so no synchronization is needed on any of the state below.
   std::vector<uint8_t> destination_seen_;
+  std::vector<int> touched_destinations_;
+  // The in-flight overlap group: how many outstanding-or-settled
+  // windows contacted each destination since the pipeline last drained,
+  // plus the list of destinations with a nonzero count.
+  std::vector<int64_t> pipeline_window_counts_;
+  std::vector<int> touched_pipeline_destinations_;
+  int64_t outstanding_tickets_ = 0;
+  int64_t inflight_keys_ = 0;
+  int64_t peak_inflight_keys_ = 0;
 };
 
-/// Drives a worker's batched state machines in lockstep — the shared
-/// scaffold of every RunBatchMapPhase algorithm. Each adaptive step
-/// gathers the pending key of every unfinished state, resolves them
-/// with LookupMany (one round trip per destination machine, cache hits
-/// served locally), and feeds each record back through `resume`.
-/// Adaptive sub-batching: a frontier larger than
-/// ClusterConfig::max_batch_keys is processed in bounded windows — one
-/// LookupMany of at most max_batch_keys keys each — so a worker never
-/// materializes every in-flight request and response at once while each
-/// window keeps the per-destination trip amortization. Callers
-/// initialize their states (running them up to their first pending
-/// lookup) and harvest results afterwards; `done(state)` says whether a
-/// state needs no more lookups, `pending_key(state)` names the key it
-/// is waiting on, and `resume(state, value)` consumes the fetched
-/// record and advances the state to its next pending lookup or to
-/// completion.
+namespace internal {
+
+/// Shared scaffold of the lockstep and pipelined drivers: each adaptive
+/// step gathers the pending key of every unfinished state into bounded
+/// frontier windows (at most ClusterConfig::max_batch_keys keys each),
+/// keeps up to `depth` windows in flight as LookupManyAsync tickets,
+/// and feeds each settled window's records back through `resume`.
 template <typename V, typename State, typename DoneFn, typename KeyFn,
           typename ResumeFn>
-void DriveLookupLockstep(MachineContext& ctx,
-                         const kv::ShardedStore<V>& store,
-                         std::vector<State>& states, DoneFn&& done,
-                         KeyFn&& pending_key, ResumeFn&& resume) {
+void DriveLookupWindows(MachineContext& ctx,
+                        const kv::ShardedStore<V>& store,
+                        std::vector<State>& states, DoneFn&& done,
+                        KeyFn&& pending_key, ResumeFn&& resume,
+                        size_t depth) {
   std::vector<size_t> active;
   active.reserve(states.size());
   for (size_t i = 0; i < states.size(); ++i) {
@@ -668,25 +834,97 @@ void DriveLookupLockstep(MachineContext& ctx,
   const int64_t max_keys = ctx.max_batch_keys();
   const size_t window = max_keys > 0 ? static_cast<size_t>(max_keys)
                                      : std::max<size_t>(1, active.size());
+  depth = std::max<size_t>(1, depth);
+  // One in-flight frontier window: the sub-batch ticket plus the slice
+  // of `active` it answers. Windows settle in issue (FIFO) order, so
+  // the compaction cursor `out` below never overtakes an unsettled
+  // window's slice.
+  struct InflightWindow {
+    kv::LookupTicket<V> ticket;
+    size_t begin;
+    size_t end;
+  };
+  std::deque<InflightWindow> inflight;
   std::vector<uint64_t> keys;
   keys.reserve(std::min(window, active.size()));
   while (!active.empty()) {
     size_t out = 0;
+    const auto settle_oldest = [&] {
+      InflightWindow w = std::move(inflight.front());
+      inflight.pop_front();
+      const kv::LookupBatchResult<V> batch = ctx.Await(w.ticket);
+      for (size_t j = w.begin; j < w.end; ++j) {
+        State& state = states[active[j]];
+        resume(state, batch.values[j - w.begin]);
+        if (!done(state)) active[out++] = active[j];
+      }
+    };
     for (size_t begin = 0; begin < active.size(); begin += window) {
       const size_t end = std::min(active.size(), begin + window);
+      if (inflight.size() == depth) settle_oldest();
       keys.clear();
       for (size_t j = begin; j < end; ++j) {
         keys.push_back(pending_key(states[active[j]]));
       }
-      const kv::LookupBatchResult<V> batch = ctx.LookupMany(store, keys);
-      for (size_t j = begin; j < end; ++j) {
-        State& state = states[active[j]];
-        resume(state, batch.values[j - begin]);
-        if (!done(state)) active[out++] = active[j];
-      }
+      inflight.push_back(InflightWindow{
+          ctx.LookupManyAsync(store, std::span<const uint64_t>(keys)),
+          begin, end});
     }
+    // Drain the step: the pending keys of the next step depend on every
+    // resume of this one, and the drain is what closes the overlap
+    // group the cost model charges.
+    while (!inflight.empty()) settle_oldest();
     active.resize(out);
   }
+}
+
+}  // namespace internal
+
+/// Drives a worker's batched state machines with bounded-depth
+/// pipelining — the shared scaffold of every RunBatchMapPhase
+/// algorithm, and the third Section 5.3 client optimization. Each
+/// adaptive step gathers the pending key of every unfinished state into
+/// frontier windows of at most ClusterConfig::max_batch_keys keys and
+/// keeps up to ClusterConfig::pipeline_depth windows in flight at once
+/// (LookupManyAsync tickets, settled FIFO): the in-flight windows'
+/// round-trip latencies overlap, so a destination contacted by w of a
+/// step's windows costs ceil(w / depth) serialized trips instead of w,
+/// while a worker holds at most depth x max_batch_keys keys in flight.
+/// depth = 1 is strict lockstep (DriveLookupLockstep), the
+/// bit-identical ablation baseline. Callers initialize their states
+/// (running them up to their first pending lookup) and harvest results
+/// afterwards; `done(state)` says whether a state needs no more
+/// lookups, `pending_key(state)` names the key it is waiting on, and
+/// `resume(state, value)` consumes the fetched record and advances the
+/// state to its next pending lookup or to completion. Values are
+/// identical at every depth: windows are resolved and resumed in the
+/// same order regardless of how many are in flight.
+template <typename V, typename State, typename DoneFn, typename KeyFn,
+          typename ResumeFn>
+void DriveLookupPipelined(MachineContext& ctx,
+                          const kv::ShardedStore<V>& store,
+                          std::vector<State>& states, DoneFn&& done,
+                          KeyFn&& pending_key, ResumeFn&& resume) {
+  internal::DriveLookupWindows(
+      ctx, store, states, std::forward<DoneFn>(done),
+      std::forward<KeyFn>(pending_key), std::forward<ResumeFn>(resume),
+      static_cast<size_t>(ctx.pipeline_depth()));
+}
+
+/// The depth-1 specialization of DriveLookupPipelined: strict lockstep
+/// (each frontier window settles before the next is issued) regardless
+/// of ClusterConfig::pipeline_depth — the historical driver, kept as
+/// the explicit ablation baseline.
+template <typename V, typename State, typename DoneFn, typename KeyFn,
+          typename ResumeFn>
+void DriveLookupLockstep(MachineContext& ctx,
+                         const kv::ShardedStore<V>& store,
+                         std::vector<State>& states, DoneFn&& done,
+                         KeyFn&& pending_key, ResumeFn&& resume) {
+  internal::DriveLookupWindows(
+      ctx, store, states, std::forward<DoneFn>(done),
+      std::forward<KeyFn>(pending_key), std::forward<ResumeFn>(resume),
+      /*depth=*/1);
 }
 
 template <typename V, typename Producer>

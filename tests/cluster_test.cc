@@ -663,7 +663,9 @@ TEST(ClusterTest, CachingSkipsTripsEvenWithBatchingOff) {
 
 // A bounded sub-batch pays one trip per distinct destination *per
 // sub-batch*: range placement over two machines makes the arithmetic
-// exact. Values are identical regardless of the bound.
+// exact. Values are identical regardless of the bound. Pipelining is
+// pinned off (depth 1): the lockstep charge is the baseline the
+// pipelined tests below discount from.
 TEST(ClusterTest, SubBatchingSplitsTripAccounting) {
   auto run = [](int64_t max_batch_keys) {
     ClusterConfig config;
@@ -672,6 +674,7 @@ TEST(ClusterTest, SubBatchingSplitsTripAccounting) {
     config.placement_policy = kv::PlacementPolicy::kRange;
     config.query_cache.enabled = false;
     config.max_batch_keys = max_batch_keys;
+    config.pipeline_depth = 1;
     Cluster cluster(config);
     const int64_t n = 64;  // range placement: keys 0-31 -> m0, 32-63 -> m1
     kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
@@ -699,6 +702,355 @@ TEST(ClusterTest, SubBatchingSplitsTripAccounting) {
   EXPECT_EQ(trips_sub, 8);
   EXPECT_EQ(batches_sub, 8);
   EXPECT_EQ(sum_sub, sum_whole);
+}
+
+// --- Pipelined lookups (ClusterConfig::pipeline_depth) --------------------
+
+// The pipelined trip discount, pinned exactly: range placement over two
+// machines, 64 keys in windows of 8 — windows 0-3 wholly on machine 0,
+// 4-7 on machine 1. One LookupMany forms one overlap group of 8
+// windows, so each destination's 4 windows serialize into
+// ceil(4 / depth) trips. Values and batches are depth-invariant.
+TEST(ClusterTest, PipelinedSubBatchesOverlapTrips) {
+  auto run = [](int pipeline_depth) {
+    ClusterConfig config;
+    config.num_machines = 2;
+    config.threads_per_machine = 1;
+    config.placement_policy = kv::PlacementPolicy::kRange;
+    config.query_cache.enabled = false;
+    config.max_batch_keys = 8;
+    config.pipeline_depth = pipeline_depth;
+    Cluster cluster(config);
+    const int64_t n = 64;
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+    cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k * 2; });
+    std::vector<uint64_t> keys(n);
+    for (int64_t k = 0; k < n; ++k) keys[k] = static_cast<uint64_t>(k);
+    std::atomic<int64_t> sum{0};
+    cluster.RunMapPhase("r", 1, [&](int64_t, MachineContext& ctx) {
+      const auto batch = ctx.LookupMany(store, keys);
+      int64_t local = 0;
+      for (const int64_t* v : batch.values) local += *v;
+      sum.fetch_add(local);
+    });
+    return std::tuple<int64_t, int64_t, int64_t>(
+        cluster.metrics().Get("kv_lookup_trips"),
+        cluster.metrics().Get("kv_batches"), sum.load());
+  };
+  const auto [trips1, batches1, sum1] = run(1);
+  const auto [trips2, batches2, sum2] = run(2);
+  const auto [trips4, batches4, sum4] = run(4);
+  const auto [trips8, batches8, sum8] = run(8);
+  EXPECT_EQ(trips1, 8);  // lockstep: one trip per window per destination
+  EXPECT_EQ(trips2, 4);  // ceil(4/2) per destination
+  EXPECT_EQ(trips4, 2);  // ceil(4/4) per destination
+  EXPECT_EQ(trips8, 2);  // ceil never drops below one trip
+  EXPECT_EQ(batches1, 8);
+  EXPECT_EQ(batches4, 8);  // every window still ships as a wire batch
+  EXPECT_EQ(batches8, 8);
+  EXPECT_EQ(sum2, sum1);
+  EXPECT_EQ(sum4, sum1);
+  EXPECT_EQ(sum8, sum1);
+}
+
+// The async primitives directly: tickets resolve to exactly what the
+// store holds, and the drained overlap group charges ceil(windows /
+// depth) serialized trips per destination.
+TEST(ClusterTest, AsyncTicketsResolveValuesAndChargeCeilTrips) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  config.placement_policy = kv::PlacementPolicy::kRange;
+  config.query_cache.enabled = false;
+  config.pipeline_depth = 2;
+  Cluster cluster(config);
+  const int64_t n = 64;  // range placement: keys 0-31 -> m0, 32-63 -> m1
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+  cluster.RunKvWritePhase("w", store, 32, [](int64_t k) { return k + 100; });
+  cluster.RunMapPhase("r", 1, [&](int64_t, MachineContext& ctx) {
+    // Three windows to machine 0 (one holding an absent key), one to
+    // machine 1, all in flight together: m0 charges ceil(3/2) = 2
+    // trips, m1 ceil(1/2) = 1.
+    const std::vector<std::vector<uint64_t>> windows = {
+        {0, 1}, {2, 3}, {30, 31}, {40, 41}};
+    std::vector<kv::LookupTicket<int64_t>> tickets;
+    for (const auto& w : windows) {
+      tickets.push_back(ctx.LookupManyAsync(store, w));
+    }
+    for (size_t i = 0; i < windows.size(); ++i) {
+      const auto batch = ctx.Await(tickets[i]);
+      ASSERT_EQ(batch.values.size(), windows[i].size());
+      for (size_t j = 0; j < windows[i].size(); ++j) {
+        EXPECT_EQ(batch.values[j], store.Lookup(windows[i][j]));
+      }
+    }
+  });
+  EXPECT_EQ(cluster.metrics().Get("kv_lookup_trips"), 3);
+  EXPECT_EQ(cluster.metrics().Get("kv_batches"), 4);
+  EXPECT_EQ(cluster.metrics().Get("kv_reads"), 8);
+}
+
+// Satellite regression: a version bump while earlier windows are still
+// in flight must never let a later window hit a stale cached value —
+// the epoch is captured per issued window, not per multi-window call.
+TEST(ClusterTest, VersionBumpBetweenInFlightWindowsNeverServesStale) {
+  ClusterConfig config;
+  config.num_machines = 1;
+  config.threads_per_machine = 1;
+  config.pipeline_depth = 4;
+  Cluster cluster(config);
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(64);
+  cluster.RunKvWritePhase("w", store, 32, [](int64_t k) { return k; });
+
+  const uint64_t probe = 40;  // not yet written
+  cluster.RunMapPhase("r", 1, [&](int64_t, MachineContext& ctx) {
+    const std::vector<uint64_t> keys = {probe};
+    // Window 0 misses and caches the negative under the current epoch.
+    kv::LookupTicket<int64_t> first = ctx.LookupManyAsync(store, keys);
+    // A write settles while the window is still in flight.
+    store.Put(probe, 7);
+    // Window 1, issued against the bumped version, must re-fetch: the
+    // in-flight window's cached negative is stale for it.
+    kv::LookupTicket<int64_t> second = ctx.LookupManyAsync(store, keys);
+    const auto first_result = ctx.Await(first);
+    const auto second_result = ctx.Await(second);
+    EXPECT_EQ(first_result.values[0], nullptr);
+    ASSERT_NE(second_result.values[0], nullptr);
+    EXPECT_EQ(*second_result.values[0], 7);
+  });
+  EXPECT_EQ(cluster.metrics().Get("cache_misses"), 2);
+  EXPECT_EQ(cluster.metrics().Get("cache_hits"), 0);
+}
+
+// The depth x max_batch_keys memory trade-off is measured: a worker
+// holding depth windows of 8 keys peaks at depth * 8 in-flight keys.
+TEST(ClusterTest, PeakInflightKeysTracksDepthTimesWindow) {
+  auto run = [](int pipeline_depth) {
+    ClusterConfig config;
+    config.num_machines = 2;
+    config.threads_per_machine = 1;
+    config.query_cache.enabled = false;
+    config.max_batch_keys = 8;
+    config.pipeline_depth = pipeline_depth;
+    Cluster cluster(config);
+    const int64_t n = 64;
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+    cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k; });
+    std::vector<uint64_t> keys(n);
+    for (int64_t k = 0; k < n; ++k) keys[k] = static_cast<uint64_t>(k);
+    cluster.RunMapPhase("r", 1, [&](int64_t, MachineContext& ctx) {
+      ctx.LookupMany(store, keys);
+    });
+    return cluster.metrics().Get("kv_peak_inflight_keys");
+  };
+  EXPECT_EQ(run(1), 8);   // lockstep: one window in flight
+  EXPECT_EQ(run(4), 32);  // four windows of 8 keys held at once
+}
+
+TEST(ClusterTest, ScalarLookupPeaksAtOneInflightKey) {
+  Cluster cluster(TestConfig());
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(64);
+  cluster.RunKvWritePhase("w", store, 64, [](int64_t k) { return k; });
+  cluster.RunMapPhase("r", 64, [&](int64_t item, MachineContext& ctx) {
+    ctx.Lookup(store, static_cast<uint64_t>(item));
+  });
+  EXPECT_EQ(cluster.metrics().Get("kv_peak_inflight_keys"), 1);
+}
+
+// The ablation axis end to end: the same latency-bound pointer-jump
+// workload costs strictly less simulated time at depth 4 than at depth
+// 1 (lockstep), and resolves identical roots.
+TEST(ClusterTest, PipeliningStrictlyCheaperThanLockstep) {
+  const int64_t n = 4096;
+  const int64_t chain = 64;
+  auto run = [&](int pipeline_depth) {
+    ClusterConfig config;
+    config.num_machines = 4;
+    config.threads_per_machine = 1;
+    config.query_cache.enabled = false;
+    config.max_batch_keys = 16;  // forces many windows per adaptive step
+    config.pipeline_depth = pipeline_depth;
+    Cluster cluster(config);
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+    cluster.RunKvWritePhase("w", store, n, [&](int64_t k) {
+      return k % chain == 0 ? int64_t{-1} : k - 1;
+    });
+    std::vector<int64_t> roots(n, -1);
+    cluster.RunBatchMapPhase(
+        "jump", n, [&](std::span<const int64_t> items, MachineContext& ctx) {
+          struct Chain {
+            int64_t item;
+            uint64_t cur;
+            bool done = false;
+          };
+          std::vector<Chain> chains;
+          chains.reserve(items.size());
+          for (const int64_t item : items) {
+            chains.push_back(Chain{item, static_cast<uint64_t>(item)});
+          }
+          DriveLookupPipelined(
+              ctx, store, chains, [](const Chain& c) { return c.done; },
+              [](const Chain& c) { return c.cur; },
+              [&](Chain& c, const int64_t* p) {
+                if (p == nullptr || *p < 0) {
+                  roots[c.item] = static_cast<int64_t>(c.cur);
+                  c.done = true;
+                } else {
+                  c.cur = static_cast<uint64_t>(*p);
+                }
+              });
+        });
+    return std::pair<double, std::vector<int64_t>>(
+        cluster.metrics().GetTime("sim:jump"), std::move(roots));
+  };
+  const auto [lockstep_time, lockstep_roots] = run(1);
+  const auto [pipelined_time, pipelined_roots] = run(4);
+  EXPECT_LT(pipelined_time, lockstep_time);
+  EXPECT_EQ(pipelined_roots, lockstep_roots);
+}
+
+// --- Driver edge cases (DriveLookupLockstep / DriveLookupPipelined) -------
+
+struct DriverChain {
+  int64_t item;
+  uint64_t cur;
+  int64_t hops = 0;
+  bool done = false;
+};
+
+// Scalar-resolution oracle: chase the parent chain directly on the
+// store (parent < 0 or absent = root).
+std::pair<int64_t, int64_t> OracleChase(const kv::ShardedStore<int64_t>& store,
+                                        int64_t start) {
+  uint64_t cur = static_cast<uint64_t>(start);
+  int64_t hops = 0;
+  for (;;) {
+    const int64_t* p = store.Lookup(cur);
+    ++hops;
+    if (p == nullptr || *p < 0) {
+      return {static_cast<int64_t>(cur), hops};
+    }
+    cur = static_cast<uint64_t>(*p);
+  }
+}
+
+// Runs both drivers over every chain of `parent_of` under the given
+// sub-batch bound and depth, and pins roots and hop counts against the
+// scalar oracle. Chains of different lengths finish mid-window, so the
+// compaction path is exercised throughout.
+void CheckDriversAgainstOracle(int64_t n, int64_t max_batch_keys,
+                               int pipeline_depth,
+                               const std::function<int64_t(int64_t)>&
+                                   parent_of) {
+  for (const bool pipelined : {false, true}) {
+    ClusterConfig config;
+    config.num_machines = 2;
+    config.threads_per_machine = 2;
+    config.max_batch_keys = max_batch_keys;
+    config.pipeline_depth = pipeline_depth;
+    Cluster cluster(config);
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+    cluster.RunKvWritePhase("w", store, n, parent_of);
+    std::vector<int64_t> roots(n, -1), hops(n, -1);
+    cluster.RunBatchMapPhase(
+        "drive", n,
+        [&](std::span<const int64_t> items, MachineContext& ctx) {
+          std::vector<DriverChain> chains;
+          chains.reserve(items.size());
+          for (const int64_t item : items) {
+            chains.push_back(DriverChain{item, static_cast<uint64_t>(item)});
+          }
+          const auto is_done = [](const DriverChain& c) { return c.done; };
+          const auto key_of = [](const DriverChain& c) { return c.cur; };
+          const auto resume = [&](DriverChain& c, const int64_t* p) {
+            ++c.hops;
+            if (p == nullptr || *p < 0) {
+              roots[c.item] = static_cast<int64_t>(c.cur);
+              hops[c.item] = c.hops;
+              c.done = true;
+            } else {
+              c.cur = static_cast<uint64_t>(*p);
+            }
+          };
+          if (pipelined) {
+            DriveLookupPipelined(ctx, store, chains, is_done, key_of, resume);
+          } else {
+            DriveLookupLockstep(ctx, store, chains, is_done, key_of, resume);
+          }
+        });
+    for (int64_t v = 0; v < n; ++v) {
+      const auto [oracle_root, oracle_hops] = OracleChase(store, v);
+      EXPECT_EQ(roots[v], oracle_root)
+          << (pipelined ? "pipelined" : "lockstep") << " window "
+          << max_batch_keys << " depth " << pipeline_depth << " key " << v;
+      EXPECT_EQ(hops[v], oracle_hops);
+    }
+  }
+}
+
+// Mixed-length chains: key k chases down to the nearest multiple of its
+// band length, so states finish at different adaptive steps and windows
+// shrink as the frontier drains.
+int64_t MixedChainParent(int64_t k) {
+  const int64_t band = (k % 3 == 0) ? 1 : (k % 3 == 1) ? 8 : 32;
+  return (k % band == 0) ? int64_t{-1} : k - 1;
+}
+
+TEST(ClusterDriverTest, EmptyStateVectorIsANoOp) {
+  Cluster cluster(TestConfig());
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(16);
+  cluster.RunKvWritePhase("w", store, 16, [](int64_t) { return int64_t{-1}; });
+  cluster.RunBatchMapPhase(
+      "drive", 16, [&](std::span<const int64_t>, MachineContext& ctx) {
+        std::vector<DriverChain> none;
+        DriveLookupPipelined(
+            ctx, store, none, [](const DriverChain& c) { return c.done; },
+            [](const DriverChain& c) { return c.cur; },
+            [](DriverChain&, const int64_t*) { FAIL() << "resumed"; });
+        DriveLookupLockstep(
+            ctx, store, none, [](const DriverChain& c) { return c.done; },
+            [](const DriverChain& c) { return c.cur; },
+            [](DriverChain&, const int64_t*) { FAIL() << "resumed"; });
+      });
+  EXPECT_EQ(cluster.metrics().Get("kv_reads"), 0);
+}
+
+TEST(ClusterDriverTest, AllStatesInitiallyDoneIssueNoLookups) {
+  Cluster cluster(TestConfig());
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(16);
+  cluster.RunKvWritePhase("w", store, 16, [](int64_t) { return int64_t{-1}; });
+  cluster.RunBatchMapPhase(
+      "drive", 16, [&](std::span<const int64_t> items, MachineContext& ctx) {
+        std::vector<DriverChain> chains;
+        for (const int64_t item : items) {
+          chains.push_back(
+              DriverChain{item, static_cast<uint64_t>(item), 0, true});
+        }
+        DriveLookupPipelined(
+            ctx, store, chains, [](const DriverChain& c) { return c.done; },
+            [](const DriverChain& c) { return c.cur; },
+            [](DriverChain&, const int64_t*) { FAIL() << "resumed"; });
+      });
+  EXPECT_EQ(cluster.metrics().Get("kv_reads"), 0);
+}
+
+TEST(ClusterDriverTest, WindowSizeOneMatchesOracle) {
+  CheckDriversAgainstOracle(48, /*max_batch_keys=*/1, /*pipeline_depth=*/4,
+                            MixedChainParent);
+}
+
+TEST(ClusterDriverTest, DepthExceedsWindowCountMatchesOracle) {
+  // Frontiers of at most 48/2 machines/2 workers = 12 states split into
+  // windows of 4: three windows, depth 64 far beyond them.
+  CheckDriversAgainstOracle(48, /*max_batch_keys=*/4, /*pipeline_depth=*/64,
+                            MixedChainParent);
+}
+
+TEST(ClusterDriverTest, StatesFinishingMidWindowMatchOracle) {
+  CheckDriversAgainstOracle(96, /*max_batch_keys=*/8, /*pipeline_depth=*/2,
+                            MixedChainParent);
+  CheckDriversAgainstOracle(96, /*max_batch_keys=*/0, /*pipeline_depth=*/4,
+                            MixedChainParent);  // unbounded window
 }
 
 TEST(ClusterTest, PlacementPoliciesCoLocateWorkAndRecords) {

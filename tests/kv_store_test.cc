@@ -389,6 +389,34 @@ TEST(QueryCacheTest, CapacityEvictionIsLeastRecentlyUsed) {
   EXPECT_EQ(cache.size(), 4);
 }
 
+// Satellite regression: tiny capacities must not be silently inflated
+// by the lock-shard split. Before the clamp, a capacity-4 cache with 8
+// lock shards got 8 one-entry shards and held up to 8 entries; the
+// effective shard count is now min(lock_shards, capacity), so
+// capacity() never exceeds the requested budget.
+TEST(QueryCacheTest, TinyCapacityNotInflatedByLockShards) {
+  QueryCache<int> cache(/*capacity=*/4, /*lock_shards=*/8);
+  EXPECT_EQ(cache.capacity(), 4);
+  for (uint64_t k = 0; k < 64; ++k) {
+    cache.Put(k, 0, static_cast<int>(k));
+  }
+  EXPECT_LE(cache.size(), 4);
+  EXPECT_GE(cache.evictions(), 60);
+
+  QueryCache<int> single(/*capacity=*/1, /*lock_shards=*/8);
+  EXPECT_EQ(single.capacity(), 1);
+  single.Put(1, 0, 10);
+  single.Put(2, 0, 20);
+  EXPECT_EQ(single.size(), 1);
+
+  // Budgets at or above the shard count keep the full split (and a
+  // budget that does not divide evenly still never exceeds the bound).
+  QueryCache<int> wide(/*capacity=*/20, /*lock_shards=*/8);
+  EXPECT_LE(wide.capacity(), 20);
+  QueryCache<int> exact(/*capacity=*/16, /*lock_shards=*/8);
+  EXPECT_EQ(exact.capacity(), 16);
+}
+
 TEST(QueryCacheTest, UpdateIsReadModifyWrite) {
   QueryCache<int> cache(/*capacity=*/8, /*lock_shards=*/1);
   // Absent: fn sees nullopt and seeds the entry.

@@ -1,8 +1,9 @@
 // Acceptance test for the sharded DHT: every core algorithm's output is
 // a pure function of the input and seed — bit-identical across
 // num_machines (1, 3, 8), thread counts, lookup batching mode (LookupMany
-// vs scalar round-trip charging), query-result caching on/off, and
-// adaptive sub-batch bounds — while the *cost model* is free to differ
+// vs scalar round-trip charging), query-result caching on/off, adaptive
+// sub-batch bounds, and pipeline depth (lockstep vs bounded-depth
+// in-flight windows) — while the *cost model* is free to differ
 // (that is the point of per-machine accounting).
 // A separate test pins outputs across placement policies.
 #include <gtest/gtest.h>
@@ -28,14 +29,16 @@ struct ClusterShape {
   bool batch_lookups = true;
   bool query_cache = true;
   int64_t max_batch_keys = 4096;  // the ClusterConfig default
+  int pipeline_depth = 4;         // the ClusterConfig default
 };
 
 // Machine/thread grid crossed with the lookup-pipeline toggles: batching
-// on/off x caching on/off, plus a deliberately tiny sub-batch bound that
-// forces DriveLookupLockstep's frontier windows and LookupMany's
-// sub-batch splitting on every workload.
+// on/off x caching on/off x pipeline depth {1, 4}, plus a deliberately
+// tiny sub-batch bound that forces DriveLookupPipelined's frontier
+// windows and LookupMany's sub-batch splitting on every workload (and,
+// at depth 4, several windows genuinely in flight per step).
 const ClusterShape kShapes[] = {
-    // batch on, cache on (the optimized client)
+    // batch on, cache on (the optimized client; depth 4 = the default)
     {1, 1, true, true},
     {3, 2, true, true},
     {8, 4, true, true},
@@ -55,6 +58,13 @@ const ClusterShape kShapes[] = {
     // sub-batching forced: windows of 16 in-flight keys
     {8, 4, true, true, /*max_batch_keys=*/16},
     {3, 2, true, false, /*max_batch_keys=*/16},
+    // pipelining forced off (lockstep) across the toggle grid
+    {8, 4, true, true, 4096, /*pipeline_depth=*/1},
+    {3, 2, true, false, 4096, /*pipeline_depth=*/1},
+    {8, 1, false, true, 4096, /*pipeline_depth=*/1},
+    // lockstep x forced windows, and a deep pipeline over tiny windows
+    {8, 4, true, true, /*max_batch_keys=*/16, /*pipeline_depth=*/1},
+    {3, 2, true, true, /*max_batch_keys=*/16, /*pipeline_depth=*/8},
 };
 
 sim::Cluster MakeCluster(const ClusterShape& shape) {
@@ -64,6 +74,7 @@ sim::Cluster MakeCluster(const ClusterShape& shape) {
   config.batch_lookups = shape.batch_lookups;
   config.query_cache.enabled = shape.query_cache;
   config.max_batch_keys = shape.max_batch_keys;
+  config.pipeline_depth = shape.pipeline_depth;
   return sim::Cluster(config);
 }
 
