@@ -40,6 +40,15 @@ struct MetricsSnapshot {
 ///                         and pipeline overlap)
 ///   "kv_peak_inflight_keys"  watermark: most keys any worker held in
 ///                         flight at once (pipelining memory cost)
+///   "machines_lost"       injected machine failures absorbed so far
+///   "kv_replication_bytes"  follower-copy bytes charged by replicated
+///                         KV writes (replication > 1)
+///   "checkpoints"/"checkpoint_bytes"  periodic shard checkpoints taken
+///                         and the byte deltas they persisted
+/// Fault-model timers: "sim:recovery" (total recovery time charged),
+/// "recovery_replay_seconds" (its replay component, excluding replica
+/// streams and checkpoint restores), "sim:checkpoint" (checkpoint
+/// rounds).
 class Metrics {
  public:
   Metrics() = default;

@@ -15,12 +15,20 @@
 //   * LookupBatch / LookupBatchResult — the request/response pair of a
 //     batched read. The response carries the per-batch accounting the
 //     cost model charges (total wire bytes, distinct destinations).
+//   * ReplicaSet — the replication side of placement: with a
+//     replication factor R, each shard's records also live on R - 1
+//     *follower* machines (distinct from the primary), so a machine
+//     lost to preemption can be rebuilt by streaming its shard from a
+//     surviving follower instead of replaying the job
+//     (sim::ClusterConfig::faults). FailoverTarget picks the follower a
+//     dead machine's shard re-routes to.
 //
 // Both kv::ShardedStore and sim::Cluster::MachineOf place through the
 // same Placement, so the machine running work item v is still the
 // machine whose shard holds record v under every policy.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -63,6 +71,28 @@ inline const char* PlacementPolicyName(PlacementPolicy policy) {
   return "?";
 }
 
+/// The machines holding copies of one shard: `machines[0]` is the
+/// primary (the Placement's ShardOf), `machines[1..R-1]` the followers,
+/// all distinct. A pure value type minted by Placement::ReplicasOfShard.
+struct ReplicaSet {
+  std::vector<int> machines;
+
+  int primary() const { return machines.empty() ? 0 : machines[0]; }
+  int replication() const { return static_cast<int>(machines.size()); }
+
+  /// The surviving machine a dead primary's shard re-routes to — the
+  /// first follower not in `dead` (dead[m] != 0 means machine m is
+  /// currently down) — or -1 when every copy is lost and the shard must
+  /// be restored from a checkpoint or recomputed.
+  int FailoverTarget(const std::vector<uint8_t>& dead) const {
+    for (size_t i = 1; i < machines.size(); ++i) {
+      const int m = machines[i];
+      if (static_cast<size_t>(m) >= dead.size() || !dead[m]) return m;
+    }
+    return -1;
+  }
+};
+
 /// A concrete key -> machine assignment: policy plus the parameters it
 /// needs. A pure value type shared by kv::ShardedStore (record placement)
 /// and sim::Cluster (work placement).
@@ -74,6 +104,13 @@ struct Placement {
   int64_t capacity = 0;
   /// Consecutive keys per block under kAffinity.
   int64_t affinity_block = 32;
+  /// Copies of every record: 1 = primary only (the historical model),
+  /// R > 1 = primary plus R - 1 followers on distinct machines
+  /// (clamped to num_shards). Replication never moves the primary —
+  /// ShardOf and all cost charging are unchanged — it only adds the
+  /// follower copies ReplicasOfShard describes, so R = 1 is
+  /// bit-identical to the pre-replication placement.
+  int replication = 1;
 
   int ShardOf(uint64_t key) const {
     switch (policy) {
@@ -101,9 +138,56 @@ struct Placement {
     return 0;
   }
 
+  /// Effective copies per record (replication clamped to the machine
+  /// count: with P machines there are at most P distinct homes).
+  int EffectiveReplication() const {
+    return std::max(1, std::min(replication, num_shards));
+  }
+
+  /// The machines holding shard `s`: the primary followed by
+  /// EffectiveReplication() - 1 followers. Followers are placed by
+  /// chained declustering — follower j of shard s is machine
+  /// (s + stride * j) mod P with a seeded stride coprime-by-probing —
+  /// so each machine's shard scatters its copies across distinct
+  /// survivors and a single machine loss never takes out every copy.
+  /// Deterministic in (seed, num_shards, replication) alone: the set is
+  /// stable across rounds, which is what lets a follower serve as a
+  /// recovery source for every store the cluster ever minted.
+  ReplicaSet ReplicasOfShard(int s) const {
+    const int copies = EffectiveReplication();
+    ReplicaSet set;
+    set.machines.reserve(copies);
+    set.machines.push_back(s);
+    if (copies > 1) {
+      // A stride sharing a factor with P would revisit machines before
+      // covering `copies` distinct ones; probing forward from the
+      // seeded start finds the nearest stride that covers.
+      uint64_t stride =
+          1 + Hash64(static_cast<uint64_t>(s), seed ^ 0x7265706c69636aULL) %
+                  static_cast<uint64_t>(num_shards - 1);
+      std::vector<uint8_t> taken(num_shards, 0);
+      taken[s] = 1;
+      int follower = s;
+      for (int j = 1; j < copies; ++j) {
+        follower = static_cast<int>(
+            (static_cast<uint64_t>(follower) + stride) %
+            static_cast<uint64_t>(num_shards));
+        while (taken[follower]) follower = (follower + 1) % num_shards;
+        taken[follower] = 1;
+        set.machines.push_back(follower);
+      }
+    }
+    return set;
+  }
+
+  /// ReplicasOfShard for the shard owning `key`.
+  ReplicaSet ReplicasOf(uint64_t key) const {
+    return ReplicasOfShard(ShardOf(key));
+  }
+
   friend bool operator==(const Placement& a, const Placement& b) {
     if (a.policy != b.policy || a.num_shards != b.num_shards ||
-        a.seed != b.seed) {
+        a.seed != b.seed || a.replication != b.replication) {
       return false;
     }
     if (a.policy == PlacementPolicy::kRange && a.capacity != b.capacity) {

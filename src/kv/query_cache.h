@@ -46,9 +46,25 @@
 
 namespace ampc::kv {
 
+/// Type-erased handle to a cache that can be dropped wholesale — the
+/// hook the fault model uses: when a simulated machine is lost, its
+/// replacement starts with cold caches, so every cache attached to that
+/// machine is cleared (see CacheDropRegistry). Epoch semantics make the
+/// drop safe by construction: entries only ever mirror the backing
+/// store (which recovery restores bit-identically), so a cleared cache
+/// re-warms through the normal read-through path with no correctness
+/// effect — only extra misses, which is exactly the cost a cold
+/// replacement machine should pay.
+class QueryCacheBase {
+ public:
+  virtual ~QueryCacheBase() = default;
+  /// Drops every entry (all epochs, all lock shards).
+  virtual void Clear() = 0;
+};
+
 /// A bounded, versioned, thread-safe key -> V cache (sharded LRU).
 template <typename V>
-class QueryCache {
+class QueryCache : public QueryCacheBase {
  public:
   /// `capacity` total entries, split over `lock_shards` internal shards
   /// (each shard holds capacity / lock_shards entries and its own lock).
@@ -123,6 +139,18 @@ class QueryCache {
       shard.index.erase(it);
     }
     InsertLocked(shard, key, epoch, fn(std::nullopt));
+  }
+
+  /// Drops every entry. Used by the fault model when this cache's
+  /// machine is lost: the replacement machine starts cold and re-warms
+  /// through the read-through path. Not counted as eviction (capacity
+  /// pressure) — the entries were lost with the machine, not displaced.
+  void Clear() override {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->index.clear();
+    }
   }
 
   /// Entries currently held (all lock shards). O(lock_shards).
@@ -201,6 +229,47 @@ class MachineCaches {
 
  private:
   std::vector<std::unique_ptr<QueryCache<V>>> caches_;
+};
+
+/// Weak registry of every per-machine cache a cluster has minted,
+/// keyed by machine id. Stores register their read-through caches at
+/// creation (kv::ShardedStore::EnableQueryCache); when the fault model
+/// kills machine m, DropMachine(m) clears whichever of m's caches are
+/// still alive — the replacement machine's RAM starts cold — without
+/// the registry ever owning a cache or extending its lifetime (stores
+/// are minted and dropped every round; expired entries are pruned as
+/// they are encountered).
+class CacheDropRegistry {
+ public:
+  void Register(int machine, std::weak_ptr<QueryCacheBase> cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (machine >= static_cast<int>(by_machine_.size())) {
+      by_machine_.resize(machine + 1);
+    }
+    by_machine_[machine].push_back(std::move(cache));
+  }
+
+  /// Clears machine `m`'s live caches; returns how many were cleared.
+  int64_t DropMachine(int m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (m < 0 || m >= static_cast<int>(by_machine_.size())) return 0;
+    int64_t dropped = 0;
+    auto& caches = by_machine_[m];
+    size_t out = 0;
+    for (size_t i = 0; i < caches.size(); ++i) {
+      if (std::shared_ptr<QueryCacheBase> cache = caches[i].lock()) {
+        cache->Clear();
+        ++dropped;
+        caches[out++] = std::move(caches[i]);
+      }
+    }
+    caches.resize(out);
+    return dropped;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::weak_ptr<QueryCacheBase>>> by_machine_;
 };
 
 }  // namespace ampc::kv

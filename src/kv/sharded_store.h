@@ -179,6 +179,38 @@ class ShardedStore {
     return bytes;
   }
 
+  // Replication (kv/placement.h ReplicaSet; the fault-tolerance side of
+  // placement). The store never materializes follower copies — the
+  // simulator charges their write traffic and memory footprint through
+  // the cost model — so these are pure placement queries.
+
+  /// Effective copies per record (Placement::EffectiveReplication).
+  int replication() const {
+    return map_->placement.EffectiveReplication();
+  }
+
+  /// The machines holding copies of `key`'s shard (primary first).
+  ReplicaSet ReplicasOf(uint64_t key) const {
+    return map_->placement.ReplicasOf(key);
+  }
+
+  /// Per-machine resident wire bytes *including* follower copies:
+  /// machine m holds its own shard plus a copy of every shard it
+  /// follows. Equal to ShardBytesSnapshot() at replication 1.
+  std::vector<int64_t> ReplicatedShardBytesSnapshot() const {
+    std::vector<int64_t> bytes = ShardBytesSnapshot();
+    if (replication() > 1) {
+      for (int s = 0; s < num_shards(); ++s) {
+        const ReplicaSet replicas = map_->placement.ReplicasOfShard(s);
+        const int64_t shard_bytes = ShardBytes(s);
+        for (size_t i = 1; i < replicas.machines.size(); ++i) {
+          bytes[replicas.machines[i]] += shard_bytes;
+        }
+      }
+    }
+    return bytes;
+  }
+
   // Query-result caching (sim::Cluster::MakeStore wires this to
   // ClusterConfig::query_cache; see kv/query_cache.h).
 
@@ -196,13 +228,19 @@ class ShardedStore {
 
   /// Attaches one bounded read-through cache per shard-owning machine
   /// (cache m serves machine m's repeated lookups locally). Idempotent
-  /// per call: replaces any existing caches.
-  void EnableQueryCache(int64_t capacity_per_machine, int lock_shards = 8) {
+  /// per call: replaces any existing caches. When `registry` is given,
+  /// each machine's cache is registered with it so the fault model can
+  /// clear the caches of a machine lost mid-job (the replacement starts
+  /// cold); the registry holds weak references only, so the caches
+  /// still die with the store.
+  void EnableQueryCache(int64_t capacity_per_machine, int lock_shards = 8,
+                        CacheDropRegistry* registry = nullptr) {
     query_caches_.clear();
     query_caches_.reserve(static_cast<size_t>(num_shards()));
     for (int s = 0; s < num_shards(); ++s) {
-      query_caches_.push_back(std::make_unique<QueryCache<const V*>>(
+      query_caches_.push_back(std::make_shared<QueryCache<const V*>>(
           capacity_per_machine, lock_shards));
+      if (registry != nullptr) registry->Register(s, query_caches_.back());
     }
   }
 
@@ -224,7 +262,9 @@ class ShardedStore {
   // Per-machine read-through caches (empty = caching off). Mutable: the
   // cache warms through const lookup paths (MachineContext::Lookup takes
   // the store by const reference — caching never changes answers).
-  mutable std::vector<std::unique_ptr<QueryCache<const V*>>> query_caches_;
+  // shared_ptr so a CacheDropRegistry can hold weak references that the
+  // fault model clears when a machine dies (kv/query_cache.h).
+  mutable std::vector<std::shared_ptr<QueryCache<const V*>>> query_caches_;
   // Insert counter behind version() (unique_ptr keeps the store movable).
   std::unique_ptr<std::atomic<uint64_t>> version_ =
       std::make_unique<std::atomic<uint64_t>>(0);

@@ -11,6 +11,9 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   AMPC_CHECK_GE(config_.num_machines, 1);
   AMPC_CHECK_GE(config_.threads_per_machine, 1);
   AMPC_CHECK_GE(config_.pipeline_depth, 1);
+  AMPC_CHECK_GE(config_.faults.fault_rate_per_machine_sec, 0.0);
+  AMPC_CHECK_GE(config_.faults.replication, 1);
+  AMPC_CHECK_GE(config_.faults.checkpoint_period_sec, 0.0);
   const int logical_threads =
       config_.num_machines *
       (config_.multithreading ? config_.threads_per_machine : 1);
@@ -19,6 +22,12 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   pool_ = std::make_unique<ThreadPool>(
       std::max(1, std::min(logical_threads, hw)));
   machine_kv_write_bytes_.assign(config_.num_machines, 0);
+  checkpointed_bytes_.assign(config_.num_machines, 0);
+  if (config_.faults.fault_rate_per_machine_sec > 0.0) {
+    fault_injector_ =
+        FaultInjector(config_.faults.fault_rate_per_machine_sec,
+                      config_.num_machines, config_.faults.fault_seed);
+  }
 }
 
 void Cluster::AccountShuffle(const std::string& phase, int64_t bytes,
@@ -37,6 +46,7 @@ void Cluster::AccountShuffle(const std::string& phase, int64_t bytes,
   metrics_.AddTime("sim_total", sim);
   metrics_.AddTime("wall:" + phase, wall_seconds);
   metrics_.AddTime("wall_total", wall_seconds);
+  ProcessFaultsAndCheckpoints();
 }
 
 void Cluster::AccountShardedShuffle(
@@ -64,6 +74,7 @@ void Cluster::AccountShardedShuffle(
   metrics_.AddTime("sim_total", sim);
   metrics_.AddTime("wall:" + phase, wall_seconds);
   metrics_.AddTime("wall_total", wall_seconds);
+  ProcessFaultsAndCheckpoints();
 }
 
 void Cluster::AccountMapRound(const std::string& phase) {
@@ -71,6 +82,7 @@ void Cluster::AccountMapRound(const std::string& phase) {
   RecordRound(phase, config_.round_spawn_sec);
   metrics_.AddTime("sim:" + phase, config_.round_spawn_sec);
   metrics_.AddTime("sim_total", config_.round_spawn_sec);
+  ProcessFaultsAndCheckpoints();
 }
 
 void Cluster::AccountInMemoryFinish(const std::string& phase, int64_t bytes,
@@ -87,6 +99,7 @@ void Cluster::AccountInMemoryCompute(const std::string& phase,
   ExtendLastRound(sim);
   metrics_.AddTime("sim:" + phase, sim);
   metrics_.AddTime("sim_total", sim);
+  ProcessFaultsAndCheckpoints();
 }
 
 void Cluster::SettleMapPhase(const std::string& phase,
@@ -162,6 +175,7 @@ void Cluster::SettleMapPhase(const std::string& phase,
   metrics_.AddTime("sim_total", sim);
   metrics_.AddTime("wall:" + phase, wall_seconds);
   metrics_.AddTime("wall_total", wall_seconds);
+  ProcessFaultsAndCheckpoints();
 }
 
 void Cluster::SettleKvWritePhase(const std::string& phase,
@@ -170,21 +184,39 @@ void Cluster::SettleKvWritePhase(const std::string& phase,
                                  double wall_seconds) {
   const int overlap =
       config_.multithreading ? config_.threads_per_machine : 1;
+  // Replication: shard s's records also land on its followers, whose
+  // NICs absorb a full copy. The per-machine inbound traffic becomes
+  // primary bytes + follower copies; the guard keeps replication 1
+  // byte-for-byte identical to the pre-replication model.
+  std::vector<int64_t> inbound = bytes;
+  int64_t replication_bytes = 0;
+  if (config_.faults.replication > 1) {
+    const kv::Placement placement = PlacementFor(0);
+    for (int s = 0; s < config_.num_machines; ++s) {
+      if (bytes[s] == 0) continue;
+      const kv::ReplicaSet replicas = placement.ReplicasOfShard(s);
+      for (size_t i = 1; i < replicas.machines.size(); ++i) {
+        inbound[replicas.machines[i]] += bytes[s];
+        replication_bytes += bytes[s];
+      }
+    }
+  }
   int64_t total_writes = 0, total_bytes = 0, hottest_bytes = 0;
   double slowest_machine = 0;
   for (int m = 0; m < config_.num_machines; ++m) {
     total_writes += writes[m];
-    total_bytes += bytes[m];
+    total_bytes += inbound[m];
     hottest_bytes = std::max(hottest_bytes, bytes[m]);
-    machine_kv_write_bytes_[m] += bytes[m];
+    machine_kv_write_bytes_[m] += inbound[m];
     // Writes stream from all machines concurrently; machine m absorbs
-    // the records landing on its shard, so a skewed key distribution
-    // stalls the round on the hottest shard's machine. Worker threads
-    // overlap per-write latency but cannot widen the machine's NIC, so
-    // only the latency term divides by `overlap`.
+    // the records landing on its shard (and the follower copies it
+    // hosts), so a skewed key distribution stalls the round on the
+    // hottest shard's machine. Worker threads overlap per-write latency
+    // but cannot widen the machine's NIC, so only the latency term
+    // divides by `overlap`.
     const double machine_time =
         writes[m] * config_.network.write_latency_sec / overlap +
-        bytes[m] / config_.network.bytes_per_sec;
+        inbound[m] / config_.network.bytes_per_sec;
     slowest_machine = std::max(slowest_machine, machine_time);
   }
   const double sim =
@@ -194,14 +226,132 @@ void Cluster::SettleKvWritePhase(const std::string& phase,
       config_.round_spawn_sec;
 
   metrics_.Add("rounds", 1);
-  RecordRound(phase, sim, /*kv_read_bytes=*/{}, /*kv_write_bytes=*/bytes);
+  RecordRound(phase, sim, /*kv_read_bytes=*/{},
+              /*kv_write_bytes=*/inbound);
   metrics_.Add("kv_writes", total_writes);
-  metrics_.Add("kv_write_bytes", total_bytes);
+  metrics_.Add("kv_write_bytes", total_bytes - replication_bytes);
   metrics_.Add("kv_hot_machine_write_bytes", hottest_bytes);
+  if (replication_bytes != 0) {
+    metrics_.Add("kv_replication_bytes", replication_bytes);
+  }
   metrics_.AddTime("sim:" + phase, sim);
   metrics_.AddTime("sim_total", sim);
   metrics_.AddTime("wall:" + phase, wall_seconds);
   metrics_.AddTime("wall_total", wall_seconds);
+  ProcessFaultsAndCheckpoints();
+}
+
+void Cluster::ProcessFaultsAndCheckpoints() {
+  const bool checkpointing = config_.faults.checkpoint_period_sec > 0.0;
+  if (!fault_injector_.enabled() && !checkpointing) return;
+  if (fault_injector_.enabled()) {
+    const std::vector<FaultEvent> kills =
+        fault_injector_.AdvanceTo(sim_clock_);
+    for (const FaultEvent& kill : kills) RecoverFromKill(kill);
+    // Recovery intervals are failure-free: the recovering machine was
+    // just scheduled. Skipping redraws any arrival the recovery time
+    // would otherwise have swallowed.
+    if (!kills.empty()) fault_injector_.SkipTo(sim_clock_);
+  }
+  if (checkpointing && sim_clock_ - last_checkpoint_time_ >=
+                           config_.faults.checkpoint_period_sec) {
+    TakeCheckpoint();
+  }
+}
+
+void Cluster::RecoverFromKill(const FaultEvent& kill) {
+  metrics_.Add("machines_lost", 1);
+  // The replacement machine's RAM starts cold: every read-through cache
+  // the dead machine held is dropped (extra misses, never wrong values).
+  cache_registry_.DropMachine(kill.machine);
+  const size_t round = round_log_.empty() ? 0 : round_log_.size() - 1;
+  // How far into the interrupted round the kill landed — the in-flight
+  // work the dead machine loses.
+  const double elapsed = std::clamp(kill.time - last_round_start_, 0.0,
+                                    sim_clock_ - last_round_start_);
+  const double partial = elapsed * ReplaySliceShare(round, kill.machine);
+  double transfer = 0.0;
+  double replay = 0.0;
+  if (config_.faults.replication > 1) {
+    // Re-replicate: stream the machine's resident shard bytes from the
+    // surviving replicas over its NIC, then redo the in-flight slice.
+    transfer = static_cast<double>(machine_kv_write_bytes_[kill.machine]) /
+               config_.network.bytes_per_sec;
+    replay = partial;
+  } else if (config_.faults.checkpoint_period_sec > 0.0) {
+    // Restore the machine's checkpointed shard from durable storage,
+    // then replay its slice of every round since that checkpoint.
+    transfer = static_cast<double>(checkpointed_bytes_[kill.machine]) /
+               config_.shuffle_bytes_per_sec;
+    for (size_t r = last_checkpoint_round_; r < round; ++r) {
+      replay += round_log_[r] * ReplaySliceShare(r, kill.machine);
+    }
+    replay += partial;
+  } else {
+    // Nothing persisted anywhere: the whole job restarts — the
+    // kInMemory discipline of sim/faults.h, and the baseline the
+    // recovery paths above must beat (bench/micro_churn).
+    for (size_t r = 0; r < round; ++r) replay += round_log_[r];
+    replay += elapsed;
+  }
+  const double recovery = transfer + replay;
+  ExtendLastRound(recovery);
+  metrics_.AddTime("sim:recovery", recovery);
+  metrics_.AddTime("sim_total", recovery);
+  metrics_.AddTime("recovery_replay_seconds", replay);
+}
+
+void Cluster::TakeCheckpoint() {
+  int64_t total = 0, hottest = 0;
+  for (int m = 0; m < config_.num_machines; ++m) {
+    const int64_t delta =
+        machine_kv_write_bytes_[m] - checkpointed_bytes_[m];
+    total += delta;
+    hottest = std::max(hottest, delta);
+  }
+  if (total > 0) {
+    // Charged like a sharded shuffle of each machine's delta: machines
+    // checkpoint concurrently, so the round lasts as long as the
+    // hottest machine's durable write.
+    const double sim =
+        std::max(config_.shuffle_min_sec,
+                 static_cast<double>(hottest) /
+                     config_.shuffle_bytes_per_sec) +
+        config_.round_spawn_sec;
+    metrics_.Add("rounds", 1);
+    metrics_.Add("checkpoints", 1);
+    metrics_.Add("checkpoint_bytes", total);
+    RecordRound("checkpoint", sim);
+    metrics_.AddTime("sim:checkpoint", sim);
+    metrics_.AddTime("sim_total", sim);
+  }
+  // The snapshot and clock move even when nothing new landed — an idle
+  // period must not retry a checkpoint every subsequent round.
+  checkpointed_bytes_ = machine_kv_write_bytes_;
+  last_checkpoint_time_ = sim_clock_;
+  last_checkpoint_round_ = round_log_.size();
+  fault_injector_.SkipTo(sim_clock_);
+}
+
+double Cluster::ReplaySliceShare(size_t round, int machine) const {
+  if (round >= round_footprints_.size()) return 1.0;
+  const RoundFootprint& fp = round_footprints_[round];
+  int64_t hottest = 0;
+  for (size_t m = 0; m < fp.kv_read_bytes.size(); ++m) {
+    hottest =
+        std::max(hottest, fp.kv_read_bytes[m] + fp.kv_write_bytes[m]);
+  }
+  if (hottest == 0) return 1.0;
+  const int64_t mine =
+      fp.kv_read_bytes[machine] + fp.kv_write_bytes[machine];
+  return static_cast<double>(mine) / static_cast<double>(hottest);
+}
+
+void Cluster::InjectMachineFailure(int machine) {
+  AMPC_CHECK_GE(machine, 0);
+  AMPC_CHECK_LT(machine, config_.num_machines);
+  RecoverFromKill(FaultEvent{sim_clock_, machine});
+  fault_injector_.SkipTo(sim_clock_);
 }
 
 std::shared_ptr<const kv::ShardMap> Cluster::ShardMapFor(

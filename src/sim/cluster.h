@@ -48,6 +48,16 @@
 // The multithreading toggle (overlapping trips across a machine's worker
 // threads) completes the Figure-4 ablation grid. None of the toggles
 // ever changes a returned value — only the cost model.
+//
+// The cluster is elastic under injected churn (ClusterConfig::faults):
+// a seeded sim::FaultInjector kills machines mid-phase at a Poisson
+// rate, and the cluster recovers each loss — re-routing the dead
+// machine's shards to surviving replicas (kv::ReplicaSet), restoring
+// from the last periodic checkpoint, or replaying from scratch — and
+// charges the recovery through the same max-over-machines cost model.
+// Recovery is a *cost* event, never a correctness event: values are
+// resolved eagerly as always, so outputs under churn are bit-identical
+// to a fault-free run.
 #pragma once
 
 #include <algorithm>
@@ -71,6 +81,7 @@
 #include "kv/placement.h"
 #include "kv/query_cache.h"
 #include "kv/sharded_store.h"
+#include "sim/faults.h"
 
 namespace ampc::sim {
 
@@ -158,6 +169,36 @@ struct ClusterConfig {
   double shuffle_min_sec = 0.02;
   /// Simulated CPU cost per item touched in a map phase.
   double map_item_cpu_sec = 2e-8;
+  /// Injected machine failures and the recovery machinery that absorbs
+  /// them. Defaults are all-off and reproduce the fault-free cost model
+  /// bit-identically: rate 0 means the injector never fires,
+  /// replication 1 means no follower copies are charged, period 0 means
+  /// no checkpoint rounds are taken.
+  struct FaultConfig {
+    /// Poisson kill rate per machine-second of *simulated* time. A
+    /// killed machine is immediately replaced (the scheduler reruns the
+    /// slot), but its shard contents, caches, and in-flight slice are
+    /// lost and recovered at a cost. 0 disables injection.
+    double fault_rate_per_machine_sec = 0.0;
+    /// Seed of the injected kill schedule — independent of `seed` so
+    /// churn can vary while algorithmic randomness stays fixed.
+    uint64_t fault_seed = 42;
+    /// Copies of every DHT record (kv::Placement::replication): R > 1
+    /// places R - 1 followers on distinct machines via chained
+    /// declustering, so a lost machine re-streams its shard from a
+    /// surviving replica instead of replaying history. Follower write
+    /// traffic and memory are charged through the normal cost model
+    /// (kv_replication_bytes).
+    int replication = 1;
+    /// Simulated seconds between periodic shard checkpoints to durable
+    /// storage. A checkpoint is a costly round (charged like a sharded
+    /// shuffle of each machine's KV-byte delta since the previous one);
+    /// recovery of an unreplicated machine then replays only the rounds
+    /// since the last checkpoint instead of the whole job. 0 disables
+    /// checkpointing.
+    double checkpoint_period_sec = 0.0;
+  };
+  FaultConfig faults;
   /// Seed from which all algorithmic randomness is derived.
   uint64_t seed = 42;
   /// Baselines switch to a single-machine in-memory algorithm below this
@@ -197,6 +238,7 @@ class Cluster {
     placement.seed = config_.seed;
     placement.capacity = capacity;
     placement.affinity_block = config_.affinity_block;
+    placement.replication = config_.faults.replication;
     return placement;
   }
 
@@ -226,8 +268,11 @@ class Cluster {
   kv::ShardedStore<V> MakeStore(int64_t capacity) const {
     kv::ShardedStore<V> store(ShardMapFor(capacity));
     if (config_.query_cache.enabled) {
+      // Registering with the drop registry lets the fault model clear a
+      // lost machine's caches (the replacement starts cold).
       store.EnableQueryCache(config_.query_cache.capacity,
-                             config_.query_cache.lock_shards);
+                             config_.query_cache.lock_shards,
+                             &cache_registry_);
     }
     return store;
   }
@@ -363,13 +408,28 @@ class Cluster {
   }
 
   /// Cumulative KV wire bytes written to each machine's shards across
-  /// every RunKvWritePhase so far. A per-machine memory-pressure signal:
-  /// feed it to sim::MemoryPressureRates (sim/faults.h) to make machines
-  /// holding hot shards preemption-prone, or inspect a single store's
-  /// footprint directly via kv::ShardedStore::ShardBytesSnapshot.
+  /// every RunKvWritePhase so far (including follower copies when
+  /// replication > 1 — the machine's resident footprint). A per-machine
+  /// memory-pressure signal: feed it to sim::MemoryPressureRates
+  /// (sim/faults.h) to make machines holding hot shards
+  /// preemption-prone, or inspect a single store's footprint directly
+  /// via kv::ShardedStore::ShardBytesSnapshot.
   const std::vector<int64_t>& machine_kv_write_bytes() const {
     return machine_kv_write_bytes_;
   }
+
+  /// The cluster's position on its simulated clock: the sum of every
+  /// round charged so far, including recovery and checkpoint time.
+  /// Mirrors the "sim_total" metric; the fault injector advances along
+  /// this clock.
+  double sim_clock() const { return sim_clock_; }
+
+  /// Kills machine `machine` at the current simulated time, as if the
+  /// injector had fired at the very end of the last charged round (the
+  /// whole round is the lost in-flight portion). Deterministic and
+  /// independent of the injector's schedule — the hook tests use to pin
+  /// exact replay-vs-restart arithmetic against round_log().
+  void InjectMachineFailure(int machine);
 
  private:
   friend class MachineContext;
@@ -420,10 +480,15 @@ class Cluster {
 
   // Appends a round of simulated duration `sim` to the log, with the
   // per-machine KV traffic it carried (empty vectors = a KV-free round).
+  // Also moves the simulated clock: the round occupies
+  // [last_round_start_, sim_clock_), the interval the fault injector is
+  // advanced across when the round settles.
   void RecordRound(const std::string& phase, double sim,
                    std::vector<int64_t> kv_read_bytes = {},
                    std::vector<int64_t> kv_write_bytes = {}) {
     round_log_.push_back(sim);
+    last_round_start_ = sim_clock_;
+    sim_clock_ += sim;
     RoundFootprint fp;
     fp.phase = phase;
     fp.kv_read_bytes = std::move(kv_read_bytes);
@@ -436,10 +501,38 @@ class Cluster {
     }
     round_footprints_.push_back(std::move(fp));
   }
-  // Extends the most recent round (in-memory compute riding a gather).
+  // Extends the most recent round (in-memory compute riding a gather,
+  // recovery extending the round the kill interrupted). Advances the
+  // clock unconditionally to stay an exact mirror of "sim_total".
   void ExtendLastRound(double sim) {
     if (!round_log_.empty()) round_log_.back() += sim;
+    sim_clock_ += sim;
   }
+
+  // The churn hook every Account*/Settle* path runs after charging its
+  // round: harvests the injector's kills over the round's interval,
+  // recovers each one (replica stream, checkpoint restore + windowed
+  // replay, or whole-job replay — whichever the config provides), and
+  // takes a periodic checkpoint when one is due. No-op when injection
+  // and checkpointing are both off.
+  void ProcessFaultsAndCheckpoints();
+
+  // Recovers one machine loss and charges it: the recovery extends the
+  // interrupted round (charged under the "sim:recovery" phase) and the
+  // injector is advanced past the recovery interval afterwards (a
+  // freshly scheduled machine does the recovering).
+  void RecoverFromKill(const FaultEvent& kill);
+
+  // Checkpoints every machine's KV-byte delta since the last checkpoint
+  // as one costly round.
+  void TakeCheckpoint();
+
+  // Machine `machine`'s share of round `round`'s work for replay
+  // purposes: its KV traffic over the round's hottest machine's (the
+  // round lasts as long as its hottest machine, so a machine that moved
+  // a fraction of the straggler's bytes replays that fraction of the
+  // round). 1.0 for KV-free rounds — spawn/compute rounds replay whole.
+  double ReplaySliceShare(size_t round, int machine) const;
 
   // The cached key assignment for stores of `capacity` (see MakeStore).
   std::shared_ptr<const kv::ShardMap> ShardMapFor(int64_t capacity) const;
@@ -450,6 +543,20 @@ class Cluster {
   std::vector<double> round_log_;
   std::vector<RoundFootprint> round_footprints_;
   std::vector<int64_t> machine_kv_write_bytes_;
+  // Elasticity state. sim_clock_/last_round_start_ mirror "sim_total"
+  // (maintained by RecordRound/ExtendLastRound) so kills land inside
+  // the round that was in flight when they fired.
+  FaultInjector fault_injector_;
+  double sim_clock_ = 0.0;
+  double last_round_start_ = 0.0;
+  // Per-machine KV bytes captured by the last checkpoint, the matching
+  // clock/round positions, and the registry recovery uses to cold-start
+  // a replaced machine's caches. The registry is mutable because
+  // MakeStore (const) registers the caches it mints.
+  std::vector<int64_t> checkpointed_bytes_;
+  double last_checkpoint_time_ = 0.0;
+  size_t last_checkpoint_round_ = 0;
+  mutable kv::CacheDropRegistry cache_registry_;
   mutable std::mutex shard_map_mu_;
   // Bounded LRU of key assignments: same-shaped stores within (and
   // across adjacent) rounds share one map, while contraction-style

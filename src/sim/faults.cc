@@ -40,16 +40,6 @@ double CompletionWithLambda(const std::vector<double>& round_seconds,
 }  // namespace
 
 double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
-                                 const PreemptionModel& model,
-                                 RecoveryDiscipline discipline) {
-  AMPC_CHECK_GE(model.rate_per_machine_sec, 0.0);
-  AMPC_CHECK_GE(model.machines, 1);
-  const double lambda =
-      model.rate_per_machine_sec * static_cast<double>(model.machines);
-  return CompletionWithLambda(round_seconds, lambda, discipline);
-}
-
-double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
                                  const std::vector<double>& per_machine_rates,
                                  RecoveryDiscipline discipline) {
   AMPC_CHECK_GE(per_machine_rates.size(), 1u);
@@ -59,6 +49,20 @@ double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
     lambda += rate;
   }
   return CompletionWithLambda(round_seconds, lambda, discipline);
+}
+
+double ExpectedCompletionSeconds(const std::vector<double>& round_seconds,
+                                 const PreemptionModel& model,
+                                 RecoveryDiscipline discipline) {
+  AMPC_CHECK_GE(model.rate_per_machine_sec, 0.0);
+  AMPC_CHECK_GE(model.machines, 1);
+  // A homogeneous cluster is the per-machine-rate model with every rate
+  // equal; delegating keeps one restart-formula code path for both
+  // overloads.
+  return ExpectedCompletionSeconds(
+      round_seconds,
+      std::vector<double>(model.machines, model.rate_per_machine_sec),
+      discipline);
 }
 
 std::vector<double> MemoryPressureRates(
@@ -101,12 +105,15 @@ double ReplayMemoryPressureSeconds(
   return total;
 }
 
-PreemptionTrialStats SimulatePreemptions(
-    const std::vector<double>& round_seconds, const PreemptionModel& model,
+namespace {
+
+// Shared Monte-Carlo core: both SimulatePreemptions overloads reduce to
+// a single job-wide Poisson rate (superposition of the per-machine
+// processes), so the trial loop is written once against that rate.
+PreemptionTrialStats SimulateWithLambda(
+    const std::vector<double>& round_seconds, double lambda,
     RecoveryDiscipline discipline, int trials, uint64_t seed) {
   AMPC_CHECK_GT(trials, 0);
-  const double lambda =
-      model.rate_per_machine_sec * static_cast<double>(model.machines);
   PreemptionTrialStats stats;
 
   for (int trial = 0; trial < trials; ++trial) {
@@ -151,6 +158,91 @@ PreemptionTrialStats SimulatePreemptions(
   stats.mean_seconds /= trials;
   stats.mean_preemptions /= trials;
   return stats;
+}
+
+}  // namespace
+
+PreemptionTrialStats SimulatePreemptions(
+    const std::vector<double>& round_seconds, const PreemptionModel& model,
+    RecoveryDiscipline discipline, int trials, uint64_t seed) {
+  AMPC_CHECK_GE(model.rate_per_machine_sec, 0.0);
+  AMPC_CHECK_GE(model.machines, 1);
+  return SimulateWithLambda(
+      round_seconds,
+      model.rate_per_machine_sec * static_cast<double>(model.machines),
+      discipline, trials, seed);
+}
+
+PreemptionTrialStats SimulatePreemptions(
+    const std::vector<double>& round_seconds,
+    const std::vector<double>& per_machine_rates,
+    RecoveryDiscipline discipline, int trials, uint64_t seed) {
+  AMPC_CHECK_GE(per_machine_rates.size(), 1u);
+  double lambda = 0.0;
+  for (const double rate : per_machine_rates) {
+    AMPC_CHECK_GE(rate, 0.0);
+    lambda += rate;
+  }
+  return SimulateWithLambda(round_seconds, lambda, discipline, trials, seed);
+}
+
+FaultInjector::FaultInjector(double rate_per_machine_sec, int machines,
+                             uint64_t seed)
+    : rate_(rate_per_machine_sec) {
+  AMPC_CHECK_GE(rate_per_machine_sec, 0.0);
+  AMPC_CHECK_GE(machines, 1);
+  if (rate_ <= 0.0) return;
+  rng_.reserve(machines);
+  next_arrival_.reserve(machines);
+  for (int m = 0; m < machines; ++m) {
+    // One stream per machine, seeded by (machine, seed) alone: the
+    // schedule is independent of everything else the job does.
+    rng_.emplace_back(Hash64(static_cast<uint64_t>(m),
+                             seed ^ 0x696e6a656374ULL));
+    next_arrival_.push_back(NextGap(m));
+  }
+}
+
+double FaultInjector::NextGap(int machine) {
+  return -std::log(1.0 - rng_[machine].NextDouble()) / rate_;
+}
+
+std::vector<FaultEvent> FaultInjector::AdvanceTo(double t) {
+  std::vector<FaultEvent> events;
+  if (!enabled()) {
+    now_ = std::max(now_, t);
+    return events;
+  }
+  AMPC_CHECK_GE(t, now_);
+  for (int m = 0; m < static_cast<int>(next_arrival_.size()); ++m) {
+    // The replacement machine inherits the same arrival stream, so one
+    // interval can kill the same slot repeatedly.
+    while (next_arrival_[m] <= t) {
+      events.push_back(FaultEvent{next_arrival_[m], m});
+      next_arrival_[m] += NextGap(m);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.machine < b.machine;
+            });
+  now_ = t;
+  return events;
+}
+
+void FaultInjector::SkipTo(double t) {
+  if (!enabled()) {
+    now_ = std::max(now_, t);
+    return;
+  }
+  AMPC_CHECK_GE(t, now_);
+  for (int m = 0; m < static_cast<int>(next_arrival_.size()); ++m) {
+    // Memoryless: restarting the exponential clock at t is the same
+    // distribution as conditioning on no arrival in (now, t].
+    while (next_arrival_[m] <= t) next_arrival_[m] = t + NextGap(m);
+  }
+  now_ = t;
 }
 
 }  // namespace ampc::sim

@@ -21,10 +21,33 @@
 // better performance at the cost of not tolerating preemptions well".
 // An analytic model and a Monte-Carlo simulator are both provided; tests
 // verify they agree.
+//
+// Two complementary views of the same risk live here:
+//
+//   * The *analytic* model above (ExpectedCompletionSeconds and friends)
+//     prices preemption risk in closed form over a measured round trace
+//     — nothing fails, the formulas integrate over every possible kill.
+//   * The *injected* model (FaultInjector) makes machine loss an actual
+//     event: a seeded, deterministic Poisson process per machine whose
+//     arrivals sim::Cluster consumes mid-job to kill machines, re-route
+//     their shards to surviving replicas (kv::ReplicaSet), restore from
+//     the last checkpoint, and replay only the lost machine's slice of
+//     the in-flight phase (ClusterConfig::faults). Recovery is a cost
+//     event, never a correctness event: outputs under injected churn
+//     are bit-identical to a fault-free run, which
+//     tests/sharding_determinism_test.cc pins and bench/micro_churn
+//     sweeps. The recomputation-bound framing follows Behnezhad et al.
+//     (Near-Optimal Massively Parallel Graph Connectivity) and Andoni
+//     et al. (Log Diameter Rounds): a lost round costs a bounded
+//     replay, never a full restart — unless neither replicas nor
+//     checkpoints exist, which is exactly the whole-job-restart
+//     baseline the bench must beat.
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "common/random.h"
 
 namespace ampc::sim {
 
@@ -98,5 +121,70 @@ struct PreemptionTrialStats {
 PreemptionTrialStats SimulatePreemptions(
     const std::vector<double>& round_seconds, const PreemptionModel& model,
     RecoveryDiscipline discipline, int trials, uint64_t seed);
+
+/// Heterogeneous Monte-Carlo variant: per_machine_rates[m] is machine
+/// m's Poisson rate. Superposing independent Poisson processes yields a
+/// Poisson process with the summed rate, so this validates the
+/// per-machine-rate ExpectedCompletionSeconds overload the same way the
+/// homogeneous simulator validates the uniform one.
+PreemptionTrialStats SimulatePreemptions(
+    const std::vector<double>& round_seconds,
+    const std::vector<double>& per_machine_rates,
+    RecoveryDiscipline discipline, int trials, uint64_t seed);
+
+/// One injected machine loss: machine `machine` is preempted at
+/// simulated time `time` (absolute, on the cluster's sim clock).
+struct FaultEvent {
+  double time = 0.0;
+  int machine = 0;
+};
+
+/// A seeded, deterministic source of injected machine failures: each
+/// machine carries an independent exponential arrival stream (rate
+/// `rate_per_machine_sec`), and the cluster advances the injector along
+/// its simulated clock, harvesting the kills that landed inside each
+/// round. A killed machine is immediately replaced (the scheduler
+/// re-runs the task on a fresh machine, the standard shared-cell
+/// behaviour), so the machine count and placement never change — what
+/// is lost is the dead machine's shard contents, caches, and in-flight
+/// slice, which sim::Cluster recovers and charges for.
+///
+/// Determinism: the arrival streams are pure functions of
+/// (seed, machine), independent of round shapes and of each other, so a
+/// fixed (rate, seed, machines) triple yields one fixed kill schedule
+/// regardless of thread schedules — the property the churn determinism
+/// tests rely on.
+class FaultInjector {
+ public:
+  /// Disabled injector (rate 0): AdvanceTo never yields events.
+  FaultInjector() = default;
+
+  FaultInjector(double rate_per_machine_sec, int machines, uint64_t seed);
+
+  bool enabled() const { return rate_ > 0.0 && !next_arrival_.empty(); }
+  double now() const { return now_; }
+
+  /// The kills in (now(), t], sorted by time (ties broken by machine
+  /// id), advancing the clock to `t`. A machine killed twice within the
+  /// interval appears twice: it respawned after the first kill and the
+  /// replacement was preempted again.
+  std::vector<FaultEvent> AdvanceTo(double t);
+
+  /// Advances the clock to `t` treating (now(), t] as failure-free —
+  /// used for recovery and checkpoint intervals, which run on freshly
+  /// scheduled machines. Arrivals that would have landed inside the
+  /// skipped interval are redrawn from `t` (exponentials are
+  /// memoryless, so this stays distributionally exact and
+  /// deterministic).
+  void SkipTo(double t);
+
+ private:
+  double NextGap(int machine);
+
+  double rate_ = 0.0;
+  double now_ = 0.0;
+  std::vector<double> next_arrival_;
+  std::vector<Rng> rng_;
+};
 
 }  // namespace ampc::sim

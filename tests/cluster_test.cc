@@ -1079,5 +1079,120 @@ TEST(ClusterTest, PlacementPoliciesCoLocateWorkAndRecords) {
   }
 }
 
+// --- Elastic-cluster fault model (ClusterConfig::faults) ------------------
+
+TEST(ClusterTest, ReplicatedWritePhaseChargesFollowerCopies) {
+  ClusterConfig config = TestConfig();
+  config.faults.replication = 2;
+  Cluster cluster(config);
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(1000);
+  EXPECT_EQ(store.replication(), 2);
+  cluster.RunKvWritePhase("w", store, 1000, [](int64_t k) { return k; });
+
+  // Primary-only semantics of the historical counters are preserved:
+  // kv_write_bytes counts each record once, the follower stream has its
+  // own counter, and with exactly one follower per shard they're equal.
+  const int64_t primary = cluster.metrics().Get("kv_write_bytes");
+  const int64_t followers = cluster.metrics().Get("kv_replication_bytes");
+  EXPECT_EQ(primary, store.total_bytes());
+  EXPECT_EQ(followers, primary);
+
+  // Per-machine NIC charging includes inbound follower copies: the
+  // resident-byte rows sum to R * total, and match the store's own
+  // replicated snapshot machine by machine.
+  const std::vector<int64_t> resident = store.ReplicatedShardBytesSnapshot();
+  int64_t resident_total = 0;
+  for (int m = 0; m < config.num_machines; ++m) {
+    EXPECT_EQ(cluster.machine_kv_write_bytes()[m], resident[m]) << m;
+    resident_total += resident[m];
+  }
+  EXPECT_EQ(resident_total, 2 * primary);
+
+  // The hot-machine counter stays primary-only (skew diagnosis is about
+  // where records live, not where copies stream).
+  int64_t expected_hot = 0;
+  for (int s = 0; s < store.num_shards(); ++s) {
+    expected_hot = std::max(expected_hot, store.ShardBytes(s));
+  }
+  EXPECT_EQ(cluster.metrics().Get("kv_hot_machine_write_bytes"),
+            expected_hot);
+}
+
+TEST(ClusterTest, DefaultFaultConfigDoesNotDriftTheCostModel) {
+  // fault_rate = 0, replication = 1, checkpoint_period = 0 must be
+  // bit-identical to a cluster that predates the fault model: same
+  // counters, same timers, no fault metrics at all.
+  auto run = [](bool spell_out_defaults) {
+    ClusterConfig config = TestConfig();
+    if (spell_out_defaults) {
+      config.faults.fault_rate_per_machine_sec = 0.0;
+      config.faults.replication = 1;
+      config.faults.checkpoint_period_sec = 0.0;
+      config.faults.fault_seed = 12345;  // unused at rate 0
+    }
+    Cluster cluster(config);
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(2000);
+    cluster.AccountShuffle("shuffle", 4096);
+    cluster.RunKvWritePhase("w", store, 2000, [](int64_t k) { return 2 * k; });
+    cluster.RunMapPhase("r", 2000, [&](int64_t item, MachineContext& ctx) {
+      ctx.Lookup(store, static_cast<uint64_t>((item * 31) % 2000));
+    });
+    return cluster.metrics().Snapshot();
+  };
+  const MetricsSnapshot a = run(false);
+  const MetricsSnapshot b = run(true);
+  EXPECT_EQ(a.counters, b.counters);
+  // Simulated timers must be bit-identical; wall timers measure the
+  // host and are excluded.
+  for (const auto& [name, seconds] : a.timers_sec) {
+    if (name.rfind("sim", 0) != 0) continue;
+    ASSERT_TRUE(b.timers_sec.count(name)) << name;
+    EXPECT_DOUBLE_EQ(seconds, b.timers_sec.at(name)) << name;
+  }
+  EXPECT_EQ(a.counters.count("machines_lost"), 0u);
+  EXPECT_EQ(a.counters.count("kv_replication_bytes"), 0u);
+  EXPECT_EQ(a.counters.count("checkpoints"), 0u);
+}
+
+TEST(ClusterTest, SimClockTracksTheSimTotalTimer) {
+  ClusterConfig config = TestConfig();
+  Cluster cluster(config);
+  EXPECT_DOUBLE_EQ(cluster.sim_clock(), 0.0);
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(500);
+  cluster.AccountShuffle("shuffle", 2048);
+  cluster.RunKvWritePhase("w", store, 500, [](int64_t k) { return k; });
+  cluster.RunMapPhase("r", 500, [&](int64_t item, MachineContext& ctx) {
+    ctx.Lookup(store, static_cast<uint64_t>(item));
+  });
+  // The metrics timer quantizes to integer nanoseconds; the clock is an
+  // exact double sum, so agreement is to timer resolution.
+  EXPECT_NEAR(cluster.sim_clock(), cluster.metrics().GetTime("sim_total"),
+              1e-8);
+}
+
+TEST(ClusterTest, InjectedFailureDropsTheMachinesQueryCaches) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  config.faults.replication = 2;  // replica path: cheap, deterministic
+  Cluster cluster(config);
+  const int64_t n = 64;
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+  cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k; });
+  // Warm both machines' read-through caches on a hot key.
+  cluster.RunMapPhase("r", n, [&](int64_t, MachineContext& ctx) {
+    ctx.Lookup(store, 3);
+  });
+  const int victim = 1 - store.ShardOf(3);  // the machine caching remotely
+  ASSERT_GT(store.QueryCacheFor(victim)->size(), 0);
+
+  cluster.InjectMachineFailure(victim);
+  EXPECT_EQ(cluster.metrics().Get("machines_lost"), 1);
+  EXPECT_GT(cluster.metrics().GetTime("sim:recovery"), 0.0);
+  EXPECT_EQ(store.QueryCacheFor(victim)->size(), 0);  // cold replacement
+  // The surviving machine's cache is untouched.
+  EXPECT_GT(store.QueryCacheFor(1 - victim)->size(), 0);
+}
+
 }  // namespace
 }  // namespace ampc::sim

@@ -266,6 +266,240 @@ TEST(FaultsTest, ClusterFootprintHistoryDrivesReplay) {
   EXPECT_GT(replayed, base_only);
 }
 
+TEST(FaultsTest, HeterogeneousMonteCarloAgreesWithAnalyticModel) {
+  // The per-machine-rate simulator validates the per-machine-rate
+  // closed form the same way the homogeneous pair validates each other
+  // (Poisson superposition: only the summed rate matters).
+  const std::vector<double> rounds = {0.4, 1.2, 0.8};
+  const std::vector<double> rates = {0.02, 0.0, 0.15, 0.08, 0.05, 0.0};
+  for (const auto discipline : {RecoveryDiscipline::kFaultTolerant,
+                                RecoveryDiscipline::kInMemory}) {
+    const double analytic =
+        ExpectedCompletionSeconds(rounds, rates, discipline);
+    const PreemptionTrialStats stats =
+        SimulatePreemptions(rounds, rates, discipline, 20000, 19);
+    EXPECT_NEAR(stats.mean_seconds, analytic, 0.05 * analytic);
+    EXPECT_GE(stats.max_seconds, stats.mean_seconds);
+  }
+}
+
+TEST(FaultsTest, HeterogeneousMonteCarloMatchesHomogeneousAtUniformRates) {
+  // Identical trial seeds + identical summed rate => bit-identical
+  // trials: the two overloads share one simulation core.
+  const std::vector<double> rounds = {0.5, 1.5};
+  PreemptionModel model;
+  model.rate_per_machine_sec = 0.04;
+  model.machines = 5;
+  const std::vector<double> rates(5, 0.04);
+  const PreemptionTrialStats a = SimulatePreemptions(
+      rounds, model, RecoveryDiscipline::kFaultTolerant, 500, 23);
+  const PreemptionTrialStats b = SimulatePreemptions(
+      rounds, rates, RecoveryDiscipline::kFaultTolerant, 500, 23);
+  EXPECT_DOUBLE_EQ(a.mean_seconds, b.mean_seconds);
+  EXPECT_DOUBLE_EQ(a.max_seconds, b.max_seconds);
+  EXPECT_DOUBLE_EQ(a.mean_preemptions, b.mean_preemptions);
+}
+
+// --- FaultInjector: the injected (as opposed to analytic) model -----
+
+TEST(FaultsTest, InjectorIsDeterministicInSeed) {
+  FaultInjector a(/*rate=*/0.5, /*machines=*/4, /*seed=*/11);
+  FaultInjector b(/*rate=*/0.5, /*machines=*/4, /*seed=*/11);
+  const std::vector<FaultEvent> ka = a.AdvanceTo(20.0);
+  const std::vector<FaultEvent> kb = b.AdvanceTo(20.0);
+  ASSERT_EQ(ka.size(), kb.size());
+  EXPECT_FALSE(ka.empty());
+  for (size_t i = 0; i < ka.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ka[i].time, kb[i].time);
+    EXPECT_EQ(ka[i].machine, kb[i].machine);
+  }
+  // A different seed yields a different schedule.
+  FaultInjector c(0.5, 4, /*seed=*/12);
+  const std::vector<FaultEvent> kc = c.AdvanceTo(20.0);
+  bool same = kc.size() == ka.size();
+  for (size_t i = 0; same && i < ka.size(); ++i) {
+    same = kc[i].time == ka[i].time && kc[i].machine == ka[i].machine;
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(FaultsTest, InjectorWindowingDoesNotChangeTheSchedule) {
+  // Harvesting in many small windows is the same schedule as one big
+  // window: arrivals are a property of the streams, not of when the
+  // cluster looks.
+  FaultInjector whole(0.3, 3, 7);
+  const std::vector<FaultEvent> all = whole.AdvanceTo(30.0);
+  FaultInjector windowed(0.3, 3, 7);
+  std::vector<FaultEvent> stitched;
+  for (double t = 1.0; t <= 30.0; t += 1.0) {
+    const std::vector<FaultEvent> window = windowed.AdvanceTo(t);
+    stitched.insert(stitched.end(), window.begin(), window.end());
+  }
+  ASSERT_EQ(stitched.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_DOUBLE_EQ(stitched[i].time, all[i].time);
+    EXPECT_EQ(stitched[i].machine, all[i].machine);
+  }
+}
+
+TEST(FaultsTest, InjectorEventsAreOrderedAndInWindow) {
+  FaultInjector injector(0.8, 5, 3);
+  double last = 0.0;
+  for (const double t : {2.0, 5.0, 9.0}) {
+    const double lo = injector.now();
+    for (const FaultEvent& e : injector.AdvanceTo(t)) {
+      EXPECT_GT(e.time, lo);
+      EXPECT_LE(e.time, t);
+      EXPECT_GE(e.time, last);
+      EXPECT_GE(e.machine, 0);
+      EXPECT_LT(e.machine, 5);
+      last = e.time;
+    }
+    EXPECT_DOUBLE_EQ(injector.now(), t);
+  }
+}
+
+TEST(FaultsTest, InjectorSkipToYieldsNoEventsInSkippedInterval) {
+  FaultInjector injector(1.0, 4, 5);
+  injector.SkipTo(10.0);
+  EXPECT_DOUBLE_EQ(injector.now(), 10.0);
+  // Nothing can land inside a skipped interval; later windows still
+  // produce kills (arrivals were redrawn from the skip point).
+  const std::vector<FaultEvent> later = injector.AdvanceTo(30.0);
+  EXPECT_FALSE(later.empty());
+  for (const FaultEvent& e : later) EXPECT_GT(e.time, 10.0);
+}
+
+TEST(FaultsTest, DisabledInjectorNeverFires) {
+  FaultInjector off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_TRUE(off.AdvanceTo(1e9).empty());
+  FaultInjector zero(0.0, 8, 42);
+  EXPECT_FALSE(zero.enabled());
+  EXPECT_TRUE(zero.AdvanceTo(1e9).empty());
+}
+
+// --- Replay-vs-restart arithmetic on a known kill schedule ----------
+// Cluster::InjectMachineFailure kills a machine at the end of the last
+// charged round, so the recovery charge is a closed-form function of
+// round_log() the tests can pin exactly.
+
+TEST(FaultsTest, UnprotectedKillReplaysTheWholeJob) {
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 1;
+  Cluster cluster(config);  // no replicas, no checkpoints
+  cluster.AccountMapRound("a");
+  cluster.AccountMapRound("b");
+  cluster.AccountShuffle("c", 64 << 20);
+  const double before = cluster.SimSeconds();
+  cluster.InjectMachineFailure(2);
+  // Whole-job restart: every completed round plus the full in-flight
+  // round replays — recovery time equals the job so far.
+  EXPECT_NEAR(cluster.metrics().GetTime("sim:recovery"), before, 1e-8);
+  EXPECT_NEAR(cluster.metrics().GetTime("recovery_replay_seconds"), before,
+              1e-8);
+  EXPECT_NEAR(cluster.SimSeconds(), 2 * before, 1e-8);
+  EXPECT_EQ(cluster.metrics().Get("machines_lost"), 1);
+}
+
+TEST(FaultsTest, ReplicatedKillPaysOnlyTransferAndInFlightSlice) {
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 1;
+  config.faults.replication = 2;
+  Cluster cluster(config);
+  cluster.AccountMapRound("a");
+  cluster.AccountMapRound("b");
+  cluster.AccountShuffle("c", 64 << 20);
+  const std::vector<double> rounds = cluster.round_log();
+  cluster.InjectMachineFailure(1);
+  // No KV bytes resident => no replica stream to pay; the in-flight
+  // round replays whole (KV-free rounds have share 1).
+  EXPECT_NEAR(cluster.metrics().GetTime("sim:recovery"), rounds.back(),
+              1e-8);
+  EXPECT_NEAR(cluster.metrics().GetTime("recovery_replay_seconds"),
+              rounds.back(), 1e-8);
+}
+
+TEST(FaultsTest, CheckpointedKillReplaysOnlySinceTheCheckpoint) {
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 1;
+  // A period smaller than any round: a checkpoint lands after every
+  // round, so a kill replays only the in-flight round.
+  config.faults.checkpoint_period_sec = 1e-9;
+  Cluster cluster(config);
+  cluster.AccountMapRound("a");
+  cluster.AccountMapRound("b");
+  cluster.AccountShuffle("c", 64 << 20);
+  const std::vector<double> rounds = cluster.round_log();
+  const double restart_cost = cluster.SimSeconds();
+  cluster.InjectMachineFailure(3);
+  const double recovery = cluster.metrics().GetTime("sim:recovery");
+  EXPECT_NEAR(recovery, rounds.back(), 1e-8);
+  EXPECT_LT(recovery, restart_cost);
+}
+
+TEST(FaultsTest, ReplicatedRecoveryChargesTheReplicaStream) {
+  // With resident KV bytes, the replica path pays the dead machine's
+  // footprint over its NIC plus the in-flight slice.
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  config.faults.replication = 2;
+  Cluster cluster(config);
+  auto store = cluster.MakeStore<int64_t>(4096);
+  cluster.RunKvWritePhase<int64_t>(
+      "write", store, 4096, [](int64_t key) { return key * 3; });
+  const int machine = 1;
+  const int64_t resident = cluster.machine_kv_write_bytes()[machine];
+  ASSERT_GT(resident, 0);
+  const double last_round = cluster.round_log().back();
+  // The write round's in-flight slice is footprint-scaled.
+  int64_t hottest = 0;
+  const auto& fp = cluster.round_footprints().back();
+  for (int m = 0; m < config.num_machines; ++m) {
+    hottest = std::max(hottest, fp.kv_read_bytes[m] + fp.kv_write_bytes[m]);
+  }
+  const double share =
+      static_cast<double>(fp.kv_read_bytes[machine] +
+                          fp.kv_write_bytes[machine]) /
+      static_cast<double>(hottest);
+  cluster.InjectMachineFailure(machine);
+  const double expected =
+      static_cast<double>(resident) / config.network.bytes_per_sec +
+      last_round * share;
+  EXPECT_NEAR(cluster.metrics().GetTime("sim:recovery"), expected, 1e-8);
+  EXPECT_NEAR(cluster.metrics().GetTime("recovery_replay_seconds"),
+              last_round * share, 1e-8);
+}
+
+TEST(FaultsTest, RecoveryOrderingMatchesTheAnalyticDisciplines) {
+  // The injected model reproduces the Section 5.7 ordering the analytic
+  // model predicts: replicated < checkpointed < unprotected recovery
+  // for the same kill at the end of the same job.
+  auto run_and_kill = [](int replication, double period) {
+    ClusterConfig config;
+    config.num_machines = 4;
+    config.threads_per_machine = 2;
+    config.faults.replication = replication;
+    config.faults.checkpoint_period_sec = period;
+    Cluster cluster(config);
+    auto store = cluster.MakeStore<int64_t>(4096);
+    cluster.RunKvWritePhase<int64_t>(
+        "write", store, 4096, [](int64_t key) { return key * 3; });
+    for (int r = 0; r < 6; ++r) cluster.AccountMapRound("map");
+    cluster.InjectMachineFailure(1);
+    return cluster.metrics().GetTime("sim:recovery");
+  };
+  const double replicated = run_and_kill(2, 0.0);
+  const double checkpointed = run_and_kill(1, 0.2);
+  const double unprotected = run_and_kill(1, 0.0);
+  EXPECT_LT(replicated, checkpointed);
+  EXPECT_LT(checkpointed, unprotected);
+}
+
 TEST(FaultsTest, EndToEndAmpcJobDegradesGracefully) {
   // An AMPC MIS run (few short rounds) under increasing preemption rates:
   // expected completion grows smoothly, far below in-memory restarts.

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <optional>
+#include <set>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -505,6 +508,149 @@ TEST(ShardedStoreTest, QueryCacheForIsPerMachine) {
   const auto hit = store.QueryCacheFor(0)->Get(5, store.version());
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit, record);
+}
+
+TEST(PlacementReplicationTest, ReplicasAreDistinctStableAndPrimaryFirst) {
+  for (const int shards : {2, 5, 8}) {
+    for (const int replication : {1, 2, 3}) {
+      Placement placement;
+      placement.num_shards = shards;
+      placement.seed = 17;
+      placement.replication = replication;
+      const int copies = std::min(replication, shards);
+      for (int s = 0; s < shards; ++s) {
+        const ReplicaSet set = placement.ReplicasOfShard(s);
+        ASSERT_EQ(set.replication(), copies) << s;
+        EXPECT_EQ(set.primary(), s);
+        std::set<int> distinct(set.machines.begin(), set.machines.end());
+        EXPECT_EQ(static_cast<int>(distinct.size()), copies) << s;
+        for (const int m : set.machines) {
+          EXPECT_GE(m, 0);
+          EXPECT_LT(m, shards);
+        }
+        // Pure function of (seed, shards, replication).
+        EXPECT_EQ(placement.ReplicasOfShard(s).machines, set.machines);
+      }
+    }
+  }
+}
+
+TEST(PlacementReplicationTest, EffectiveReplicationClampsToMachineCount) {
+  Placement placement;
+  placement.num_shards = 3;
+  placement.replication = 8;
+  EXPECT_EQ(placement.EffectiveReplication(), 3);
+  placement.replication = 1;
+  EXPECT_EQ(placement.EffectiveReplication(), 1);
+}
+
+TEST(PlacementReplicationTest, FailoverSkipsDeadFollowers) {
+  Placement placement;
+  placement.num_shards = 6;
+  placement.seed = 3;
+  placement.replication = 3;
+  const ReplicaSet set = placement.ReplicasOfShard(2);
+  ASSERT_EQ(set.machines.size(), 3u);
+  std::vector<uint8_t> dead(6, 0);
+  EXPECT_EQ(set.FailoverTarget(dead), set.machines[1]);
+  dead[set.machines[1]] = 1;
+  EXPECT_EQ(set.FailoverTarget(dead), set.machines[2]);
+  dead[set.machines[2]] = 1;
+  EXPECT_EQ(set.FailoverTarget(dead), -1);  // every copy lost
+}
+
+TEST(ShardedStoreTest, ReplicatedSnapshotAddsFollowerCopies) {
+  Placement placement;
+  placement.num_shards = 4;
+  placement.seed = 9;
+  placement.capacity = 512;
+  placement.replication = 2;
+  ShardedStore<int64_t> store(ShardMap::Build(placement));
+  for (int64_t k = 0; k < 512; ++k) store.Put(k, k);
+  EXPECT_EQ(store.replication(), 2);
+  const std::vector<int64_t> primary = store.ShardBytesSnapshot();
+  const std::vector<int64_t> replicated =
+      store.ReplicatedShardBytesSnapshot();
+  int64_t primary_total = 0, replicated_total = 0;
+  for (int s = 0; s < 4; ++s) {
+    primary_total += primary[s];
+    replicated_total += replicated[s];
+    EXPECT_GE(replicated[s], primary[s]) << s;
+  }
+  // Every record exists exactly twice cluster-wide.
+  EXPECT_EQ(replicated_total, 2 * primary_total);
+  // ReplicasOf agrees with the shard-level query.
+  for (uint64_t k = 0; k < 512; ++k) {
+    EXPECT_EQ(store.ReplicasOf(k).primary(), store.ShardOf(k));
+  }
+}
+
+TEST(ShardedStoreTest, ReplicationOneSnapshotIsUnchanged) {
+  ShardedStore<int64_t> store(256, 4, /*seed=*/5);
+  for (int64_t k = 0; k < 256; ++k) store.Put(k, k);
+  EXPECT_EQ(store.replication(), 1);
+  EXPECT_EQ(store.ReplicatedShardBytesSnapshot(),
+            store.ShardBytesSnapshot());
+}
+
+TEST(QueryCacheTest, ClearDropsEveryEntryWithoutCountingEvictions) {
+  QueryCache<int> cache(/*capacity=*/64, /*lock_shards=*/4);
+  for (uint64_t k = 0; k < 32; ++k) {
+    cache.Put(k, /*epoch=*/1, static_cast<int>(k));
+  }
+  EXPECT_GT(cache.size(), 0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.evictions(), 0);
+  for (uint64_t k = 0; k < 32; ++k) {
+    EXPECT_FALSE(cache.Get(k, 1).has_value()) << k;
+  }
+  // The cache re-warms normally after the drop.
+  cache.Put(7, 1, 70);
+  EXPECT_EQ(cache.Get(7, 1).value_or(-1), 70);
+}
+
+TEST(CacheDropRegistryTest, DropsOnlyTheDeadMachinesLiveCaches) {
+  CacheDropRegistry registry;
+  auto cache0 = std::make_shared<QueryCache<int>>(16);
+  auto cache1 = std::make_shared<QueryCache<int>>(16);
+  registry.Register(0, cache0);
+  registry.Register(1, cache1);
+  cache0->Put(1, 1, 10);
+  cache1->Put(2, 1, 20);
+  EXPECT_EQ(registry.DropMachine(1), 1);
+  EXPECT_EQ(cache0->size(), 1);  // machine 0 untouched
+  EXPECT_EQ(cache1->size(), 0);
+  // Out-of-range machines and machines with no caches are harmless.
+  EXPECT_EQ(registry.DropMachine(7), 0);
+  EXPECT_EQ(registry.DropMachine(-1), 0);
+}
+
+TEST(CacheDropRegistryTest, ExpiredCachesArePrunedNotResurrected) {
+  CacheDropRegistry registry;
+  {
+    auto ephemeral = std::make_shared<QueryCache<int>>(16);
+    registry.Register(2, ephemeral);
+    EXPECT_EQ(registry.DropMachine(2), 1);
+  }  // cache dies with its store
+  EXPECT_EQ(registry.DropMachine(2), 0);
+}
+
+TEST(ShardedStoreTest, EnableQueryCacheRegistersPerMachineCaches) {
+  CacheDropRegistry registry;
+  ShardedStore<int64_t> store(256, 4, /*seed=*/5);
+  store.EnableQueryCache(/*capacity_per_machine=*/64, /*lock_shards=*/2,
+                         &registry);
+  for (int64_t k = 0; k < 256; ++k) store.Put(k, k * 2);
+  // Warm machine 1's read-through cache by hand.
+  const int64_t* record = store.Lookup(10);
+  store.QueryCacheFor(1)->Put(10, store.version(), record);
+  EXPECT_EQ(store.QueryCacheFor(1)->size(), 1);
+  EXPECT_EQ(registry.DropMachine(1), 1);
+  EXPECT_EQ(store.QueryCacheFor(1)->size(), 0);
+  // Other machines' caches were registered under their own ids.
+  EXPECT_EQ(registry.DropMachine(0), 1);
+  EXPECT_EQ(registry.DropMachine(4), 0);  // no such machine
 }
 
 TEST(NetworkModelTest, PresetsAreOrdered) {

@@ -237,6 +237,113 @@ TEST(ShardingDeterminismTest, KCoreIdenticalAcrossPlacementPolicies) {
   }
 }
 
+// --- Injected churn -------------------------------------------------
+// Machine failures are a *cost* event, never a correctness event: the
+// recovery machinery (replica re-streaming, checkpoint restore, round
+// replay, cache drops) must leave every output bit-identical to a
+// fault-free run, across kill seeds, machine counts, and pipeline
+// depths.
+
+sim::Cluster MakeChurnCluster(int machines, int depth, uint64_t kill_seed,
+                              int replication, double checkpoint_period,
+                              double rate = 1.0) {
+  sim::ClusterConfig config;
+  config.num_machines = machines;
+  config.threads_per_machine = 2;
+  config.pipeline_depth = depth;
+  // Simulated jobs here run ~0.2-1 second; one kill per machine-second
+  // guarantees churn actually happens without drowning the job.
+  config.faults.fault_rate_per_machine_sec = rate;
+  config.faults.fault_seed = kill_seed;
+  config.faults.replication = replication;
+  config.faults.checkpoint_period_sec = checkpoint_period;
+  return sim::Cluster(config);
+}
+
+TEST(ShardingDeterminismTest, MisIdenticalUnderReplicatedChurn) {
+  graph::Graph g = graph::BuildGraph(graph::GenerateRmat(9, 3000, 17));
+  sim::Cluster reference = MakeCluster(kShapes[0]);  // fault-free
+  const core::MisResult expected = core::AmpcMis(reference, g, 17);
+  int64_t kills = 0;
+  for (const uint64_t kill_seed : {1u, 7u, 99u}) {
+    for (const int machines : {3, 8}) {
+      for (const int depth : {1, 4}) {
+        sim::Cluster cluster =
+            MakeChurnCluster(machines, depth, kill_seed,
+                             /*replication=*/2, /*checkpoint_period=*/0.0);
+        EXPECT_EQ(core::AmpcMis(cluster, g, 17).in_mis, expected.in_mis)
+            << "kill seed " << kill_seed << ", " << machines
+            << " machines, depth " << depth;
+        kills += cluster.metrics().Get("machines_lost");
+      }
+    }
+  }
+  // The axis is vacuous unless machines actually died along the way.
+  EXPECT_GT(kills, 0);
+}
+
+TEST(ShardingDeterminismTest, KCoreIdenticalUnderCheckpointedChurn) {
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(400, 2400, 23));
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::KCoreResult expected = core::AmpcKCore(reference, g);
+  int64_t kills = 0;
+  for (const uint64_t kill_seed : {5u, 13u}) {
+    for (const int machines : {3, 8}) {
+      sim::Cluster cluster =
+          MakeChurnCluster(machines, /*depth=*/4, kill_seed,
+                           /*replication=*/1, /*checkpoint_period=*/0.3);
+      const core::KCoreResult got = core::AmpcKCore(cluster, g);
+      EXPECT_EQ(got.coreness, expected.coreness)
+          << "kill seed " << kill_seed << ", " << machines << " machines";
+      EXPECT_EQ(got.iterations, expected.iterations);
+      kills += cluster.metrics().Get("machines_lost");
+    }
+  }
+  EXPECT_GT(kills, 0);
+}
+
+TEST(ShardingDeterminismTest, MatchingIdenticalUnderUnprotectedChurn) {
+  // Even with neither replicas nor checkpoints (whole-job-restart
+  // charging, the most expensive recovery), outputs never move.
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(300, 1500, 41));
+  core::MatchingOptions options;
+  options.seed = 41;
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::MatchingResult expected =
+      core::AmpcMatching(reference, g, options);
+  for (const uint64_t kill_seed : {3u, 21u}) {
+    sim::Cluster cluster =
+        MakeChurnCluster(8, /*depth=*/4, kill_seed,
+                         /*replication=*/1, /*checkpoint_period=*/0.0);
+    EXPECT_EQ(core::AmpcMatching(cluster, g, options).partner,
+              expected.partner)
+        << "kill seed " << kill_seed;
+  }
+}
+
+TEST(ShardingDeterminismTest, ChurnCostModelIsDeterministic) {
+  // The injected schedule is a pure function of (rate, seed, machines):
+  // the same run twice loses the same machines and charges the same
+  // simulated cost, bit for bit, despite real threads underneath.
+  graph::Graph g = graph::BuildGraph(graph::GenerateRmat(9, 3000, 17));
+  // Rate high enough that this one short job certainly loses machines.
+  sim::Cluster a = MakeChurnCluster(8, 4, /*kill_seed=*/7,
+                                    /*replication=*/2,
+                                    /*checkpoint_period=*/0.0, /*rate=*/5.0);
+  sim::Cluster b = MakeChurnCluster(8, 4, /*kill_seed=*/7,
+                                    /*replication=*/2,
+                                    /*checkpoint_period=*/0.0, /*rate=*/5.0);
+  EXPECT_EQ(core::AmpcMis(a, g, 17).in_mis, core::AmpcMis(b, g, 17).in_mis);
+  EXPECT_EQ(a.metrics().Get("machines_lost"),
+            b.metrics().Get("machines_lost"));
+  EXPECT_GT(a.metrics().Get("machines_lost"), 0);
+  EXPECT_DOUBLE_EQ(a.SimSeconds(), b.SimSeconds());
+  EXPECT_DOUBLE_EQ(a.metrics().GetTime("sim:recovery"),
+                   b.metrics().GetTime("sim:recovery"));
+}
+
 TEST(ShardingDeterminismTest, PageRankIdenticalAcrossPlacementPolicies) {
   graph::Graph g =
       graph::BuildGraph(graph::GenerateErdosRenyi(200, 1000, 53));

@@ -57,6 +57,11 @@ struct Args {
   int walks = 16;  // pagerank walks per node
   bool caching = true;
   bool multithreading = true;
+  // Elastic-cluster knobs (sim::ClusterConfig::FaultConfig).
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 42;
+  int replication = 1;
+  double checkpoint_period = 0.0;
 };
 
 void PrintUsage() {
@@ -88,7 +93,15 @@ void PrintUsage() {
       "  --no-mt          disable the multithreading optimization\n"
       "  --seed S         randomness seed                (default 42)\n"
       "  --walks W        pagerank: walks per node       (default 16)\n"
-      "  --cycles C       1v2cycle: build 1 or 2 cycles  (default 2)\n");
+      "  --cycles C       1v2cycle: build 1 or 2 cycles  (default 2)\n"
+      "\n"
+      "failure model (outputs stay bit-identical; only cost changes):\n"
+      "  --fault-rate R          Poisson kills per machine-second of\n"
+      "                          simulated time        (default 0 = off)\n"
+      "  --fault-seed S          kill-schedule seed    (default 42)\n"
+      "  --replication R         copies of every DHT record (default 1)\n"
+      "  --checkpoint-period T   simulated seconds between shard\n"
+      "                          checkpoints           (default 0 = off)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -130,6 +143,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->caching = false;
     } else if (flag == "--no-mt") {
       args->multithreading = false;
+    } else if (flag == "--fault-rate") {
+      args->fault_rate = std::atof(next());
+    } else if (flag == "--fault-seed") {
+      args->fault_seed = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--replication") {
+      args->replication = std::atoi(next());
+    } else if (flag == "--checkpoint-period") {
+      args->checkpoint_period = std::atof(next());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -192,6 +213,19 @@ void PrintMetrics(sim::Cluster& cluster) {
                   : static_cast<double>(m.Get("cache_hits")) /
                         static_cast<double>(m.Get("cache_hits") +
                                             m.Get("cache_misses")));
+  if (m.Get("machines_lost") != 0 || m.Get("checkpoints") != 0 ||
+      m.Get("kv_replication_bytes") != 0) {
+    std::printf("machines lost:   %lld\n",
+                static_cast<long long>(m.Get("machines_lost")));
+    std::printf("replication bytes: %lld\n",
+                static_cast<long long>(m.Get("kv_replication_bytes")));
+    std::printf("checkpoints:     %lld (%lld bytes)\n",
+                static_cast<long long>(m.Get("checkpoints")),
+                static_cast<long long>(m.Get("checkpoint_bytes")));
+    std::printf("recovery time:   %.3fs (replay %.3fs)\n",
+                m.GetTime("sim:recovery"),
+                m.GetTime("recovery_replay_seconds"));
+  }
   std::printf("simulated time:  %.3fs\n", cluster.SimSeconds());
   std::printf("wall time:       %.3fs\n", cluster.WallSeconds());
 }
@@ -206,6 +240,10 @@ int Run(const Args& args) {
   config.network = args.network == "tcp" ? kv::NetworkModel::TcpIp()
                                          : kv::NetworkModel::Rdma();
   config.seed = args.seed;
+  config.faults.fault_rate_per_machine_sec = args.fault_rate;
+  config.faults.fault_seed = args.fault_seed;
+  config.faults.replication = args.replication;
+  config.faults.checkpoint_period_sec = args.checkpoint_period;
 
   if (args.algorithm == "1v2cycle") {
     // Builds its own cycle structure; skips the generic input path.
