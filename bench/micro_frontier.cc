@@ -1,0 +1,248 @@
+// micro_frontier — push vs pull vs hybrid frontier representations on
+// the two workloads that bracket the direction-optimization trade-off.
+//
+// The frontier engine (common/frontier.h, sim::Cluster::RunPullPhase)
+// gives every frontier-shaped phase two cost models: *push* routes each
+// active vertex's reads through the batched/pipelined lookup path
+// (latency-bearing round trips), *pull* broadcasts the frontier bitmap
+// and sweeps each machine's local shard (bytes, zero per-vertex trips).
+// The hybrid policy picks per round via Beamer's alpha/beta thresholds.
+// This bench runs the sparse/dense/hybrid grid on:
+//
+//  - a *dense* workload: h-index core decomposition of a low-diameter
+//    ER graph, whose frontier covers most of the graph every round —
+//    pull territory;
+//  - a *sparse* workload: personalized PageRank walks over a
+//    high-diameter chain, whose source frontier is a single vertex —
+//    push territory (forced dense pays a bitmap broadcast per walk
+//    step for nothing).
+//
+// The run FAILS (exit 1) unless, on the dense workload, hybrid cuts
+// kv_lookup_trips >= 10x versus pure sparse AND strictly beats pure
+// sparse's simulated time, AND on both workloads hybrid is never worse
+// than the better pure mode (to float tolerance) — the whole point of
+// a direction *policy*. Outputs must match bit-identically across all
+// modes on both workloads; frontier modes only move cost.
+//
+//   AMPC_BENCH_SCALE   scales both graphs (default 1.0 => 20k vertices)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/frontier.h"
+#include "core/kcore.h"
+#include "core/pagerank.h"
+#include "graph/generators.h"
+#include "sim/cluster.h"
+
+namespace {
+
+using ampc::FrontierMode;
+using ampc::FrontierModeName;
+
+constexpr int kMachines = 8;
+
+struct RunResult {
+  double sim_sec = 0;
+  int64_t trips = 0;
+  int64_t dense_rounds = 0;
+  int64_t sparse_rounds = 0;
+  int64_t broadcast_bytes = 0;
+};
+
+ampc::sim::Cluster MakeCluster(FrontierMode mode) {
+  ampc::sim::ClusterConfig config;
+  config.num_machines = kMachines;
+  // Track only the data-dependent (latency/bandwidth/CPU) component;
+  // the per-round spawn constant is identical across modes (frontier
+  // modes never change round counts) and would drown the signal.
+  config.round_spawn_sec = 0.0;
+  config.frontier.mode = mode;
+  return ampc::sim::Cluster(config);
+}
+
+RunResult Collect(ampc::sim::Cluster& cluster) {
+  RunResult r;
+  r.sim_sec = cluster.SimSeconds();
+  r.trips = cluster.metrics().Get("kv_lookup_trips");
+  r.dense_rounds = cluster.metrics().Get("frontier_dense_rounds");
+  r.sparse_rounds = cluster.metrics().Get("frontier_sparse_rounds");
+  r.broadcast_bytes = cluster.metrics().Get("frontier_broadcast_bytes");
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t n = std::max<int64_t>(
+      256, static_cast<int64_t>(20'000 * ampc::bench::BenchScale()));
+
+  // Dense workload: ER graph at average degree 8 — the peeling frontier
+  // stays near n for every h-index round.
+  ampc::graph::Graph er = ampc::graph::BuildGraph(
+      ampc::graph::GenerateErdosRenyi(n, 4 * n, /*seed=*/7));
+  // Sparse workload: a chain — personalized walks from one source, the
+  // canonical always-sparse frontier.
+  ampc::graph::Graph chain =
+      ampc::graph::BuildGraph(ampc::graph::GeneratePath(n));
+  ampc::core::PageRankMcOptions ppr_options;
+  ppr_options.seed = 7;
+  ppr_options.walks_per_node = 2;
+
+  std::printf(
+      "micro_frontier: %lld vertices, %d machines; kcore on ER "
+      "(%lld arcs) vs personalized pagerank on a chain\n",
+      static_cast<long long>(n), kMachines,
+      static_cast<long long>(er.num_arcs()));
+
+  const FrontierMode kModes[] = {FrontierMode::kSparse, FrontierMode::kDense,
+                                 FrontierMode::kHybrid};
+  struct GridRow {
+    const char* workload;
+    FrontierMode mode;
+    RunResult r;
+  };
+  std::vector<GridRow> grid;
+  std::vector<int32_t> kcore_reference;
+  std::vector<double> ppr_reference;
+  for (const FrontierMode mode : kModes) {
+    ampc::sim::Cluster cluster = MakeCluster(mode);
+    const ampc::core::KCoreResult kcore = ampc::core::AmpcKCore(cluster, er);
+    grid.push_back(GridRow{"kcore/er", mode, Collect(cluster)});
+    if (mode == FrontierMode::kSparse) {
+      kcore_reference = kcore.coreness;
+    } else if (kcore.coreness != kcore_reference) {
+      std::fprintf(stderr, "FATAL: kcore output changed in %s mode\n",
+                   FrontierModeName(mode));
+      return 1;
+    }
+  }
+  for (const FrontierMode mode : kModes) {
+    ampc::sim::Cluster cluster = MakeCluster(mode);
+    const ampc::core::PageRankMcResult ppr =
+        ampc::core::AmpcPersonalizedPageRank(cluster, chain, /*source=*/0,
+                                             ppr_options);
+    grid.push_back(GridRow{"ppr/chain", mode, Collect(cluster)});
+    if (mode == FrontierMode::kSparse) {
+      ppr_reference = ppr.rank;
+    } else if (ppr.rank != ppr_reference) {
+      std::fprintf(stderr, "FATAL: pagerank output changed in %s mode\n",
+                   FrontierModeName(mode));
+      return 1;
+    }
+  }
+  auto find = [&](const std::string& workload,
+                  FrontierMode mode) -> const RunResult& {
+    for (const GridRow& row : grid) {
+      if (workload == row.workload && mode == row.mode) return row.r;
+    }
+    std::abort();
+  };
+
+  ampc::bench::PrintHeader(
+      "micro_frontier: simulated seconds by frontier mode",
+      {"workload", "mode", "sim sec", "trips", "dense", "sparse",
+       "bcast bytes"});
+  for (const GridRow& row : grid) {
+    ampc::bench::PrintRow(
+        {row.workload, FrontierModeName(row.mode),
+         ampc::bench::FmtDouble(row.r.sim_sec, 6),
+         ampc::bench::FmtInt(row.r.trips),
+         ampc::bench::FmtInt(row.r.dense_rounds),
+         ampc::bench::FmtInt(row.r.sparse_rounds),
+         ampc::bench::FmtInt(row.r.broadcast_bytes)});
+  }
+  ampc::bench::PrintPaperNote(
+      "direction optimization for the AMPC DHT: a dense round replaces "
+      "per-vertex lookup round trips with one frontier-bitmap broadcast "
+      "plus one aggregate exchange, so large frontiers cost bandwidth "
+      "instead of latency; the alpha/beta policy keeps small frontiers "
+      "on the batched push path");
+
+  // Regression gates. Dense workload: hybrid must gut the trip count
+  // (>= 10x) and strictly beat pure sparse, and must track pure dense
+  // to 0.1% (it may differ only by cheap sparse tail rounds).
+  const RunResult& er_sparse = find("kcore/er", FrontierMode::kSparse);
+  const RunResult& er_dense = find("kcore/er", FrontierMode::kDense);
+  const RunResult& er_hybrid = find("kcore/er", FrontierMode::kHybrid);
+  if (er_sparse.trips < 10 * std::max<int64_t>(1, er_hybrid.trips)) {
+    std::fprintf(stderr,
+                 "FATAL: hybrid did not cut lookup trips 10x on the dense "
+                 "workload (sparse %lld, hybrid %lld)\n",
+                 static_cast<long long>(er_sparse.trips),
+                 static_cast<long long>(er_hybrid.trips));
+    return 1;
+  }
+  if (er_hybrid.sim_sec >= er_sparse.sim_sec) {
+    std::fprintf(stderr,
+                 "FATAL: hybrid did not beat sparse on the dense workload "
+                 "(hybrid %.6f, sparse %.6f)\n",
+                 er_hybrid.sim_sec, er_sparse.sim_sec);
+    return 1;
+  }
+  if (er_hybrid.sim_sec > er_dense.sim_sec * 1.001) {
+    std::fprintf(stderr,
+                 "FATAL: hybrid worse than pure dense on the dense "
+                 "workload (hybrid %.6f, dense %.6f)\n",
+                 er_hybrid.sim_sec, er_dense.sim_sec);
+    return 1;
+  }
+  // Sparse workload: hybrid must stay on the push path (bit-identical
+  // cost to pure sparse) and never exceed pure dense.
+  const RunResult& pr_sparse = find("ppr/chain", FrontierMode::kSparse);
+  const RunResult& pr_dense = find("ppr/chain", FrontierMode::kDense);
+  const RunResult& pr_hybrid = find("ppr/chain", FrontierMode::kHybrid);
+  if (pr_hybrid.sim_sec > pr_sparse.sim_sec * (1.0 + 1e-9)) {
+    std::fprintf(stderr,
+                 "FATAL: hybrid worse than sparse on the sparse workload "
+                 "(hybrid %.9f, sparse %.9f)\n",
+                 pr_hybrid.sim_sec, pr_sparse.sim_sec);
+    return 1;
+  }
+  if (pr_hybrid.sim_sec > pr_dense.sim_sec) {
+    std::fprintf(stderr,
+                 "FATAL: hybrid worse than dense on the sparse workload "
+                 "(hybrid %.6f, dense %.6f)\n",
+                 pr_hybrid.sim_sec, pr_dense.sim_sec);
+    return 1;
+  }
+
+  FILE* out = std::fopen("BENCH_frontier.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_frontier.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"micro_frontier\",\n"
+               "  \"num_vertices\": %lld,\n"
+               "  \"machines\": %d,\n"
+               "  \"dense_trip_reduction\": %.4f,\n"
+               "  \"dense_speedup_vs_sparse\": %.4f,\n"
+               "  \"grid\": [\n",
+               static_cast<long long>(n), kMachines,
+               static_cast<double>(er_sparse.trips) /
+                   static_cast<double>(std::max<int64_t>(1, er_hybrid.trips)),
+               er_sparse.sim_sec / er_hybrid.sim_sec);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const GridRow& row = grid[i];
+    std::fprintf(
+        out,
+        "    {\"workload\": \"%s\", \"mode\": \"%s\", \"sim_sec\": %.9f, "
+        "\"trips\": %lld, \"dense_rounds\": %lld, \"sparse_rounds\": %lld, "
+        "\"broadcast_bytes\": %lld}%s\n",
+        row.workload, FrontierModeName(row.mode), row.r.sim_sec,
+        static_cast<long long>(row.r.trips),
+        static_cast<long long>(row.r.dense_rounds),
+        static_cast<long long>(row.r.sparse_rounds),
+        static_cast<long long>(row.r.broadcast_bytes),
+        i + 1 < grid.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_frontier.json\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "common/frontier.h"
+
+namespace ampc {
+
+const char* FrontierModeName(FrontierMode mode) {
+  switch (mode) {
+    case FrontierMode::kSparse:
+      return "sparse";
+    case FrontierMode::kDense:
+      return "dense";
+    case FrontierMode::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+bool ParseFrontierMode(const std::string& name, FrontierMode* mode) {
+  if (name == "sparse") {
+    *mode = FrontierMode::kSparse;
+    return true;
+  }
+  if (name == "dense") {
+    *mode = FrontierMode::kDense;
+    return true;
+  }
+  if (name == "hybrid") {
+    *mode = FrontierMode::kHybrid;
+    return true;
+  }
+  return false;
+}
+
+bool FrontierPolicy::UseDense(int64_t frontier_size, int64_t frontier_edges) {
+  switch (mode_) {
+    case FrontierMode::kSparse:
+      dense_ = false;
+      return dense_;
+    case FrontierMode::kDense:
+      dense_ = true;
+      return dense_;
+    case FrontierMode::kHybrid:
+      break;
+  }
+  // Hysteresis: the grow threshold (edges-based) only switches sparse
+  // -> dense and the shrink threshold (size-based) only switches dense
+  // -> sparse. A frontier inside the band between them keeps its
+  // previous representation.
+  if (!dense_) {
+    if (static_cast<double>(frontier_edges) >
+        static_cast<double>(total_edges_) / alpha_) {
+      dense_ = true;
+    }
+  } else {
+    if (static_cast<double>(frontier_size) <
+        static_cast<double>(num_vertices_) / beta_) {
+      dense_ = false;
+    }
+  }
+  return dense_;
+}
+
+}  // namespace ampc

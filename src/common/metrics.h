@@ -45,6 +45,15 @@ struct MetricsSnapshot {
 ///                         KV writes (replication > 1)
 ///   "checkpoints"/"checkpoint_bytes"  periodic shard checkpoints taken
 ///                         and the byte deltas they persisted
+///   "frontier_dense_rounds"/"frontier_sparse_rounds"  frontier-shaped
+///                         rounds by representation (pull vs push; only
+///                         counted when ClusterConfig::frontier.mode is
+///                         not kSparse)
+///   "frontier_broadcast_bytes"  frontier-bitmap bytes broadcast by
+///                         pull rounds (steps x ceil(key_space/8))
+///   "frontier_exchange_bytes"  record bytes moved by pull rounds'
+///                         aggregate exchanges (the pull-side analogue
+///                         of per-lookup read bytes)
 /// Fault-model timers: "sim:recovery" (total recovery time charged),
 /// "recovery_replay_seconds" (its replay component, excluding replica
 /// streams and checkpoint restores), "sim:checkpoint" (checkpoint

@@ -6,7 +6,10 @@
 #include <memory>
 #include <span>
 
+#include "common/bitmap.h"
+#include "common/frontier.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "kv/placement.h"
 #include "kv/sharded_store.h"
@@ -18,6 +21,98 @@ using graph::NodeId;
 
 using AdjStore = kv::ShardedStore<std::vector<NodeId>>;
 using ValueStore = kv::ShardedStore<int32_t>;
+
+/// One worker slice of an h-index round in the sparse (push)
+/// representation: the manual ticket pipeline over per-vertex neighbor
+/// windows. Each vertex's h-index recomputation is one adaptive step
+/// needing every neighbor's published value. The reads are independent
+/// across the worker's vertices, so the worker pipelines them: each
+/// vertex's neighbor list ships as sub-batch windows (one
+/// LookupManyAsync ticket each, at most max_batch_keys keys), with up
+/// to pipeline_depth tickets — usually spanning several vertices — in
+/// flight at once so their round trips overlap. High-degree neighbors
+/// are shared by many vertices of a machine, so their published values
+/// are served from the query cache after the first fetch each round
+/// (the fresh per-round store resets the cache). `on_result(item, h)`
+/// receives each settled vertex's new h-index.
+template <typename OnResult>
+void HIndexSparseSlice(std::span<const int64_t> items,
+                       sim::MachineContext& ctx, const AdjStore& adjacency,
+                       const ValueStore& values, OnResult&& on_result) {
+  struct Pending {
+    kv::LookupTicket<int32_t> ticket;
+    int64_t item;
+    bool last_window;  // the final window of the item's list
+  };
+  const size_t depth = static_cast<size_t>(ctx.pipeline_depth());
+  const int64_t max_keys = ctx.max_batch_keys();
+  std::deque<Pending> inflight;
+  // Neighbor values of the item currently settling. Tickets settle
+  // FIFO and an item's windows are issued contiguously, so the
+  // accumulator only ever holds one item's values.
+  std::vector<int32_t> neighbor_values;
+  auto settle_oldest = [&] {
+    Pending pending = std::move(inflight.front());
+    inflight.pop_front();
+    const kv::LookupBatchResult<int32_t> batch = ctx.Await(pending.ticket);
+    for (const int32_t* value : batch.values) {
+      neighbor_values.push_back(value == nullptr ? 0 : *value);
+    }
+    if (pending.last_window) {
+      on_result(pending.item, HIndex(neighbor_values));
+      neighbor_values.clear();
+    }
+  };
+  std::vector<uint64_t> keys;
+  for (const int64_t item : items) {
+    const NodeId v = static_cast<NodeId>(item);
+    const std::vector<NodeId>* adj = ctx.LookupLocal(adjacency, v);
+    const size_t degree = adj->size();
+    const size_t window = max_keys > 0 ? static_cast<size_t>(max_keys)
+                                       : std::max<size_t>(1, degree);
+    // An isolated vertex still issues one (empty) window so its
+    // h-index of zero settles through the same path.
+    size_t begin = 0;
+    do {
+      const size_t end = std::min(degree, begin + window);
+      keys.assign(adj->begin() + begin, adj->begin() + end);
+      if (inflight.size() == depth) settle_oldest();
+      inflight.push_back(Pending{
+          ctx.LookupManyAsync(values, std::span<const uint64_t>(keys)),
+          item, end >= degree});
+      begin = end;
+    } while (begin < degree);
+  }
+  while (!inflight.empty()) settle_oldest();
+}
+
+/// The dense (pull) counterpart: inside a RunPullPhase the neighbor
+/// values were shipped by the round's bitmap broadcast + aggregate
+/// exchange, so each vertex resolves its whole neighbor list as a
+/// local sweep (MachineContext::PullMany — bytes, no round trips).
+/// Values, and therefore every on_result, are identical to the sparse
+/// slice's.
+template <typename OnResult>
+void HIndexPullSlice(std::span<const int64_t> items,
+                     sim::MachineContext& ctx, const AdjStore& adjacency,
+                     const ValueStore& values, OnResult&& on_result) {
+  std::vector<uint64_t> keys;
+  std::vector<int32_t> neighbor_values;
+  for (const int64_t item : items) {
+    const NodeId v = static_cast<NodeId>(item);
+    const std::vector<NodeId>* adj = ctx.LookupLocal(adjacency, v);
+    keys.clear();
+    keys.reserve(adj->size());
+    for (const NodeId neighbor : *adj) keys.push_back(neighbor);
+    const kv::LookupBatchResult<int32_t> batch =
+        ctx.PullMany(values, std::span<const uint64_t>(keys));
+    neighbor_values.clear();
+    for (const int32_t* value : batch.values) {
+      neighbor_values.push_back(value == nullptr ? 0 : *value);
+    }
+    on_result(item, HIndex(neighbor_values));
+  }
+}
 
 }  // namespace
 
@@ -60,88 +155,122 @@ KCoreResult AmpcKCore(sim::Cluster& cluster, const graph::Graph& g,
   if (n == 0) return result;
 
   std::vector<int32_t> next(n, 0);
-  for (;;) {
+  const sim::ClusterConfig::FrontierConfig& frontier_config =
+      cluster.config().frontier;
+  if (frontier_config.mode == FrontierMode::kSparse) {
+    // Legacy path: every vertex recomputes every round through the
+    // push pipeline — the pre-frontier cost model, bit-identical.
+    for (;;) {
+      AMPC_CHECK_LT(result.iterations, options.max_iterations)
+          << "h-index iteration did not converge";
+      ++result.iterations;
+
+      // Publish the current values into a fresh per-round store D_i
+      // (cheap round), then recompute each vertex from its neighbors'
+      // published values with DHT random access (map round, no
+      // shuffle).
+      ValueStore values = cluster.MakeStore<int32_t>(n);
+      cluster.RunKvWritePhase("ValueWrite", values, n, [&](int64_t v) {
+        return result.coreness[v];
+      });
+
+      std::atomic<int64_t> changed{0};
+      cluster.RunBatchMapPhase(
+          "HIndex", n,
+          [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
+            HIndexSparseSlice(items, ctx, adjacency, values,
+                              [&](int64_t item, int32_t h) {
+                                next[item] = h;
+                                if (h != result.coreness[item]) {
+                                  changed.fetch_add(
+                                      1, std::memory_order_relaxed);
+                                }
+                              });
+          });
+      result.coreness.swap(next);
+      if (changed.load() == 0) break;
+    }
+    return result;
+  }
+
+  // Frontier-engine peeling (mode dense or hybrid): only *active*
+  // vertices recompute — round 1 everyone, afterwards the vertices
+  // with a neighbor whose coreness changed last round. A vertex whose
+  // neighborhood did not change recomputes to the same h-index, so
+  // skipping it is exact: the per-round changed sets, the iteration
+  // count, and the final coreness are identical to the legacy loop's.
+  // Each round the policy picks the representation from the active
+  // set's size and out-edge mass: dense rounds pull (bitmap broadcast
+  // + local shard sweep, no per-vertex trips), sparse rounds push
+  // through the legacy pipeline over just the active list.
+  FrontierPolicy policy(frontier_config.mode, frontier_config.alpha,
+                        frontier_config.beta, n, g.num_arcs());
+  SlidingQueue frontier(n);
+  for (int64_t v = 0; v < n; ++v) frontier.Push(v);
+  frontier.SlideWindow();
+  while (!frontier.WindowEmpty()) {
     AMPC_CHECK_LT(result.iterations, options.max_iterations)
         << "h-index iteration did not converge";
     ++result.iterations;
 
-    // Publish the current values into a fresh per-round store D_i
-    // (cheap round), then recompute each vertex from its neighbors'
-    // published values with DHT random access (map round, no shuffle).
+    // Publish the full coreness vector exactly as the legacy loop does
+    // (reads must see every neighbor's current value, active or not).
     ValueStore values = cluster.MakeStore<int32_t>(n);
     cluster.RunKvWritePhase("ValueWrite", values, n, [&](int64_t v) {
       return result.coreness[v];
     });
 
-    std::atomic<int64_t> changed{0};
-    cluster.RunBatchMapPhase(
-        "HIndex", n,
-        [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
-          // Each vertex's h-index recomputation is one adaptive step
-          // needing every neighbor's published value. The reads are
-          // independent across the worker's vertices, so the worker
-          // pipelines them: each vertex's neighbor list ships as
-          // sub-batch windows (one LookupManyAsync ticket each, at most
-          // max_batch_keys keys), with up to pipeline_depth tickets —
-          // usually spanning several vertices — in flight at once so
-          // their round trips overlap. High-degree neighbors are shared
-          // by many vertices of a machine, so their published values
-          // are served from the query cache after the first fetch each
-          // round (the fresh per-round store resets the cache).
-          struct Pending {
-            kv::LookupTicket<int32_t> ticket;
-            int64_t item;
-            bool last_window;  // the final window of the item's list
-          };
-          const size_t depth = static_cast<size_t>(ctx.pipeline_depth());
-          const int64_t max_keys = ctx.max_batch_keys();
-          std::deque<Pending> inflight;
-          // Neighbor values of the item currently settling. Tickets
-          // settle FIFO and an item's windows are issued contiguously,
-          // so the accumulator only ever holds one item's values.
-          std::vector<int32_t> neighbor_values;
-          auto settle_oldest = [&] {
-            Pending pending = std::move(inflight.front());
-            inflight.pop_front();
-            const kv::LookupBatchResult<int32_t> batch =
-                ctx.Await(pending.ticket);
-            for (const int32_t* value : batch.values) {
-              neighbor_values.push_back(value == nullptr ? 0 : *value);
-            }
-            if (pending.last_window) {
-              next[pending.item] = HIndex(neighbor_values);
-              if (next[pending.item] != result.coreness[pending.item]) {
-                changed.fetch_add(1, std::memory_order_relaxed);
-              }
-              neighbor_values.clear();
-            }
-          };
-          std::vector<uint64_t> keys;
-          for (const int64_t item : items) {
-            const NodeId v = static_cast<NodeId>(item);
-            const std::vector<NodeId>* adj = ctx.LookupLocal(adjacency, v);
-            const size_t degree = adj->size();
-            const size_t window = max_keys > 0
-                                      ? static_cast<size_t>(max_keys)
-                                      : std::max<size_t>(1, degree);
-            // An isolated vertex still issues one (empty) window so its
-            // h-index of zero settles through the same path.
-            size_t begin = 0;
-            do {
-              const size_t end = std::min(degree, begin + window);
-              keys.assign(adj->begin() + begin, adj->begin() + end);
-              if (inflight.size() == depth) settle_oldest();
-              inflight.push_back(Pending{
-                  ctx.LookupManyAsync(values,
-                                      std::span<const uint64_t>(keys)),
-                  item, end >= degree});
-              begin = end;
-            } while (begin < degree);
+    const std::span<const int64_t> active = frontier.Window();
+    int64_t frontier_edges = 0;
+    for (const int64_t v : active) {
+      frontier_edges += g.degree(static_cast<NodeId>(v));
+    }
+    AtomicBitmap changed(n);
+    auto on_result = [&](int64_t item, int32_t h) {
+      if (h != result.coreness[item]) {
+        next[item] = h;
+        changed.Set(item);
+      }
+    };
+    if (policy.UseDense(static_cast<int64_t>(active.size()),
+                        frontier_edges)) {
+      cluster.RunPullPhase(
+          "HIndex", n, active,
+          [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
+            HIndexPullSlice(items, ctx, adjacency, values, on_result);
+          });
+    } else {
+      cluster.NoteSparseFrontierRound();
+      cluster.RunBatchMapPhase(
+          "HIndex", n, active,
+          [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
+            HIndexSparseSlice(items, ctx, adjacency, values, on_result);
+          });
+    }
+    for (const int64_t v : active) {
+      if (changed.Test(v)) result.coreness[v] = next[v];
+    }
+
+    // Next frontier: every vertex with at least one changed neighbor.
+    // Per-chunk discoveries are concatenated in chunk order, so the
+    // window's contents are schedule-independent.
+    const std::vector<IndexChunk> chunks = SplitIndexChunks(
+        0, n, 2048, DefaultChunksForPool(cluster.pool()));
+    std::vector<std::vector<int64_t>> discovered(chunks.size());
+    ParallelForEachChunk(cluster.pool(), chunks, [&](int64_t c) {
+      for (int64_t u = chunks[c].begin; u < chunks[c].end; ++u) {
+        for (const NodeId neighbor : g.neighbors(static_cast<NodeId>(u))) {
+          if (changed.Test(neighbor)) {
+            discovered[c].push_back(u);
+            break;
           }
-          while (!inflight.empty()) settle_oldest();
-        });
-    result.coreness.swap(next);
-    if (changed.load() == 0) break;
+        }
+      }
+    });
+    for (const std::vector<int64_t>& part : discovered) {
+      for (const int64_t u : part) frontier.Push(u);
+    }
+    frontier.SlideWindow();
   }
   return result;
 }

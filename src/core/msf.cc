@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/concurrent_bag.h"
+#include "common/frontier.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -111,6 +112,27 @@ void ResumePrimSearch(PrimSearchState& s, const std::vector<WAdj>* next,
   AdvancePrimSearch(s, seed, search_limit);
 }
 
+// Frontier-engine decision for one of the loop's adaptive phases
+// (common/frontier.h; connectivity inherits this through AmpcMsf).
+// Each phase is one decision — its frontier is the (shrinking) state
+// population seeded from `frontier_size` starts with `frontier_edges`
+// out-pointers. Returns whether to run the phase in pull mode
+// (Cluster::RunPullPhase + DrivePullSteps); notes a sparse round
+// otherwise. Always false — the legacy, cost-model bit-identical path
+// — when the engine is off.
+bool UsePullPhase(sim::Cluster& cluster, int64_t frontier_size,
+                  int64_t frontier_edges, int64_t num_vertices,
+                  int64_t total_edges) {
+  const sim::ClusterConfig::FrontierConfig& frontier_config =
+      cluster.config().frontier;
+  if (frontier_config.mode == FrontierMode::kSparse) return false;
+  FrontierPolicy policy(frontier_config.mode, frontier_config.alpha,
+                        frontier_config.beta, num_vertices, total_edges);
+  if (policy.UseDense(frontier_size, frontier_edges)) return true;
+  cluster.NoteSparseFrontierRound();
+  return false;
+}
+
 // Core contraction loop over an edge list whose ids are preserved
 // throughout. Appends the MSF's edge ids to `result`.
 void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
@@ -181,8 +203,11 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
     // cache after the first fetch. Per-search semantics are unchanged.
     ConcurrentBag<EdgeId> found_edges;
     std::vector<NodeId> parent(n, kInvalidNode);
-    cluster.RunBatchMapPhase(
-        "PrimSearch", n,
+    // Every vertex originates a search, so the phase's frontier covers
+    // the whole round graph — dense under the hybrid policy whenever
+    // the round graph has edges.
+    const bool prim_pull = UsePullPhase(cluster, n, 2 * m, n, 2 * m);
+    const auto prim_slice =
         [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
           std::vector<PrimSearchState> searches(items.size());
           for (size_t i = 0; i < items.size(); ++i) {
@@ -198,20 +223,30 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
             for (const WAdj& e : *adj) s.heap.push(e);
             AdvancePrimSearch(s, round_seed, search_limit);
           }
-          sim::DriveLookupPipelined(
-              ctx, store, searches,
-              [](const PrimSearchState& s) { return s.done; },
-              [](const PrimSearchState& s) {
-                return static_cast<uint64_t>(s.pending);
-              },
-              [&](PrimSearchState& s, const std::vector<WAdj>* next) {
-                ResumePrimSearch(s, next, round_seed, search_limit);
-              });
+          const auto done = [](const PrimSearchState& s) { return s.done; };
+          const auto key = [](const PrimSearchState& s) {
+            return static_cast<uint64_t>(s.pending);
+          };
+          const auto resume = [&](PrimSearchState& s,
+                                  const std::vector<WAdj>* next) {
+            ResumePrimSearch(s, next, round_seed, search_limit);
+          };
+          if (prim_pull) {
+            sim::DrivePullSteps(ctx, store, searches, done, key, resume);
+          } else {
+            sim::DriveLookupPipelined(ctx, store, searches, done, key,
+                                      resume);
+          }
           for (PrimSearchState& s : searches) {
             parent[s.item] = s.out.stop_parent;
             found_edges.Merge(std::move(s.out.msf_edges));
           }
-        });
+        };
+    if (prim_pull) {
+      cluster.RunPullPhase("PrimSearch", n, prim_slice);
+    } else {
+      cluster.RunBatchMapPhase("PrimSearch", n, prim_slice);
+    }
     std::vector<EdgeId> emitted = found_edges.Take();
     ParallelSort(cluster.pool(), emitted);
     emitted.erase(std::unique(emitted.begin(), emitted.end()), emitted.end());
@@ -240,9 +275,12 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
     // longest chain times the destination count over the pipeline
     // depth, not with the total hop count. Chains converge toward
     // shared roots, so the query cache serves the hops near convergence
-    // locally (the Figure-4 caching win).
-    cluster.RunBatchMapPhase(
-        "PointerJump", n,
+    // locally (the Figure-4 caching win). The chain frontier is the
+    // `stopped` vertices, each holding one out-pointer into a pointer
+    // graph of at most n arcs — the hybrid policy pulls when most of
+    // the round graph stopped, pushes when chains are scarce.
+    const bool jump_pull = UsePullPhase(cluster, stopped, stopped, n, n);
+    const auto jump_slice =
         [&](std::span<const int64_t> items, sim::MachineContext& ctx) {
           struct Chain {
             int64_t item;
@@ -261,27 +299,39 @@ void MsfLoop(sim::Cluster& cluster, WeightedEdgeList current,
               chains.push_back(Chain{item, next, 1, false});
             }
           }
-          sim::DriveLookupPipelined(
-              ctx, parent_store, chains,
-              [](const Chain& c) { return c.done; },
-              [](const Chain& c) { return static_cast<uint64_t>(c.cur); },
-              [&](Chain& c, const NodeId* p) {
-                const NodeId next = (p == nullptr) ? kInvalidNode : *p;
-                if (next == kInvalidNode) {
-                  root_of[c.item] = c.cur;
-                  local_max = std::max(local_max, c.hops);
-                  c.done = true;
-                } else {
-                  c.cur = next;
-                  ++c.hops;
-                }
-              });
+          const auto done = [](const Chain& c) { return c.done; };
+          const auto key = [](const Chain& c) {
+            return static_cast<uint64_t>(c.cur);
+          };
+          const auto resume = [&](Chain& c, const NodeId* p) {
+            const NodeId next = (p == nullptr) ? kInvalidNode : *p;
+            if (next == kInvalidNode) {
+              root_of[c.item] = c.cur;
+              local_max = std::max(local_max, c.hops);
+              c.done = true;
+            } else {
+              c.cur = next;
+              ++c.hops;
+            }
+          };
+          if (jump_pull) {
+            sim::DrivePullSteps(ctx, parent_store, chains, done, key,
+                                resume);
+          } else {
+            sim::DriveLookupPipelined(ctx, parent_store, chains, done, key,
+                                      resume);
+          }
           int64_t seen = max_chain.load(std::memory_order_relaxed);
           while (local_max > seen &&
                  !max_chain.compare_exchange_weak(
                      seen, local_max, std::memory_order_relaxed)) {
           }
-        });
+        };
+    if (jump_pull) {
+      cluster.RunPullPhase("PointerJump", n, jump_slice);
+    } else {
+      cluster.RunBatchMapPhase("PointerJump", n, jump_slice);
+    }
     result.max_jump_chain =
         std::max(result.max_jump_chain, max_chain.load());
 

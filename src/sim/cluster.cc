@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace ampc::sim {
 
@@ -104,9 +105,41 @@ void Cluster::AccountInMemoryCompute(const std::string& phase,
 
 void Cluster::SettleMapPhase(const std::string& phase,
                              std::vector<PhaseCounters>& per_machine,
-                             double wall_seconds) {
+                             double wall_seconds,
+                             const PullPhaseInfo* pull) {
   const int overlap =
       config_.multithreading ? config_.threads_per_machine : 1;
+  // Pull rounds (RunPullPhase) advance through global lockstep steps:
+  // the most pull steps any machine's workers opened. Per step, every
+  // machine receives its broadcast slice of the frontier bitmap
+  // (ceil(key_space/8) / machines bytes), pays the aggregate
+  // exchange's scatter + gather latency (two round trips), and sweeps
+  // its local share of the key space against the bitmap at map-item
+  // CPU rate — the cost that makes pull a *dense*-frontier win and
+  // keeps tiny frontiers cheaper in their sparse representation.
+  int64_t pull_steps = 0;
+  int64_t pull_exchange_bytes = 0;
+  int64_t bitmap_slice_bytes = 0;
+  double pull_machine_time = 0.0;
+  if (pull != nullptr) {
+    for (PhaseCounters& counters : per_machine) {
+      pull_steps = std::max(pull_steps, counters.pull_steps.load());
+      pull_exchange_bytes += counters.pull_bytes.load();
+    }
+    pull_steps = std::max<int64_t>(1, pull_steps);
+    const int64_t bitmap_bytes = (pull->key_space + 7) / 8;
+    bitmap_slice_bytes =
+        (bitmap_bytes + config_.num_machines - 1) / config_.num_machines;
+    const int64_t sweep_items =
+        (pull->key_space + config_.num_machines - 1) / config_.num_machines;
+    const double step_time =
+        2.0 * config_.network.lookup_latency_sec +
+        static_cast<double>(bitmap_slice_bytes) /
+            config_.network.bytes_per_sec +
+        static_cast<double>(sweep_items) * config_.map_item_cpu_sec /
+            overlap;
+    pull_machine_time = static_cast<double>(pull_steps) * step_time;
+  }
   double slowest_machine = 0;
   int64_t total_queries = 0, total_trips = 0, total_batches = 0;
   int64_t total_bytes = 0, total_items = 0;
@@ -145,15 +178,26 @@ void Cluster::SettleMapPhase(const std::string& phase,
     // Hot shards make their machine the round's straggler.
     const double server_time =
         served_bytes / config_.network.bytes_per_sec;
-    slowest_machine =
-        std::max(slowest_machine, client_time + server_time);
+    slowest_machine = std::max(
+        slowest_machine, client_time + server_time + pull_machine_time);
   }
-  // The cluster-wide network ceiling (paper Section 5.7) floors the round.
+  // The cluster-wide network ceiling (paper Section 5.7) floors the
+  // round; a pull round's bitmap broadcasts cross the network too.
+  const int64_t broadcast_bytes =
+      pull == nullptr
+          ? 0
+          : pull_steps * bitmap_slice_bytes * config_.num_machines;
   const double network_floor =
-      total_bytes / config_.network.aggregate_bytes_per_sec;
+      static_cast<double>(total_bytes + broadcast_bytes) /
+      config_.network.aggregate_bytes_per_sec;
   const double sim =
       std::max(slowest_machine, network_floor) + config_.round_spawn_sec;
 
+  if (pull != nullptr) {
+    metrics_.Add("frontier_dense_rounds", 1);
+    metrics_.Add("frontier_broadcast_bytes", broadcast_bytes);
+    metrics_.Add("frontier_exchange_bytes", pull_exchange_bytes);
+  }
   metrics_.Add("rounds", 1);
   RecordRound(phase, sim, std::move(served));
   metrics_.Add("kv_reads", total_queries);
@@ -376,7 +420,7 @@ std::shared_ptr<const kv::ShardMap> Cluster::ShardMapFor(
 void Cluster::RunMapPhase(
     const std::string& phase, int64_t n,
     const std::function<void(int64_t, MachineContext&)>& fn) {
-  RunMapPhaseImpl(phase, n,
+  RunMapPhaseImpl(phase, n, {}, /*explicit_items=*/false,
                   [&fn](std::span<const int64_t> items, MachineContext& ctx) {
                     for (const int64_t item : items) fn(item, ctx);
                   });
@@ -386,24 +430,59 @@ void Cluster::RunBatchMapPhase(
     const std::string& phase, int64_t n,
     const std::function<void(std::span<const int64_t>, MachineContext&)>&
         fn) {
-  RunMapPhaseImpl(phase, n, fn);
+  RunMapPhaseImpl(phase, n, {}, /*explicit_items=*/false, fn);
+}
+
+void Cluster::RunBatchMapPhase(
+    const std::string& phase, int64_t key_space,
+    std::span<const int64_t> items,
+    const std::function<void(std::span<const int64_t>, MachineContext&)>&
+        fn) {
+  RunMapPhaseImpl(phase, key_space, items, /*explicit_items=*/true, fn);
+}
+
+void Cluster::RunPullPhase(
+    const std::string& phase, int64_t key_space,
+    const std::function<void(std::span<const int64_t>, MachineContext&)>&
+        fn) {
+  const PullPhaseInfo pull{key_space};
+  RunMapPhaseImpl(phase, key_space, {}, /*explicit_items=*/false, fn, &pull);
+}
+
+void Cluster::RunPullPhase(
+    const std::string& phase, int64_t key_space,
+    std::span<const int64_t> items,
+    const std::function<void(std::span<const int64_t>, MachineContext&)>&
+        fn) {
+  const PullPhaseInfo pull{key_space};
+  RunMapPhaseImpl(phase, key_space, items, /*explicit_items=*/true, fn,
+                  &pull);
 }
 
 void Cluster::RunMapPhaseImpl(
-    const std::string& phase, int64_t n,
+    const std::string& phase, int64_t key_space,
+    std::span<const int64_t> items, bool explicit_items,
     const std::function<void(std::span<const int64_t>, MachineContext&)>&
-        slice_fn) {
+        slice_fn,
+    const PullPhaseInfo* pull) {
   WallTimer timer;
   const int num_machines = config_.num_machines;
   std::vector<PhaseCounters> counters(num_machines);
+  // The work list: all of [0, key_space), or the caller's explicit
+  // frontier subset.
+  const int64_t n =
+      explicit_items ? static_cast<int64_t>(items.size()) : key_space;
 
   // Bucket items by owning machine (the machine holding record i of a
-  // capacity-n store under the configured placement).
+  // capacity-key_space store under the configured placement).
   std::vector<std::atomic<int64_t>> machine_sizes(num_machines);
   for (auto& s : machine_sizes) s.store(0, std::memory_order_relaxed);
   ParallelForChunked(*pool_, 0, n, 4096, [&](int64_t lo, int64_t hi) {
     std::vector<int64_t> local(num_machines, 0);
-    for (int64_t i = lo; i < hi; ++i) ++local[MachineOf(i, n)];
+    for (int64_t i = lo; i < hi; ++i) {
+      const int64_t item = explicit_items ? items[i] : i;
+      ++local[MachineOf(item, key_space)];
+    }
     for (int m = 0; m < num_machines; ++m) {
       if (local[m] != 0) {
         machine_sizes[m].fetch_add(local[m], std::memory_order_relaxed);
@@ -421,52 +500,88 @@ void Cluster::RunMapPhaseImpl(
   }
   ParallelForChunked(*pool_, 0, n, 4096, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      const int m = MachineOf(i, n);
-      buckets[cursors[m].fetch_add(1, std::memory_order_relaxed)] = i;
+      const int64_t item = explicit_items ? items[i] : i;
+      const int m = MachineOf(item, key_space);
+      buckets[cursors[m].fetch_add(1, std::memory_order_relaxed)] = item;
     }
   });
 
-  // Execute: each machine's slice split over its worker threads.
+  // Execute: each machine's slice split over its worker threads. With
+  // the frontier engine active, a machine share too small to feed
+  // every worker is regrouped into min_worker_grain-sized chunks
+  // instead of span/workers slivers: a tiny sparse round then issues a
+  // few well-filled per-worker sub-batches (each sub-batch pays its
+  // own per-destination trips) rather than `workers` nearly-empty
+  // ones. kSparse keeps the historical split, and with it the
+  // historical cost model, bit-identically.
   const int workers = config_.threads_per_machine;
+  const bool regroup_small =
+      config_.frontier.mode != FrontierMode::kSparse &&
+      config_.frontier.min_worker_grain > 0;
+  struct WorkerSlice {
+    int machine;
+    int worker;
+    int64_t lo;
+    int64_t hi;
+  };
+  std::vector<WorkerSlice> slices;
+  slices.reserve(static_cast<size_t>(num_machines) * workers);
+  for (int m = 0; m < num_machines; ++m) {
+    const int64_t begin = offsets[m];
+    const int64_t end = offsets[m + 1];
+    const int64_t span = end - begin;
+    if (regroup_small &&
+        span < static_cast<int64_t>(workers) *
+                   config_.frontier.min_worker_grain) {
+      const std::vector<IndexChunk> chunks = SplitIndexChunks(
+          begin, end, config_.frontier.min_worker_grain, workers);
+      for (size_t c = 0; c < chunks.size(); ++c) {
+        slices.push_back(WorkerSlice{m, static_cast<int>(c),
+                                     chunks[c].begin, chunks[c].end});
+      }
+    } else {
+      for (int w = 0; w < workers; ++w) {
+        slices.push_back(WorkerSlice{m, w, begin + span * w / workers,
+                                     begin + span * (w + 1) / workers});
+      }
+    }
+  }
   struct Latch {
     std::mutex mu;
     std::condition_variable cv;
     int remaining;
   };
   Latch latch;
-  latch.remaining = num_machines * workers;
-  for (int m = 0; m < num_machines; ++m) {
-    const int64_t begin = offsets[m];
-    const int64_t end = offsets[m + 1];
-    const int64_t span = end - begin;
-    for (int w = 0; w < workers; ++w) {
-      const int64_t lo = begin + span * w / workers;
-      const int64_t hi = begin + span * (w + 1) / workers;
-      pool_->Schedule([&, m, w, lo, hi] {
-        {
-          // Scoped so the context's destructor — which settles any
-          // deferred pipeline trips and folds the worker's in-flight
-          // watermark into the counters — runs before the latch
-          // releases the settle.
-          MachineContext ctx(
-              this, &counters, m, w,
-              Hash64(HashCombine(Hash64(m, config_.seed), w),
-                     HashCombine(config_.seed,
-                                 std::hash<std::string>{}(phase))));
-          slice_fn(std::span<const int64_t>(buckets.data() + lo, hi - lo),
-                   ctx);
-          counters[m].items.fetch_add(hi - lo, std::memory_order_relaxed);
-        }
-        std::unique_lock<std::mutex> lock(latch.mu);
-        if (--latch.remaining == 0) latch.cv.notify_all();
-      });
-    }
+  latch.remaining = static_cast<int>(slices.size());
+  for (const WorkerSlice& slice : slices) {
+    const int m = slice.machine;
+    const int w = slice.worker;
+    const int64_t lo = slice.lo;
+    const int64_t hi = slice.hi;
+    pool_->Schedule([&, m, w, lo, hi] {
+      {
+        // Scoped so the context's destructor — which settles any
+        // deferred pipeline trips and folds the worker's in-flight
+        // watermark into the counters — runs before the latch
+        // releases the settle.
+        MachineContext ctx(
+            this, &counters, m, w,
+            Hash64(HashCombine(Hash64(m, config_.seed), w),
+                   HashCombine(config_.seed,
+                               std::hash<std::string>{}(phase))));
+        slice_fn(std::span<const int64_t>(buckets.data() + lo, hi - lo),
+                 ctx);
+        counters[m].items.fetch_add(hi - lo, std::memory_order_relaxed);
+      }
+      std::unique_lock<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) latch.cv.notify_all();
+    });
   }
   {
     std::unique_lock<std::mutex> lock(latch.mu);
     latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
   }
-  SettleMapPhase(phase, counters, timer.Seconds());
+  SettleMapPhase(phase, counters, timer.Seconds(), pull);
 }
 
 }  // namespace ampc::sim

@@ -71,8 +71,10 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/frontier.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -199,6 +201,38 @@ struct ClusterConfig {
     double checkpoint_period_sec = 0.0;
   };
   FaultConfig faults;
+  /// The frontier engine (common/frontier.h): how frontier-shaped cores
+  /// (pagerank's walk phases, connectivity/msf, kcore's h-index
+  /// peeling) represent and drive their active sets. kSparse — the
+  /// default — is the legacy flat-work-list path and reproduces the
+  /// pre-frontier cost model bit-identically (same discipline as
+  /// batch_lookups/query_cache/pipeline_depth: an ablation toggle that
+  /// never changes returned values). kDense forces every frontier
+  /// phase through the pull model (Cluster::RunPullPhase: broadcast
+  /// the frontier bitmap, sweep local shards — no per-vertex round
+  /// trips); kHybrid lets the Beamer-style FrontierPolicy pick per
+  /// round with alpha/beta hysteresis.
+  struct FrontierConfig {
+    FrontierMode mode = FrontierMode::kSparse;
+    /// Switch sparse -> dense when frontier out-edges exceed
+    /// total_edges / alpha.
+    double alpha = FrontierPolicy::kDefaultAlpha;
+    /// Switch dense -> sparse when the frontier shrinks below
+    /// num_vertices / beta.
+    double beta = FrontierPolicy::kDefaultBeta;
+    /// Minimum items per worker slice when a map phase's per-machine
+    /// share is too small to feed every worker (the small-frontier
+    /// regrouping in RunMapPhaseImpl): shares below
+    /// threads_per_machine x this grain are split into grain-sized
+    /// chunks instead of machine_share / threads slivers, so a tiny
+    /// sparse round does not shatter into near-empty per-worker
+    /// sub-batches (each paying its own per-destination trips). Only
+    /// applied when the engine is active (mode != kSparse): kSparse
+    /// keeps the historical slicing, and with it the historical cost
+    /// model, untouched.
+    int64_t min_worker_grain = 32;
+  };
+  FrontierConfig frontier;
   /// Seed from which all algorithmic randomness is derived.
   uint64_t seed = 42;
   /// Baselines switch to a single-machine in-memory algorithm below this
@@ -367,6 +401,56 @@ class Cluster {
       const std::function<void(std::span<const int64_t>, MachineContext&)>&
           fn);
 
+  /// Frontier-subset variant of RunBatchMapPhase — the sparse
+  /// (sliding-queue) view of the frontier engine. Runs `fn` over
+  /// exactly the items of `items` (each appearing once, machine-
+  /// partitioned by the same placement a capacity-`key_space` store
+  /// uses, so item v still runs on the machine owning record v)
+  /// instead of all of [0, key_space). Cost accounting is identical to
+  /// RunBatchMapPhase over an equal work list.
+  void RunBatchMapPhase(
+      const std::string& phase, int64_t key_space,
+      std::span<const int64_t> items,
+      const std::function<void(std::span<const int64_t>, MachineContext&)>&
+          fn);
+
+  /// Dense-frontier pull round — the frontier engine's pull mode
+  /// (ROADMAP item 3). Instead of per-vertex LookupMany round trips,
+  /// the round broadcasts the frontier bitmap (ceil(key_space/8)
+  /// bytes, one machines-th to each machine) and every machine
+  /// resolves its share by sweeping its *local* shard against the
+  /// exchanged records: `fn` receives worker slices exactly like
+  /// RunBatchMapPhase, but resolves reads through
+  /// MachineContext::PullMany / DrivePullSteps, which charge bytes
+  /// (client NIC receives, owning shard's NIC serves — one aggregate
+  /// exchange) and *no* kv_lookup_trips. The settle charges each
+  /// machine, per pull step, one broadcast slice plus two round-trip
+  /// latencies (scatter + gather of the exchange), with the swept
+  /// share of the key space costed at map-item CPU rate; steps advance
+  /// in lockstep across machines (max over workers). Counts one cheap
+  /// round; bumps frontier_dense_rounds / frontier_broadcast_bytes /
+  /// frontier_exchange_bytes.
+  void RunPullPhase(
+      const std::string& phase, int64_t key_space,
+      const std::function<void(std::span<const int64_t>, MachineContext&)>&
+          fn);
+
+  /// Frontier-subset pull round: like RunPullPhase over [0, key_space)
+  /// but running `fn` only over the active items (the dense bitmap's
+  /// set bits, in index order).
+  void RunPullPhase(
+      const std::string& phase, int64_t key_space,
+      std::span<const int64_t> items,
+      const std::function<void(std::span<const int64_t>, MachineContext&)>&
+          fn);
+
+  /// Counts a frontier-shaped round that ran in its sparse
+  /// representation. Called by frontier-aware cores only when the
+  /// engine is active (mode != kSparse) — the legacy sparse mode
+  /// leaves the frontier metrics untouched, preserving bit-identical
+  /// metric output.
+  void NoteSparseFrontierRound() { metrics_.Add("frontier_sparse_rounds", 1); }
+
   /// Writes records for keys [0, n) into `store` using value = producer(key)
   /// and charges each machine for the writes landing on its shard (the
   /// round lasts as long as the hottest shard needs). Producers run
@@ -456,14 +540,32 @@ class Cluster {
     // Charged to the machine whose shard *serves* the lookup (server
     // side): its NIC ships the record regardless of who asked.
     std::atomic<int64_t> kv_served_bytes{0};
+    // Pull-mode (RunPullPhase) traffic: exchange bytes this machine's
+    // workers received via PullMany, and the most pull steps
+    // (frontier-bitmap broadcasts) any of its workers advanced through
+    // (max-merged, not summed — the machine's workers share its view
+    // of each global step).
+    std::atomic<int64_t> pull_bytes{0};
+    std::atomic<int64_t> pull_steps{0};
+  };
+
+  // Marks a map phase as a pull round (RunPullPhase) for the settle:
+  // key_space sizes the broadcast bitmap and the per-machine shard
+  // sweep.
+  struct PullPhaseInfo {
+    int64_t key_space = 0;
   };
 
   // Converts per-machine phase counters into simulated round time (the
   // slowest machine's client + server + CPU time, floored by the
-  // aggregate network ceiling) and folds everything into metrics.
+  // aggregate network ceiling) and folds everything into metrics. A
+  // non-null `pull` adds the pull model's charges (bitmap broadcast,
+  // exchange latency, local shard sweep) on top; null leaves the
+  // historical arithmetic untouched.
   void SettleMapPhase(const std::string& phase,
                       std::vector<PhaseCounters>& per_machine,
-                      double wall_seconds);
+                      double wall_seconds,
+                      const PullPhaseInfo* pull = nullptr);
 
   // Same for a KV write phase, from per-machine write/byte deltas.
   void SettleKvWritePhase(const std::string& phase,
@@ -471,12 +573,17 @@ class Cluster {
                           const std::vector<int64_t>& bytes,
                           double wall_seconds);
 
-  // Shared executor behind RunMapPhase/RunBatchMapPhase: partitions
-  // [0, n) onto machines, runs one slice per (machine, worker), settles.
+  // Shared executor behind RunMapPhase/RunBatchMapPhase/RunPullPhase:
+  // partitions the work items (all of [0, key_space), or the explicit
+  // `items` subset when `explicit_items` is set) onto machines by
+  // MachineOf(item, key_space), runs one slice per (machine, worker),
+  // settles. `pull` switches the settle onto the pull cost model.
   void RunMapPhaseImpl(
-      const std::string& phase, int64_t n,
+      const std::string& phase, int64_t key_space,
+      std::span<const int64_t> items, bool explicit_items,
       const std::function<void(std::span<const int64_t>, MachineContext&)>&
-          slice_fn);
+          slice_fn,
+      const PullPhaseInfo* pull = nullptr);
 
   // Appends a round of simulated duration `sim` to the log, with the
   // per-machine KV traffic it carried (empty vectors = a KV-free round).
@@ -829,6 +936,55 @@ class MachineContext {
     return LookupMany(store, std::span<const uint64_t>(batch.keys));
   }
 
+  /// Dense-frontier pull resolution (the frontier engine's pull mode,
+  /// common/frontier.h — only meaningful inside Cluster::RunPullPhase).
+  /// Resolves keys[i] against the store as a *local shard sweep*: the
+  /// records were shipped to this machine by the pull step's bitmap
+  /// broadcast + aggregate exchange, not by per-destination round
+  /// trips, so **no kv_lookup_trips are charged** — the per-step
+  /// exchange latency is charged once by the phase settle, not per
+  /// key. Bytes are charged exactly like a lookup's (client NIC
+  /// receives, owning shard's NIC serves), once per distinct key per
+  /// pull step: the exchange ships one copy of each needed record to
+  /// each machine, so duplicates within a step are free. Returned
+  /// values are identical to LookupMany's (values[i] answers keys[i],
+  /// nullptr = absent).
+  template <typename V>
+  kv::LookupBatchResult<V> PullMany(const kv::ShardedStore<V>& store,
+                                    std::span<const uint64_t> keys) {
+    CheckStoreMatchesCluster(store);
+    kv::LookupBatchResult<V> result;
+    if (keys.empty()) return result;
+    result.values.reserve(keys.size());
+    for (const uint64_t key : keys) {
+      const V* value = store.Lookup(key);
+      result.values.push_back(value);
+      if (!pull_seen_.insert(key).second) continue;  // already exchanged
+      const int64_t bytes = value == nullptr
+                                ? kv::kKeyBytes
+                                : kv::kKeyBytes + kv::KvByteSize(*value);
+      result.bytes += bytes;
+      (*all_counters_)[store.ShardOf(key)].kv_served_bytes.fetch_add(
+          bytes, std::memory_order_relaxed);
+    }
+    counters_->kv_queries.fetch_add(static_cast<int64_t>(keys.size()),
+                                    std::memory_order_relaxed);
+    counters_->kv_read_bytes.fetch_add(result.bytes,
+                                       std::memory_order_relaxed);
+    counters_->pull_bytes.fetch_add(result.bytes, std::memory_order_relaxed);
+    return result;
+  }
+
+  /// Opens the next pull step — one broadcast of the frontier bitmap
+  /// to every machine. Bumps this worker's step count (the settle
+  /// charges the *maximum* over workers: machines advance through the
+  /// global steps together, each paying one broadcast slice and one
+  /// exchange per step) and resets the per-step exchange dedup.
+  void BeginPullStep() {
+    ++pull_steps_;
+    pull_seen_.clear();
+  }
+
   /// Reads the machine-local input record for `key` without charging KV
   /// costs. In the dataflow model the ParDo input element (e.g. the
   /// vertex's own adjacency) arrives with the work item; only lookups of
@@ -895,6 +1051,9 @@ class MachineContext {
     if (peak_inflight_keys_ != 0) {
       AtomicMaxRelaxed(counters_->peak_inflight_keys, peak_inflight_keys_);
     }
+    if (pull_steps_ != 0) {
+      AtomicMaxRelaxed(counters_->pull_steps, pull_steps_);
+    }
   }
 
   Cluster* cluster_;
@@ -917,6 +1076,11 @@ class MachineContext {
   int64_t outstanding_tickets_ = 0;
   int64_t inflight_keys_ = 0;
   int64_t peak_inflight_keys_ = 0;
+  // Pull-mode state (RunPullPhase): keys already exchanged this pull
+  // step (duplicates are free within a step) and how many steps this
+  // worker has advanced through.
+  std::unordered_set<uint64_t> pull_seen_;
+  int64_t pull_steps_ = 0;
 };
 
 namespace internal {
@@ -1032,6 +1196,43 @@ void DriveLookupLockstep(MachineContext& ctx,
       ctx, store, states, std::forward<DoneFn>(done),
       std::forward<KeyFn>(pending_key), std::forward<ResumeFn>(resume),
       /*depth=*/1);
+}
+
+/// Pull-mode counterpart of DriveLookupPipelined for dense frontiers
+/// (the frontier engine, common/frontier.h — use only inside
+/// Cluster::RunPullPhase). Each adaptive step opens one pull step
+/// (MachineContext::BeginPullStep — one frontier-bitmap broadcast),
+/// resolves every unfinished state's pending key as a local sweep
+/// against the exchanged records (MachineContext::PullMany — bytes,
+/// no round trips), and resumes states in exactly the order the
+/// sparse drivers resume them, so outputs are identical to
+/// DriveLookupPipelined's under the same states/callbacks.
+template <typename V, typename State, typename DoneFn, typename KeyFn,
+          typename ResumeFn>
+void DrivePullSteps(MachineContext& ctx, const kv::ShardedStore<V>& store,
+                    std::vector<State>& states, DoneFn&& done,
+                    KeyFn&& pending_key, ResumeFn&& resume) {
+  std::vector<size_t> active;
+  active.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (!done(states[i])) active.push_back(i);
+  }
+  std::vector<uint64_t> keys;
+  while (!active.empty()) {
+    ctx.BeginPullStep();
+    keys.clear();
+    keys.reserve(active.size());
+    for (const size_t i : active) keys.push_back(pending_key(states[i]));
+    const kv::LookupBatchResult<V> batch =
+        ctx.PullMany(store, std::span<const uint64_t>(keys));
+    size_t out = 0;
+    for (size_t j = 0; j < active.size(); ++j) {
+      State& state = states[active[j]];
+      resume(state, batch.values[j]);
+      if (!done(state)) active[out++] = active[j];
+    }
+    active.resize(out);
+  }
 }
 
 template <typename V, typename Producer>

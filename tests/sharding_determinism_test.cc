@@ -344,6 +344,115 @@ TEST(ShardingDeterminismTest, ChurnCostModelIsDeterministic) {
                    b.metrics().GetTime("sim:recovery"));
 }
 
+// --- Frontier engine ------------------------------------------------
+// The frontier representation (push pipeline vs bitmap-broadcast pull)
+// is a cost decision, never a value decision: every mode must produce
+// the sparse mode's outputs bit for bit, across machine and thread
+// counts. Alpha is forced low / beta high in one axis entry so hybrid
+// actually flips representations mid-run on these small graphs.
+
+struct FrontierShape {
+  FrontierMode mode;
+  double alpha;
+  double beta;
+  int machines;
+  int threads;
+};
+
+const FrontierShape kFrontierShapes[] = {
+    {FrontierMode::kSparse, 0, 0, 3, 2},
+    {FrontierMode::kDense, 0, 0, 1, 1},
+    {FrontierMode::kDense, 0, 0, 3, 2},
+    {FrontierMode::kDense, 0, 0, 8, 4},
+    {FrontierMode::kHybrid, 0, 0, 3, 2},
+    {FrontierMode::kHybrid, 0, 0, 8, 4},
+    {FrontierMode::kHybrid, 0, 0, 8, 1},
+    // Aggressive thresholds: dense from nearly any frontier, back to
+    // sparse only when almost empty — maximizes mid-run flips.
+    {FrontierMode::kHybrid, 1e6, 2, 8, 4},
+    {FrontierMode::kHybrid, 1e6, 2, 3, 2},
+};
+
+sim::Cluster MakeFrontierCluster(const FrontierShape& shape) {
+  sim::ClusterConfig config;
+  config.num_machines = shape.machines;
+  config.threads_per_machine = shape.threads;
+  config.frontier.mode = shape.mode;
+  if (shape.alpha > 0) config.frontier.alpha = shape.alpha;
+  if (shape.beta > 0) config.frontier.beta = shape.beta;
+  return sim::Cluster(config);
+}
+
+TEST(ShardingDeterminismTest, KCoreIdenticalAcrossFrontierModes) {
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(400, 2400, 23));
+  sim::Cluster reference = MakeCluster(kShapes[0]);  // pre-frontier path
+  const core::KCoreResult expected = core::AmpcKCore(reference, g);
+  for (const FrontierShape& shape : kFrontierShapes) {
+    sim::Cluster cluster = MakeFrontierCluster(shape);
+    const core::KCoreResult got = core::AmpcKCore(cluster, g);
+    EXPECT_EQ(got.coreness, expected.coreness)
+        << FrontierModeName(shape.mode) << " x " << shape.machines
+        << " machines, " << shape.threads << " threads";
+    EXPECT_EQ(got.iterations, expected.iterations);
+  }
+}
+
+TEST(ShardingDeterminismTest, PageRankIdenticalAcrossFrontierModes) {
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(200, 1000, 53));
+  core::PageRankMcOptions options;
+  options.seed = 53;
+  options.walks_per_node = 4;
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::PageRankMcResult expected =
+      core::AmpcMonteCarloPageRank(reference, g, options);
+  for (const FrontierShape& shape : kFrontierShapes) {
+    sim::Cluster cluster = MakeFrontierCluster(shape);
+    const core::PageRankMcResult got =
+        core::AmpcMonteCarloPageRank(cluster, g, options);
+    EXPECT_EQ(got.rank, expected.rank)
+        << FrontierModeName(shape.mode) << " x " << shape.machines;
+    EXPECT_EQ(got.total_steps, expected.total_steps);
+  }
+}
+
+TEST(ShardingDeterminismTest, ConnectivityIdenticalAcrossFrontierModes) {
+  graph::EdgeList list = graph::GenerateErdosRenyi(400, 900, 61);
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::ConnectivityResult expected =
+      core::AmpcConnectivity(reference, list, {});
+  for (const FrontierShape& shape : kFrontierShapes) {
+    sim::Cluster cluster = MakeFrontierCluster(shape);
+    const core::ConnectivityResult got =
+        core::AmpcConnectivity(cluster, list, {});
+    EXPECT_EQ(got.component, expected.component)
+        << FrontierModeName(shape.mode) << " x " << shape.machines;
+    EXPECT_EQ(got.num_components, expected.num_components);
+  }
+}
+
+TEST(ShardingDeterminismTest, PersonalizedPageRankIdenticalAcrossFrontierModes) {
+  // The one-vertex source frontier must stay sparse under hybrid and
+  // still match when forced dense.
+  graph::Graph g =
+      graph::BuildGraph(graph::GenerateErdosRenyi(300, 1800, 67));
+  core::PageRankMcOptions options;
+  options.seed = 67;
+  options.walks_per_node = 4;
+  sim::Cluster reference = MakeCluster(kShapes[0]);
+  const core::PageRankMcResult expected =
+      core::AmpcPersonalizedPageRank(reference, g, /*source=*/5, options);
+  for (const FrontierShape& shape : kFrontierShapes) {
+    sim::Cluster cluster = MakeFrontierCluster(shape);
+    const core::PageRankMcResult got =
+        core::AmpcPersonalizedPageRank(cluster, g, /*source=*/5, options);
+    EXPECT_EQ(got.rank, expected.rank)
+        << FrontierModeName(shape.mode) << " x " << shape.machines;
+    EXPECT_EQ(got.total_steps, expected.total_steps);
+  }
+}
+
 TEST(ShardingDeterminismTest, PageRankIdenticalAcrossPlacementPolicies) {
   graph::Graph g =
       graph::BuildGraph(graph::GenerateErdosRenyi(200, 1000, 53));

@@ -62,6 +62,10 @@ struct Args {
   uint64_t fault_seed = 42;
   int replication = 1;
   double checkpoint_period = 0.0;
+  // Frontier engine (sim::ClusterConfig::FrontierConfig).
+  std::string frontier_mode = "sparse";
+  double frontier_alpha = FrontierPolicy::kDefaultAlpha;
+  double frontier_beta = FrontierPolicy::kDefaultBeta;
 };
 
 void PrintUsage() {
@@ -101,7 +105,14 @@ void PrintUsage() {
       "  --fault-seed S          kill-schedule seed    (default 42)\n"
       "  --replication R         copies of every DHT record (default 1)\n"
       "  --checkpoint-period T   simulated seconds between shard\n"
-      "                          checkpoints           (default 0 = off)\n");
+      "                          checkpoints           (default 0 = off)\n"
+      "\n"
+      "frontier engine (outputs stay bit-identical; only cost changes):\n"
+      "  --frontier-mode M       sparse | dense | hybrid (default sparse)\n"
+      "  --frontier-alpha A      hybrid: go dense when frontier out-edges\n"
+      "                          exceed total_edges/A  (default 15)\n"
+      "  --frontier-beta B       hybrid: back to sparse when frontier\n"
+      "                          shrinks below nodes/B (default 18)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -151,6 +162,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->replication = std::atoi(next());
     } else if (flag == "--checkpoint-period") {
       args->checkpoint_period = std::atof(next());
+    } else if (flag == "--frontier-mode") {
+      args->frontier_mode = next();
+    } else if (flag == "--frontier-alpha") {
+      args->frontier_alpha = std::atof(next());
+    } else if (flag == "--frontier-beta") {
+      args->frontier_beta = std::atof(next());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -226,6 +243,17 @@ void PrintMetrics(sim::Cluster& cluster) {
                 m.GetTime("sim:recovery"),
                 m.GetTime("recovery_replay_seconds"));
   }
+  if (m.Get("frontier_dense_rounds") != 0 ||
+      m.Get("frontier_sparse_rounds") != 0) {
+    std::printf("frontier rounds: %lld dense / %lld sparse\n",
+                static_cast<long long>(m.Get("frontier_dense_rounds")),
+                static_cast<long long>(m.Get("frontier_sparse_rounds")));
+    std::printf("frontier bytes:  %lld broadcast, %lld exchanged\n",
+                static_cast<long long>(m.Get("frontier_broadcast_bytes")),
+                static_cast<long long>(m.Get("frontier_exchange_bytes")));
+    std::printf("lookup trips:    %lld\n",
+                static_cast<long long>(m.Get("kv_lookup_trips")));
+  }
   std::printf("simulated time:  %.3fs\n", cluster.SimSeconds());
   std::printf("wall time:       %.3fs\n", cluster.WallSeconds());
 }
@@ -244,6 +272,13 @@ int Run(const Args& args) {
   config.faults.fault_seed = args.fault_seed;
   config.faults.replication = args.replication;
   config.faults.checkpoint_period_sec = args.checkpoint_period;
+  if (!ParseFrontierMode(args.frontier_mode, &config.frontier.mode)) {
+    std::fprintf(stderr, "unknown frontier mode %s\n",
+                 args.frontier_mode.c_str());
+    return 2;
+  }
+  config.frontier.alpha = args.frontier_alpha;
+  config.frontier.beta = args.frontier_beta;
 
   if (args.algorithm == "1v2cycle") {
     // Builds its own cycle structure; skips the generic input path.
