@@ -64,6 +64,72 @@ std::vector<Dataset> LoadDatasets(int max_datasets) {
   return datasets;
 }
 
+void GridCell::ApplyTo(sim::ClusterConfig& config) const {
+  config.placement_policy = placement;
+  config.frontier.mode = frontier;
+  config.batch_lookups = batch;
+  config.query_cache.enabled = cache;
+  config.multithreading = multithreading;
+  config.pipeline_depth = depth;
+  config.auto_tune.enabled = auto_tune;
+}
+
+std::vector<GridCell> ConfigGrid(const GridAxes& axes) {
+  std::vector<GridCell> cells;
+  for (const kv::PlacementPolicy placement : axes.placement) {
+    for (const FrontierMode frontier : axes.frontier) {
+      for (const bool batch : axes.batch) {
+        for (const bool cache : axes.cache) {
+          for (const bool multithreading : axes.multithreading) {
+            for (const int depth : axes.depth) {
+              for (const bool auto_tune : axes.auto_tune) {
+                GridCell cell;
+                cell.placement = placement;
+                cell.frontier = frontier;
+                cell.batch = batch;
+                cell.cache = cache;
+                cell.multithreading = multithreading;
+                cell.depth = depth;
+                cell.auto_tune = auto_tune;
+                std::vector<std::string> parts;
+                if (axes.placement.size() > 1) {
+                  parts.push_back(kv::PlacementPolicyName(placement));
+                }
+                if (axes.frontier.size() > 1) {
+                  parts.push_back(FrontierModeName(frontier));
+                }
+                if (axes.batch.size() > 1) {
+                  parts.push_back(batch ? "batch" : "nobatch");
+                }
+                if (axes.cache.size() > 1) {
+                  parts.push_back(cache ? "cache" : "nocache");
+                }
+                if (axes.multithreading.size() > 1) {
+                  parts.push_back(multithreading ? "mt" : "nomt");
+                }
+                if (axes.depth.size() > 1) {
+                  parts.push_back("depth" + std::to_string(depth));
+                }
+                if (axes.auto_tune.size() > 1) {
+                  parts.push_back(auto_tune ? "auto" : "manual");
+                }
+                std::string label;
+                for (const std::string& part : parts) {
+                  if (!label.empty()) label += "+";
+                  label += part;
+                }
+                cell.label = label.empty() ? "default" : label;
+                cells.push_back(std::move(cell));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
 sim::ClusterConfig BenchConfig(int64_t num_arcs) {
   sim::ClusterConfig config;
   config.num_machines = 8;

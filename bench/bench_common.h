@@ -42,6 +42,47 @@ std::vector<Dataset> LoadDatasets(int max_datasets = 5);
 /// scaling preserves the phase counts).
 sim::ClusterConfig BenchConfig(int64_t num_arcs);
 
+/// The optimization-grid axes a bench sweeps. Every axis defaults to a
+/// singleton (the standard benchmark value), so a bench declares only
+/// the axes it varies and ConfigGrid enumerates the cross product —
+/// the per-variant config-flipping previously repeated across
+/// micro_lookup/micro_cache/micro_pipeline/fig4, declared once. New
+/// axes (e.g. the tuner) are added here and every grid bench can sweep
+/// them without new plumbing.
+struct GridAxes {
+  std::vector<kv::PlacementPolicy> placement = {kv::PlacementPolicy::kHash};
+  std::vector<FrontierMode> frontier = {FrontierMode::kSparse};
+  std::vector<bool> batch = {true};
+  std::vector<bool> cache = {true};
+  std::vector<bool> multithreading = {true};
+  std::vector<int> depth = {4};
+  std::vector<bool> auto_tune = {false};
+};
+
+/// One cell of the cross product: the knob values plus a label naming
+/// the axes that actually vary across the grid.
+struct GridCell {
+  kv::PlacementPolicy placement = kv::PlacementPolicy::kHash;
+  FrontierMode frontier = FrontierMode::kSparse;
+  bool batch = true;
+  bool cache = true;
+  bool multithreading = true;
+  int depth = 4;
+  bool auto_tune = false;
+  std::string label;
+
+  /// Writes the cell's knobs into `config` (only the grid axes; the
+  /// caller keeps ownership of everything else — machines, network,
+  /// spawn cost, thresholds).
+  void ApplyTo(sim::ClusterConfig& config) const;
+};
+
+/// Enumerates the cross product of `axes`, outermost axis first in the
+/// declaration order of GridAxes (placement, frontier, batch, cache,
+/// multithreading, depth, auto_tune); each axis iterates in the order
+/// its values were given. Cell labels name only the varying axes.
+std::vector<GridCell> ConfigGrid(const GridAxes& axes);
+
 /// AMPC_BENCH_SCALE (default 1.0).
 double BenchScale();
 

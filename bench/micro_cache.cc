@@ -50,15 +50,10 @@ struct RunResult {
 // Every chain converges through the same O(log n) ancestors, so a
 // machine's first few jumps warm the cache for everything after them —
 // the "roots near convergence" pattern of pointer-jump phases.
-RunResult RunConvergentJump(int64_t n, bool cache, bool batch) {
+RunResult RunConvergentJump(int64_t n, const ampc::bench::GridCell& cell) {
   ampc::sim::ClusterConfig config;
   config.num_machines = kMachines;
-  config.query_cache.enabled = cache;
-  config.batch_lookups = batch;
-  // Pipelining off (depth 1, the lockstep baseline): this bench
-  // isolates the caching stage, so its grid tracks the PR 4 cost model
-  // bit-identically; bench/micro_pipeline sweeps the depth axis.
-  config.pipeline_depth = 1;
+  cell.ApplyTo(config);
   // Track only the data-dependent (latency/bandwidth) component.
   config.round_spawn_sec = 0.0;
   ampc::sim::Cluster cluster(config);
@@ -111,11 +106,20 @@ int main() {
   std::printf("micro_cache: %lld keys, %d machines, binary-tree chains\n",
               static_cast<long long>(n), kMachines);
 
-  // The full Figure-4-style grid from one binary.
-  const RunResult cache_batch = RunConvergentJump(n, true, true);
-  const RunResult batch_only = RunConvergentJump(n, false, true);
-  const RunResult cache_only = RunConvergentJump(n, true, false);
-  const RunResult neither = RunConvergentJump(n, false, false);
+  // The full Figure-4-style grid from one binary. Pipelining off
+  // (depth 1, the lockstep baseline): this bench isolates the caching
+  // stage, so its grid tracks the PR 4 cost model bit-identically;
+  // bench/micro_pipeline sweeps the depth axis.
+  ampc::bench::GridAxes axes;
+  axes.batch = {true, false};
+  axes.cache = {true, false};
+  axes.depth = {1};
+  const std::vector<ampc::bench::GridCell> cells =
+      ampc::bench::ConfigGrid(axes);
+  const RunResult cache_batch = RunConvergentJump(n, cells[0]);
+  const RunResult batch_only = RunConvergentJump(n, cells[1]);
+  const RunResult cache_only = RunConvergentJump(n, cells[2]);
+  const RunResult neither = RunConvergentJump(n, cells[3]);
 
   const double hit_rate =
       static_cast<double>(cache_batch.hits) /

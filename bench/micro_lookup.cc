@@ -45,19 +45,10 @@ struct RunResult {
 // chases its chain to the root. Latency-bound: records are 4 bytes, the
 // chains are long, and with batching every adaptive step ships as one
 // LookupMany per worker.
-RunResult RunPointerJump(int64_t n, bool batch,
-                         ampc::kv::PlacementPolicy policy) {
+RunResult RunPointerJump(int64_t n, const ampc::bench::GridCell& cell) {
   ampc::sim::ClusterConfig config;
   config.num_machines = kMachines;
-  config.batch_lookups = batch;
-  config.placement_policy = policy;
-  // This bench isolates the *batching* stage of the lookup pipeline:
-  // query-result caching is off (bench/micro_cache measures that stage)
-  // and pipelining is off — depth 1, the lockstep baseline
-  // (bench/micro_pipeline sweeps the depth axis) — so batched-vs-scalar
-  // numbers track PR 3's batching-only pipeline bit-identically.
-  config.query_cache.enabled = false;
-  config.pipeline_depth = 1;
+  cell.ApplyTo(config);
   // Track only the data-dependent (latency/bandwidth) component.
   config.round_spawn_sec = 0.0;
   ampc::sim::Cluster cluster(config);
@@ -122,9 +113,21 @@ int main() {
       {"range", ampc::kv::PlacementPolicy::kRange, {}, {}},
       {"affinity", ampc::kv::PlacementPolicy::kAffinity, {}, {}},
   };
-  for (PolicyRow& row : rows) {
-    row.batched = RunPointerJump(n, /*batch=*/true, row.policy);
-    row.scalar = RunPointerJump(n, /*batch=*/false, row.policy);
+  // This bench isolates the *batching* stage of the lookup pipeline:
+  // query-result caching is off (bench/micro_cache measures that stage)
+  // and pipelining is off — depth 1, the lockstep baseline
+  // (bench/micro_pipeline sweeps the depth axis) — so batched-vs-scalar
+  // numbers track PR 3's batching-only pipeline bit-identically.
+  ampc::bench::GridAxes axes;
+  axes.placement = {rows[0].policy, rows[1].policy, rows[2].policy};
+  axes.batch = {true, false};
+  axes.cache = {false};
+  axes.depth = {1};
+  const std::vector<ampc::bench::GridCell> cells =
+      ampc::bench::ConfigGrid(axes);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i].batched = RunPointerJump(n, cells[2 * i]);
+    rows[i].scalar = RunPointerJump(n, cells[2 * i + 1]);
   }
 
   ampc::bench::PrintHeader(

@@ -54,12 +54,10 @@ struct RunResult {
 // chases its chain to the root. Latency-bound (4-byte records, long
 // chains); each adaptive step's frontier ships as windows of
 // kMaxBatchKeys keys with up to `depth` windows in flight.
-RunResult RunPointerJump(int64_t n, int depth, bool batch, bool cache) {
+RunResult RunPointerJump(int64_t n, const ampc::bench::GridCell& cell) {
   ampc::sim::ClusterConfig config;
   config.num_machines = kMachines;
-  config.pipeline_depth = depth;
-  config.batch_lookups = batch;
-  config.query_cache.enabled = cache;
+  cell.ApplyTo(config);
   config.max_batch_keys = kMaxBatchKeys;
   // Track only the data-dependent (latency/bandwidth) component.
   config.round_spawn_sec = 0.0;
@@ -118,21 +116,20 @@ int main() {
       static_cast<long long>(kChainLength),
       static_cast<long long>(kMaxBatchKeys));
 
-  const int kDepths[] = {1, 2, 4, 8};
   struct GridRow {
     int depth;
     bool batch;
     bool cache;
     RunResult r;
   };
+  ampc::bench::GridAxes axes;
+  axes.batch = {true, false};
+  axes.cache = {false, true};
+  axes.depth = {1, 2, 4, 8};
   std::vector<GridRow> grid;
-  for (const bool batch : {true, false}) {
-    for (const bool cache : {false, true}) {
-      for (const int depth : kDepths) {
-        grid.push_back(
-            GridRow{depth, batch, cache, RunPointerJump(n, depth, batch, cache)});
-      }
-    }
+  for (const ampc::bench::GridCell& cell : ampc::bench::ConfigGrid(axes)) {
+    grid.push_back(
+        GridRow{cell.depth, cell.batch, cell.cache, RunPointerJump(n, cell)});
   }
   auto find = [&](int depth, bool batch, bool cache) -> const RunResult& {
     for (const GridRow& row : grid) {

@@ -82,6 +82,10 @@ MetricsSnapshot Metrics::Snapshot() const {
   return snap;
 }
 
+MetricsSnapshot Metrics::DeltaSince(const MetricsSnapshot& earlier) const {
+  return Snapshot().Delta(earlier);
+}
+
 void Metrics::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, cell] : counters_) {

@@ -78,6 +78,13 @@ class Metrics {
   /// Atomically reads every counter and timer.
   MetricsSnapshot Snapshot() const;
 
+  /// The change since `earlier` (a snapshot taken from this registry):
+  /// Snapshot().Delta(earlier) as one call. The first-class way to read
+  /// per-phase telemetry — the AutoTuner's round signals and the
+  /// benches' per-variant deltas both consume this instead of diffing
+  /// raw counters by hand.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
   /// Zeroes all counters and timers.
   void Reset();
 

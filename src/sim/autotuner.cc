@@ -1,0 +1,274 @@
+#include "sim/autotuner.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ampc::sim {
+namespace {
+
+std::string KnobsToString(const TunedKnobs& knobs) {
+  std::ostringstream os;
+  os << "placement=" << kv::PlacementPolicyName(knobs.placement_policy)
+     << " depth=" << knobs.pipeline_depth
+     << " max_batch_keys=" << knobs.max_batch_keys
+     << " cache_capacity=" << knobs.query_cache_capacity
+     << " frontier=" << FrontierModeName(knobs.frontier_mode);
+  return os.str();
+}
+
+}  // namespace
+
+AutoTuner::AutoTuner(const AutoTuneConfig& config, const TunedKnobs& base,
+                     bool caching_enabled)
+    : config_(config),
+      caching_enabled_(caching_enabled),
+      base_knobs_(base),
+      next_knobs_(base),
+      committed_knobs_(base) {}
+
+void AutoTuner::BuildPlan(const RoundSignals& s) {
+  plan_.clear();
+  candidate_index_ = 0;
+
+  // Every candidate varies exactly ONE axis off base_knobs_, so an
+  // accepted candidate's axis can be composed into the committed config
+  // independently of the others. Gates read the first base round's
+  // signals: an axis is only worth a probe round when its signal says
+  // the knob is live on this workload.
+
+  // Placement: the only signal that distinguishes hash from range (or
+  // back) is paying per-destination trips at all — pull-only phases
+  // (trips == 0) make the flip unmeasurable, so skip it.
+  if (s.kv_lookup_trips > 0) {
+    Candidate c;
+    c.axis = Axis::kPlacement;
+    c.knobs = base_knobs_;
+    c.knobs.placement_policy =
+        base_knobs_.placement_policy == kv::PlacementPolicy::kRange
+            ? kv::PlacementPolicy::kHash
+            : kv::PlacementPolicy::kRange;
+    c.name = std::string("placement->") +
+             kv::PlacementPolicyName(c.knobs.placement_policy);
+    plan_.push_back(std::move(c));
+  }
+
+  // Frontier: try promoting pure-sparse to the hybrid alpha/beta
+  // policy. Like placement, it only changes anything when rounds pay
+  // per-destination trips; it is measured, not assumed — hybrid's pull
+  // rounds bypass the query cache, so on cache-friendly adaptive
+  // workloads (pagerank walks) sparse legitimately wins and the probe
+  // rejects the flip. A core that bound its engine path at start sees
+  // the flip as a no-op (ratio ~1) and also rejects it.
+  if (base_knobs_.frontier_mode == FrontierMode::kSparse &&
+      s.kv_lookup_trips > 0) {
+    Candidate c;
+    c.axis = Axis::kFrontier;
+    c.knobs = base_knobs_;
+    c.knobs.frontier_mode = FrontierMode::kHybrid;
+    c.name = "frontier->hybrid";
+    plan_.push_back(std::move(c));
+  }
+
+  // Depth: doubling only helps when the pipeline is actually saturated
+  // (the realized in-flight watermark reached the current window
+  // ceiling), and never past the in-flight key budget.
+  {
+    const int64_t window =
+        static_cast<int64_t>(base_knobs_.pipeline_depth) *
+        base_knobs_.max_batch_keys;
+    const int64_t doubled =
+        static_cast<int64_t>(2 * base_knobs_.pipeline_depth) *
+        base_knobs_.max_batch_keys;
+    if (s.kv_lookup_trips > 0 && s.peak_inflight_keys >= window &&
+        doubled <= config_.inflight_key_budget) {
+      Candidate c;
+      c.axis = Axis::kDepth;
+      c.knobs = base_knobs_;
+      c.knobs.pipeline_depth = 2 * base_knobs_.pipeline_depth;
+      c.name = "depth->" + std::to_string(c.knobs.pipeline_depth);
+      plan_.push_back(std::move(c));
+    }
+  }
+
+  // Batch bound: widen only when the bound is binding — the keys that
+  // actually reached the batcher (cache misses, or all queries with
+  // caching off) filled ~every batch to the brim.
+  if (s.kv_batches > 0) {
+    const int64_t batched_keys = caching_enabled_ ? s.cache_misses
+                                                  : s.kv_queries;
+    const double keys_per_batch =
+        static_cast<double>(batched_keys) / static_cast<double>(s.kv_batches);
+    if (keys_per_batch >=
+        0.9 * static_cast<double>(base_knobs_.max_batch_keys)) {
+      Candidate c;
+      c.axis = Axis::kBatchKeys;
+      c.knobs = base_knobs_;
+      c.knobs.max_batch_keys = 4 * base_knobs_.max_batch_keys;
+      c.name = "max_batch_keys->" + std::to_string(c.knobs.max_batch_keys);
+      plan_.push_back(std::move(c));
+    }
+  }
+
+  // Cache capacity: grow only when the cache is both cold (low hit
+  // rate) and demonstrably too small (more misses than slots — a
+  // larger cache could have retained them).
+  if (caching_enabled_ && s.cache_hits + s.cache_misses > 0) {
+    const double hit_rate =
+        static_cast<double>(s.cache_hits) /
+        static_cast<double>(s.cache_hits + s.cache_misses);
+    if (hit_rate < 0.5 && s.cache_misses > base_knobs_.query_cache_capacity) {
+      Candidate c;
+      c.axis = Axis::kCacheCapacity;
+      c.knobs = base_knobs_;
+      c.knobs.query_cache_capacity = 4 * base_knobs_.query_cache_capacity;
+      c.name =
+          "cache_capacity->" + std::to_string(c.knobs.query_cache_capacity);
+      plan_.push_back(std::move(c));
+    }
+  }
+
+  plan_built_ = true;
+}
+
+void AutoTuner::Commit(double base_cost_ref) {
+  committed_knobs_ = base_knobs_;
+  double accepted_ratio_product = 1.0;
+  for (Candidate& c : plan_) {
+    if (c.accepted) {
+      switch (c.axis) {
+        case Axis::kPlacement:
+          committed_knobs_.placement_policy = c.knobs.placement_policy;
+          break;
+        case Axis::kFrontier:
+          committed_knobs_.frontier_mode = c.knobs.frontier_mode;
+          break;
+        case Axis::kDepth:
+          committed_knobs_.pipeline_depth = c.knobs.pipeline_depth;
+          break;
+        case Axis::kBatchKeys:
+          committed_knobs_.max_batch_keys = c.knobs.max_batch_keys;
+          break;
+        case Axis::kCacheCapacity:
+          committed_knobs_.query_cache_capacity = c.knobs.query_cache_capacity;
+          break;
+      }
+      accepted_ratio_product *= c.ratio;
+    }
+    decided_.push_back(c);
+  }
+  plan_.clear();
+  base_costs_.clear();
+  plan_built_ = false;
+  awaiting_candidate_ = false;
+
+  // Future re-probes explore around the committed point, and the drift
+  // reference is the last measured base cost scaled by the accepted
+  // improvements (the committed config's expected per-query cost).
+  base_knobs_ = committed_knobs_;
+  next_knobs_ = committed_knobs_;
+  committed_cost_ref_ = base_cost_ref * accepted_ratio_product;
+  cooldown_remaining_ = config_.reprobe_cooldown_rounds;
+  drift_streak_ = 0;
+  state_ = State::kCommitted;
+  ++commits_;
+}
+
+void AutoTuner::BeginProbe() {
+  plan_.clear();
+  base_costs_.clear();
+  plan_built_ = false;
+  awaiting_candidate_ = false;
+  candidate_index_ = 0;
+  next_knobs_ = base_knobs_;
+  state_ = State::kProbing;
+}
+
+void AutoTuner::ObserveRound(const RoundSignals& s) {
+  // KV-write and spawn-only rounds carry no lookup telemetry; they run
+  // under the current knobs and pass through without advancing either
+  // the probe schedule or the drift counter.
+  if (!Informative(s)) return;
+
+  if (state_ == State::kProbing) {
+    ++probe_rounds_observed_;
+    const double cost = PerQueryCost(s);
+
+    if (awaiting_candidate_) {
+      // This round ran under plan_[candidate_index_]'s knobs.
+      Candidate& c = plan_[candidate_index_];
+      c.cand_cost = cost;
+      awaiting_candidate_ = false;
+      ++candidate_index_;
+      next_knobs_ = base_knobs_;  // interleave: a base round follows
+      return;
+    }
+
+    // A base round.
+    base_costs_.push_back(cost);
+    if (!plan_built_) BuildPlan(s);
+
+    // Score the candidate whose neighboring base rounds are now both
+    // in: candidate i sits between base_costs_[i] and base_costs_[i+1].
+    if (candidate_index_ > 0 && base_costs_.size() > candidate_index_) {
+      Candidate& c = plan_[candidate_index_ - 1];
+      c.base_cost = 0.5 * (base_costs_[candidate_index_ - 1] +
+                           base_costs_[candidate_index_]);
+      c.ratio = c.base_cost > 0 ? c.cand_cost / c.base_cost : 1.0;
+      c.accepted = c.ratio < config_.accept_ratio;
+      c.decided = true;
+    }
+
+    if (candidate_index_ >= plan_.size()) {
+      // Every candidate decided (or the plan was empty): commit,
+      // referenced to the freshest base measurement.
+      Commit(base_costs_.back());
+      return;
+    }
+
+    // Schedule the next candidate.
+    next_knobs_ = plan_[candidate_index_].knobs;
+    awaiting_candidate_ = true;
+    return;
+  }
+
+  // Committed: cheap per-round drift re-check with hysteresis.
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    return;
+  }
+  const double cost = PerQueryCost(s);
+  const bool drifted =
+      committed_cost_ref_ > 0 &&
+      (cost > committed_cost_ref_ * (1.0 + config_.drift_band) ||
+       cost < committed_cost_ref_ * (1.0 - config_.drift_band));
+  if (drifted) {
+    if (++drift_streak_ >= config_.drift_patience) {
+      ++reprobes_;
+      BeginProbe();
+    }
+  } else {
+    drift_streak_ = 0;
+  }
+}
+
+std::string AutoTuner::DecisionSummary() const {
+  std::ostringstream os;
+  for (const Candidate& c : decided_) {
+    os << "  probe   " << c.name;
+    if (c.decided) {
+      os << "  ratio=" << c.ratio << "  "
+         << (c.accepted ? "accepted" : "rejected");
+    } else {
+      os << "  undecided";
+    }
+    os << "\n";
+  }
+  os << "  state   " << (committed() ? "committed" : "probing")
+     << "  probe_rounds=" << probe_rounds_observed_
+     << "  commits=" << commits_ << "  reprobes=" << reprobes_ << "\n";
+  os << "  knobs   " << KnobsToString(committed() ? committed_knobs_
+                                                  : next_knobs_);
+  return os.str();
+}
+
+}  // namespace ampc::sim

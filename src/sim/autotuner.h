@@ -1,0 +1,213 @@
+// Telemetry-driven auto-configuration of the lookup pipeline — the
+// probe-then-commit loop that closes ROADMAP item 5.
+//
+// PRs 2-7 built every cost knob (placement policy, pipeline_depth,
+// max_batch_keys, query-cache capacity, frontier mode) and every signal
+// (kv_lookup_trips, cache hits/misses, kv_peak_inflight_keys, per-round
+// footprints, frontier density); the AutoTuner is the consumer. It is a
+// deterministic state machine driven by per-round telemetry deltas:
+//
+//   1. *Probe layer*: the first few query-bearing rounds of the job run
+//      under an A/B-interleaved schedule [base, C1, base, C2, base, ...]
+//      of single-axis candidate configs, gated on the base round's
+//      signals (no placement probe when rounds pay no trips, no cache
+//      probe when the hit rate is already high, no depth probe when the
+//      pipeline never fills or the in-flight key budget would be
+//      blown). Probe rounds are *real* rounds — the job advances and
+//      their cost lands on the simulated clock honestly; the only
+//      overhead is the delta of running a few rounds under a
+//      not-chosen config. Each candidate is scored on per-query
+//      data-dependent simulated cost against the mean of its two
+//      neighboring base rounds (cancelling the linear drift of
+//      shrinking adaptive frontiers), and accepted only when it beats
+//      base by the accept margin. Frontier mode is one of the probed
+//      axes, not a blanket rule: cores that consult the frontier policy
+//      per phase (msf, pagerank, connectivity) feel the flip during its
+//      probe round, while a core that bound its engine path at start
+//      (kcore's one-shot branch) measures it as a no-op — ratio ~1,
+//      honestly rejected.
+//
+//   2. *Commit + drift re-check*: the accepted axes compose into one
+//      committed configuration held for the rest of the job. Every
+//      subsequent query-bearing round is a cheap re-check: only when
+//      the per-query cost leaves the hysteresis band for
+//      `drift_patience` *consecutive* rounds — after a post-commit
+//      cooldown — does the tuner re-probe (mirroring FrontierPolicy's
+//      sticky no-flap design; oscillating signals never trigger).
+//
+// Tuning is strictly a cost decision: every knob the tuner moves is one
+// of the value-neutral ablation toggles, so outputs are bit-identical
+// to the untuned run on every decision path
+// (tests/sharding_determinism_test.cc drives every core through the
+// tuner), and auto_tune.enabled = false leaves the cluster byte-for-byte
+// on the historical cost model.
+//
+// The class is cluster-agnostic on purpose: it consumes RoundSignals
+// and emits TunedKnobs, so tests can drive the full decision machine
+// with synthetic telemetry (tests/autotuner_test.cc) without a Cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/frontier.h"
+#include "kv/placement.h"
+
+namespace ampc::sim {
+
+/// ClusterConfig::auto_tune — the probe-then-commit policy knobs.
+/// Defaults are all a probe needs on this library's workloads; `enabled`
+/// is the only switch benches and tools normally touch.
+struct AutoTuneConfig {
+  /// Master switch. Off (the default) constructs no tuner and
+  /// reproduces every existing cost model byte-identically.
+  bool enabled = false;
+  /// A candidate axis is accepted when its per-query cost is below
+  /// accept_ratio x the neighboring base rounds' — a ~3% margin keeps
+  /// measurement noise from committing a sideways move.
+  double accept_ratio = 0.97;
+  /// Committed-phase hysteresis: a round drifts when its per-query cost
+  /// leaves [ref x (1-band), ref x (1+band)].
+  double drift_band = 0.5;
+  /// Consecutive drifted query-bearing rounds before a re-probe
+  /// (mirrors FrontierPolicy's sticky direction flips: oscillation
+  /// inside the patience window never re-probes).
+  int drift_patience = 3;
+  /// Query-bearing rounds after a commit during which drift is not even
+  /// counted — the committed config gets a stable measurement window,
+  /// and back-to-back re-probes (flapping) are structurally impossible.
+  int reprobe_cooldown_rounds = 8;
+  /// Ceiling on pipeline_depth x max_batch_keys per worker — the
+  /// pipelining memory trade-off (kv_peak_inflight_keys measures the
+  /// realized side). The depth probe never proposes a config whose
+  /// worst-case in-flight keys exceed this.
+  int64_t inflight_key_budget = 1 << 16;
+};
+
+/// The configuration axes the tuner owns. A value object so candidate
+/// configs, the committed config, and the per-round hot-swap all move
+/// through one type (Cluster::ApplyTunedKnobs consumes it).
+struct TunedKnobs {
+  kv::PlacementPolicy placement_policy = kv::PlacementPolicy::kHash;
+  int pipeline_depth = 4;
+  int64_t max_batch_keys = 4096;
+  int64_t query_cache_capacity = 1 << 16;
+  FrontierMode frontier_mode = FrontierMode::kSparse;
+
+  bool operator==(const TunedKnobs&) const = default;
+};
+
+/// One settled round's telemetry delta, as fed by
+/// Cluster::AutoTuneEndRound from Metrics::DeltaSince. A round is
+/// *informative* (advances the probe schedule / drift counter) when it
+/// carried queries and data-dependent cost; KV-write and spawn-only
+/// rounds pass through without advancing the machine.
+struct RoundSignals {
+  int64_t key_space = 0;
+  int64_t items = 0;
+  int64_t kv_queries = 0;
+  int64_t kv_lookup_trips = 0;
+  int64_t kv_batches = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  /// Watermark (not a delta): the most keys any worker has held in
+  /// flight so far — the realized pipeline saturation.
+  int64_t peak_inflight_keys = 0;
+  int64_t kv_read_bytes = 0;
+  /// The round's hottest server-side machine bytes — footprint skew.
+  int64_t hot_machine_read_bytes = 0;
+  /// The round's simulated seconds excluding the fixed spawn constant
+  /// and any recovery/checkpoint time that settled inside it — the
+  /// data-dependent component the knobs actually move.
+  double data_sim_seconds = 0;
+};
+
+class AutoTuner {
+ public:
+  /// `base` is the job's configured starting point; `caching_enabled`
+  /// gates the cache-capacity probe.
+  AutoTuner(const AutoTuneConfig& config, const TunedKnobs& base,
+            bool caching_enabled);
+
+  /// The knobs the next round must run under. Constant within a probe
+  /// step; the cluster applies them at every round start (idempotent).
+  const TunedKnobs& KnobsForNextRound() const { return next_knobs_; }
+
+  /// Feeds the telemetry of a completed round (run under the knobs
+  /// KnobsForNextRound() returned before it). Advances the probe
+  /// schedule, commits, or counts drift.
+  void ObserveRound(const RoundSignals& signals);
+
+  bool committed() const { return state_ == State::kCommitted; }
+  bool probing() const { return state_ == State::kProbing; }
+  const TunedKnobs& committed_knobs() const { return committed_knobs_; }
+
+  /// Query-bearing rounds observed while probing (the honestly charged
+  /// probe cost, in rounds; "sim:autotune_probe" holds the seconds).
+  int64_t probe_rounds_observed() const { return probe_rounds_observed_; }
+  int64_t commits() const { return commits_; }
+  int64_t reprobes() const { return reprobes_; }
+
+  /// Human-readable decision trace: each probed candidate with its
+  /// measured ratio and verdict, and the committed knobs. Printed by
+  /// `ampc_cli --auto-tune`.
+  std::string DecisionSummary() const;
+
+ private:
+  enum class State { kProbing, kCommitted };
+  enum class Axis { kPlacement, kFrontier, kDepth, kBatchKeys, kCacheCapacity };
+
+  struct Candidate {
+    Axis axis;
+    std::string name;
+    TunedKnobs knobs;
+    bool decided = false;
+    bool accepted = false;
+    double cand_cost = 0.0;
+    double base_cost = 0.0;
+    double ratio = 0.0;
+  };
+
+  static double PerQueryCost(const RoundSignals& signals) {
+    return signals.data_sim_seconds /
+           static_cast<double>(signals.kv_queries);
+  }
+  static bool Informative(const RoundSignals& signals) {
+    return signals.kv_queries > 0 && signals.data_sim_seconds > 0;
+  }
+
+  void BuildPlan(const RoundSignals& base_round);
+  void Commit(double base_cost_ref);
+  void BeginProbe();
+
+  const AutoTuneConfig config_;
+  const bool caching_enabled_;
+
+  State state_ = State::kProbing;
+  // The point candidates vary off: the job's base config initially, the
+  // committed config after a commit (re-probes explore around it).
+  TunedKnobs base_knobs_;
+  TunedKnobs next_knobs_;
+  TunedKnobs committed_knobs_;
+
+  // Probe-schedule state: base[0], cand[0], base[1], cand[1], ... with
+  // candidate i scored against mean(base[i], base[i+1]).
+  bool plan_built_ = false;
+  bool awaiting_candidate_ = false;
+  std::vector<Candidate> plan_;
+  std::vector<Candidate> decided_;  // across commits, for the summary
+  size_t candidate_index_ = 0;
+  std::vector<double> base_costs_;
+
+  // Committed-phase drift tracking.
+  double committed_cost_ref_ = 0.0;
+  int cooldown_remaining_ = 0;
+  int drift_streak_ = 0;
+
+  int64_t probe_rounds_observed_ = 0;
+  int64_t commits_ = 0;
+  int64_t reprobes_ = 0;
+};
+
+}  // namespace ampc::sim

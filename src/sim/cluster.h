@@ -83,6 +83,7 @@
 #include "kv/placement.h"
 #include "kv/query_cache.h"
 #include "kv/sharded_store.h"
+#include "sim/autotuner.h"
 #include "sim/faults.h"
 
 namespace ampc::sim {
@@ -233,6 +234,16 @@ struct ClusterConfig {
     int64_t min_worker_grain = 32;
   };
   FrontierConfig frontier;
+  /// The telemetry-driven AutoTuner (sim/autotuner.h): probe-then-commit
+  /// auto-configuration of placement_policy, pipeline_depth,
+  /// max_batch_keys, query_cache.capacity, and frontier.mode. Off by
+  /// default — the historical cost model is reproduced byte-identically
+  /// and no tuner is constructed. When enabled, the tuner's rule layer
+  /// may rewrite the knobs above at construction (frontier kSparse ->
+  /// kHybrid) and its probe layer hot-swaps them between rounds; every
+  /// knob it moves is a value-neutral ablation toggle, so outputs never
+  /// change — only the simulated cost.
+  AutoTuneConfig auto_tune;
   /// Seed from which all algorithmic randomness is derived.
   uint64_t seed = 42;
   /// Baselines switch to a single-machine in-memory algorithm below this
@@ -515,6 +526,30 @@ class Cluster {
   /// exact replay-vs-restart arithmetic against round_log().
   void InjectMachineFailure(int machine);
 
+  /// The AutoTuner driving this cluster's knobs, or nullptr when
+  /// config.auto_tune.enabled is false. Read-only: the cluster owns the
+  /// observe/apply cycle.
+  const AutoTuner* auto_tuner() const { return tuner_.get(); }
+
+  /// Whether `placement` is a placement this cluster could have handed a
+  /// MakeStore(capacity) store: the *current* one, or one minted under a
+  /// policy the tuner has since retired. Stores outlive tuner hot-swaps
+  /// (algorithms hold them across rounds), so the consistency check in
+  /// MachineContext accepts both — the store keeps serving under the
+  /// placement it was built with, and cost charging follows the store's
+  /// own ShardOf, so the model stays coherent either way.
+  bool AcceptsStorePlacement(const kv::Placement& placement,
+                             int64_t capacity) const {
+    if (placement == PlacementFor(capacity)) return true;
+    for (const RetiredPlacement& retired : retired_placements_) {
+      kv::Placement p = PlacementFor(capacity);
+      p.policy = retired.policy;
+      p.affinity_block = retired.affinity_block;
+      if (placement == p) return true;
+    }
+    return false;
+  }
+
  private:
   friend class MachineContext;
 
@@ -641,6 +676,33 @@ class Cluster {
   // round). 1.0 for KV-free rounds — spawn/compute rounds replay whole.
   double ReplaySliceShare(size_t round, int machine) const;
 
+  // A placement the tuner moved away from. Stores minted before the
+  // swap keep serving under it (AcceptsStorePlacement). Mutated only
+  // between rounds (ApplyTunedKnobs), read concurrently by workers —
+  // safe because no round is in flight while it grows.
+  struct RetiredPlacement {
+    kv::PlacementPolicy policy;
+    int64_t affinity_block;
+  };
+
+  // The per-round tuner handshake. BeginRound applies the knobs the
+  // tuner wants the coming round to run under and snapshots the
+  // metrics; EndRound feeds the round's telemetry delta back. Both are
+  // no-ops (active == false) without a tuner, keeping the historical
+  // path free of even a snapshot.
+  struct TuneScope {
+    MetricsSnapshot before;
+    bool active = false;
+  };
+  TuneScope AutoTuneBeginRound();
+  void AutoTuneEndRound(const TuneScope& scope, int64_t key_space,
+                        int64_t items);
+  // Copies `knobs` into config_ between rounds. A placement change
+  // retires the old policy and clears the shard-map LRU so the next
+  // MakeStore mints under the new assignment; the other knobs are read
+  // live by MachineContext and take effect immediately.
+  void ApplyTunedKnobs(const TunedKnobs& knobs);
+
   // The cached key assignment for stores of `capacity` (see MakeStore).
   std::shared_ptr<const kv::ShardMap> ShardMapFor(int64_t capacity) const;
 
@@ -673,6 +735,10 @@ class Cluster {
   mutable std::unordered_map<int64_t, std::shared_ptr<const kv::ShardMap>>
       shard_maps_;
   mutable std::vector<int64_t> shard_map_recency_;  // back = most recent
+  // The probe-then-commit tuner (null unless config.auto_tune.enabled)
+  // and the placements it has moved away from.
+  std::unique_ptr<AutoTuner> tuner_;
+  std::vector<RetiredPlacement> retired_placements_;
 };
 
 /// Per-(machine, worker) handle passed to map-phase functions. KV lookups
@@ -1017,8 +1083,10 @@ class MachineContext {
     AMPC_CHECK_EQ(static_cast<size_t>(store.num_shards()),
                   all_counters_->size())
         << "store sharding disagrees with the cluster (use MakeStore)";
-    AMPC_CHECK(store.placement() ==
-               cluster_->PlacementFor(store.capacity()))
+    // Current placement, or one the tuner retired mid-run (stores
+    // outlive hot-swaps; see Cluster::AcceptsStorePlacement).
+    AMPC_CHECK(cluster_->AcceptsStorePlacement(store.placement(),
+                                               store.capacity()))
         << "store placement disagrees with the cluster (use MakeStore)";
   }
 
@@ -1241,6 +1309,7 @@ void Cluster::RunKvWritePhase(const std::string& phase,
                               Producer producer) {
   AMPC_CHECK_EQ(store.num_shards(), config_.num_machines)
       << "store must be sharded per machine (create it with MakeStore)";
+  const TuneScope tune_scope = AutoTuneBeginRound();
   WallTimer timer;
   // Stores are write-once but may take several write phases (one per key
   // range), so charge the per-shard *delta* of this phase.
@@ -1262,6 +1331,7 @@ void Cluster::RunKvWritePhase(const std::string& phase,
     writes[m] = store.ShardSize(m) - writes_before[m];
   }
   SettleKvWritePhase(phase, writes, bytes, wall);
+  AutoTuneEndRound(tune_scope, /*key_space=*/n, /*items=*/n);
 }
 
 }  // namespace ampc::sim

@@ -1,0 +1,273 @@
+// Tests for the probe-then-commit AutoTuner (src/sim/autotuner.h).
+//
+// The decision machine is cluster-agnostic, so the schedule/hysteresis
+// tests drive it with synthetic RoundSignals; the cost-charging and
+// value-neutrality tests run real clusters over the adaptive cores.
+#include "sim/autotuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/connectivity.h"
+#include "core/kcore.h"
+#include "core/mis.h"
+#include "core/msf.h"
+#include "core/one_vs_two_cycle.h"
+#include "core/pagerank.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace ampc::sim {
+namespace {
+
+// An informative round: carries queries and data-dependent cost.
+// Trips > 0 gates the placement and frontier candidates in; everything
+// else is shaped to gate the depth/batch/cache candidates out, so the
+// probe plan is exactly [placement, frontier].
+RoundSignals Round(double per_query_cost) {
+  RoundSignals s;
+  s.kv_queries = 1000;
+  s.kv_lookup_trips = 200;
+  s.kv_batches = 64;          // ~3 keys/batch: far from the 4096 bound
+  s.cache_hits = 900;         // hit rate 0.9: cache probe gated out
+  s.cache_misses = 100;
+  s.peak_inflight_keys = 64;  // pipeline nowhere near saturated
+  s.data_sim_seconds = per_query_cost * 1000.0;
+  return s;
+}
+
+TEST(AutoTunerTest, ProbeScheduleInterleavesAndCommits) {
+  AutoTuneConfig config;
+  config.enabled = true;
+  AutoTuner tuner(config, TunedKnobs{}, /*caching_enabled=*/true);
+  ASSERT_TRUE(tuner.probing());
+
+  // Base round 0: builds the plan, schedules candidate 0 (placement).
+  tuner.ObserveRound(Round(1.0));
+  EXPECT_EQ(tuner.KnobsForNextRound().placement_policy,
+            kv::PlacementPolicy::kRange);
+  // Candidate 0 runs much cheaper than base.
+  tuner.ObserveRound(Round(0.5));
+  // Base round 1: scores placement (accepted), schedules candidate 1
+  // (frontier sparse->hybrid).
+  tuner.ObserveRound(Round(1.0));
+  EXPECT_EQ(tuner.KnobsForNextRound().frontier_mode, FrontierMode::kHybrid);
+  EXPECT_EQ(tuner.KnobsForNextRound().placement_policy,
+            kv::PlacementPolicy::kHash);  // single-axis candidates
+  // Candidate 1 runs at parity: rejected (ratio 1.0 >= 0.97).
+  tuner.ObserveRound(Round(1.0));
+  // Base round 2: scores frontier, plan exhausted, commit.
+  tuner.ObserveRound(Round(1.0));
+
+  ASSERT_TRUE(tuner.committed());
+  EXPECT_EQ(tuner.commits(), 1);
+  EXPECT_EQ(tuner.probe_rounds_observed(), 5);
+  EXPECT_EQ(tuner.committed_knobs().placement_policy,
+            kv::PlacementPolicy::kRange);
+  EXPECT_EQ(tuner.committed_knobs().frontier_mode, FrontierMode::kSparse);
+  // Unmoved axes stay at base.
+  EXPECT_EQ(tuner.committed_knobs().pipeline_depth,
+            TunedKnobs{}.pipeline_depth);
+}
+
+TEST(AutoTunerTest, NonInformativeRoundsPassThrough) {
+  AutoTuneConfig config;
+  config.enabled = true;
+  AutoTuner tuner(config, TunedKnobs{}, /*caching_enabled=*/true);
+  RoundSignals kv_write;  // kv_queries == 0: a write/spawn-only round
+  kv_write.data_sim_seconds = 5.0;
+  for (int i = 0; i < 10; ++i) tuner.ObserveRound(kv_write);
+  EXPECT_TRUE(tuner.probing());
+  EXPECT_EQ(tuner.probe_rounds_observed(), 0);
+}
+
+TEST(AutoTunerTest, DecisionsAreDeterministic) {
+  const std::vector<double> costs = {1.0, 0.5, 1.0, 1.0, 1.0, 0.9, 1.1};
+  AutoTuneConfig config;
+  config.enabled = true;
+  AutoTuner a(config, TunedKnobs{}, /*caching_enabled=*/true);
+  AutoTuner b(config, TunedKnobs{}, /*caching_enabled=*/true);
+  for (const double cost : costs) {
+    a.ObserveRound(Round(cost));
+    b.ObserveRound(Round(cost));
+  }
+  EXPECT_EQ(a.committed_knobs(), b.committed_knobs());
+  EXPECT_EQ(a.commits(), b.commits());
+  EXPECT_EQ(a.reprobes(), b.reprobes());
+  EXPECT_EQ(a.DecisionSummary(), b.DecisionSummary());
+}
+
+// Drives a tuner to its first commit (plan [placement, frontier], both
+// rejected at parity costs) and returns it; committed cost ref is 1.0.
+AutoTuner CommittedTuner(const AutoTuneConfig& config) {
+  AutoTuner tuner(config, TunedKnobs{}, /*caching_enabled=*/true);
+  for (int i = 0; i < 5; ++i) tuner.ObserveRound(Round(1.0));
+  EXPECT_TRUE(tuner.committed());
+  return tuner;
+}
+
+TEST(AutoTunerTest, OscillatingSignalsNeverReprobe) {
+  AutoTuneConfig config;
+  config.enabled = true;
+  AutoTuner tuner = CommittedTuner(config);
+  // Alternating drifted / in-band rounds: the streak never reaches
+  // drift_patience (3), so the commit must hold forever.
+  for (int i = 0; i < 100; ++i) {
+    tuner.ObserveRound(Round(i % 2 == 0 ? 5.0 : 1.0));
+  }
+  EXPECT_TRUE(tuner.committed());
+  EXPECT_EQ(tuner.reprobes(), 0);
+  // Even two consecutive drifts (patience - 1) followed by recovery.
+  for (int i = 0; i < 30; ++i) {
+    tuner.ObserveRound(Round(i % 3 == 2 ? 1.0 : 5.0));
+  }
+  EXPECT_EQ(tuner.reprobes(), 0);
+}
+
+TEST(AutoTunerTest, SustainedDriftReprobesAfterCooldown) {
+  AutoTuneConfig config;
+  config.enabled = true;
+  AutoTuner tuner = CommittedTuner(config);
+  // Cooldown window: drift is not even counted.
+  for (int i = 0; i < config.reprobe_cooldown_rounds; ++i) {
+    tuner.ObserveRound(Round(5.0));
+    EXPECT_TRUE(tuner.committed());
+  }
+  // Sustained drift past the patience threshold: exactly one re-probe.
+  for (int i = 0; i < config.drift_patience; ++i) {
+    EXPECT_EQ(tuner.reprobes(), 0);
+    tuner.ObserveRound(Round(5.0));
+  }
+  EXPECT_EQ(tuner.reprobes(), 1);
+  EXPECT_TRUE(tuner.probing());
+}
+
+// ---- Real-cluster coverage ----
+
+ClusterConfig TunedConfig() {
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 2;
+  config.network = kv::NetworkModel::Rdma();
+  config.query_cache.enabled = true;
+  config.auto_tune.enabled = true;
+  return config;
+}
+
+// A query-bearing workload: pointer jumping along parent chains, enough
+// phases for the tuner to probe and commit.
+void RunChains(Cluster& cluster, int64_t n, int phases) {
+  auto parent = cluster.MakeStore<graph::NodeId>(n);
+  cluster.RunKvWritePhase("build", parent, n, [&](int64_t k) {
+    return k % 64 == 0 ? graph::kInvalidNode
+                       : static_cast<graph::NodeId>(k - 1);
+  });
+  for (int p = 0; p < phases; ++p) {
+    cluster.RunBatchMapPhase(
+        "jump", n,
+        [&](std::span<const int64_t> items, MachineContext& ctx) {
+          struct Chain {
+            graph::NodeId cur;
+            bool done = false;
+          };
+          std::vector<Chain> chains;
+          for (const int64_t item : items) {
+            chains.push_back(Chain{static_cast<graph::NodeId>(item)});
+          }
+          DriveLookupPipelined(
+              ctx, parent, chains,
+              [](const Chain& c) { return c.done; },
+              [](const Chain& c) { return static_cast<uint64_t>(c.cur); },
+              [](Chain& c, const graph::NodeId* v) {
+                if (v == nullptr || *v == graph::kInvalidNode) {
+                  c.done = true;
+                } else {
+                  c.cur = *v;
+                }
+              });
+        });
+  }
+}
+
+TEST(AutoTunerClusterTest, ProbeCostIsChargedOnTheSimClock) {
+  Cluster cluster(TunedConfig());
+  RunChains(cluster, 20'000, /*phases=*/8);
+  ASSERT_NE(cluster.auto_tuner(), nullptr);
+  EXPECT_GT(cluster.auto_tuner()->probe_rounds_observed(), 0);
+  // Probe rounds are real rounds: they were counted and their seconds
+  // landed on the simulated clock.
+  EXPECT_GT(cluster.metrics().Get("autotune_probe_rounds"), 0);
+  const double probe_sec = cluster.metrics().GetTime("sim:autotune_probe");
+  EXPECT_GT(probe_sec, 0.0);
+  EXPECT_LE(probe_sec, cluster.SimSeconds());
+}
+
+TEST(AutoTunerClusterTest, DecisionsIdenticalAcrossThreadCounts) {
+  ClusterConfig narrow = TunedConfig();
+  narrow.threads_per_machine = 2;
+  ClusterConfig wide = TunedConfig();
+  wide.threads_per_machine = 8;
+  Cluster a(narrow);
+  Cluster b(wide);
+  RunChains(a, 20'000, /*phases=*/8);
+  RunChains(b, 20'000, /*phases=*/8);
+  ASSERT_TRUE(a.auto_tuner() != nullptr && b.auto_tuner() != nullptr);
+  // The cost model is simulated from the *configured* thread count and
+  // never from wall clocks, so the decision trace cannot depend on real
+  // parallelism. (threads_per_machine is part of the simulated config —
+  // both runs here share it logically through identical signals only if
+  // the tuner consumed deterministic telemetry; the traces differing
+  // would mean a wall-clock leak.)
+  EXPECT_EQ(a.auto_tuner()->commits(), b.auto_tuner()->commits());
+  EXPECT_EQ(a.auto_tuner()->probe_rounds_observed(),
+            b.auto_tuner()->probe_rounds_observed());
+}
+
+// Value-neutrality: the tuner may only move cost knobs, so every core's
+// output must be bit-identical with the tuner on and off.
+TEST(AutoTunerClusterTest, TunedOutputsBitIdenticalOnAllSixCores) {
+  const graph::EdgeList er = graph::GenerateErdosRenyi(2'000, 6'000, 7);
+  const graph::Graph g = graph::BuildGraph(er);
+  const graph::WeightedEdgeList weighted = graph::MakeRandomWeighted(er, 11);
+  const graph::EdgeList cycles = graph::GenerateDoubleCycle(500);
+  const graph::Graph cycle_graph = graph::BuildGraph(cycles);
+
+  ClusterConfig untuned = TunedConfig();
+  untuned.auto_tune.enabled = false;
+
+  {
+    Cluster a(TunedConfig()), b(untuned);
+    EXPECT_EQ(core::AmpcMis(a, g, 42).in_mis, core::AmpcMis(b, g, 42).in_mis);
+  }
+  {
+    Cluster a(TunedConfig()), b(untuned);
+    EXPECT_EQ(core::AmpcMsf(a, weighted).edges,
+              core::AmpcMsf(b, weighted).edges);
+  }
+  {
+    Cluster a(TunedConfig()), b(untuned);
+    EXPECT_EQ(core::AmpcKCore(a, g).coreness, core::AmpcKCore(b, g).coreness);
+  }
+  {
+    Cluster a(TunedConfig()), b(untuned);
+    EXPECT_EQ(core::AmpcMonteCarloPageRank(a, g).rank,
+              core::AmpcMonteCarloPageRank(b, g).rank);
+  }
+  {
+    Cluster a(TunedConfig()), b(untuned);
+    EXPECT_EQ(core::AmpcConnectivity(a, er).component,
+              core::AmpcConnectivity(b, er).component);
+  }
+  {
+    Cluster a(TunedConfig()), b(untuned);
+    EXPECT_EQ(core::AmpcOneVsTwoCycle(a, cycle_graph).num_cycles,
+              core::AmpcOneVsTwoCycle(b, cycle_graph).num_cycles);
+  }
+}
+
+}  // namespace
+}  // namespace ampc::sim

@@ -66,6 +66,8 @@ struct Args {
   std::string frontier_mode = "sparse";
   double frontier_alpha = FrontierPolicy::kDefaultAlpha;
   double frontier_beta = FrontierPolicy::kDefaultBeta;
+  // AutoTuner (sim::ClusterConfig::auto_tune).
+  bool auto_tune = false;
 };
 
 void PrintUsage() {
@@ -112,7 +114,14 @@ void PrintUsage() {
       "  --frontier-alpha A      hybrid: go dense when frontier out-edges\n"
       "                          exceed total_edges/A  (default 15)\n"
       "  --frontier-beta B       hybrid: back to sparse when frontier\n"
-      "                          shrinks below nodes/B (default 18)\n");
+      "                          shrinks below nodes/B (default 18)\n"
+      "\n"
+      "auto-tuning (outputs stay bit-identical; only cost changes):\n"
+      "  --auto-tune             probe-then-commit AutoTuner: the first\n"
+      "                          query-bearing rounds probe placement,\n"
+      "                          frontier mode, pipeline depth, batch\n"
+      "                          bound, and cache capacity, then commit;\n"
+      "                          prints the decision trace\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -168,6 +177,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->frontier_alpha = std::atof(next());
     } else if (flag == "--frontier-beta") {
       args->frontier_beta = std::atof(next());
+    } else if (flag == "--auto-tune") {
+      args->auto_tune = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -254,6 +265,12 @@ void PrintMetrics(sim::Cluster& cluster) {
     std::printf("lookup trips:    %lld\n",
                 static_cast<long long>(m.Get("kv_lookup_trips")));
   }
+  if (cluster.auto_tuner() != nullptr) {
+    std::printf("auto-tune:       %lld probe rounds (%.3fs charged)\n",
+                static_cast<long long>(m.Get("autotune_probe_rounds")),
+                m.GetTime("sim:autotune_probe"));
+    std::printf("%s\n", cluster.auto_tuner()->DecisionSummary().c_str());
+  }
   std::printf("simulated time:  %.3fs\n", cluster.SimSeconds());
   std::printf("wall time:       %.3fs\n", cluster.WallSeconds());
 }
@@ -279,6 +296,7 @@ int Run(const Args& args) {
   }
   config.frontier.alpha = args.frontier_alpha;
   config.frontier.beta = args.frontier_beta;
+  config.auto_tune.enabled = args.auto_tune;
 
   if (args.algorithm == "1v2cycle") {
     // Builds its own cycle structure; skips the generic input path.
