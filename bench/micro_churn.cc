@@ -74,6 +74,7 @@ struct CellResult {
   double recovery_sec = 0;
   double replay_sec = 0;
   int64_t machines_lost = 0;
+  int64_t domains_lost = 0;
   int64_t replication_bytes = 0;
   int64_t checkpoints = 0;
   int64_t checkpoint_bytes = 0;
@@ -114,6 +115,7 @@ CellResult RunJob(const ampc::graph::EdgeList& edges,
   cell.recovery_sec = cluster.metrics().GetTime("sim:recovery");
   cell.replay_sec = cluster.metrics().GetTime("recovery_replay_seconds");
   cell.machines_lost = cluster.metrics().Get("machines_lost");
+  cell.domains_lost = cluster.metrics().Get("domains_lost");
   cell.replication_bytes = cluster.metrics().Get("kv_replication_bytes");
   cell.checkpoints = cluster.metrics().Get("checkpoints");
   cell.checkpoint_bytes = cluster.metrics().Get("checkpoint_bytes");
@@ -265,12 +267,14 @@ int main() {
         out,
         "    {\"kill_rate\": %.2f, \"treatment\": \"%s\", "
         "\"replication\": %d, \"sim_sec\": %.9f, "
-        "\"machines_lost\": %lld, \"recovery_sec\": %.9f, "
+        "\"machines_lost\": %lld, \"domains_lost\": %lld, "
+        "\"recovery_sec\": %.9f, "
         "\"replay_sec\": %.9f, \"replication_bytes\": %lld, "
         "\"checkpoints\": %lld, \"checkpoint_bytes\": %lld, "
         "\"outputs_identical\": true}%s\n",
         row.rate, row.treatment->name, row.treatment->replication,
         row.cell.sim_sec, static_cast<long long>(row.cell.machines_lost),
+        static_cast<long long>(row.cell.domains_lost),
         row.cell.recovery_sec, row.cell.replay_sec,
         static_cast<long long>(row.cell.replication_bytes),
         static_cast<long long>(row.cell.checkpoints),

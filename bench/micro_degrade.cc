@@ -1,0 +1,394 @@
+// micro_degrade — graceful degradation under correlated failures,
+// failure warnings, and stragglers: proactive drain + live shard
+// migration vs reactive recovery, domain-aware vs domain-oblivious
+// replica placement under rack-level kills, and hedged lookups vs
+// waiting out slow machines.
+//
+// The paper's preemption argument (Sections 5.1/5.7) is that AMPC jobs
+// survive machine loss at bounded cost. This bench stresses the three
+// ways real clusters degrade that independent single-machine kills
+// don't capture:
+//   1. failures arrive with *warnings* (preemption notices, health
+//      alarms): a warned machine can drain — migrate its primary
+//      shards to their least-loaded replicas at shuffle bandwidth —
+//      so the kill, when it lands, loses zero in-flight work;
+//   2. failures are *correlated* (a rack/fault domain dies at once):
+//      domain-oblivious replica placement can lose every copy of a
+//      shard in one blast, while domain-aware chained declustering
+//      keeps each ReplicaSet spanning domains;
+//   3. machines *straggle* without dying: a seeded straggler model
+//      slows a machine's lookups for a round, and hedged lookups
+//      re-issue the trip to a replica after a timeout, taking
+//      whichever answer lands first (both trips are charged).
+//
+// One job — the adaptive cores MIS, maximal matching and connected
+// components back to back on one stand-in graph — runs under each
+// treatment, and the run FAILS (exit 1) unless
+//   (a) proactive drain strictly beats reactive recovery at every
+//       warned-kill rate (and kills actually landed, and drains
+//       actually ran — the sweep is vacuous otherwise),
+//   (b) domain-aware placement survives rack loss that wipes whole
+//       ReplicaSets under naive placement (naive sees wipeouts, aware
+//       sees none, and aware is strictly cheaper),
+//   (c) hedging strictly cuts simulated time under stragglers (and
+//       slow trips, hedges, and hedge wins were all nonzero), and
+//   (d) every cell's outputs are bit-identical to the fault-free run:
+//       degradation is a cost event, never a correctness event.
+// Everything is a pure function of the seeds, so the gates are
+// deterministic: CI regression-tests the degradation cost model here.
+//
+//   AMPC_BENCH_SCALE   scales the graph (default 1.0 => 4096 nodes)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/connectivity.h"
+#include "core/matching.h"
+#include "core/mis.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "sim/cluster.h"
+
+namespace {
+
+constexpr int kMachines = 8;
+constexpr uint64_t kAlgoSeed = 17;
+constexpr uint64_t kKillSeed = 42;
+constexpr int kMachinesPerDomain = 4;  // 8 machines => 2 fault domains
+
+struct JobOutputs {
+  std::vector<uint8_t> mis;
+  std::vector<ampc::graph::NodeId> matching;
+  std::vector<ampc::graph::NodeId> components;
+
+  bool operator==(const JobOutputs&) const = default;
+};
+
+// One treatment cell: the fault/straggler shape layered onto an
+// otherwise identical cluster.
+struct Treatment {
+  const char* part;   // "drain", "domain", or "hedge"
+  const char* name;
+  double fault_rate = 0.0;
+  double warning_lead = 0.0;
+  int replication = 1;
+  double domain_fault_rate = 0.0;
+  bool domain_aware = true;
+  double slow_rate = 0.0;
+  bool hedge = false;
+};
+
+struct CellResult {
+  JobOutputs outputs;
+  double sim_sec = 0;
+  double recovery_sec = 0;
+  double drain_sec = 0;
+  int64_t machines_lost = 0;
+  int64_t domains_lost = 0;
+  int64_t machines_drained = 0;
+  int64_t shards_migrated = 0;
+  int64_t migration_bytes = 0;
+  int64_t replica_wipeouts = 0;
+  int64_t slow_trips = 0;
+  int64_t hedged_trips = 0;
+  int64_t hedge_wins = 0;
+};
+
+// One job: three adaptive cores back to back on one cluster, so the
+// kill/warning/straggler schedule sees scalar lookups, batched and
+// pipelined frontiers, write phases, and shuffles in one simulated
+// timeline.
+CellResult RunJob(const ampc::graph::EdgeList& edges,
+                  const ampc::graph::Graph& g, const Treatment& t) {
+  ampc::sim::ClusterConfig config;
+  config.num_machines = kMachines;
+  config.threads_per_machine = 4;
+  config.faults.fault_seed = kKillSeed;
+  config.faults.fault_rate_per_machine_sec = t.fault_rate;
+  config.faults.warning_lead_sec = t.warning_lead;
+  config.faults.replication = t.replication;
+  config.faults.machines_per_domain =
+      t.domain_fault_rate > 0.0 ? kMachinesPerDomain : 0;
+  config.faults.domain_fault_rate_sec = t.domain_fault_rate;
+  config.faults.domain_aware_placement = t.domain_aware;
+  config.faults.slow_machine_rate = t.slow_rate;
+  config.faults.hedge_lookups = t.hedge;
+  ampc::sim::Cluster cluster(config);
+
+  CellResult cell;
+  cell.outputs.mis = ampc::core::AmpcMis(cluster, g, kAlgoSeed).in_mis;
+  ampc::core::MatchingOptions matching_options;
+  matching_options.seed = kAlgoSeed;
+  cell.outputs.matching =
+      ampc::core::AmpcMatching(cluster, g, matching_options).partner;
+  cell.outputs.components =
+      ampc::core::AmpcConnectivity(cluster, edges).component;
+
+  cell.sim_sec = cluster.SimSeconds();
+  cell.recovery_sec = cluster.metrics().GetTime("sim:recovery");
+  cell.drain_sec = cluster.metrics().GetTime("sim:drain");
+  cell.machines_lost = cluster.metrics().Get("machines_lost");
+  cell.domains_lost = cluster.metrics().Get("domains_lost");
+  cell.machines_drained = cluster.metrics().Get("machines_drained");
+  cell.shards_migrated = cluster.metrics().Get("shards_migrated");
+  cell.migration_bytes = cluster.metrics().Get("kv_migration_bytes");
+  cell.replica_wipeouts = cluster.metrics().Get("replica_wipeouts");
+  cell.slow_trips = cluster.metrics().Get("kv_slow_trips");
+  cell.hedged_trips = cluster.metrics().Get("kv_hedged_trips");
+  cell.hedge_wins = cluster.metrics().Get("kv_hedge_wins");
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ampc::bench::BenchScale();
+  const int64_t nodes =
+      std::max<int64_t>(256, static_cast<int64_t>(4096 * scale));
+  const int64_t num_edges =
+      std::max<int64_t>(1024, static_cast<int64_t>(24576 * scale));
+  int log2_nodes = 1;
+  while ((int64_t{1} << log2_nodes) < nodes) ++log2_nodes;
+  const ampc::graph::EdgeList edges =
+      ampc::graph::GenerateRmat(log2_nodes, num_edges, kAlgoSeed);
+  const ampc::graph::Graph g = ampc::graph::BuildGraph(edges);
+
+  std::printf(
+      "micro_degrade: %lld nodes, %lld arcs, %d machines, "
+      "%d per domain, kill seed %llu\n",
+      static_cast<long long>(g.num_nodes()),
+      static_cast<long long>(g.num_arcs()), kMachines, kMachinesPerDomain,
+      static_cast<unsigned long long>(kKillSeed));
+
+  // The fault-free reference: the bit-identity baseline for gate (d).
+  const Treatment kReference = {"reference", "fault-free"};
+  const CellResult reference = RunJob(edges, g, kReference);
+
+  std::vector<Treatment> treatments;
+  // Part 1 — warned kills at replication 1: reactive recovery has
+  // nothing persisted and restarts the whole job; proactive drain
+  // migrates the warned machine's shards and loses nothing. The rates
+  // match micro_churn's sweep (higher rates overflow the
+  // nanosecond-resolution timers on the unprotected side).
+  const double kWarnedRates[] = {0.25, 0.5, 1.0};
+  for (const double rate : kWarnedRates) {
+    treatments.push_back({"drain", "reactive", rate, 0.0});
+    treatments.push_back({"drain", "drain", rate, 0.05});
+  }
+  // Part 2 — rack-level kills at replication 2: the same correlated
+  // domain-kill stream against domain-oblivious ("naive") and
+  // domain-aware replica placement. The job runs well under a simulated
+  // second, so the per-domain rate has to be high for a couple of rack
+  // kills to actually land.
+  const double kDomainRate = 4.0;
+  treatments.push_back(
+      {"domain", "naive", 0.0, 0.0, 2, kDomainRate, false});
+  treatments.push_back(
+      {"domain", "aware", 0.0, 0.0, 2, kDomainRate, true});
+  // Part 3 — stragglers at replication 2, no kills: a quarter of
+  // (round, machine) pairs run lookups 4x slow; hedging re-issues the
+  // timed-out trip to the shard's first replica.
+  const double kSlowRate = 0.25;
+  treatments.push_back(
+      {"hedge", "no-hedge", 0.0, 0.0, 2, 0.0, true, kSlowRate, false});
+  treatments.push_back(
+      {"hedge", "hedged", 0.0, 0.0, 2, 0.0, true, kSlowRate, true});
+
+  struct GridRow {
+    const Treatment* treatment;
+    CellResult cell;
+  };
+  std::vector<GridRow> grid;
+  for (const Treatment& t : treatments) {
+    grid.push_back(GridRow{&t, RunJob(edges, g, t)});
+  }
+
+  ampc::bench::PrintHeader(
+      "micro_degrade: drain vs reactive, domain-aware vs naive, hedged "
+      "vs not",
+      {"part", "treatment", "rate", "sim sec", "lost", "drained",
+       "migrated", "wipeouts", "hedge wins"});
+  for (const GridRow& row : grid) {
+    const Treatment& t = *row.treatment;
+    ampc::bench::PrintRow(
+        {t.part, t.name,
+         ampc::bench::FmtDouble(
+             t.fault_rate + t.domain_fault_rate + t.slow_rate, 2),
+         ampc::bench::FmtDouble(row.cell.sim_sec, 4),
+         ampc::bench::FmtInt(row.cell.machines_lost),
+         ampc::bench::FmtInt(row.cell.machines_drained),
+         ampc::bench::FmtInt(row.cell.shards_migrated),
+         ampc::bench::FmtInt(row.cell.replica_wipeouts),
+         ampc::bench::FmtInt(row.cell.hedge_wins)});
+  }
+  ampc::bench::PrintPaperNote(
+      "graceful degradation extends the preemption story (Section 5.7): "
+      "a warned machine drains its shards ahead of the kill instead of "
+      "replaying lost work, replica placement that spans fault domains "
+      "survives rack loss that wipes co-located copies, and hedged "
+      "lookups bound the tail a straggling machine adds to every "
+      "latency-bearing round trip");
+
+  // Gate (d): outputs never move — every cell bit-identical to the
+  // fault-free reference.
+  for (const GridRow& row : grid) {
+    if (!(row.cell.outputs == reference.outputs)) {
+      std::fprintf(stderr,
+                   "FATAL: outputs diverged (part %s, treatment %s) — "
+                   "degradation must never be a correctness event\n",
+                   row.treatment->part, row.treatment->name);
+      return 1;
+    }
+  }
+
+  auto find = [&](const char* part, const char* name,
+                  double rate) -> const CellResult& {
+    for (const GridRow& row : grid) {
+      if (std::string(row.treatment->part) == part &&
+          std::string(row.treatment->name) == name &&
+          row.treatment->fault_rate == rate) {
+        return row.cell;
+      }
+    }
+    std::abort();
+  };
+
+  // Gate (a): drain strictly beats reactive at every warned-kill rate,
+  // non-vacuously.
+  for (const double rate : kWarnedRates) {
+    const CellResult& reactive = find("drain", "reactive", rate);
+    const CellResult& drain = find("drain", "drain", rate);
+    if (reactive.machines_lost == 0 || drain.machines_lost == 0 ||
+        drain.machines_drained == 0 || drain.shards_migrated == 0) {
+      std::fprintf(
+          stderr,
+          "FATAL: vacuous drain sweep at rate %.2f (reactive lost "
+          "%lld, drain lost %lld, drained %lld, migrated %lld)\n",
+          rate, static_cast<long long>(reactive.machines_lost),
+          static_cast<long long>(drain.machines_lost),
+          static_cast<long long>(drain.machines_drained),
+          static_cast<long long>(drain.shards_migrated));
+      return 1;
+    }
+    if (drain.sim_sec >= reactive.sim_sec) {
+      std::fprintf(stderr,
+                   "FATAL: proactive drain did not strictly beat "
+                   "reactive recovery at rate %.2f (%.4f vs %.4f "
+                   "simulated seconds)\n",
+                   rate, drain.sim_sec, reactive.sim_sec);
+      return 1;
+    }
+  }
+
+  // Gate (b): under the same rack-kill stream, naive placement loses
+  // whole ReplicaSets and pays for it; domain-aware placement never
+  // does and is strictly cheaper.
+  const CellResult& naive = find("domain", "naive", 0.0);
+  const CellResult& aware = find("domain", "aware", 0.0);
+  if (naive.domains_lost == 0 || aware.domains_lost == 0) {
+    std::fprintf(stderr,
+                 "FATAL: vacuous domain sweep (naive lost %lld "
+                 "domains, aware %lld) — raise the domain rate\n",
+                 static_cast<long long>(naive.domains_lost),
+                 static_cast<long long>(aware.domains_lost));
+    return 1;
+  }
+  if (naive.replica_wipeouts == 0) {
+    std::fprintf(stderr,
+                 "FATAL: naive placement survived every rack kill — "
+                 "the domain sweep shows nothing\n");
+    return 1;
+  }
+  if (aware.replica_wipeouts != 0) {
+    std::fprintf(stderr,
+                 "FATAL: domain-aware placement lost %lld whole "
+                 "ReplicaSets — SpansDomains is not holding\n",
+                 static_cast<long long>(aware.replica_wipeouts));
+    return 1;
+  }
+  if (aware.sim_sec >= naive.sim_sec) {
+    std::fprintf(stderr,
+                 "FATAL: domain-aware placement did not strictly beat "
+                 "naive under rack kills (%.4f vs %.4f simulated "
+                 "seconds)\n",
+                 aware.sim_sec, naive.sim_sec);
+    return 1;
+  }
+
+  // Gate (c): hedging strictly cuts the straggler tail, non-vacuously.
+  const CellResult& no_hedge = find("hedge", "no-hedge", 0.0);
+  const CellResult& hedged = find("hedge", "hedged", 0.0);
+  if (no_hedge.slow_trips == 0 || hedged.hedged_trips == 0 ||
+      hedged.hedge_wins == 0) {
+    std::fprintf(stderr,
+                 "FATAL: vacuous straggler sweep (slow %lld, hedged "
+                 "%lld, wins %lld)\n",
+                 static_cast<long long>(no_hedge.slow_trips),
+                 static_cast<long long>(hedged.hedged_trips),
+                 static_cast<long long>(hedged.hedge_wins));
+    return 1;
+  }
+  if (hedged.sim_sec >= no_hedge.sim_sec) {
+    std::fprintf(stderr,
+                 "FATAL: hedging did not strictly beat waiting out "
+                 "stragglers (%.4f vs %.4f simulated seconds)\n",
+                 hedged.sim_sec, no_hedge.sim_sec);
+    return 1;
+  }
+
+  FILE* out = std::fopen("BENCH_degrade.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_degrade.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"micro_degrade\",\n"
+               "  \"nodes\": %lld,\n"
+               "  \"edges\": %lld,\n"
+               "  \"machines\": %d,\n"
+               "  \"machines_per_domain\": %d,\n"
+               "  \"kill_seed\": %llu,\n"
+               "  \"fault_free_sim_sec\": %.9f,\n"
+               "  \"grid\": [\n",
+               static_cast<long long>(g.num_nodes()),
+               static_cast<long long>(g.num_arcs()), kMachines,
+               kMachinesPerDomain,
+               static_cast<unsigned long long>(kKillSeed),
+               reference.sim_sec);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const GridRow& row = grid[i];
+    const Treatment& t = *row.treatment;
+    std::fprintf(
+        out,
+        "    {\"part\": \"%s\", \"treatment\": \"%s\", "
+        "\"fault_rate\": %.2f, \"domain_fault_rate\": %.2f, "
+        "\"slow_machine_rate\": %.2f, \"replication\": %d, "
+        "\"sim_sec\": %.9f, \"recovery_sec\": %.9f, "
+        "\"drain_sec\": %.9f, \"machines_lost\": %lld, "
+        "\"domains_lost\": %lld, \"machines_drained\": %lld, "
+        "\"shards_migrated\": %lld, \"kv_migration_bytes\": %lld, "
+        "\"replica_wipeouts\": %lld, \"kv_slow_trips\": %lld, "
+        "\"kv_hedged_trips\": %lld, \"kv_hedge_wins\": %lld, "
+        "\"outputs_identical\": true}%s\n",
+        t.part, t.name, t.fault_rate, t.domain_fault_rate, t.slow_rate,
+        t.replication, row.cell.sim_sec, row.cell.recovery_sec,
+        row.cell.drain_sec, static_cast<long long>(row.cell.machines_lost),
+        static_cast<long long>(row.cell.domains_lost),
+        static_cast<long long>(row.cell.machines_drained),
+        static_cast<long long>(row.cell.shards_migrated),
+        static_cast<long long>(row.cell.migration_bytes),
+        static_cast<long long>(row.cell.replica_wipeouts),
+        static_cast<long long>(row.cell.slow_trips),
+        static_cast<long long>(row.cell.hedged_trips),
+        static_cast<long long>(row.cell.hedge_wins),
+        i + 1 < grid.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_degrade.json\n");
+  return 0;
+}

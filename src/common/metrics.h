@@ -41,6 +41,20 @@ struct MetricsSnapshot {
 ///   "kv_peak_inflight_keys"  watermark: most keys any worker held in
 ///                         flight at once (pipelining memory cost)
 ///   "machines_lost"       injected machine failures absorbed so far
+///   "domains_lost"        correlated domain (rack) failures absorbed —
+///                         each counts once however many machines it
+///                         takes down
+///   "machines_drained"    machines proactively drained on a failure
+///                         warning before their kill landed
+///   "shards_migrated"/"kv_migration_bytes"  shards moved off drained
+///                         machines and the primary bytes re-streamed
+///   "replica_wipeouts"    shards whose every replica died in one
+///                         correlated kill (recovery falls back to
+///                         checkpoint/restart)
+///   "kv_slow_trips"       lookup trips that landed on a straggling
+///                         destination machine
+///   "kv_hedged_trips"/"kv_hedge_wins"  straggler trips re-issued to a
+///                         replica, and those the replica answered first
 ///   "kv_replication_bytes"  follower-copy bytes charged by replicated
 ///                         KV writes (replication > 1)
 ///   "checkpoints"/"checkpoint_bytes"  periodic shard checkpoints taken
@@ -57,7 +71,7 @@ struct MetricsSnapshot {
 /// Fault-model timers: "sim:recovery" (total recovery time charged),
 /// "recovery_replay_seconds" (its replay component, excluding replica
 /// streams and checkpoint restores), "sim:checkpoint" (checkpoint
-/// rounds).
+/// rounds), "sim:drain" (live shard migration off warned machines).
 class Metrics {
  public:
   Metrics() = default;

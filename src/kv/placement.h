@@ -71,6 +71,14 @@ inline const char* PlacementPolicyName(PlacementPolicy policy) {
   return "?";
 }
 
+/// Rack-level fault domain of a machine: machines [d * per, (d+1) * per)
+/// share switch and power, so a correlated failure takes them out
+/// together. per <= 1 means every machine is its own domain (the
+/// domain-oblivious historical model).
+inline int FaultDomainOf(int machine, int machines_per_domain) {
+  return machines_per_domain > 1 ? machine / machines_per_domain : machine;
+}
+
 /// The machines holding copies of one shard: `machines[0]` is the
 /// primary (the Placement's ShardOf), `machines[1..R-1]` the followers,
 /// all distinct. A pure value type minted by Placement::ReplicasOfShard.
@@ -90,6 +98,26 @@ struct ReplicaSet {
       if (static_cast<size_t>(m) >= dead.size() || !dead[m]) return m;
     }
     return -1;
+  }
+
+  /// Whether the copies cover as many distinct fault domains as they
+  /// possibly can — min(copies, number of domains) — so no single rack
+  /// loss wipes every replica while a spare domain existed. This is the
+  /// invariant domain-aware placement guarantees; domain-oblivious
+  /// placement can violate it whenever machines_per_domain > 1.
+  bool SpansDomains(int machines_per_domain, int num_machines) const {
+    const int per = std::max(1, machines_per_domain);
+    const int num_domains = (num_machines + per - 1) / per;
+    std::vector<uint8_t> seen(num_domains, 0);
+    int distinct = 0;
+    for (const int m : machines) {
+      const int d = FaultDomainOf(m, machines_per_domain);
+      if (d >= 0 && d < num_domains && !seen[d]) {
+        seen[d] = 1;
+        ++distinct;
+      }
+    }
+    return distinct >= std::min(replication(), num_domains);
   }
 };
 
@@ -111,6 +139,15 @@ struct Placement {
   /// follower copies ReplicasOfShard describes, so R = 1 is
   /// bit-identical to the pre-replication placement.
   int replication = 1;
+  /// Rack-level fault-domain width for *replica* placement: > 1 makes
+  /// ReplicasOfShard prefer followers in fault domains the shard's
+  /// earlier copies do not already occupy (see FaultDomainOf), so a
+  /// single rack loss can never take out a whole ReplicaSet while a
+  /// spare domain exists. 0 (or 1) is the domain-oblivious historical
+  /// walk, bit-identical to the pre-domain placement; ShardOf — and
+  /// with it every primary and all cost charging — is unaffected
+  /// either way.
+  int machines_per_domain = 0;
 
   int ShardOf(uint64_t key) const {
     switch (policy) {
@@ -150,9 +187,14 @@ struct Placement {
   /// (s + stride * j) mod P with a seeded stride coprime-by-probing —
   /// so each machine's shard scatters its copies across distinct
   /// survivors and a single machine loss never takes out every copy.
-  /// Deterministic in (seed, num_shards, replication) alone: the set is
-  /// stable across rounds, which is what lets a follower serve as a
-  /// recovery source for every store the cluster ever minted.
+  /// With machines_per_domain > 1 the probe additionally skips machines
+  /// whose fault domain already holds a copy, for as long as an unused
+  /// domain remains — the ReplicaSet::SpansDomains invariant — then
+  /// relaxes to machine-distinctness once every domain is covered.
+  /// Deterministic in (seed, num_shards, replication,
+  /// machines_per_domain) alone: the set is stable across rounds, which
+  /// is what lets a follower serve as a recovery source for every store
+  /// the cluster ever minted.
   ReplicaSet ReplicasOfShard(int s) const {
     const int copies = EffectiveReplication();
     ReplicaSet set;
@@ -167,13 +209,39 @@ struct Placement {
                   static_cast<uint64_t>(num_shards - 1);
       std::vector<uint8_t> taken(num_shards, 0);
       taken[s] = 1;
+      // Domain-aware mode: track which fault domains already hold a
+      // copy. While fewer domains are used than exist, a follower in a
+      // used domain is rejected the same way a taken machine is — every
+      // machine of an unused domain is untaken, so the probe always
+      // terminates.
+      const int per = std::max(1, machines_per_domain);
+      const int num_domains = (num_shards + per - 1) / per;
+      std::vector<uint8_t> domain_used;
+      int domains_used = 0;
+      if (per > 1) {
+        domain_used.assign(num_domains, 0);
+        domain_used[FaultDomainOf(s, per)] = 1;
+        domains_used = 1;
+      }
       int follower = s;
       for (int j = 1; j < copies; ++j) {
         follower = static_cast<int>(
             (static_cast<uint64_t>(follower) + stride) %
             static_cast<uint64_t>(num_shards));
-        while (taken[follower]) follower = (follower + 1) % num_shards;
+        const bool want_new_domain =
+            !domain_used.empty() && domains_used < num_domains;
+        while (taken[follower] ||
+               (want_new_domain && domain_used[FaultDomainOf(follower, per)])) {
+          follower = (follower + 1) % num_shards;
+        }
         taken[follower] = 1;
+        if (!domain_used.empty()) {
+          const int d = FaultDomainOf(follower, per);
+          if (!domain_used[d]) {
+            domain_used[d] = 1;
+            ++domains_used;
+          }
+        }
         set.machines.push_back(follower);
       }
     }
@@ -188,6 +256,12 @@ struct Placement {
   friend bool operator==(const Placement& a, const Placement& b) {
     if (a.policy != b.policy || a.num_shards != b.num_shards ||
         a.seed != b.seed || a.replication != b.replication) {
+      return false;
+    }
+    // machines_per_domain only shapes follower choice, which only
+    // exists with real replication.
+    if (a.EffectiveReplication() > 1 &&
+        a.machines_per_domain != b.machines_per_domain) {
       return false;
     }
     if (a.policy == PlacementPolicy::kRange && a.capacity != b.capacity) {

@@ -194,6 +194,12 @@ class ShardedStore {
     return map_->placement.ReplicasOf(key);
   }
 
+  /// The machines holding copies of shard `s` (primary first) — the
+  /// drain/migration and hedging paths ask per shard, not per key.
+  ReplicaSet ReplicasOfShard(int s) const {
+    return map_->placement.ReplicasOfShard(s);
+  }
+
   /// Per-machine resident wire bytes *including* follower copies:
   /// machine m holds its own shard plus a copy of every shard it
   /// follows. Equal to ShardBytesSnapshot() at replication 1.

@@ -15,6 +15,12 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   AMPC_CHECK_GE(config_.faults.fault_rate_per_machine_sec, 0.0);
   AMPC_CHECK_GE(config_.faults.replication, 1);
   AMPC_CHECK_GE(config_.faults.checkpoint_period_sec, 0.0);
+  AMPC_CHECK_GE(config_.faults.machines_per_domain, 0);
+  AMPC_CHECK_GE(config_.faults.domain_fault_rate_sec, 0.0);
+  AMPC_CHECK_GE(config_.faults.warning_lead_sec, 0.0);
+  AMPC_CHECK_GE(config_.faults.slow_machine_rate, 0.0);
+  AMPC_CHECK_LE(config_.faults.slow_machine_rate, 1.0);
+  AMPC_CHECK_GE(config_.faults.straggler_slowdown, 1.0);
   const int logical_threads =
       config_.num_machines *
       (config_.multithreading ? config_.threads_per_machine : 1);
@@ -24,10 +30,35 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
       std::max(1, std::min(logical_threads, hw)));
   machine_kv_write_bytes_.assign(config_.num_machines, 0);
   checkpointed_bytes_.assign(config_.num_machines, 0);
-  if (config_.faults.fault_rate_per_machine_sec > 0.0) {
-    fault_injector_ =
-        FaultInjector(config_.faults.fault_rate_per_machine_sec,
-                      config_.num_machines, config_.faults.fault_seed);
+  shard_hosts_.resize(config_.num_machines);
+  for (int m = 0; m < config_.num_machines; ++m) shard_hosts_[m] = m;
+  drained_.assign(config_.num_machines, 0);
+  shard_primary_bytes_.assign(config_.num_machines, 0);
+  if (config_.faults.fault_rate_per_machine_sec > 0.0 ||
+      config_.faults.domain_fault_rate_sec > 0.0) {
+    FaultInjector::Config injector;
+    injector.rate_per_machine_sec = config_.faults.fault_rate_per_machine_sec;
+    injector.machines = config_.num_machines;
+    injector.seed = config_.faults.fault_seed;
+    injector.machines_per_domain = config_.faults.machines_per_domain;
+    injector.domain_fault_rate_sec = config_.faults.domain_fault_rate_sec;
+    injector.warning_lead_sec = config_.faults.warning_lead_sec;
+    fault_injector_ = FaultInjector(injector);
+  }
+  straggler_.slow_rate = config_.faults.slow_machine_rate;
+  straggler_.slowdown = config_.faults.straggler_slowdown;
+  straggler_.seed = config_.faults.fault_seed;
+  // The hedge target table: replica sets are pure functions of
+  // (seed, machines, replication, domain width) — none of which the
+  // tuner ever moves — so shard s's first follower is fixed for the
+  // cluster's lifetime.
+  hedge_follower_.assign(config_.num_machines, -1);
+  if (config_.faults.replication > 1) {
+    const kv::Placement placement = PlacementFor(0);
+    for (int s = 0; s < config_.num_machines; ++s) {
+      const kv::ReplicaSet replicas = placement.ReplicasOfShard(s);
+      if (replicas.machines.size() > 1) hedge_follower_[s] = replicas.machines[1];
+    }
   }
   if (config_.auto_tune.enabled) {
     TunedKnobs base;
@@ -237,6 +268,7 @@ void Cluster::SettleMapPhase(const std::string& phase,
   int64_t total_bytes = 0, total_items = 0;
   int64_t total_hits = 0, total_misses = 0, hottest_served = 0;
   int64_t peak_inflight = 0;
+  int64_t total_slow = 0, total_hedged = 0, total_hedge_wins = 0;
   std::vector<int64_t> served(per_machine.size(), 0);
   for (size_t m = 0; m < per_machine.size(); ++m) {
     const PhaseCounters& counters = per_machine[m];
@@ -254,6 +286,25 @@ void Cluster::SettleMapPhase(const std::string& phase,
     peak_inflight = std::max(peak_inflight, counters.peak_inflight_keys.load());
     hottest_served = std::max(hottest_served, served_bytes);
     served[m] = served_bytes;
+    // Straggler tax on this machine's trips (StragglerModel): a slow
+    // destination's trip runs at slowdown x latency — extra
+    // (slowdown - 1) trips' worth — unless a hedge won, in which case
+    // the trip completed at 2 x latency (timeout + replica round trip:
+    // extra 1), with both legs charged. Integer trip counts converted
+    // to seconds exactly once, here.
+    const int64_t slow = counters.kv_slow_trips.load();
+    const int64_t wins = counters.kv_hedge_wins.load();
+    double straggler_extra_sec = 0.0;
+    if (slow != 0) {
+      total_slow += slow;
+      total_hedged += counters.kv_hedged_trips.load();
+      total_hedge_wins += wins;
+      straggler_extra_sec =
+          (static_cast<double>(slow - wins) *
+               (config_.faults.straggler_slowdown - 1.0) +
+           static_cast<double>(wins)) *
+          config_.network.lookup_latency_sec;
+    }
     // Client side: round-trip latency (one trip per scalar lookup, one
     // per destination machine of a batch — the Section 5.3 batching
     // pipeline) and per-item CPU, hidden behind `overlap` worker threads
@@ -261,7 +312,7 @@ void Cluster::SettleMapPhase(const std::string& phase,
     // through this machine's NIC (a hot *reader* gathering from every
     // shard is also a straggler).
     const double client_time =
-        (trips * config_.network.lookup_latency_sec +
+        (trips * config_.network.lookup_latency_sec + straggler_extra_sec +
          items * config_.map_item_cpu_sec) /
             overlap +
         bytes / config_.network.bytes_per_sec;
@@ -300,6 +351,12 @@ void Cluster::SettleMapPhase(const std::string& phase,
   metrics_.Add("map_items", total_items);
   metrics_.Add("cache_hits", total_hits);
   metrics_.Add("cache_misses", total_misses);
+  // Guarded like kv_replication_bytes: the straggler metrics only exist
+  // in runs where the model fired, keeping zero-rate metric output
+  // byte-identical to the historical model.
+  if (total_slow != 0) metrics_.Add("kv_slow_trips", total_slow);
+  if (total_hedged != 0) metrics_.Add("kv_hedged_trips", total_hedged);
+  if (total_hedge_wins != 0) metrics_.Add("kv_hedge_wins", total_hedge_wins);
   // A watermark, not a sum: the metric holds the largest per-worker
   // in-flight key count seen by any phase so far (settles run serially,
   // so the read-then-top-up is race-free).
@@ -320,11 +377,20 @@ void Cluster::SettleKvWritePhase(const std::string& phase,
                                  double wall_seconds) {
   const int overlap =
       config_.multithreading ? config_.threads_per_machine : 1;
-  // Replication: shard s's records also land on its followers, whose
-  // NICs absorb a full copy. The per-machine inbound traffic becomes
-  // primary bytes + follower copies; the guard keeps replication 1
-  // byte-for-byte identical to the pre-replication model.
-  std::vector<int64_t> inbound = bytes;
+  // Inbound traffic lands on each shard's current *host* (identity
+  // until a drain migration remaps it), and shard_primary_bytes_
+  // remembers the primary bytes resident per base shard — the bytes a
+  // later drain of the host must move. Replication: shard s's records
+  // also land on its followers' hosts, whose NICs absorb a full copy.
+  // The guards keep replication 1 and the unmigrated case
+  // byte-for-byte identical to the historical model.
+  std::vector<int64_t> inbound(config_.num_machines, 0);
+  std::vector<int64_t> host_writes(config_.num_machines, 0);
+  for (int s = 0; s < config_.num_machines; ++s) {
+    inbound[HostOf(s)] += bytes[s];
+    host_writes[HostOf(s)] += writes[s];
+    shard_primary_bytes_[s] += bytes[s];
+  }
   int64_t replication_bytes = 0;
   if (config_.faults.replication > 1) {
     const kv::Placement placement = PlacementFor(0);
@@ -332,7 +398,7 @@ void Cluster::SettleKvWritePhase(const std::string& phase,
       if (bytes[s] == 0) continue;
       const kv::ReplicaSet replicas = placement.ReplicasOfShard(s);
       for (size_t i = 1; i < replicas.machines.size(); ++i) {
-        inbound[replicas.machines[i]] += bytes[s];
+        inbound[HostOf(replicas.machines[i])] += bytes[s];
         replication_bytes += bytes[s];
       }
     }
@@ -345,13 +411,13 @@ void Cluster::SettleKvWritePhase(const std::string& phase,
     hottest_bytes = std::max(hottest_bytes, bytes[m]);
     machine_kv_write_bytes_[m] += inbound[m];
     // Writes stream from all machines concurrently; machine m absorbs
-    // the records landing on its shard (and the follower copies it
-    // hosts), so a skewed key distribution stalls the round on the
+    // the records landing on the shards it hosts (and the follower
+    // copies), so a skewed key distribution stalls the round on the
     // hottest shard's machine. Worker threads overlap per-write latency
     // but cannot widen the machine's NIC, so only the latency term
     // divides by `overlap`.
     const double machine_time =
-        writes[m] * config_.network.write_latency_sec / overlap +
+        host_writes[m] * config_.network.write_latency_sec / overlap +
         inbound[m] / config_.network.bytes_per_sec;
     slowest_machine = std::max(slowest_machine, machine_time);
   }
@@ -381,13 +447,42 @@ void Cluster::ProcessFaultsAndCheckpoints() {
   const bool checkpointing = config_.faults.checkpoint_period_sec > 0.0;
   if (!fault_injector_.enabled() && !checkpointing) return;
   if (fault_injector_.enabled()) {
-    const std::vector<FaultEvent> kills =
+    const std::vector<FaultEvent> events =
         fault_injector_.AdvanceTo(sim_clock_);
-    for (const FaultEvent& kill : kills) RecoverFromKill(kill);
+    // Warnings first (they sort ahead of same-time kills): each drains
+    // its machine, migrating the hosted shards away before the
+    // announced kill can land.
+    for (const FaultEvent& event : events) {
+      if (event.warning) DrainMachine(event.machine);
+    }
+    // Kills, in correlated groups: the members of one domain kill share
+    // (time, domain) and are adjacent in the sorted stream, and every
+    // member's recovery must see the whole group down at once —
+    // that simultaneity is what can wipe an entire ReplicaSet.
+    size_t i = 0;
+    while (i < events.size()) {
+      if (events[i].warning) {
+        ++i;
+        continue;
+      }
+      size_t j = i + 1;
+      if (events[i].domain >= 0) {
+        while (j < events.size() && !events[j].warning &&
+               events[j].domain == events[i].domain &&
+               events[j].time == events[i].time) {
+          ++j;
+        }
+        metrics_.Add("domains_lost", 1);
+      }
+      std::vector<uint8_t> dead(config_.num_machines, 0);
+      for (size_t k = i; k < j; ++k) dead[events[k].machine] = 1;
+      for (size_t k = i; k < j; ++k) RecoverFromKill(events[k], dead);
+      i = j;
+    }
     // Recovery intervals are failure-free: the recovering machine was
     // just scheduled. Skipping redraws any arrival the recovery time
     // would otherwise have swallowed.
-    if (!kills.empty()) fault_injector_.SkipTo(sim_clock_);
+    if (!events.empty()) fault_injector_.SkipTo(sim_clock_);
   }
   if (checkpointing && sim_clock_ - last_checkpoint_time_ >=
                            config_.faults.checkpoint_period_sec) {
@@ -395,11 +490,21 @@ void Cluster::ProcessFaultsAndCheckpoints() {
   }
 }
 
-void Cluster::RecoverFromKill(const FaultEvent& kill) {
+void Cluster::RecoverFromKill(const FaultEvent& kill,
+                              const std::vector<uint8_t>& dead) {
   metrics_.Add("machines_lost", 1);
   // The replacement machine's RAM starts cold: every read-through cache
   // the dead machine held is dropped (extra misses, never wrong values).
   cache_registry_.DropMachine(kill.machine);
+  if (!drained_.empty() && drained_[kill.machine]) {
+    // The warned-and-drained kill: the machine's shards migrated away
+    // when the warning fired, no work has been scheduled here since,
+    // and nothing resident is lost — the kill costs zero and the
+    // replacement slot rejoins empty. This is the payoff the
+    // drain-vs-reactive bench gate measures.
+    drained_[kill.machine] = 0;
+    return;
+  }
   const size_t round = round_log_.empty() ? 0 : round_log_.size() - 1;
   // How far into the interrupted round the kill landed — the in-flight
   // work the dead machine loses.
@@ -408,7 +513,32 @@ void Cluster::RecoverFromKill(const FaultEvent& kill) {
   const double partial = elapsed * ReplaySliceShare(round, kill.machine);
   double transfer = 0.0;
   double replay = 0.0;
-  if (config_.faults.replication > 1) {
+  // Replicated recovery needs a live copy of every shard the dead
+  // machine hosted. A correlated domain kill can take out a whole
+  // ReplicaSet at once (domain-oblivious placement permits co-domain
+  // copies); each wiped set is counted and recovery falls back to the
+  // checkpoint/restart paths below.
+  bool replicas_survive = config_.faults.replication > 1;
+  if (replicas_survive) {
+    const kv::Placement placement = PlacementFor(0);
+    for (int s = 0; s < config_.num_machines; ++s) {
+      if (HostOf(s) != kill.machine) continue;
+      const kv::ReplicaSet replicas = placement.ReplicasOfShard(s);
+      bool survivor = false;
+      for (const int copy : replicas.machines) {
+        const int host = HostOf(copy);
+        if (static_cast<size_t>(host) >= dead.size() || !dead[host]) {
+          survivor = true;
+          break;
+        }
+      }
+      if (!survivor) {
+        metrics_.Add("replica_wipeouts", 1);
+        replicas_survive = false;
+      }
+    }
+  }
+  if (replicas_survive) {
     // Re-replicate: stream the machine's resident shard bytes from the
     // surviving replicas over its NIC, then redo the in-flight slice.
     transfer = static_cast<double>(machine_kv_write_bytes_[kill.machine]) /
@@ -486,8 +616,110 @@ double Cluster::ReplaySliceShare(size_t round, int machine) const {
 void Cluster::InjectMachineFailure(int machine) {
   AMPC_CHECK_GE(machine, 0);
   AMPC_CHECK_LT(machine, config_.num_machines);
-  RecoverFromKill(FaultEvent{sim_clock_, machine});
+  std::vector<uint8_t> dead(config_.num_machines, 0);
+  dead[machine] = 1;
+  RecoverFromKill(FaultEvent{sim_clock_, machine}, dead);
   fault_injector_.SkipTo(sim_clock_);
+}
+
+void Cluster::InjectDomainFailure(int domain) {
+  AMPC_CHECK_GE(domain, 0);
+  const int per = std::max(1, config_.faults.machines_per_domain);
+  const int lo = domain * per;
+  const int hi = std::min(config_.num_machines, lo + per);
+  AMPC_CHECK_LT(lo, config_.num_machines);
+  metrics_.Add("domains_lost", 1);
+  // The whole rack goes down at once: every member's recovery must see
+  // the full group dead — that simultaneity is what can take out an
+  // entire ReplicaSet under domain-oblivious placement.
+  std::vector<uint8_t> dead(config_.num_machines, 0);
+  for (int m = lo; m < hi; ++m) dead[m] = 1;
+  for (int m = lo; m < hi; ++m) {
+    RecoverFromKill(FaultEvent{sim_clock_, m, domain}, dead);
+  }
+  fault_injector_.SkipTo(sim_clock_);
+}
+
+void Cluster::DrainMachine(int machine) {
+  AMPC_CHECK_GE(machine, 0);
+  AMPC_CHECK_LT(machine, config_.num_machines);
+  if (drained_[machine]) return;
+  drained_[machine] = 1;
+  metrics_.Add("machines_drained", 1);
+  // The drained machine's read-through caches leave with it; the new
+  // hosts start cold (extra misses, never wrong values).
+  cache_registry_.DropMachine(machine);
+  const kv::Placement placement = PlacementFor(0);
+  int64_t moved_bytes = 0;
+  int64_t shards_moved = 0;
+  for (int s = 0; s < config_.num_machines; ++s) {
+    if (shard_hosts_[s] != machine) continue;
+    // Prefer the least-loaded live replica host — a copy of the shard
+    // is already resident there, which is the point of chained
+    // declustering. Fall back to the least-loaded live machine when no
+    // follower survives (or at replication 1, where migration is a full
+    // re-stream either way). Ties break to the lowest machine id so the
+    // choice is deterministic.
+    int target = -1;
+    if (placement.EffectiveReplication() > 1) {
+      const kv::ReplicaSet replicas = placement.ReplicasOfShard(s);
+      for (size_t i = 1; i < replicas.machines.size(); ++i) {
+        const int host = HostOf(replicas.machines[i]);
+        if (host == machine || drained_[host]) continue;
+        if (target < 0 ||
+            machine_kv_write_bytes_[host] < machine_kv_write_bytes_[target] ||
+            (machine_kv_write_bytes_[host] ==
+                 machine_kv_write_bytes_[target] &&
+             host < target)) {
+          target = host;
+        }
+      }
+    }
+    if (target < 0) {
+      for (int m = 0; m < config_.num_machines; ++m) {
+        if (m == machine || drained_[m]) continue;
+        if (target < 0 ||
+            machine_kv_write_bytes_[m] < machine_kv_write_bytes_[target]) {
+          target = m;
+        }
+      }
+    }
+    // Every other machine already drained: nowhere to move — the kill
+    // will be recovered reactively instead.
+    if (target < 0) {
+      drained_[machine] = 0;
+      return;
+    }
+    const int64_t bytes = shard_primary_bytes_[s];
+    shard_hosts_[s] = target;
+    ++shards_moved;
+    moved_bytes += bytes;
+    if (bytes > 0) {
+      // The resident bytes follow the shard, and so does their
+      // checkpoint credit — leaving it behind would let a later
+      // checkpoint delta on the emptied machine go negative.
+      machine_kv_write_bytes_[machine] =
+          std::max<int64_t>(0, machine_kv_write_bytes_[machine] - bytes);
+      machine_kv_write_bytes_[target] += bytes;
+      const int64_t credit = std::min(bytes, checkpointed_bytes_[machine]);
+      checkpointed_bytes_[machine] -= credit;
+      checkpointed_bytes_[target] += credit;
+    }
+  }
+  if (shards_moved > 0) {
+    metrics_.Add("shards_migrated", shards_moved);
+    if (moved_bytes > 0) metrics_.Add("kv_migration_bytes", moved_bytes);
+    // The migration streams the primary's resident bytes to the new
+    // host at shuffle bandwidth on the sim clock — the price the
+    // drain-vs-reactive bench weighs against replaying lost work.
+    const double sim =
+        static_cast<double>(moved_bytes) / config_.shuffle_bytes_per_sec;
+    if (sim > 0.0) {
+      ExtendLastRound(sim);
+      metrics_.AddTime("sim:drain", sim);
+      metrics_.AddTime("sim_total", sim);
+    }
+  }
 }
 
 std::shared_ptr<const kv::ShardMap> Cluster::ShardMapFor(

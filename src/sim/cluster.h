@@ -200,6 +200,51 @@ struct ClusterConfig {
     /// since the last checkpoint instead of the whole job. 0 disables
     /// checkpointing.
     double checkpoint_period_sec = 0.0;
+    /// Rack-level fault-domain width: machines [d*k, (d+1)*k) share a
+    /// switch and power domain. <= 1 keeps every machine its own domain
+    /// (the historical model). Feeds both the injector's correlated
+    /// kill streams and — when domain_aware_placement is on — the
+    /// replica placement's SpansDomains invariant.
+    int machines_per_domain = 0;
+    /// Poisson rate per domain-second of correlated domain kills: one
+    /// arrival takes out every machine of a fault domain at the same
+    /// simulated instant (a rack loss). Counted per group in
+    /// "domains_lost". 0 disables the correlated streams.
+    double domain_fault_rate_sec = 0.0;
+    /// When machines_per_domain > 1, place each shard's replicas across
+    /// distinct fault domains (kv::Placement::machines_per_domain), so
+    /// a single rack loss never wipes a whole ReplicaSet while a spare
+    /// domain exists. Off = the domain-oblivious historical walk — the
+    /// naive baseline bench/micro_degrade measures rack kills against.
+    bool domain_aware_placement = true;
+    /// Seconds of advance notice ahead of every kill. > 0 makes the
+    /// injector emit warning events warning_lead_sec before each kill
+    /// (machine or domain), and the cluster reacts by *draining* the
+    /// marked machine: its hosted shards migrate to their least-loaded
+    /// live replica (or a fresh least-loaded owner at replication 1) at
+    /// shuffle bandwidth on the sim clock ("sim:drain",
+    /// kv_migration_bytes), the shard map is hot-swapped mid-job, and
+    /// the kill — when it lands — loses zero in-flight slice and
+    /// replays nothing. 0 = unannounced kills, the reactive historical
+    /// model.
+    double warning_lead_sec = 0.0;
+    /// Per-round probability that a destination machine is a straggler:
+    /// each round, each machine is independently slow with this
+    /// probability (seeded StragglerModel — a pure function of
+    /// (fault_seed, round, machine)), and every lookup round trip to a
+    /// slow machine takes straggler_slowdown x the normal latency.
+    /// Cost-only, like every fault knob. 0 disables the model.
+    double slow_machine_rate = 0.0;
+    /// Latency multiplier of a slow destination's round trips.
+    double straggler_slowdown = 4.0;
+    /// Hedged lookups: after a timeout of one normal round-trip latency
+    /// (the non-straggler quantile of the trip distribution), re-issue
+    /// a slow destination's window to the shard's first replica and
+    /// take the first response. A hedge against a non-slow replica
+    /// completes in 2 x latency instead of straggler_slowdown x; both
+    /// trips are charged honestly (kv_hedged_trips, kv_hedge_wins).
+    /// Needs replication > 1 to have a replica to hedge to.
+    bool hedge_lookups = false;
   };
   FaultConfig faults;
   /// The frontier engine (common/frontier.h): how frontier-shaped cores
@@ -284,14 +329,30 @@ class Cluster {
     placement.capacity = capacity;
     placement.affinity_block = config_.affinity_block;
     placement.replication = config_.faults.replication;
+    if (config_.faults.domain_aware_placement &&
+        config_.faults.machines_per_domain > 1) {
+      placement.machines_per_domain = config_.faults.machines_per_domain;
+    }
     return placement;
+  }
+
+  /// The machine currently *hosting* base shard `shard`. Identity until
+  /// a proactive drain migrates a marked machine's shards to new owners
+  /// (DrainMachine); from then on work items and server-side charges of
+  /// a migrated shard follow its new host while the base-shard-indexed
+  /// slot tables of every live store keep serving unchanged. Mutated
+  /// only between rounds (same discipline as the tuner's retired
+  /// placements), read concurrently by workers.
+  int HostOf(int shard) const {
+    return shard_hosts_.empty() ? shard : shard_hosts_[shard];
   }
 
   /// The machine that owns key/item `key` in a key space of `capacity`
   /// keys. The machine running item v is the machine whose shard holds
-  /// record v of any store made by MakeStore(capacity).
+  /// record v of any store made by MakeStore(capacity) — after a drain
+  /// migration, that is the shard's new host.
   int MachineOf(uint64_t key, int64_t capacity) const {
-    return PlacementFor(capacity).ShardOf(key);
+    return HostOf(PlacementFor(capacity).ShardOf(key));
   }
 
   /// Capacity-oblivious convenience for the policies that do not need
@@ -300,7 +361,7 @@ class Cluster {
   int MachineOf(uint64_t key) const {
     AMPC_CHECK(config_.placement_policy != kv::PlacementPolicy::kRange)
         << "range placement needs MachineOf(key, capacity)";
-    return PlacementFor(0).ShardOf(key);
+    return HostOf(PlacementFor(0).ShardOf(key));
   }
 
   /// Creates a DHT store for keys [0, capacity) sharded across this
@@ -526,6 +587,43 @@ class Cluster {
   /// exact replay-vs-restart arithmetic against round_log().
   void InjectMachineFailure(int machine);
 
+  /// Kills every machine of fault domain `domain` at the current
+  /// simulated time — a correlated rack loss, with all members dead
+  /// simultaneously, so recovery sees replica wipeouts exactly as an
+  /// injected domain kill would. The deterministic hook the
+  /// domain-aware-vs-naive placement tests pin against.
+  void InjectDomainFailure(int domain);
+
+  /// Proactively drains machine `machine` as if the injector had warned
+  /// it: every shard it hosts migrates to its least-loaded live replica
+  /// (fresh least-loaded owner at replication 1) at shuffle bandwidth
+  /// on the sim clock ("sim:drain", kv_migration_bytes), the machine's
+  /// query caches are dropped (a migrated shard can never serve a stale
+  /// epoch from the old owner), and the shard map is hot-swapped so
+  /// subsequent rounds route the shard's work and server charges to the
+  /// new host. A later kill of a drained machine costs nothing — that
+  /// is the whole point of the warning. Idempotent until the kill
+  /// lands.
+  void DrainMachine(int machine);
+
+  /// Straggler model (ClusterConfig::faults.slow_machine_rate): whether
+  /// any destination can be slow this run, and whether `machine` is
+  /// slow during the currently accumulating round.
+  bool stragglers_enabled() const { return straggler_.enabled(); }
+  bool DestinationSlow(int machine) const {
+    return straggler_.Slow(static_cast<int64_t>(round_log_.size()), machine);
+  }
+
+  /// Hedged lookups (ClusterConfig::faults.hedge_lookups), and the
+  /// machine a hedged re-issue of shard `shard`'s window goes to: the
+  /// current host of the shard's first follower, or -1 when the shard
+  /// has no replica to hedge to.
+  bool hedging_enabled() const { return config_.faults.hedge_lookups; }
+  int HedgeHostOf(int shard) const {
+    if (hedge_follower_.empty() || hedge_follower_[shard] < 0) return -1;
+    return HostOf(hedge_follower_[shard]);
+  }
+
   /// The AutoTuner driving this cluster's knobs, or nullptr when
   /// config.auto_tune.enabled is false. Read-only: the cluster owns the
   /// observe/apply cycle.
@@ -582,6 +680,16 @@ class Cluster {
     // of each global step).
     std::atomic<int64_t> pull_bytes{0};
     std::atomic<int64_t> pull_steps{0};
+    // Straggler/hedging accounting, charged to the *client* machine
+    // (integer trip counts, converted to extra latency once at settle —
+    // never accumulated as doubles, so the cost model stays
+    // bit-deterministic across thread interleavings): trips that hit a
+    // slow destination this round, the subset re-issued to a replica
+    // after the hedge timeout, and the subset the hedge won (replica
+    // answered first).
+    std::atomic<int64_t> kv_slow_trips{0};
+    std::atomic<int64_t> kv_hedged_trips{0};
+    std::atomic<int64_t> kv_hedge_wins{0};
   };
 
   // Marks a map phase as a pull round (RunPullPhase) for the settle:
@@ -662,8 +770,16 @@ class Cluster {
   // Recovers one machine loss and charges it: the recovery extends the
   // interrupted round (charged under the "sim:recovery" phase) and the
   // injector is advanced past the recovery interval afterwards (a
-  // freshly scheduled machine does the recovering).
-  void RecoverFromKill(const FaultEvent& kill);
+  // freshly scheduled machine does the recovering). `dead` marks every
+  // machine down at the same instant (the kill's whole correlated
+  // group, or just the machine for an independent kill): replicated
+  // recovery streams from a replica only if each hosted shard still has
+  // a copy on a live machine — a rack loss that beat the whole
+  // ReplicaSet is a replica_wipeout and falls back to checkpoint
+  // restore or whole-job replay. A drained machine's kill short-
+  // circuits to zero cost.
+  void RecoverFromKill(const FaultEvent& kill,
+                       const std::vector<uint8_t>& dead);
 
   // Checkpoints every machine's KV-byte delta since the last checkpoint
   // as one costly round.
@@ -718,6 +834,21 @@ class Cluster {
   FaultInjector fault_injector_;
   double sim_clock_ = 0.0;
   double last_round_start_ = 0.0;
+  // Proactive-drain state. shard_hosts_[s] is the machine hosting base
+  // shard s (identity until a drain migrates it; see HostOf);
+  // drained_[m] marks a warned machine whose shards have been migrated
+  // away and whose announced kill is still pending (cleared when it
+  // lands — the kill then costs nothing); shard_primary_bytes_[s]
+  // tracks the primary wire bytes resident on base shard s (the bytes
+  // a drain migration must move). All mutated only between rounds.
+  std::vector<int> shard_hosts_;
+  std::vector<uint8_t> drained_;
+  std::vector<int64_t> shard_primary_bytes_;
+  // Straggler model and the hedge target table: hedge_follower_[s] is
+  // shard s's first follower under the run's replica placement (-1 at
+  // replication 1 — nothing to hedge to).
+  StragglerModel straggler_;
+  std::vector<int> hedge_follower_;
   // Per-machine KV bytes captured by the last checkpoint, the matching
   // clock/round positions, and the registry recovery uses to cold-start
   // a replaced machine's caches. The registry is mutable because
@@ -811,7 +942,9 @@ class MachineContext {
         return *hit;
       }
     }
+    const int shard = store.ShardOf(key);
     counters_->kv_lookup_trips.fetch_add(1, std::memory_order_relaxed);
+    NoteTrips(shard, 1);
     // A scalar miss momentarily holds one key in flight on top of any
     // open tickets.
     peak_inflight_keys_ = std::max(peak_inflight_keys_, inflight_keys_ + 1);
@@ -819,7 +952,10 @@ class MachineContext {
     const int64_t bytes =
         value == nullptr ? kv::kKeyBytes : kv::kKeyBytes + kv::KvByteSize(*value);
     counters_->kv_read_bytes.fetch_add(bytes, std::memory_order_relaxed);
-    Cluster::PhaseCounters& server = (*all_counters_)[store.ShardOf(key)];
+    // Served by whichever machine currently hosts the shard (the shard's
+    // new owner after a drain migration).
+    Cluster::PhaseCounters& server =
+        (*all_counters_)[cluster_->HostOf(shard)];
     server.kv_served_bytes.fetch_add(bytes, std::memory_order_relaxed);
     if (cache != nullptr) {
       CountCacheMiss();
@@ -883,9 +1019,13 @@ class MachineContext {
       }
       ++sub_misses;
       ticket.result.bytes += bytes;
-      (*all_counters_)[shard].kv_served_bytes.fetch_add(
+      (*all_counters_)[cluster_->HostOf(shard)].kv_served_bytes.fetch_add(
           bytes, std::memory_order_relaxed);
       if (cache != nullptr) cache->Put(key, epoch, value);
+      // The scalar (unbatched) client pays its per-miss trip to this
+      // destination now, so its straggler exposure is noted per miss;
+      // the batched client's trips settle at pipeline drain instead.
+      if (!batching) NoteTrips(shard, 1);
       ticket.result.values.push_back(value);
     }
     // Reset only the destinations this window touched (the flags array
@@ -1030,8 +1170,8 @@ class MachineContext {
                                 ? kv::kKeyBytes
                                 : kv::kKeyBytes + kv::KvByteSize(*value);
       result.bytes += bytes;
-      (*all_counters_)[store.ShardOf(key)].kv_served_bytes.fetch_add(
-          bytes, std::memory_order_relaxed);
+      (*all_counters_)[cluster_->HostOf(store.ShardOf(key))]
+          .kv_served_bytes.fetch_add(bytes, std::memory_order_relaxed);
     }
     counters_->kv_queries.fetch_add(static_cast<int64_t>(keys.size()),
                                     std::memory_order_relaxed);
@@ -1090,6 +1230,28 @@ class MachineContext {
         << "store placement disagrees with the cluster (use MakeStore)";
   }
 
+  // Straggler/hedging bookkeeping for `trips` round trips bound for
+  // shard `shard` (sim/faults.h StragglerModel): if the shard's hosting
+  // machine is slow this round the trips are noted as slow; with
+  // hedging on, each is re-issued to the shard's replica host after the
+  // one-latency timeout and counts as hedged, winning when the replica
+  // is not itself slow. Pure counter bumps — the settle converts them
+  // to extra latency once, so the charge stays bit-deterministic across
+  // thread schedules. No-op (one predictable branch) at rate 0.
+  void NoteTrips(int shard, int64_t trips) {
+    if (!cluster_->stragglers_enabled() || trips == 0) return;
+    const int host = cluster_->HostOf(shard);
+    if (!cluster_->DestinationSlow(host)) return;
+    counters_->kv_slow_trips.fetch_add(trips, std::memory_order_relaxed);
+    if (!cluster_->hedging_enabled()) return;
+    const int hedge = cluster_->HedgeHostOf(shard);
+    if (hedge < 0 || hedge == host) return;
+    counters_->kv_hedged_trips.fetch_add(trips, std::memory_order_relaxed);
+    if (!cluster_->DestinationSlow(hedge)) {
+      counters_->kv_hedge_wins.fetch_add(trips, std::memory_order_relaxed);
+    }
+  }
+
   static void AtomicMaxRelaxed(std::atomic<int64_t>& target, int64_t value) {
     int64_t seen = target.load(std::memory_order_relaxed);
     while (value > seen &&
@@ -1110,7 +1272,9 @@ class MachineContext {
     for (const int shard : touched_pipeline_destinations_) {
       const int64_t windows = pipeline_window_counts_[shard];
       pipeline_window_counts_[shard] = 0;
-      trips += (windows + depth - 1) / depth;
+      const int64_t shard_trips = (windows + depth - 1) / depth;
+      trips += shard_trips;
+      NoteTrips(shard, shard_trips);
     }
     touched_pipeline_destinations_.clear();
     if (trips != 0) {

@@ -188,23 +188,52 @@ PreemptionTrialStats SimulatePreemptions(
 
 FaultInjector::FaultInjector(double rate_per_machine_sec, int machines,
                              uint64_t seed)
-    : rate_(rate_per_machine_sec) {
-  AMPC_CHECK_GE(rate_per_machine_sec, 0.0);
-  AMPC_CHECK_GE(machines, 1);
-  if (rate_ <= 0.0) return;
-  rng_.reserve(machines);
-  next_arrival_.reserve(machines);
-  for (int m = 0; m < machines; ++m) {
-    // One stream per machine, seeded by (machine, seed) alone: the
-    // schedule is independent of everything else the job does.
-    rng_.emplace_back(Hash64(static_cast<uint64_t>(m),
-                             seed ^ 0x696e6a656374ULL));
-    next_arrival_.push_back(NextGap(m));
+    : FaultInjector(Config{rate_per_machine_sec, machines, seed}) {}
+
+FaultInjector::FaultInjector(const Config& config) {
+  AMPC_CHECK_GE(config.rate_per_machine_sec, 0.0);
+  AMPC_CHECK_GE(config.domain_fault_rate_sec, 0.0);
+  AMPC_CHECK_GE(config.warning_lead_sec, 0.0);
+  AMPC_CHECK_GE(config.machines, 1);
+  rate_ = config.rate_per_machine_sec;
+  domain_rate_ = config.domain_fault_rate_sec;
+  machines_per_domain_ = config.machines_per_domain;
+  machines_ = config.machines;
+  warning_lead_ = config.warning_lead_sec;
+  if (rate_ > 0.0) {
+    rng_.reserve(machines_);
+    next_arrival_.reserve(machines_);
+    for (int m = 0; m < machines_; ++m) {
+      // One stream per machine, seeded by (machine, seed) alone: the
+      // schedule is independent of everything else the job does.
+      rng_.emplace_back(Hash64(static_cast<uint64_t>(m),
+                               config.seed ^ 0x696e6a656374ULL));
+      next_arrival_.push_back(NextGap(m));
+    }
+    machine_warned_.assign(machines_, 0);
+  }
+  if (domain_rate_ > 0.0) {
+    const int per = std::max(1, machines_per_domain_);
+    const int domains = (machines_ + per - 1) / per;
+    domain_rng_.reserve(domains);
+    domain_next_arrival_.reserve(domains);
+    for (int d = 0; d < domains; ++d) {
+      // One stream per rack-level domain, seeded by (domain, seed)
+      // alone — same purity contract as the machine streams.
+      domain_rng_.emplace_back(Hash64(static_cast<uint64_t>(d),
+                                      config.seed ^ 0x646f6d61696eULL));
+      domain_next_arrival_.push_back(NextDomainGap(d));
+    }
+    domain_warned_.assign(domains, 0);
   }
 }
 
 double FaultInjector::NextGap(int machine) {
   return -std::log(1.0 - rng_[machine].NextDouble()) / rate_;
+}
+
+double FaultInjector::NextDomainGap(int domain) {
+  return -std::log(1.0 - domain_rng_[domain].NextDouble()) / domain_rate_;
 }
 
 std::vector<FaultEvent> FaultInjector::AdvanceTo(double t) {
@@ -214,17 +243,56 @@ std::vector<FaultEvent> FaultInjector::AdvanceTo(double t) {
     return events;
   }
   AMPC_CHECK_GE(t, now_);
+  // Warnings look ahead of the kill horizon: an arrival at time A is
+  // announced once its warning instant A - lead has been reached, i.e.
+  // once A <= t + lead. A warning drawn with its instant already in the
+  // past (lead longer than the gap since the last harvest) is clamped
+  // into [now, t] — late notice beats none.
+  const double warn_horizon = t + warning_lead_;
   for (int m = 0; m < static_cast<int>(next_arrival_.size()); ++m) {
     // The replacement machine inherits the same arrival stream, so one
     // interval can kill the same slot repeatedly.
-    while (next_arrival_[m] <= t) {
-      events.push_back(FaultEvent{next_arrival_[m], m});
+    for (;;) {
+      if (warning_lead_ > 0.0 && !machine_warned_[m] &&
+          next_arrival_[m] <= warn_horizon) {
+        const double when =
+            std::clamp(next_arrival_[m] - warning_lead_, now_, t);
+        events.push_back(FaultEvent{when, m, -1, true});
+        machine_warned_[m] = 1;
+      }
+      if (next_arrival_[m] > t) break;
+      events.push_back(FaultEvent{next_arrival_[m], m, -1, false});
       next_arrival_[m] += NextGap(m);
+      machine_warned_[m] = 0;
+    }
+  }
+  const int per = std::max(1, machines_per_domain_);
+  for (int d = 0; d < static_cast<int>(domain_next_arrival_.size()); ++d) {
+    const int lo = d * per;
+    const int hi = std::min(machines_, lo + per);
+    for (;;) {
+      if (warning_lead_ > 0.0 && !domain_warned_[d] &&
+          domain_next_arrival_[d] <= warn_horizon) {
+        const double when =
+            std::clamp(domain_next_arrival_[d] - warning_lead_, now_, t);
+        for (int m = lo; m < hi; ++m) {
+          events.push_back(FaultEvent{when, m, d, true});
+        }
+        domain_warned_[d] = 1;
+      }
+      if (domain_next_arrival_[d] > t) break;
+      for (int m = lo; m < hi; ++m) {
+        events.push_back(FaultEvent{domain_next_arrival_[d], m, d, false});
+      }
+      domain_next_arrival_[d] += NextDomainGap(d);
+      domain_warned_[d] = 0;
     }
   }
   std::sort(events.begin(), events.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
               if (a.time != b.time) return a.time < b.time;
+              if (a.warning != b.warning) return a.warning;  // warnings first
+              if (a.domain != b.domain) return a.domain < b.domain;
               return a.machine < b.machine;
             });
   now_ = t;
@@ -239,8 +307,19 @@ void FaultInjector::SkipTo(double t) {
   AMPC_CHECK_GE(t, now_);
   for (int m = 0; m < static_cast<int>(next_arrival_.size()); ++m) {
     // Memoryless: restarting the exponential clock at t is the same
-    // distribution as conditioning on no arrival in (now, t].
+    // distribution as conditioning on no arrival in (now, t]. A
+    // *warned* arrival is exempt: the preemption was announced, so it
+    // is committed — it rides through the skipped interval and lands on
+    // the next AdvanceTo, keeping every warning paired with exactly one
+    // kill.
+    if (!machine_warned_.empty() && machine_warned_[m]) continue;
     while (next_arrival_[m] <= t) next_arrival_[m] = t + NextGap(m);
+  }
+  for (int d = 0; d < static_cast<int>(domain_next_arrival_.size()); ++d) {
+    if (!domain_warned_.empty() && domain_warned_[d]) continue;
+    while (domain_next_arrival_[d] <= t) {
+      domain_next_arrival_[d] = t + NextDomainGap(d);
+    }
   }
   now_ = t;
 }

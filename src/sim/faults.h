@@ -132,11 +132,23 @@ PreemptionTrialStats SimulatePreemptions(
     const std::vector<double>& per_machine_rates,
     RecoveryDiscipline discipline, int trials, uint64_t seed);
 
-/// One injected machine loss: machine `machine` is preempted at
-/// simulated time `time` (absolute, on the cluster's sim clock).
+/// One injected fault-stream event on the cluster's sim clock.
+///
+///   * A *kill* (warning == false): machine `machine` is preempted at
+///     absolute simulated time `time`. `domain >= 0` marks it part of a
+///     correlated domain loss — every machine of that rack-level fault
+///     domain dies at the same instant, and the events of one domain
+///     kill share (time, domain).
+///   * A *warning* (warning == true): advance notice, emitted
+///     `warning_lead_sec` ahead of the kill it announces (same machine,
+///     same domain). The cluster reacts by draining the machine —
+///     migrating its shards away — so the kill, when it lands, loses
+///     nothing.
 struct FaultEvent {
   double time = 0.0;
   int machine = 0;
+  int domain = -1;
+  bool warning = false;
 };
 
 /// A seeded, deterministic source of injected machine failures: each
@@ -156,18 +168,58 @@ struct FaultEvent {
 /// tests rely on.
 class FaultInjector {
  public:
+  /// Full injector shape: independent per-machine kills, correlated
+  /// rack-level domain kills, and advance warnings.
+  struct Config {
+    /// Independent Poisson kill rate per machine-second. 0 disables the
+    /// per-machine streams.
+    double rate_per_machine_sec = 0.0;
+    int machines = 1;
+    uint64_t seed = 42;
+    /// Rack-level fault-domain topology: machine m belongs to domain
+    /// m / machines_per_domain. <= 1 means every machine is its own
+    /// domain and the correlated streams are off.
+    int machines_per_domain = 0;
+    /// Poisson rate per domain-second of correlated domain kills: one
+    /// arrival takes out *every* machine of the domain at the same
+    /// instant (a rack/switch loss). 0 disables the domain streams.
+    double domain_fault_rate_sec = 0.0;
+    /// Seconds of advance notice before each kill. > 0 makes every
+    /// kill (machine or domain) emit a warning event `warning_lead_sec`
+    /// earlier; 0 means kills arrive unannounced.
+    double warning_lead_sec = 0.0;
+  };
+
   /// Disabled injector (rate 0): AdvanceTo never yields events.
   FaultInjector() = default;
 
+  /// Independent-kills-only injector, the historical shape.
   FaultInjector(double rate_per_machine_sec, int machines, uint64_t seed);
 
-  bool enabled() const { return rate_ > 0.0 && !next_arrival_.empty(); }
+  explicit FaultInjector(const Config& config);
+
+  bool enabled() const {
+    return (rate_ > 0.0 && !next_arrival_.empty()) ||
+           (domain_rate_ > 0.0 && !domain_next_arrival_.empty());
+  }
   double now() const { return now_; }
 
-  /// The kills in (now(), t], sorted by time (ties broken by machine
-  /// id), advancing the clock to `t`. A machine killed twice within the
-  /// interval appears twice: it respawned after the first kill and the
-  /// replacement was preempted again.
+  /// Fault domain of machine `m` under this injector's topology.
+  int DomainOf(int machine) const {
+    return machines_per_domain_ > 1 ? machine / machines_per_domain_
+                                    : machine;
+  }
+
+  /// The events in (now(), t], sorted by time (warnings before kills at
+  /// a tie, then domain, then machine id), advancing the clock to `t`.
+  /// A machine killed twice within the interval appears twice: it
+  /// respawned after the first kill and the replacement was preempted
+  /// again. With warning_lead_sec > 0, the warning of a kill landing in
+  /// (t, t + lead] is emitted *this* call (its warning time is <= t)
+  /// even though the kill itself is still pending — that is the whole
+  /// point of a warning — and each pending kill is warned exactly once.
+  /// A domain kill yields one warning and one kill per member machine,
+  /// all sharing (time, domain).
   std::vector<FaultEvent> AdvanceTo(double t);
 
   /// Advances the clock to `t` treating (now(), t] as failure-free —
@@ -175,16 +227,62 @@ class FaultInjector {
   /// scheduled machines. Arrivals that would have landed inside the
   /// skipped interval are redrawn from `t` (exponentials are
   /// memoryless, so this stays distributionally exact and
-  /// deterministic).
+  /// deterministic). Exception: an arrival whose *warning* already
+  /// fired is committed — it is never redrawn, so every warning is
+  /// followed by exactly one kill even when drain or recovery time
+  /// pushes the clock past it.
   void SkipTo(double t);
 
  private:
   double NextGap(int machine);
+  double NextDomainGap(int domain);
 
   double rate_ = 0.0;
   double now_ = 0.0;
   std::vector<double> next_arrival_;
   std::vector<Rng> rng_;
+  // Correlated domain-kill streams: one exponential arrival stream per
+  // fault domain, seeded by (domain, seed) alone — like the machine
+  // streams, a pure function of the seed, independent of round shapes.
+  double domain_rate_ = 0.0;
+  int machines_per_domain_ = 0;
+  int machines_ = 0;
+  std::vector<double> domain_next_arrival_;
+  std::vector<Rng> domain_rng_;
+  // Advance-warning state: whether the *current* next arrival of each
+  // stream has already been announced (reset when the arrival fires or
+  // is redrawn).
+  double warning_lead_ = 0.0;
+  std::vector<uint8_t> machine_warned_;
+  std::vector<uint8_t> domain_warned_;
+};
+
+/// A seeded model of per-round stragglers: in any given round, each
+/// destination machine is independently "slow" with probability
+/// `slow_rate` — its lookup round trips take `slowdown` times the
+/// normal latency (a GC pause, a noisy neighbour, a flaky NIC; the
+/// tail that dominates max-over-machines round time in Behnezhad et
+/// al.'s connectivity work). Pure function of (seed, round, machine):
+/// deterministic across thread schedules, independent of everything
+/// the job does, and value-neutral — sim::Cluster charges the slowdown
+/// through the cost model only. slow_rate 0 reproduces the historical
+/// cost model bit-identically.
+struct StragglerModel {
+  double slow_rate = 0.0;
+  double slowdown = 4.0;
+  uint64_t seed = 0;
+
+  bool enabled() const { return slow_rate > 0.0; }
+
+  /// Whether `machine` is slow during round index `round`.
+  bool Slow(int64_t round, int machine) const {
+    if (slow_rate <= 0.0) return false;
+    const uint64_t h =
+        Hash64(HashCombine(static_cast<uint64_t>(round),
+                           static_cast<uint64_t>(machine)),
+               seed ^ 0x736c6f776d63ULL);
+    return ToUnitDouble(h) < slow_rate;
+  }
 };
 
 }  // namespace ampc::sim

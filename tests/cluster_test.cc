@@ -1129,6 +1129,13 @@ TEST(ClusterTest, DefaultFaultConfigDoesNotDriftTheCostModel) {
       config.faults.replication = 1;
       config.faults.checkpoint_period_sec = 0.0;
       config.faults.fault_seed = 12345;  // unused at rate 0
+      config.faults.machines_per_domain = 0;
+      config.faults.domain_fault_rate_sec = 0.0;
+      config.faults.domain_aware_placement = true;
+      config.faults.warning_lead_sec = 0.0;
+      config.faults.slow_machine_rate = 0.0;
+      config.faults.straggler_slowdown = 4.0;  // unused at rate 0
+      config.faults.hedge_lookups = false;
     }
     Cluster cluster(config);
     kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(2000);
@@ -1152,6 +1159,11 @@ TEST(ClusterTest, DefaultFaultConfigDoesNotDriftTheCostModel) {
   EXPECT_EQ(a.counters.count("machines_lost"), 0u);
   EXPECT_EQ(a.counters.count("kv_replication_bytes"), 0u);
   EXPECT_EQ(a.counters.count("checkpoints"), 0u);
+  EXPECT_EQ(a.counters.count("domains_lost"), 0u);
+  EXPECT_EQ(a.counters.count("machines_drained"), 0u);
+  EXPECT_EQ(a.counters.count("shards_migrated"), 0u);
+  EXPECT_EQ(a.counters.count("kv_slow_trips"), 0u);
+  EXPECT_EQ(a.counters.count("kv_hedged_trips"), 0u);
 }
 
 TEST(ClusterTest, SimClockTracksTheSimTotalTimer) {
@@ -1192,6 +1204,148 @@ TEST(ClusterTest, InjectedFailureDropsTheMachinesQueryCaches) {
   EXPECT_EQ(store.QueryCacheFor(victim)->size(), 0);  // cold replacement
   // The surviving machine's cache is untouched.
   EXPECT_GT(store.QueryCacheFor(1 - victim)->size(), 0);
+}
+
+TEST(ClusterTest, DrainMigratesShardsAndAbsorbsTheWarnedKill) {
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.threads_per_machine = 1;
+  Cluster cluster(config);  // replication 1: the full-re-stream case
+  const int64_t n = 400;
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+  cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k; });
+
+  const int victim = 2;
+  const int64_t victim_bytes = store.ShardBytes(victim);
+  ASSERT_GT(victim_bytes, 0);
+  cluster.DrainMachine(victim);
+
+  // The migration arithmetic: one shard moved, its resident bytes
+  // re-streamed at shuffle bandwidth on the sim clock.
+  EXPECT_EQ(cluster.metrics().Get("machines_drained"), 1);
+  EXPECT_EQ(cluster.metrics().Get("shards_migrated"), 1);
+  EXPECT_EQ(cluster.metrics().Get("kv_migration_bytes"), victim_bytes);
+  EXPECT_NEAR(cluster.metrics().GetTime("sim:drain"),
+              static_cast<double>(victim_bytes) / config.shuffle_bytes_per_sec,
+              1e-8);
+  // The shard map hot-swapped mid-job: work and server charges for the
+  // victim's shard now follow the new host; the drained machine hosts
+  // nothing and its resident bytes moved with the shard.
+  const int new_host = cluster.HostOf(victim);
+  EXPECT_NE(new_host, victim);
+  EXPECT_EQ(cluster.machine_kv_write_bytes()[victim], 0);
+  for (uint64_t key = 0; key < static_cast<uint64_t>(n); ++key) {
+    if (store.ShardOf(key) == victim) {
+      EXPECT_EQ(cluster.MachineOf(key, n), new_host);
+    }
+  }
+
+  // The payoff: the announced kill lands on a machine holding nothing
+  // and replays nothing — against the whole-job restart an unwarned
+  // kill would cost at replication 1.
+  const double before = cluster.SimSeconds();
+  cluster.InjectMachineFailure(victim);
+  EXPECT_EQ(cluster.metrics().Get("machines_lost"), 1);
+  EXPECT_DOUBLE_EQ(cluster.SimSeconds(), before);
+  EXPECT_DOUBLE_EQ(cluster.metrics().GetTime("sim:recovery"), 0.0);
+  // The drain is one-shot: the machine rejoined empty, and a second,
+  // unwarned kill pays the normal reactive price.
+  cluster.InjectMachineFailure(victim);
+  EXPECT_GT(cluster.SimSeconds(), before);
+  EXPECT_GT(cluster.metrics().GetTime("sim:recovery"), 0.0);
+}
+
+TEST(ClusterTest, DrainDropsTheSourceMachinesQueryCaches) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  Cluster cluster(config);
+  const int64_t n = 64;
+  kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(n);
+  cluster.RunKvWritePhase("w", store, n, [](int64_t k) { return k; });
+  // Warm both machines' read-through caches on a hot key.
+  cluster.RunMapPhase("r", n, [&](int64_t, MachineContext& ctx) {
+    ctx.Lookup(store, 3);
+  });
+  const int victim = 1 - store.ShardOf(3);  // the machine caching remotely
+  ASSERT_GT(store.QueryCacheFor(victim)->size(), 0);
+
+  cluster.DrainMachine(victim);
+  // The drained machine's cached results leave with it; the shard's new
+  // host starts cold. The surviving machine's cache is untouched.
+  EXPECT_EQ(store.QueryCacheFor(victim)->size(), 0);
+  EXPECT_GT(store.QueryCacheFor(1 - victim)->size(), 0);
+}
+
+TEST(ClusterTest, DomainFailureWipesNaiveReplicasButNotDomainAware) {
+  // One rack kill at replication 2: domain-oblivious chained
+  // declustering can hold both copies of a shard inside the dead
+  // domain (a wiped ReplicaSet, whole-job fallback); domain-aware
+  // placement never can.
+  auto run = [](bool aware) {
+    ClusterConfig config;
+    config.num_machines = 4;
+    config.threads_per_machine = 1;
+    config.faults.replication = 2;
+    config.faults.machines_per_domain = 2;  // domains {0, 1} and {2, 3}
+    config.faults.domain_aware_placement = aware;
+    Cluster cluster(config);
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(400);
+    cluster.RunKvWritePhase("w", store, 400, [](int64_t k) { return k; });
+    if (aware) {
+      for (int s = 0; s < store.num_shards(); ++s) {
+        EXPECT_TRUE(store.ReplicasOfShard(s).SpansDomains(
+            2, config.num_machines))
+            << "shard " << s;
+      }
+    }
+    cluster.InjectDomainFailure(0);
+    EXPECT_EQ(cluster.metrics().Get("domains_lost"), 1);
+    EXPECT_EQ(cluster.metrics().Get("machines_lost"), 2);
+    return cluster.metrics().Get("replica_wipeouts");
+  };
+  EXPECT_GT(run(/*aware=*/false), 0);
+  EXPECT_EQ(run(/*aware=*/true), 0);
+}
+
+TEST(ClusterTest, HedgingRecoversStragglerTrips) {
+  // A quarter of (round, machine) pairs run lookups 4x slow. Without
+  // hedging the client waits out every slow destination; with it, the
+  // re-issued trip to the shard's replica wins whenever the replica's
+  // host is not itself slow that round — strictly cheaper, same
+  // answers, and both trips charged.
+  struct Outcome {
+    double sim_sec;
+    int64_t slow, hedged, wins;
+  };
+  auto run = [](bool hedge) {
+    ClusterConfig config;
+    config.num_machines = 4;
+    config.threads_per_machine = 1;
+    config.faults.replication = 2;
+    config.faults.slow_machine_rate = 0.25;
+    config.faults.hedge_lookups = hedge;
+    Cluster cluster(config);
+    kv::ShardedStore<int64_t> store = cluster.MakeStore<int64_t>(400);
+    cluster.RunKvWritePhase("w", store, 400, [](int64_t k) { return k; });
+    for (int round = 0; round < 8; ++round) {
+      cluster.RunMapPhase("r", 400, [&](int64_t item, MachineContext& ctx) {
+        EXPECT_NE(ctx.Lookup(store, static_cast<uint64_t>((item * 31) % 400)),
+                  nullptr);
+      });
+    }
+    return Outcome{cluster.SimSeconds(),
+                   cluster.metrics().Get("kv_slow_trips"),
+                   cluster.metrics().Get("kv_hedged_trips"),
+                   cluster.metrics().Get("kv_hedge_wins")};
+  };
+  const Outcome waited = run(false);
+  const Outcome hedged = run(true);
+  EXPECT_GT(waited.slow, 0);
+  EXPECT_EQ(waited.hedged, 0);
+  EXPECT_GT(hedged.hedged, 0);
+  EXPECT_GT(hedged.wins, 0);
+  EXPECT_LT(hedged.sim_sec, waited.sim_sec);
 }
 
 }  // namespace

@@ -379,6 +379,179 @@ TEST(FaultsTest, DisabledInjectorNeverFires) {
   EXPECT_TRUE(zero.AdvanceTo(1e9).empty());
 }
 
+// --- Warnings, fault domains, stragglers ----------------------------
+
+TEST(FaultsTest, WarningsLeadTheirKillsByExactlyTheLead) {
+  FaultInjector::Config config;
+  config.rate_per_machine_sec = 0.4;
+  config.machines = 4;
+  config.seed = 11;
+  config.warning_lead_sec = 0.25;
+  FaultInjector injector(config);
+  const std::vector<FaultEvent> events = injector.AdvanceTo(40.0);
+  int kills = 0, warnings = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].warning) {
+      ++warnings;
+      continue;
+    }
+    ++kills;
+    // Every kill was announced by exactly one earlier warning for the
+    // same machine, warning_lead seconds ahead (clamped to the window
+    // start for arrivals inside the very first lead interval).
+    const double expected_warning =
+        std::max(0.0, events[i].time - config.warning_lead_sec);
+    int announcements = 0;
+    for (size_t j = 0; j < i; ++j) {
+      if (events[j].warning && events[j].machine == events[i].machine &&
+          std::abs(events[j].time - expected_warning) < 1e-9) {
+        ++announcements;
+      }
+    }
+    EXPECT_EQ(announcements, 1)
+        << "kill of machine " << events[i].machine << " at "
+        << events[i].time;
+  }
+  EXPECT_GT(kills, 0);
+  // Warnings can outnumber kills: the last lead interval announces
+  // arrivals landing beyond the window.
+  EXPECT_GE(warnings, kills);
+}
+
+TEST(FaultsTest, WarningWindowingDoesNotChangeTheSchedule) {
+  // Warnings, like kills, are a property of the streams: harvesting in
+  // many small windows announces each arrival at the same instant as
+  // one big window (the clamp can only bite in the window the arrival's
+  // lead interval actually starts in).
+  FaultInjector::Config config;
+  config.rate_per_machine_sec = 0.3;
+  config.machines = 3;
+  config.seed = 7;
+  config.warning_lead_sec = 0.4;
+  FaultInjector whole(config);
+  const std::vector<FaultEvent> all = whole.AdvanceTo(30.0);
+  FaultInjector windowed(config);
+  std::vector<FaultEvent> stitched;
+  for (double t = 1.0; t <= 30.0; t += 1.0) {
+    const std::vector<FaultEvent> window = windowed.AdvanceTo(t);
+    stitched.insert(stitched.end(), window.begin(), window.end());
+  }
+  ASSERT_EQ(stitched.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_NEAR(stitched[i].time, all[i].time, 1e-9);
+    EXPECT_EQ(stitched[i].machine, all[i].machine);
+    EXPECT_EQ(stitched[i].warning, all[i].warning);
+  }
+}
+
+TEST(FaultsTest, DomainKillsTakeWholeRacksAtOnce) {
+  FaultInjector::Config config;
+  config.machines = 10;
+  config.machines_per_domain = 4;  // domains {0-3}, {4-7}, {8, 9}
+  config.domain_fault_rate_sec = 0.2;
+  config.seed = 9;
+  FaultInjector injector(config);
+  EXPECT_TRUE(injector.enabled());
+  const std::vector<FaultEvent> events = injector.AdvanceTo(30.0);
+  EXPECT_FALSE(events.empty());
+  // Every event belongs to a contiguous group covering its whole
+  // domain — one kill per member machine, all at the same instant,
+  // including the ragged last domain of two machines.
+  for (size_t i = 0; i < events.size();) {
+    const FaultEvent& head = events[i];
+    EXPECT_FALSE(head.warning);
+    ASSERT_GE(head.domain, 0);
+    const int lo = head.domain * config.machines_per_domain;
+    const int hi = std::min(config.machines, lo + config.machines_per_domain);
+    for (int m = lo; m < hi; ++m, ++i) {
+      ASSERT_LT(i, events.size());
+      EXPECT_EQ(events[i].machine, m);
+      EXPECT_EQ(events[i].domain, head.domain);
+      EXPECT_DOUBLE_EQ(events[i].time, head.time);
+    }
+  }
+  // Deterministic in the seed, like the per-machine streams.
+  FaultInjector twin(config);
+  const std::vector<FaultEvent> again = twin.AdvanceTo(30.0);
+  ASSERT_EQ(again.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again[i].time, events[i].time);
+    EXPECT_EQ(again[i].machine, events[i].machine);
+    EXPECT_EQ(again[i].domain, events[i].domain);
+  }
+}
+
+TEST(FaultsTest, SkipToCommitsWarnedArrivals) {
+  // A warned arrival is committed: skipping the clock past it (drain
+  // and recovery intervals are failure-free) must not redraw it — the
+  // cluster drained the machine on the warning and would otherwise
+  // leave it drained forever, waiting for a kill that never comes.
+  FaultInjector::Config config;
+  config.rate_per_machine_sec = 0.5;
+  config.machines = 3;
+  config.seed = 13;
+  config.warning_lead_sec = 5.0;
+  FaultInjector injector(config);
+  // The twin (no lead) shares the per-machine gap streams, so its kill
+  // times are the committed arrivals the warned injector must honor.
+  FaultInjector::Config bare = config;
+  bare.warning_lead_sec = 0.0;
+  FaultInjector twin(bare);
+  const std::vector<FaultEvent> truth = twin.AdvanceTo(100.0);
+  ASSERT_FALSE(truth.empty());
+
+  const std::vector<FaultEvent> early = injector.AdvanceTo(0.1);
+  std::vector<int> warned;
+  for (const FaultEvent& e : early) {
+    ASSERT_TRUE(e.warning);  // lead 5.0 >> window 0.1: no kill yet
+    warned.push_back(e.machine);
+  }
+  ASSERT_FALSE(warned.empty());
+  injector.SkipTo(2.0);
+  const std::vector<FaultEvent> later = injector.AdvanceTo(100.0);
+  for (const int machine : warned) {
+    double committed = -1.0;
+    for (const FaultEvent& e : truth) {
+      if (e.machine == machine) {
+        committed = e.time;
+        break;
+      }
+    }
+    double landed = -1.0;
+    for (const FaultEvent& e : later) {
+      if (!e.warning && e.machine == machine) {
+        landed = e.time;
+        break;
+      }
+    }
+    EXPECT_NEAR(landed, committed, 1e-9) << "machine " << machine;
+  }
+}
+
+TEST(FaultsTest, StragglerModelIsDeterministicAndRateBounded) {
+  StragglerModel model;
+  model.slow_rate = 0.25;
+  model.seed = 7;
+  EXPECT_TRUE(model.enabled());
+  const StragglerModel twin = model;
+  int slow = 0, total = 0;
+  for (int64_t round = 0; round < 64; ++round) {
+    for (int machine = 0; machine < 16; ++machine) {
+      EXPECT_EQ(model.Slow(round, machine), twin.Slow(round, machine));
+      slow += model.Slow(round, machine) ? 1 : 0;
+      ++total;
+    }
+  }
+  // A pure hash of (round, machine, seed): some pairs straggle, most
+  // don't, and the empirical rate tracks the configured one.
+  EXPECT_GT(slow, 0);
+  EXPECT_LT(slow, total);
+  EXPECT_NEAR(static_cast<double>(slow) / total, 0.25, 0.05);
+  StragglerModel off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.Slow(3, 2));
+}
+
 // --- Replay-vs-restart arithmetic on a known kill schedule ----------
 // Cluster::InjectMachineFailure kills a machine at the end of the last
 // charged round, so the recovery charge is a closed-form function of

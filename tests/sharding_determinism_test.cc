@@ -353,6 +353,85 @@ TEST(ShardingDeterminismTest, ChurnCostModelIsDeterministic) {
                    b.metrics().GetTime("sim:recovery"));
 }
 
+// --- Correlated domains, proactive drain, hedging -------------------
+// The degradation layers stack the same way churn does: rack-level
+// domain kills, failure warnings that drain and migrate shards
+// mid-job, straggling destinations, and hedged lookups are all cost
+// events. Outputs stay bit-identical across machine and thread counts
+// under every combination, and the charged cost is itself a pure
+// function of the config.
+
+sim::Cluster MakeDegradeCluster(int machines, int threads,
+                                uint64_t kill_seed, double warning_lead,
+                                bool hedge) {
+  sim::ClusterConfig config;
+  config.num_machines = machines;
+  config.threads_per_machine = threads;
+  config.faults.fault_seed = kill_seed;
+  config.faults.replication = 2;
+  // Per-machine and rack-level kill streams both run: jobs here last
+  // ~0.2-1 simulated second, so these rates land a handful of each.
+  config.faults.fault_rate_per_machine_sec = 1.0;
+  config.faults.machines_per_domain = 2;
+  config.faults.domain_fault_rate_sec = 2.0;
+  config.faults.warning_lead_sec = warning_lead;
+  config.faults.slow_machine_rate = 0.25;
+  config.faults.hedge_lookups = hedge;
+  return sim::Cluster(config);
+}
+
+TEST(ShardingDeterminismTest, MisIdenticalUnderDomainDrainHedgeChurn) {
+  graph::Graph g = graph::BuildGraph(graph::GenerateRmat(9, 3000, 17));
+  sim::Cluster reference = MakeCluster(kShapes[0]);  // fault-free
+  const core::MisResult expected = core::AmpcMis(reference, g, 17);
+  int64_t domain_kills = 0, drains = 0;
+  for (const double warning_lead : {0.0, 0.05}) {
+    for (const bool hedge : {false, true}) {
+      for (const int machines : {4, 8}) {
+        for (const int threads : {1, 4}) {
+          sim::Cluster cluster = MakeDegradeCluster(
+              machines, threads, /*kill_seed=*/7, warning_lead, hedge);
+          EXPECT_EQ(core::AmpcMis(cluster, g, 17).in_mis, expected.in_mis)
+              << machines << " machines, " << threads
+              << " threads, lead " << warning_lead << ", hedge " << hedge;
+          domain_kills += cluster.metrics().Get("domains_lost");
+          drains += cluster.metrics().Get("machines_drained");
+        }
+      }
+    }
+  }
+  // The axis is vacuous unless racks actually died and warned machines
+  // actually drained along the way.
+  EXPECT_GT(domain_kills, 0);
+  EXPECT_GT(drains, 0);
+}
+
+TEST(ShardingDeterminismTest, DegradeCostModelIsDeterministic) {
+  // The full degradation stack — domain kills, drains with live shard
+  // migration, stragglers, hedging — charges the same simulated cost
+  // bit for bit on identical configs, despite real threads underneath.
+  graph::Graph g = graph::BuildGraph(graph::GenerateRmat(9, 3000, 17));
+  sim::Cluster a = MakeDegradeCluster(8, 4, /*kill_seed=*/7,
+                                      /*warning_lead=*/0.05, /*hedge=*/true);
+  sim::Cluster b = MakeDegradeCluster(8, 4, /*kill_seed=*/7,
+                                      /*warning_lead=*/0.05, /*hedge=*/true);
+  EXPECT_EQ(core::AmpcMis(a, g, 17).in_mis, core::AmpcMis(b, g, 17).in_mis);
+  for (const char* counter :
+       {"machines_lost", "domains_lost", "machines_drained",
+        "shards_migrated", "kv_migration_bytes", "kv_slow_trips",
+        "kv_hedged_trips", "kv_hedge_wins"}) {
+    EXPECT_EQ(a.metrics().Get(counter), b.metrics().Get(counter))
+        << counter;
+  }
+  EXPECT_GT(a.metrics().Get("machines_drained"), 0);
+  EXPECT_GT(a.metrics().Get("kv_hedge_wins"), 0);
+  EXPECT_DOUBLE_EQ(a.SimSeconds(), b.SimSeconds());
+  EXPECT_DOUBLE_EQ(a.metrics().GetTime("sim:drain"),
+                   b.metrics().GetTime("sim:drain"));
+  EXPECT_DOUBLE_EQ(a.metrics().GetTime("sim:recovery"),
+                   b.metrics().GetTime("sim:recovery"));
+}
+
 // --- Frontier engine ------------------------------------------------
 // The frontier representation (push pipeline vs bitmap-broadcast pull)
 // is a cost decision, never a value decision: every mode must produce

@@ -62,6 +62,11 @@ struct Args {
   uint64_t fault_seed = 42;
   int replication = 1;
   double checkpoint_period = 0.0;
+  int machines_per_domain = 0;
+  double domain_fault_rate = 0.0;
+  double warning_lead = 0.0;
+  double slow_machine_rate = 0.0;
+  bool hedge = false;
   // Frontier engine (sim::ClusterConfig::FrontierConfig).
   std::string frontier_mode = "sparse";
   double frontier_alpha = FrontierPolicy::kDefaultAlpha;
@@ -108,6 +113,21 @@ void PrintUsage() {
       "  --replication R         copies of every DHT record (default 1)\n"
       "  --checkpoint-period T   simulated seconds between shard\n"
       "                          checkpoints           (default 0 = off)\n"
+      "  --machines-per-domain D machines sharing one fault domain\n"
+      "                          (rack); replicas span domains\n"
+      "                                                (default 0 = off)\n"
+      "  --domain-fault-rate R   Poisson rack kills per domain-second —\n"
+      "                          every machine in the domain dies at\n"
+      "                          once                  (default 0 = off)\n"
+      "  --warning-lead T        failure warnings arrive T simulated\n"
+      "                          seconds before each kill; the cluster\n"
+      "                          drains the machine, migrating its\n"
+      "                          shards live             (default 0 = off)\n"
+      "  --slow-machine-rate R   fraction of (round, machine) pairs that\n"
+      "                          run lookups 4x slow   (default 0 = off)\n"
+      "  --hedge                 hedged lookups: re-issue timed-out trips\n"
+      "                          to a replica, first answer wins (needs\n"
+      "                          --replication 2+ and --slow-machine-rate)\n"
       "\n"
       "frontier engine (outputs stay bit-identical; only cost changes):\n"
       "  --frontier-mode M       sparse | dense | hybrid (default sparse)\n"
@@ -171,6 +191,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->replication = std::atoi(next());
     } else if (flag == "--checkpoint-period") {
       args->checkpoint_period = std::atof(next());
+    } else if (flag == "--machines-per-domain") {
+      args->machines_per_domain = std::atoi(next());
+    } else if (flag == "--domain-fault-rate") {
+      args->domain_fault_rate = std::atof(next());
+    } else if (flag == "--warning-lead") {
+      args->warning_lead = std::atof(next());
+    } else if (flag == "--slow-machine-rate") {
+      args->slow_machine_rate = std::atof(next());
+    } else if (flag == "--hedge") {
+      args->hedge = true;
     } else if (flag == "--frontier-mode") {
       args->frontier_mode = next();
     } else if (flag == "--frontier-alpha") {
@@ -254,6 +284,30 @@ void PrintMetrics(sim::Cluster& cluster) {
                 m.GetTime("sim:recovery"),
                 m.GetTime("recovery_replay_seconds"));
   }
+  if (m.Get("domains_lost") != 0 || m.Get("machines_drained") != 0) {
+    std::printf("domains lost:    %lld\n",
+                static_cast<long long>(m.Get("domains_lost")));
+    std::printf("drained:         %lld machines, %lld shards migrated "
+                "(%lld bytes, %.3fs)\n",
+                static_cast<long long>(m.Get("machines_drained")),
+                static_cast<long long>(m.Get("shards_migrated")),
+                static_cast<long long>(m.Get("kv_migration_bytes")),
+                m.GetTime("sim:drain"));
+    if (m.Get("replica_wipeouts") != 0) {
+      std::printf("replica wipeouts: %lld\n",
+                  static_cast<long long>(m.Get("replica_wipeouts")));
+    }
+  }
+  if (m.Get("kv_slow_trips") != 0) {
+    const int64_t hedged = m.Get("kv_hedged_trips");
+    std::printf("stragglers:      %lld slow trips, %lld hedged "
+                "(win rate %.3f)\n",
+                static_cast<long long>(m.Get("kv_slow_trips")),
+                static_cast<long long>(hedged),
+                hedged == 0 ? 0.0
+                            : static_cast<double>(m.Get("kv_hedge_wins")) /
+                                  static_cast<double>(hedged));
+  }
   if (m.Get("frontier_dense_rounds") != 0 ||
       m.Get("frontier_sparse_rounds") != 0) {
     std::printf("frontier rounds: %lld dense / %lld sparse\n",
@@ -289,6 +343,11 @@ int Run(const Args& args) {
   config.faults.fault_seed = args.fault_seed;
   config.faults.replication = args.replication;
   config.faults.checkpoint_period_sec = args.checkpoint_period;
+  config.faults.machines_per_domain = args.machines_per_domain;
+  config.faults.domain_fault_rate_sec = args.domain_fault_rate;
+  config.faults.warning_lead_sec = args.warning_lead;
+  config.faults.slow_machine_rate = args.slow_machine_rate;
+  config.faults.hedge_lookups = args.hedge;
   if (!ParseFrontierMode(args.frontier_mode, &config.frontier.mode)) {
     std::fprintf(stderr, "unknown frontier mode %s\n",
                  args.frontier_mode.c_str());
