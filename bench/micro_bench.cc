@@ -1,3 +1,5 @@
+// ampc-lint: allow(bench-gate): google-benchmark harness, not a gated
+// invariant bench; the CI gates live in the self-contained micro_* mains.
 // google-benchmark microbenchmarks for the substrate hot paths: hashing,
 // KV store operations, RMQ construction/query, CSR construction, and the
 // sequential finishers. These are the per-operation costs the simulated

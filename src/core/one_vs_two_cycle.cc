@@ -149,6 +149,8 @@ CycleResult AmpcOneVsTwoCycle(sim::Cluster& cluster, const Graph& g,
     seq::UnionFind uf(static_cast<int64_t>(index.size()));
     for (const auto& [a, b] : edges) uf.Union(index[a], index[b]);
     std::unordered_map<int64_t, int> roots;
+    // ampc-lint: allow(det-unordered-iter): only roots.size() is read,
+    // which is invariant under visitation order.
     for (const auto& [node, idx] : index) roots[uf.Find(idx)] = 1;
     const int sampled_cycles = static_cast<int>(roots.size());
 

@@ -63,6 +63,8 @@ std::vector<int64_t> ComponentSizes(const std::vector<NodeId>& labels) {
   for (NodeId l : labels) ++sizes[l];
   std::vector<int64_t> out;
   out.reserve(sizes.size());
+  // ampc-lint: allow(det-unordered-iter): the sort below erases the
+  // collection order before anything is returned.
   for (const auto& [label, size] : sizes) out.push_back(size);
   std::sort(out.rbegin(), out.rend());
   return out;

@@ -91,10 +91,15 @@ namespace ampc::sim {
 /// Cluster-wide configuration. Defaults model the paper's setting scaled
 /// to a single multicore host.
 struct ClusterConfig {
-  /// Number of logical machines (paper: up to 100).
+  /// Number of logical machines (paper: up to 100). A scale parameter
+  /// of the simulated topology, not a feature toggle: outputs are
+  /// bit-identical across values (the determinism matrix), only the
+  /// cost distribution moves.
   int num_machines = 8;
   /// Worker threads per machine used to overlap synchronous KV lookups
-  /// (the multithreading optimization of Section 5.3).
+  /// (the multithreading optimization of Section 5.3). A scale
+  /// parameter: outputs are bit-identical across thread counts, only
+  /// simulated overlap changes.
   int threads_per_machine = 8;
   /// Disables the multithreading optimization when false (Figure 4).
   bool multithreading = true;
@@ -110,12 +115,16 @@ struct ClusterConfig {
   /// changing any returned value — the caching axis of the Figure-4
   /// ablation grid.
   struct QueryCacheConfig {
+    /// false disables caching entirely — the uncached historical
+    /// client, bit-identical outputs, cost-only difference.
     bool enabled = true;
     /// Cached entries per machine (per store, and per derived-fact
-    /// cache set minted by MakeMachineCaches).
+    /// cache set minted by MakeMachineCaches). Cost-only: capacity
+    /// never changes returned values, just the hit rate.
     int64_t capacity = 1 << 16;
     /// Internal lock shards of each cache — a concurrency knob for the
-    /// machine's worker threads, unrelated to DHT placement.
+    /// machine's worker threads, unrelated to DHT placement. Cost- and
+    /// value-neutral; any value yields identical outputs and charges.
     int lock_shards = 8;
   };
   QueryCacheConfig query_cache;
@@ -154,23 +163,29 @@ struct ClusterConfig {
   /// kv_peak_inflight_keys metric measures the realized peak.
   int pipeline_depth = 4;
   /// Key -> machine placement policy, shared by every store minted with
-  /// MakeStore and by the work-item placement of map phases.
+  /// MakeStore and by the work-item placement of map phases. kHash is
+  /// the historical default; every policy returns bit-identical
+  /// outputs, only locality (and so cost) differs.
   kv::PlacementPolicy placement_policy = kv::PlacementPolicy::kHash;
   /// Consecutive keys per block under the affinity placement policy.
+  /// Ignored (cost- and value-neutral) under every other policy.
   int64_t affinity_block = 32;
-  /// KV-store network cost model (RDMA vs TCP/IP, Table 4).
+  /// KV-store network cost model (RDMA vs TCP/IP, Table 4). Cost-only:
+  /// the network model scales charged latencies/bytes, never values.
   kv::NetworkModel network = kv::NetworkModel::Rdma();
   /// Fixed simulated cost of spawning any round (stage scheduling,
   /// worker startup). Dominates when the graph is small or P is large.
   /// Calibrated so that fixed-vs-data cost ratios at this library's
   /// benchmark scale (1e5..1e7 arcs) match the paper's at its scale
-  /// (1e8..1e11 arcs).
+  /// (1e8..1e11 arcs). Cost-only.
   double round_spawn_sec = 0.05;
   /// Per-machine throughput of shuffle writes to durable storage.
+  /// Cost-only.
   double shuffle_bytes_per_sec = 2.0e7;
   /// Simulated floor per shuffle (fault-tolerant checkpointing).
+  /// Cost-only.
   double shuffle_min_sec = 0.02;
-  /// Simulated CPU cost per item touched in a map phase.
+  /// Simulated CPU cost per item touched in a map phase. Cost-only.
   double map_item_cpu_sec = 2e-8;
   /// Injected machine failures and the recovery machinery that absorbs
   /// them. Defaults are all-off and reproduce the fault-free cost model
@@ -184,14 +199,16 @@ struct ClusterConfig {
     /// lost and recovered at a cost. 0 disables injection.
     double fault_rate_per_machine_sec = 0.0;
     /// Seed of the injected kill schedule — independent of `seed` so
-    /// churn can vary while algorithmic randomness stays fixed.
+    /// churn can vary while algorithmic randomness stays fixed. Inert
+    /// (cost- and value-neutral) while every fault rate is 0.
     uint64_t fault_seed = 42;
     /// Copies of every DHT record (kv::Placement::replication): R > 1
     /// places R - 1 followers on distinct machines via chained
     /// declustering, so a lost machine re-streams its shard from a
     /// surviving replica instead of replaying history. Follower write
     /// traffic and memory are charged through the normal cost model
-    /// (kv_replication_bytes).
+    /// (kv_replication_bytes). 1 = no followers, the unreplicated
+    /// historical model, bit-identical to pre-replication builds.
     int replication = 1;
     /// Simulated seconds between periodic shard checkpoints to durable
     /// storage. A checkpoint is a costly round (charged like a sharded
@@ -235,7 +252,8 @@ struct ClusterConfig {
     /// slow machine takes straggler_slowdown x the normal latency.
     /// Cost-only, like every fault knob. 0 disables the model.
     double slow_machine_rate = 0.0;
-    /// Latency multiplier of a slow destination's round trips.
+    /// Latency multiplier of a slow destination's round trips. Inert
+    /// (cost- and value-neutral) while slow_machine_rate is 0.
     double straggler_slowdown = 4.0;
     /// Hedged lookups: after a timeout of one normal round-trip latency
     /// (the non-straggler quantile of the trip distribution), re-issue
@@ -243,7 +261,8 @@ struct ClusterConfig {
     /// take the first response. A hedge against a non-slow replica
     /// completes in 2 x latency instead of straggler_slowdown x; both
     /// trips are charged honestly (kv_hedged_trips, kv_hedge_wins).
-    /// Needs replication > 1 to have a replica to hedge to.
+    /// Needs replication > 1 to have a replica to hedge to. false =
+    /// wait out stragglers, the historical model, bit-identical costs.
     bool hedge_lookups = false;
   };
   FaultConfig faults;
@@ -259,12 +278,16 @@ struct ClusterConfig {
   /// trips); kHybrid lets the Beamer-style FrontierPolicy pick per
   /// round with alpha/beta hysteresis.
   struct FrontierConfig {
+    /// kSparse — the default — is the legacy flat-work-list engine and
+    /// reproduces the pre-frontier cost model bit-identically.
     FrontierMode mode = FrontierMode::kSparse;
     /// Switch sparse -> dense when frontier out-edges exceed
-    /// total_edges / alpha.
+    /// total_edges / alpha. Inert under the default kSparse mode;
+    /// cost-only otherwise.
     double alpha = FrontierPolicy::kDefaultAlpha;
     /// Switch dense -> sparse when the frontier shrinks below
-    /// num_vertices / beta.
+    /// num_vertices / beta. Inert under the default kSparse mode;
+    /// cost-only otherwise.
     double beta = FrontierPolicy::kDefaultBeta;
     /// Minimum items per worker slice when a map phase's per-machine
     /// share is too small to feed every worker (the small-frontier
@@ -289,7 +312,9 @@ struct ClusterConfig {
   /// knob it moves is a value-neutral ablation toggle, so outputs never
   /// change — only the simulated cost.
   AutoTuneConfig auto_tune;
-  /// Seed from which all algorithmic randomness is derived.
+  /// Seed from which all algorithmic randomness is derived. Outputs are
+  /// a pure function of (input, seed, config): rerunning any seed
+  /// reproduces its outputs bit-identically on any machine.
   uint64_t seed = 42;
   /// Baselines switch to a single-machine in-memory algorithm below this
   /// many arcs (paper: 5e7; default scaled to our dataset sizes).
@@ -521,6 +546,8 @@ class Cluster {
   /// engine is active (mode != kSparse) — the legacy sparse mode
   /// leaves the frontier metrics untouched, preserving bit-identical
   /// metric output.
+  // ampc-lint: allow(metric-zero-guard): callers gate on an active
+  // engine (mode != kSparse); legacy sparse mode never reaches this.
   void NoteSparseFrontierRound() { metrics_.Add("frontier_sparse_rounds", 1); }
 
   /// Writes records for keys [0, n) into `store` using value = producer(key)

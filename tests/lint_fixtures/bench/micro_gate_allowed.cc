@@ -1,0 +1,7 @@
+// ampc-lint: allow(bench-gate): fixture for the suppression path.
+#include <cstdio>
+
+int main() {
+  std::printf("gateless by design\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Fixture: a microbench with no failing gate.
+#include <cstdio>
+
+int main() {
+  std::printf("all good, always\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fixture: a microbench with a proper failing gate.
+#include <cstdio>
+
+int main() {
+  const bool invariant_holds = true;
+  if (!invariant_holds) {
+    std::fprintf(stderr, "invariant regressed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: malformed annotations — each is its own error.
+int JustCode() {
+  // ampc-lint: allow(det-rand)
+  int no_justification = 1;
+  // ampc-lint: allow(not-a-real-rule): confident justification.
+  int unknown_rule = 2;
+  // ampc-lint: suppress-everything please
+  int not_even_allow = 3;
+  return no_justification + unknown_rule + not_even_allow;
+}

@@ -1,0 +1,6 @@
+// Fixture: a malformed annotation silenced by a valid bad-suppression
+// allow on the same line (the one self-referential case).
+int JustCodeAllowed() {
+  int x = 1;  // ampc-lint: allow(bad-suppression): doc example follows. ampc-lint: allow(det-rand)
+  return x;
+}

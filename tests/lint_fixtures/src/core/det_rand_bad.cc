@@ -1,0 +1,11 @@
+// Fixture: every banned nondeterminism primitive, unsuppressed.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int EntropySoup() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  srand(static_cast<unsigned>(time(nullptr)));
+  return rand() + static_cast<int>(clock());
+}

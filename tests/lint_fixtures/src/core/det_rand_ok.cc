@@ -1,0 +1,9 @@
+// Fixture: the same primitives, silenced by justified annotations.
+#include <cstdlib>
+
+int EntropySoupAllowed() {
+  // ampc-lint: allow(det-rand): fixture exercising the suppression path.
+  int a = rand();
+  int b = rand();  // ampc-lint: allow(det-rand): trailing-form fixture.
+  return a + b;
+}

@@ -1,0 +1,11 @@
+// Fixture: placement machinery handled directly in src/core/,
+// unsuppressed.
+#include "kv/placement.h"
+#include "kv/sharded_store.h"
+
+int64_t HandRolledPlacement() {
+  kv::Placement placement;
+  placement.num_shards = 4;
+  kv::ShardedStore<int64_t> store(placement);
+  return store.num_shards();
+}

@@ -1,0 +1,9 @@
+// Fixture: the same construction, silenced with a justification.
+#include "kv/placement.h"
+
+int64_t HandRolledPlacementAllowed() {
+  // ampc-lint: allow(core-make-store): fixture exercising suppression.
+  kv::Placement placement;
+  placement.num_shards = 4;
+  return placement.num_shards;
+}

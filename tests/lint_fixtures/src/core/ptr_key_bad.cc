@@ -1,0 +1,15 @@
+// Fixture: pointer-keyed ordered containers, unsuppressed.
+#include <map>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+int CountDistinct(Node* a, Node* b) {
+  std::map<Node*, int> by_node;
+  std::set<const Node*> seen;
+  by_node[a] = 1;
+  seen.insert(b);
+  return static_cast<int>(by_node.size() + seen.size());
+}

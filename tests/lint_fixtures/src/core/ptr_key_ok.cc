@@ -1,0 +1,13 @@
+// Fixture: a suppressed pointer-keyed map.
+#include <map>
+
+struct Node {
+  int id;
+};
+
+int CountDistinctAllowed(Node* a) {
+  // ampc-lint: allow(det-ptr-key): only membership is tested, never order.
+  std::map<Node*, int> by_node;
+  by_node[a] = 1;
+  return static_cast<int>(by_node.size());
+}

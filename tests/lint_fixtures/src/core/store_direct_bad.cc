@@ -1,0 +1,10 @@
+// Fixture: direct ShardedStore data access in src/core/, unsuppressed.
+#include "kv/sharded_store.h"
+#include "sim/cluster.h"
+
+int64_t ReadBehindTheMeter(kv::ShardedStore<int64_t>& store,
+                           sim::Cluster& cluster) {
+  store.Put(1, 2);
+  auto mirror = cluster.MakeStore<int64_t>(100);
+  return store.Lookup(1) + mirror.Lookup(7);
+}

@@ -1,0 +1,8 @@
+// Fixture: the same access, silenced; metadata reads need no annotation.
+#include "kv/sharded_store.h"
+
+int64_t ReadBehindTheMeterAllowed(kv::ShardedStore<int64_t>& store) {
+  // ampc-lint: allow(core-store-direct): fixture exercising suppression.
+  const int64_t v = store.Lookup(1);
+  return v + store.num_shards();
+}

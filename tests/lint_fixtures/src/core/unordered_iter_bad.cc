@@ -1,0 +1,15 @@
+// Fixture: range-iteration over unordered containers in an
+// output-affecting path (src/core/), unsuppressed.
+#include <unordered_map>
+#include <unordered_set>
+
+using NodeSet = std::unordered_set<long>;
+
+long SumValues() {
+  std::unordered_map<long, long> values;
+  NodeSet nodes;
+  long sum = 0;
+  for (const auto& [k, v] : values) sum += v;
+  for (long n : nodes) sum += n;
+  return sum;
+}

@@ -1,0 +1,10 @@
+// Fixture: the same iteration, silenced with a justification.
+#include <unordered_map>
+
+long SumValuesAllowed() {
+  std::unordered_map<long, long> values;
+  long sum = 0;
+  // ampc-lint: allow(det-unordered-iter): sum is order-independent.
+  for (const auto& [k, v] : values) sum += v;
+  return sum;
+}

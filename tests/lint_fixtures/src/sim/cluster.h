@@ -1,0 +1,25 @@
+// Fixture ClusterConfig for the config-off-doc / config-dump rules. The
+// scanner keys on the path src/sim/cluster.h relative to its scan root,
+// so this shadow copy exercises the real parsing logic.
+#pragma once
+
+namespace ampc::sim {
+
+struct ClusterConfig {
+  /// Fully documented: false disables the feature and reproduces the
+  /// prior cost model bit-identically. Also present in the CLI dump.
+  bool knob_documented = false;
+  /// Scales the widget flux; also absent from the CLI dump.
+  int knob_undocumented = 3;
+  int knob_allowed = 4;  // ampc-lint: allow(config-off-doc): fixture. ampc-lint: allow(config-dump): fixture.
+  /// Nested knobs expand to dotted names. Defaults are all-off.
+  struct NestedConfig {
+    /// 0 disables the nested feature entirely.
+    double rate = 0.0;
+    /// Shapes the nested feature's aggressiveness; also undumped.
+    double tuning_knob = 1.5;
+  };
+  NestedConfig nested;
+};
+
+}  // namespace ampc::sim

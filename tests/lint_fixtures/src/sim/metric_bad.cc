@@ -1,0 +1,11 @@
+// Fixture: a new counter written unconditionally (error), a guarded
+// write (clean), and a grandfathered counter (clean).
+#include "common/metrics.h"
+
+void Account(ampc::Metrics& metrics, long delta) {
+  metrics.Add("shiny_new_counter", delta);
+  if (delta != 0) {
+    metrics.Add("guarded_new_counter", delta);
+  }
+  metrics.Add("rounds", 1);
+}

@@ -1,0 +1,8 @@
+// Fixture: an unconditional new-counter write, silenced.
+#include "common/metrics.h"
+
+void AccountAllowed(ampc::Metrics& metrics) {
+  // ampc-lint: allow(metric-zero-guard): fixture; callers gate on the
+  // feature being active.
+  metrics.Add("shiny_new_counter", 1);
+}

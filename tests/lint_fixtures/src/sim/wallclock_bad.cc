@@ -1,0 +1,7 @@
+// Fixture: wall-clock reads outside common/timer.h and bench/.
+#include <chrono>
+
+double Now() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

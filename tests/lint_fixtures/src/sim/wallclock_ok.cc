@@ -1,0 +1,9 @@
+// Fixture: the same wall-clock reads, silenced by justified annotations.
+// ampc-lint: allow(det-wallclock): fixture exercising suppression.
+#include <chrono>
+
+double NowAllowed() {
+  // ampc-lint: allow(det-wallclock): fixture exercising suppression.
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();  // ampc-lint: allow(det-wallclock): trailing form.
+}

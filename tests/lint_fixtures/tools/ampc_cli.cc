@@ -1,0 +1,10 @@
+// Fixture CLI dump: lists the documented knobs but omits
+// knob_undocumented, knob_allowed (suppressed at its declaration) and
+// nested.tuning_knob, so config-dump fires for exactly those three.
+#include <cstdio>
+
+int DumpFixtureConfig() {
+  std::printf("%s\n", "knob_documented");
+  std::printf("%s\n", "nested.rate");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: the identical iteration outside an output-affecting path —
+// must produce no diagnostic (tools/ is not output-affecting).
+#include <unordered_map>
+
+long SumValuesInTool() {
+  std::unordered_map<long, long> values;
+  long sum = 0;
+  for (const auto& [k, v] : values) sum += v;
+  return sum;
+}

@@ -141,7 +141,11 @@ void PrintUsage() {
       "                          query-bearing rounds probe placement,\n"
       "                          frontier mode, pipeline depth, batch\n"
       "                          bound, and cache capacity, then commit;\n"
-      "                          prints the decision trace\n");
+      "                          prints the decision trace\n"
+      "\n"
+      "Instead of an algorithm, `ampc_cli --lint-config [flags]` dumps\n"
+      "the effective ClusterConfig: every knob with its value and its\n"
+      "off-state marker (checked against the struct by ampc_lint).\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -329,33 +333,137 @@ void PrintMetrics(sim::Cluster& cluster) {
   std::printf("wall time:       %.3fs\n", cluster.WallSeconds());
 }
 
+// Builds the effective ClusterConfig from the parsed flags — shared by
+// Run and the --lint-config dump so the dump always shows exactly what a
+// run with the same flags would use. False on an unknown frontier mode.
+bool BuildClusterConfig(const Args& args, sim::ClusterConfig* config) {
+  config->num_machines = args.machines;
+  config->threads_per_machine = args.threads;
+  config->query_cache.enabled = args.caching;
+  config->multithreading = args.multithreading;
+  config->network = args.network == "tcp" ? kv::NetworkModel::TcpIp()
+                                          : kv::NetworkModel::Rdma();
+  config->seed = args.seed;
+  config->faults.fault_rate_per_machine_sec = args.fault_rate;
+  config->faults.fault_seed = args.fault_seed;
+  config->faults.replication = args.replication;
+  config->faults.checkpoint_period_sec = args.checkpoint_period;
+  config->faults.machines_per_domain = args.machines_per_domain;
+  config->faults.domain_fault_rate_sec = args.domain_fault_rate;
+  config->faults.warning_lead_sec = args.warning_lead;
+  config->faults.slow_machine_rate = args.slow_machine_rate;
+  config->faults.hedge_lookups = args.hedge;
+  if (!ParseFrontierMode(args.frontier_mode, &config->frontier.mode)) {
+    std::fprintf(stderr, "unknown frontier mode %s\n",
+                 args.frontier_mode.c_str());
+    return false;
+  }
+  config->frontier.alpha = args.frontier_alpha;
+  config->frontier.beta = args.frontier_beta;
+  config->auto_tune.enabled = args.auto_tune;
+  return true;
+}
+
+// `--lint-config`: prints every ClusterConfig knob (dotted name), its
+// effective value under the given flags, and the knob's off-state — the
+// value that reproduces the prior cost model bit-identically (or a
+// note that the knob is cost-only / a scale parameter). ampc_lint's
+// config-dump rule cross-checks this inventory against the struct, so
+// adding a knob without extending this dump fails the lint gate.
+int DumpLintConfig(const Args& args) {
+  sim::ClusterConfig c;
+  if (!BuildClusterConfig(args, &c)) return 2;
+  const char* frontier_mode = c.frontier.mode == FrontierMode::kSparse
+                                  ? "sparse"
+                                  : c.frontier.mode == FrontierMode::kDense
+                                        ? "dense"
+                                        : "hybrid";
+  std::printf("--- effective ClusterConfig (knob = value  # off-state) ---\n");
+  auto row = [](const char* knob, const std::string& value,
+                const char* off_state) {
+    std::printf("%-33s = %-12s # %s\n", knob, value.c_str(), off_state);
+  };
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return std::string(buf);
+  };
+  auto integer = [](int64_t v) { return std::to_string(v); };
+  auto boolean = [](bool v) { return std::string(v ? "true" : "false"); };
+  row("num_machines", integer(c.num_machines),
+      "scale knob: outputs bit-identical across values");
+  row("threads_per_machine", integer(c.threads_per_machine),
+      "scale knob: outputs bit-identical across values");
+  row("multithreading", boolean(c.multithreading),
+      "false = sequential workers, bit-identical outputs");
+  row("query_cache.enabled", boolean(c.query_cache.enabled),
+      "false = uncached historical client, cost-only");
+  row("query_cache.capacity", integer(c.query_cache.capacity),
+      "cost-only: hit rate, never values");
+  row("query_cache.lock_shards", integer(c.query_cache.lock_shards),
+      "cost- and value-neutral concurrency knob");
+  row("batch_lookups", boolean(c.batch_lookups),
+      "false = scalar trip charging, bit-identical outputs");
+  row("max_batch_keys", integer(c.max_batch_keys),
+      "<= 0 disables sub-batch splitting, cost-only");
+  row("pipeline_depth", integer(c.pipeline_depth),
+      "1 = lockstep, the pre-pipelining cost model");
+  row("placement_policy", kv::PlacementPolicyName(c.placement_policy),
+      "hash = historical default; all policies value-identical");
+  row("affinity_block", integer(c.affinity_block),
+      "inert unless placement_policy = affinity");
+  row("network", c.network.name,
+      "cost-only: scales latencies/bytes, never values");
+  row("round_spawn_sec", num(c.round_spawn_sec), "cost-only calibration");
+  row("shuffle_bytes_per_sec", num(c.shuffle_bytes_per_sec),
+      "cost-only calibration");
+  row("shuffle_min_sec", num(c.shuffle_min_sec), "cost-only calibration");
+  row("map_item_cpu_sec", num(c.map_item_cpu_sec), "cost-only calibration");
+  row("faults.fault_rate_per_machine_sec",
+      num(c.faults.fault_rate_per_machine_sec),
+      "0 disables injection, fault-free model");
+  row("faults.fault_seed", integer(int64_t(c.faults.fault_seed)),
+      "inert while every fault rate is 0");
+  row("faults.replication", integer(c.faults.replication),
+      "1 = unreplicated historical model");
+  row("faults.checkpoint_period_sec", num(c.faults.checkpoint_period_sec),
+      "0 disables checkpointing");
+  row("faults.machines_per_domain", integer(c.faults.machines_per_domain),
+      "<= 1 keeps every machine its own domain");
+  row("faults.domain_fault_rate_sec", num(c.faults.domain_fault_rate_sec),
+      "0 disables correlated kills");
+  row("faults.domain_aware_placement",
+      boolean(c.faults.domain_aware_placement),
+      "inert while machines_per_domain <= 1");
+  row("faults.warning_lead_sec", num(c.faults.warning_lead_sec),
+      "0 = unannounced kills, reactive historical model");
+  row("faults.slow_machine_rate", num(c.faults.slow_machine_rate),
+      "0 disables the straggler model");
+  row("faults.straggler_slowdown", num(c.faults.straggler_slowdown),
+      "inert while slow_machine_rate is 0");
+  row("faults.hedge_lookups", boolean(c.faults.hedge_lookups),
+      "false = wait out stragglers, historical model");
+  row("frontier.mode", frontier_mode,
+      "sparse = legacy engine, bit-identical cost model");
+  row("frontier.alpha", num(c.frontier.alpha),
+      "inert under sparse; cost-only otherwise");
+  row("frontier.beta", num(c.frontier.beta),
+      "inert under sparse; cost-only otherwise");
+  row("frontier.min_worker_grain", integer(c.frontier.min_worker_grain),
+      "inert under sparse (historical slicing)");
+  row("auto_tune", boolean(c.auto_tune.enabled),
+      "false constructs no tuner, byte-identical cost model");
+  row("seed", integer(int64_t(c.seed)),
+      "outputs a pure function of (input, seed, config)");
+  row("in_memory_threshold_arcs", integer(c.in_memory_threshold_arcs),
+      "baseline switchover scale, bit-identical outputs");
+  return 0;
+}
+
 int Run(const Args& args) {
   const bool ampc_engine = args.engine == "ampc";
   sim::ClusterConfig config;
-  config.num_machines = args.machines;
-  config.threads_per_machine = args.threads;
-  config.query_cache.enabled = args.caching;
-  config.multithreading = args.multithreading;
-  config.network = args.network == "tcp" ? kv::NetworkModel::TcpIp()
-                                         : kv::NetworkModel::Rdma();
-  config.seed = args.seed;
-  config.faults.fault_rate_per_machine_sec = args.fault_rate;
-  config.faults.fault_seed = args.fault_seed;
-  config.faults.replication = args.replication;
-  config.faults.checkpoint_period_sec = args.checkpoint_period;
-  config.faults.machines_per_domain = args.machines_per_domain;
-  config.faults.domain_fault_rate_sec = args.domain_fault_rate;
-  config.faults.warning_lead_sec = args.warning_lead;
-  config.faults.slow_machine_rate = args.slow_machine_rate;
-  config.faults.hedge_lookups = args.hedge;
-  if (!ParseFrontierMode(args.frontier_mode, &config.frontier.mode)) {
-    std::fprintf(stderr, "unknown frontier mode %s\n",
-                 args.frontier_mode.c_str());
-    return 2;
-  }
-  config.frontier.alpha = args.frontier_alpha;
-  config.frontier.beta = args.frontier_beta;
-  config.auto_tune.enabled = args.auto_tune;
+  if (!BuildClusterConfig(args, &config)) return 2;
 
   if (args.algorithm == "1v2cycle") {
     // Builds its own cycle structure; skips the generic input path.
@@ -490,5 +598,6 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  if (args.algorithm == "--lint-config") return DumpLintConfig(args);
   return Run(args);
 }

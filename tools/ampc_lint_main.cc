@@ -1,0 +1,89 @@
+// ampc_lint CLI: runs the repo-invariant scanner and exits nonzero on
+// any unsuppressed diagnostic, so `make lint` and the CI lint job fail
+// the build. See tools/ampc_lint.h for the rule catalogue.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ampc_lint.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: ampc_lint [--root DIR] [--json FILE] [--list-rules] [PATH...]\n"
+      "\n"
+      "Static analysis for the AMPC repo invariants (determinism,\n"
+      "cost-model purity, metric/config conventions).\n"
+      "\n"
+      "  --root DIR    tree root to scan (default: .)\n"
+      "  --json FILE   also write the machine-readable report to FILE\n"
+      "  --list-rules  print every rule id + summary and exit\n"
+      "  PATH...       files/dirs relative to the root (default:\n"
+      "                src tools bench tests)\n"
+      "\n"
+      "Exit status: 0 when every finding is suppressed with a justified\n"
+      "`// ampc-lint: allow(rule): reason` annotation, 1 otherwise.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ampc::lint::Options options;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ampc_lint: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const ampc::lint::RuleInfo& r : ampc::lint::Rules()) {
+        std::printf("%-20s %s\n", r.id, r.summary);
+      }
+      return 0;
+    } else if (arg == "--root") {
+      options.root = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ampc_lint: unknown flag %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+
+  const ampc::lint::Report report = ampc::lint::Run(options);
+  int suppressed = 0;
+  for (const ampc::lint::Diagnostic& d : report.diagnostics) {
+    if (d.suppressed) {
+      ++suppressed;
+      continue;  // kept in the JSON report; not console noise
+    }
+    std::fprintf(stderr, "%s\n", d.ToString().c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << report.ToJson();
+    if (!out) {
+      std::fprintf(stderr, "ampc_lint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+  }
+  std::fprintf(stderr,
+               "ampc_lint: %d files, %d include edges, %d error(s), "
+               "%d suppressed\n",
+               report.files_scanned, report.include_edges, report.errors(),
+               suppressed);
+  return report.errors() > 0 ? 1 : 0;
+}
